@@ -1,0 +1,150 @@
+// Command spes-overlap detects overlapping (equivalent) computation in a
+// workload of SQL queries — the DBaaS use case of §7.3: materialize one of
+// an equivalent pair and rewrite the other to read the view.
+//
+// The workload file holds one query per line (blank lines and -- comments
+// skipped); the schema file holds CREATE TABLE statements. Queries over the
+// same input tables are compared pairwise.
+//
+// Usage:
+//
+//	spes-overlap -schema schema.sql -queries workload.sql [-max-pairs N]
+//	spes-overlap -demo            # run on the built-in synthetic workload
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"spes"
+	"spes/internal/corpus"
+	"spes/internal/plan"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "path to CREATE TABLE statements")
+		queries    = flag.String("queries", "", "path to the workload (one query per line)")
+		maxPairs   = flag.Int("max-pairs", 5000, "cap on verified pairs")
+		demo       = flag.Bool("demo", false, "use the built-in synthetic production workload")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "spes-overlap: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	var cat *spes.Catalog
+	var sqls []string
+	if *demo {
+		w := corpus.ProductionWorkload(2022, 0.01)
+		cat = w.Catalog
+		for _, q := range w.Queries {
+			sqls = append(sqls, q.SQL)
+		}
+	} else {
+		if *schemaPath == "" || *queries == "" {
+			fail("-schema and -queries are required (or use -demo)")
+		}
+		ddl, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		cat, err = spes.ParseCatalog(string(ddl))
+		if err != nil {
+			fail("%v", err)
+		}
+		f, err := os.Open(*queries)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "--") {
+				continue
+			}
+			sqls = append(sqls, line)
+		}
+		if err := sc.Err(); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	// Group queries by their input-table sets.
+	type entry struct {
+		idx  int
+		node plan.Node
+	}
+	groups := map[string][]entry{}
+	skipped := 0
+	for i, sql := range sqls {
+		n, err := spes.BuildPlan(cat, sql)
+		if err != nil {
+			skipped++
+			continue
+		}
+		var tbls []string
+		plan.Walk(n, func(m plan.Node) bool {
+			if t, ok := m.(*plan.Table); ok {
+				tbls = append(tbls, t.Meta.Name)
+			}
+			return true
+		})
+		sort.Strings(tbls)
+		key := strings.Join(dedupe(tbls), ",")
+		groups[key] = append(groups[key], entry{idx: i, node: n})
+	}
+
+	compared, equivalent := 0, 0
+	overlapping := map[int]bool{}
+	for _, es := range groups {
+		for i := 0; i < len(es) && compared < *maxPairs; i++ {
+			for j := i + 1; j < len(es) && compared < *maxPairs; j++ {
+				if sqls[es[i].idx] == sqls[es[j].idx] {
+					// Textual duplicates overlap trivially.
+					overlapping[es[i].idx] = true
+					overlapping[es[j].idx] = true
+					continue
+				}
+				compared++
+				res := spes.VerifyPlans(es[i].node, es[j].node, spes.Options{})
+				if res.Verdict == spes.Equivalent {
+					equivalent++
+					overlapping[es[i].idx] = true
+					overlapping[es[j].idx] = true
+					fmt.Printf("EQUIVALENT:\n  [%d] %s\n  [%d] %s\n",
+						es[i].idx+1, truncate(sqls[es[i].idx]), es[j].idx+1, truncate(sqls[es[j].idx]))
+				}
+			}
+		}
+	}
+	fmt.Printf("\n%d queries (%d unparsable), %d pairs verified, %d equivalent pairs, %d overlapping queries (%.0f%%)\n",
+		len(sqls), skipped, compared, equivalent, len(overlapping),
+		100*float64(len(overlapping))/float64(max(1, len(sqls))))
+}
+
+func dedupe(ss []string) []string {
+	var out []string
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func truncate(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 120 {
+		return s[:117] + "..."
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+// Command spes verifies the equivalence of two SQL queries under bag
+// semantics against a schema of CREATE TABLE statements.
+//
+// Usage:
+//
+//	spes -schema schema.sql -q1 "SELECT ..." -q2 "SELECT ..."
+//	spes -schema schema.sql -f1 query1.sql -f2 query2.sql [-explain] [-no-normalize]
+//
+// Exit status: 0 when equivalence is proved, 1 when not proved, 2 on
+// unsupported features or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spes"
+	"spes/internal/normalize"
+)
+
+func main() {
+	var (
+		schemaPath  = flag.String("schema", "", "path to CREATE TABLE statements (required)")
+		q1          = flag.String("q1", "", "first query (inline SQL)")
+		q2          = flag.String("q2", "", "second query (inline SQL)")
+		f1          = flag.String("f1", "", "first query (file)")
+		f2          = flag.String("f2", "", "second query (file)")
+		explain     = flag.Bool("explain", false, "print the normalized plans")
+		noNormalize = flag.Bool("no-normalize", false, "disable the normalization rules (ablation)")
+		verbose     = flag.Bool("v", false, "print verification statistics")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "spes: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	if *schemaPath == "" {
+		fail("-schema is required")
+	}
+	ddl, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fail("reading schema: %v", err)
+	}
+	cat, err := spes.ParseCatalog(string(ddl))
+	if err != nil {
+		fail("parsing schema: %v", err)
+	}
+
+	load := func(inline, path, name string) string {
+		switch {
+		case inline != "" && path != "":
+			fail("give either -%s or -f%s, not both", name, name[1:])
+		case inline != "":
+			return inline
+		case path != "":
+			b, err := os.ReadFile(path)
+			if err != nil {
+				fail("reading %s: %v", path, err)
+			}
+			return string(b)
+		}
+		fail("missing query %s", name)
+		return ""
+	}
+	sql1 := load(*q1, *f1, "q1")
+	sql2 := load(*q2, *f2, "q2")
+
+	if *explain {
+		for i, sql := range []string{sql1, sql2} {
+			n, err := spes.BuildPlan(cat, sql)
+			if err != nil {
+				fail("query %d: %v", i+1, err)
+			}
+			fmt.Printf("-- plan %d --\n%s", i+1, spes.ExplainPlan(n))
+			if !*noNormalize {
+				fmt.Printf("-- normalized %d --\n%s", i+1,
+					spes.ExplainPlan(spes.Normalize(n, normalize.Options{})))
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := spes.VerifyWithOptions(cat, sql1, sql2, spes.Options{DisableNormalization: *noNormalize})
+	if err != nil {
+		fail("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%s\n", res.Verdict)
+	if res.Reason != "" {
+		fmt.Printf("reason: %s\n", res.Reason)
+	}
+	if *verbose {
+		fmt.Printf("time: %v\nstats: %v\n", elapsed, res.Stats)
+	}
+	switch res.Verdict {
+	case spes.Equivalent:
+		os.Exit(0)
+	case spes.NotProved:
+		os.Exit(1)
+	default:
+		os.Exit(2)
+	}
+}

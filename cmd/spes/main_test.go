@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// CLI integration tests: build the binary once, then drive it the way a
+// user would. Exit codes encode the verdict (0 equivalent, 1 not proved,
+// 2 unsupported/usage).
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "spes")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeSchema(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "schema.sql")
+	ddl := `CREATE TABLE EMP (EMP_ID INT NOT NULL PRIMARY KEY, SALARY INT, DEPT_ID INT, LOCATION VARCHAR(20));`
+	if err := os.WriteFile(p, []byte(ddl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCLIVerdictsAndExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	schema := writeSchema(t)
+
+	cases := []struct {
+		name     string
+		q1, q2   string
+		exitCode int
+		stdout   string
+	}{
+		{
+			"equivalent", "SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 10",
+			"SELECT DEPT_ID FROM EMP WHERE DEPT_ID + 5 > 15",
+			0, "equivalent",
+		},
+		{
+			"not-proved", "SELECT DEPT_ID FROM EMP WHERE SALARY > 5",
+			"SELECT DEPT_ID FROM EMP WHERE SALARY > 6",
+			1, "not-proved",
+		},
+		{
+			"unsupported", "SELECT CAST(SALARY AS FLOAT) FROM EMP",
+			"SELECT CAST(SALARY AS FLOAT) FROM EMP",
+			2, "unsupported",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(bin, "-schema", schema, "-q1", c.q1, "-q2", c.q2, "-v")
+			out, err := cmd.CombinedOutput()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if code != c.exitCode {
+				t.Errorf("exit code = %d, want %d\noutput:\n%s", code, c.exitCode, out)
+			}
+			if !strings.Contains(string(out), c.stdout) {
+				t.Errorf("output missing %q:\n%s", c.stdout, out)
+			}
+		})
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	schema := writeSchema(t)
+	for _, args := range [][]string{
+		{},                                      // missing schema
+		{"-schema", schema},                     // missing queries
+		{"-schema", schema, "-q1", "SELEC x"},   // parse error (and missing q2)
+		{"-schema", "/nonexistent", "-q1", "x"}, // unreadable schema
+	} {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("args %v: want exit 2, got %v\n%s", args, err, out)
+		}
+	}
+}
+
+func TestCLIExplainAndFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	schema := writeSchema(t)
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "q1.sql")
+	f2 := filepath.Join(dir, "q2.sql")
+	os.WriteFile(f1, []byte("SELECT DEPT_ID FROM EMP WHERE SALARY > 5 AND DEPT_ID < 9"), 0o644)
+	os.WriteFile(f2, []byte("SELECT DEPT_ID FROM (SELECT * FROM EMP WHERE SALARY > 5) T WHERE DEPT_ID < 9"), 0o644)
+	cmd := exec.Command(bin, "-schema", schema, "-f1", f1, "-f2", f2, "-explain")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"-- plan 1 --", "-- normalized 2 --", "TABLE EMP", "equivalent"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Nullsemantics: three-valued-logic pitfalls that make naive rewrite rules
+// unsound — exactly the reasoning the paper's symbolic (value, is-null)
+// encoding gets right and the algebraic UDP baseline cannot handle.
+//
+// Each case shows a tempting rewrite, SPES's verdict, and concrete behavior
+// on a NULL-bearing database.
+//
+// Run: go run ./examples/nullsemantics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spes"
+	"spes/internal/exec"
+	"spes/internal/plan"
+)
+
+const schema = `
+CREATE TABLE EMP (
+	EMP_ID INT NOT NULL PRIMARY KEY,
+	SALARY INT,
+	DEPT_ID INT,
+	LOCATION VARCHAR(20)
+);
+`
+
+var cases = []struct {
+	title string
+	q1    string
+	q2    string
+	story string
+}{
+	{
+		"Filters discard UNKNOWN: NOT(x > 10) ≡ x <= 10 as a filter",
+		"SELECT EMP_ID FROM EMP WHERE NOT (SALARY > 10)",
+		"SELECT EMP_ID FROM EMP WHERE SALARY <= 10",
+		"Both predicates are UNKNOWN on NULL salaries, and filters drop UNKNOWN rows, so the rewrite is sound.",
+	},
+	{
+		"x = x is not always TRUE",
+		"SELECT EMP_ID FROM EMP WHERE SALARY = SALARY",
+		"SELECT EMP_ID FROM EMP",
+		"NULL = NULL is UNKNOWN: the left query drops NULL salaries, the right keeps them.",
+	},
+	{
+		"... but x = x does equal x IS NOT NULL",
+		"SELECT EMP_ID FROM EMP WHERE SALARY = SALARY",
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NOT NULL",
+		"Restricted to non-NULL rows the tautology holds — SPES proves this form.",
+	},
+	{
+		"CASE arms and negation do not commute",
+		"SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP",
+		"SELECT CASE WHEN NOT (SALARY > 10) THEN 0 ELSE 1 END FROM EMP",
+		"On a NULL salary the first query yields 0, the second 1: UNKNOWN falls through to ELSE in both, but the ELSE values differ.",
+	},
+	{
+		"NOT NULL schema constraints recover classical logic",
+		"SELECT EMP_ID FROM EMP WHERE EMP_ID = EMP_ID",
+		"SELECT EMP_ID FROM EMP",
+		"EMP_ID is the primary key, hence NOT NULL, so the tautology really is one.",
+	},
+}
+
+func main() {
+	cat, err := spes.ParseCatalog(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A database with a NULL salary is the distinguishing input.
+	db := exec.Database{
+		"EMP": exec.NewTable(
+			exec.R(plan.IntDatum(1), plan.IntDatum(8), plan.IntDatum(1), plan.StrDatum("NY")),
+			exec.R(plan.IntDatum(2), plan.NullDatum(), plan.IntDatum(1), plan.StrDatum("NY")),
+			exec.R(plan.IntDatum(3), plan.IntDatum(15), plan.IntDatum(2), plan.StrDatum("SF")),
+		),
+	}
+
+	for i, c := range cases {
+		res, err := spes.Verify(cat, c.q1, c.q2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d. %s\n   verdict: %s\n   %s\n", i+1, c.title, res.Verdict, c.story)
+
+		q1, _ := spes.BuildPlan(cat, c.q1)
+		q2, _ := spes.BuildPlan(cat, c.q2)
+		r1, err1 := exec.Run(db, q1)
+		r2, err2 := exec.Run(db, q2)
+		if err1 == nil && err2 == nil {
+			same := exec.BagEqual(r1, r2)
+			fmt.Printf("   on the NULL-bearing demo database: outputs %s (%d vs %d rows)\n",
+				map[bool]string{true: "agree", false: "DIFFER"}[same], len(r1), len(r2))
+			if same != (res.Verdict == spes.Equivalent) && res.Verdict == spes.Equivalent {
+				log.Fatal("soundness violation!") // never happens
+			}
+		}
+		fmt.Println()
+	}
+}

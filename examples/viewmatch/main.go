@@ -1,0 +1,122 @@
+// Viewmatch: the DBaaS motivation from the paper's introduction — detect
+// overlapping computation across a pipeline of analytics queries so one of
+// each equivalent group can be materialized as a view and the others
+// rewritten to read it.
+//
+// The pipeline below mixes genuinely equivalent rewrites (different teams
+// expressing the same fraud report) with near-misses that differ in
+// parameters or semantics. SPES separates them.
+//
+// Run: go run ./examples/viewmatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spes"
+)
+
+const schema = `
+CREATE TABLE TXN (
+	TXN_ID INT NOT NULL PRIMARY KEY,
+	CUST_ID INT,
+	AMOUNT INT,
+	STATUS INT,
+	DAY INT
+);
+CREATE TABLE CUSTOMER (
+	CUST_ID INT NOT NULL PRIMARY KEY,
+	REGION VARCHAR(10),
+	RISK_LEVEL INT
+);
+`
+
+// pipeline is the daily report workload; names are for display.
+var pipeline = []struct {
+	name string
+	sql  string
+}{
+	{"daily-exposure(team A)", `
+		SELECT CUST_ID, SUM(AMOUNT) FROM TXN WHERE DAY > 100 GROUP BY CUST_ID`},
+	{"daily-exposure(team B)", `
+		SELECT CUST_ID, SUM(AMOUNT)
+		FROM (SELECT CUST_ID, AMOUNT FROM TXN WHERE DAY > 100) T
+		GROUP BY CUST_ID`},
+	{"daily-exposure(rollup)", `
+		SELECT CUST_ID, SUM(S)
+		FROM (SELECT CUST_ID, DAY, SUM(AMOUNT) AS S FROM TXN WHERE DAY > 100 GROUP BY CUST_ID, DAY) T
+		GROUP BY CUST_ID`},
+	{"daily-exposure(older window)", `
+		SELECT CUST_ID, SUM(AMOUNT) FROM TXN WHERE DAY > 90 GROUP BY CUST_ID`},
+	{"risky-joins(team A)", `
+		SELECT T.TXN_ID, C.REGION FROM TXN T, CUSTOMER C
+		WHERE T.CUST_ID = C.CUST_ID AND C.RISK_LEVEL > 3`},
+	{"risky-joins(team B)", `
+		SELECT T.TXN_ID, C.REGION FROM CUSTOMER C, TXN T
+		WHERE C.RISK_LEVEL > 3 AND C.CUST_ID = T.CUST_ID`},
+	{"risky-joins(distinct)", `
+		SELECT DISTINCT T.TXN_ID, C.REGION FROM TXN T, CUSTOMER C
+		WHERE T.CUST_ID = C.CUST_ID AND C.RISK_LEVEL > 3`},
+}
+
+func main() {
+	cat, err := spes.ParseCatalog(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Searching the pipeline for overlapping computation...")
+	groups := make([]int, len(pipeline)) // union-find over queries
+	for i := range groups {
+		groups[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for groups[x] != x {
+			x = groups[x]
+		}
+		return x
+	}
+	checked := 0
+	for i := 0; i < len(pipeline); i++ {
+		for j := i + 1; j < len(pipeline); j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			checked++
+			res, err := spes.Verify(cat, pipeline[i].sql, pipeline[j].sql)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Verdict == spes.Equivalent {
+				fmt.Printf("  %-28s ≡ %s\n", pipeline[i].name, pipeline[j].name)
+				groups[find(j)] = find(i)
+			}
+		}
+	}
+
+	// Report the materialization plan.
+	byRoot := map[int][]string{}
+	for i := range pipeline {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], pipeline[i].name)
+	}
+	fmt.Printf("\n%d pairwise checks; materialization plan:\n", checked)
+	views, saved := 0, 0
+	for i := 0; i < len(pipeline); i++ {
+		members, ok := byRoot[i]
+		if !ok {
+			continue
+		}
+		if len(members) > 1 {
+			views++
+			saved += len(members) - 1
+			fmt.Printf("  materialize %q, rewrite %d consumer(s): %v\n",
+				members[0], len(members)-1, members[1:])
+		} else {
+			fmt.Printf("  keep %q as-is\n", members[0])
+		}
+	}
+	fmt.Printf("\n%d views eliminate %d redundant query executions per run.\n", views, saved)
+}

@@ -1,0 +1,3 @@
+module spes
+
+go 1.22

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"spes/internal/corpus"
+	"spes/internal/normalize"
+	"spes/internal/plan"
+	"spes/internal/verify"
+)
+
+// countProved runs SPES with the given normalization options over the
+// supported corpus pairs and returns proved counts per category.
+func countProved(t *testing.T, opts normalize.Options) (total int, perCat map[corpus.Category]int) {
+	t.Helper()
+	cat := corpus.Catalog()
+	b := plan.NewBuilder(cat)
+	perCat = map[corpus.Category]int{}
+	for _, p := range corpus.CalcitePairs() {
+		q1, err1 := b.BuildSQL(p.SQL1)
+		q2, err2 := b.BuildSQL(p.SQL2)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		nz := normalize.New(opts)
+		if verify.New().VerifyPlans(nz.Normalize(q1), nz.Normalize(q2)) {
+			total++
+			perCat[p.Category]++
+		}
+	}
+	return total, perCat
+}
+
+// TestNormalizationAblations quantifies each rule's contribution to the
+// proved set (the ablation study DESIGN.md commits to beyond the paper).
+func TestNormalizationAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus × 7 configurations")
+	}
+	full, fullCat := countProved(t, normalize.Options{})
+
+	cases := []struct {
+		name string
+		opts normalize.Options
+		// expectations about what the ablation must cost
+		mustLoseTotal bool
+		mustLoseOJ    bool
+	}{
+		{"NoSPJMerge", normalize.Options{NoSPJMerge: true}, true, true},
+		{"NoUnionRules", normalize.Options{NoUnionRules: true}, true, true},
+		{"NoEmptyTable", normalize.Options{NoEmptyTable: true}, true, true},
+		// Pushdown is not load-bearing for outer joins: SPJ-over-union
+		// distribution also carries the null-rejecting filter into the
+		// anti branch.
+		{"NoPushdown", normalize.Options{NoPushdown: true}, true, false},
+		{"NoAggMerge", normalize.Options{NoAggMerge: true}, true, false},
+		{"NoIntegrity", normalize.Options{NoIntegrity: true}, true, false},
+	}
+	for _, c := range cases {
+		got, gotCat := countProved(t, c.opts)
+		t.Logf("%-14s proved %d (full: %d); outer-join %d (full: %d)",
+			c.name, got, full, gotCat[corpus.OuterJoin], fullCat[corpus.OuterJoin])
+		if got > full {
+			t.Errorf("%s: disabling a rule must not ADD proofs (%d > %d)", c.name, got, full)
+		}
+		if c.mustLoseTotal && got >= full {
+			t.Errorf("%s: expected to lose proofs, still %d of %d", c.name, got, full)
+		}
+		if c.mustLoseOJ && gotCat[corpus.OuterJoin] >= fullCat[corpus.OuterJoin] {
+			t.Errorf("%s: expected to lose outer-join proofs, still %d of %d",
+				c.name, gotCat[corpus.OuterJoin], fullCat[corpus.OuterJoin])
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"spes/internal/corpus"
+	"spes/internal/datagen"
+	"spes/internal/equitas"
+	"spes/internal/exec"
+	"spes/internal/plan"
+	"spes/internal/udp"
+)
+
+// The baselines have soundness contracts of their own: EQUITAS verdicts
+// guarantee SET-semantics equivalence (outputs equal after deduplication);
+// UDP verdicts guarantee full BAG-semantics equivalence. Both are enforced
+// differentially over the whole corpus.
+
+func TestEquitasSetSemanticsSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide differential run")
+	}
+	cat := corpus.Catalog()
+	b := plan.NewBuilder(cat)
+	r := rand.New(rand.NewSource(31))
+	for _, p := range corpus.CalcitePairs() {
+		q1, err1 := b.BuildSQL(p.SQL1)
+		q2, err2 := b.BuildSQL(p.SQL2)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if !equitas.New().VerifyPlans(q1, q2) {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
+			r1, err := exec.Run(db, q1)
+			if err != nil {
+				t.Fatalf("%s: %v", p.ID, err)
+			}
+			r2, err := exec.Run(db, q2)
+			if err != nil {
+				t.Fatalf("%s: %v", p.ID, err)
+			}
+			if !exec.SetEqual(r1, r2) {
+				t.Fatalf("EQUITAS SOUNDNESS VIOLATION on %s (%s): proved but sets differ\nq1: %s\nq2: %s",
+					p.ID, p.Rule, p.SQL1, p.SQL2)
+			}
+		}
+	}
+}
+
+func TestUDPBagSemanticsSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide differential run")
+	}
+	cat := corpus.Catalog()
+	b := plan.NewBuilder(cat)
+	r := rand.New(rand.NewSource(37))
+	for _, p := range corpus.CalcitePairs() {
+		q1, err1 := b.BuildSQL(p.SQL1)
+		q2, err2 := b.BuildSQL(p.SQL2)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if udp.New().VerifyPlans(q1, q2) != udp.Proved {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
+			r1, err := exec.Run(db, q1)
+			if err != nil {
+				t.Fatalf("%s: %v", p.ID, err)
+			}
+			r2, err := exec.Run(db, q2)
+			if err != nil {
+				t.Fatalf("%s: %v", p.ID, err)
+			}
+			if !exec.BagEqual(r1, r2) {
+				t.Fatalf("UDP SOUNDNESS VIOLATION on %s (%s): proved but bags differ\nq1: %s\nq2: %s",
+					p.ID, p.Rule, p.SQL1, p.SQL2)
+			}
+		}
+	}
+}
+
+// TestSPESCorpusSoundness is the corpus-wide version of the invariant the
+// unit suites check locally: every SPES-proved pair is bag-equal on random
+// databases.
+func TestSPESCorpusSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide differential run")
+	}
+	cat := corpus.Catalog()
+	b := plan.NewBuilder(cat)
+	r := rand.New(rand.NewSource(41))
+	checked := 0
+	for _, p := range corpus.CalcitePairs() {
+		out := runPair(SPES, p)
+		if !out.Support || !out.Proved {
+			continue
+		}
+		q1, _ := b.BuildSQL(p.SQL1)
+		q2, _ := b.BuildSQL(p.SQL2)
+		checked++
+		for i := 0; i < 8; i++ {
+			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
+			r1, err := exec.Run(db, q1)
+			if err != nil {
+				t.Fatalf("%s: %v", p.ID, err)
+			}
+			r2, err := exec.Run(db, q2)
+			if err != nil {
+				t.Fatalf("%s: %v", p.ID, err)
+			}
+			if !exec.BagEqual(r1, r2) {
+				t.Fatalf("SPES SOUNDNESS VIOLATION on %s (%s)\nq1: %s\nq2: %s",
+					p.ID, p.Rule, p.SQL1, p.SQL2)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Errorf("only %d proved pairs checked; expected the full proved set", checked)
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spes/internal/corpus"
+	"spes/internal/plan"
+)
+
+// Fig7 is the query-complexity comparison of Figure 7: the distribution of
+// plan-node counts per query in the two workloads.
+type Fig7 struct {
+	CalciteMean float64
+	ProdMean    float64
+	CalciteHist map[int]int // bucket lower bound -> count
+	ProdHist    map[int]int
+	BucketWidth int
+}
+
+// RunFigure7 measures both corpora.
+func RunFigure7(pairs []corpus.Pair, w *corpus.Workload) Fig7 {
+	out := Fig7{
+		CalciteHist: map[int]int{},
+		ProdHist:    map[int]int{},
+		BucketWidth: 10,
+	}
+	cb := plan.NewBuilder(corpus.Catalog())
+	total, n := 0, 0
+	for _, p := range pairs {
+		for _, sql := range []string{p.SQL1, p.SQL2} {
+			node, err := cb.BuildSQL(sql)
+			if err != nil {
+				continue
+			}
+			c := plan.CountNodes(node)
+			total += c
+			n++
+			out.CalciteHist[bucket(c, out.BucketWidth)]++
+		}
+	}
+	if n > 0 {
+		out.CalciteMean = float64(total) / float64(n)
+	}
+
+	wb := plan.NewBuilder(w.Catalog)
+	total, n = 0, 0
+	for _, q := range w.Queries {
+		node, err := wb.BuildSQL(q.SQL)
+		if err != nil {
+			continue
+		}
+		c := plan.CountNodes(node)
+		total += c
+		n++
+		out.ProdHist[bucket(c, out.BucketWidth)]++
+	}
+	if n > 0 {
+		out.ProdMean = float64(total) / float64(n)
+	}
+	return out
+}
+
+func bucket(v, width int) int { return (v / width) * width }
+
+// RenderFigure7 draws the distribution as an ASCII histogram.
+func RenderFigure7(f Fig7) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: query complexity (plan nodes per query)\n\n")
+	fmt.Fprintf(&b, "Calcite-style benchmark mean: %.2f\n", f.CalciteMean)
+	fmt.Fprintf(&b, "Production workload mean:     %.2f (%.1fx)\n\n", f.ProdMean, f.ProdMean/f.CalciteMean)
+	render := func(name string, hist map[int]int) {
+		fmt.Fprintf(&b, "%s:\n", name)
+		var keys []int
+		max := 0
+		for k, v := range hist {
+			keys = append(keys, k)
+			if v > max {
+				max = v
+			}
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			bar := strings.Repeat("#", 1+hist[k]*40/max)
+			fmt.Fprintf(&b, "  %3d-%3d │%s %d\n", k, k+f.BucketWidth-1, bar, hist[k])
+		}
+		b.WriteString("\n")
+	}
+	render("Calcite-style benchmark", f.CalciteHist)
+	render("Production workload", f.ProdHist)
+	return b.String()
+}

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spes/internal/corpus"
+	"spes/internal/equitas"
+	"spes/internal/normalize"
+	"spes/internal/plan"
+	"spes/internal/verify"
+)
+
+// Table2Row aggregates one production query set (§7.3).
+type Table2Row struct {
+	Set             string
+	Queries         int
+	ComparedPairs   int
+	EquivalentPairs int
+	OverlapSPES     int // queries with at least one SPES-proved partner
+	OverlapEQUITAS  int // same, by the EQUITAS baseline (set semantics)
+	JoinAggPairs    int // equivalent pairs containing join or aggregate
+	MaxFrequency    int // highest recurrence of one query text
+	SPESTime        time.Duration
+	EQUITASTime     time.Duration
+}
+
+// RunTable2 executes the overlap-detection study on the synthetic
+// production workload. Following the paper's protocol, only queries over
+// the same input tables are compared, and pairs differing only in predicate
+// parameters are skipped — here realized by comparing queries within a
+// generation cluster (same parameters, different pipeline shapes) plus
+// representatives across clusters on the same table set.
+func RunTable2(w *corpus.Workload) []Table2Row {
+	b := plan.NewBuilder(w.Catalog)
+	var rows []Table2Row
+	totals := Table2Row{Set: "Total"}
+
+	for set := 0; set < 3; set++ {
+		qs := []corpus.WorkloadQuery{}
+		for _, q := range w.Queries {
+			if q.Set == set {
+				qs = append(qs, q)
+			}
+		}
+		row := Table2Row{Set: fmt.Sprintf("Set %d", set+1), Queries: len(qs)}
+
+		// Build plans once.
+		plans := make(map[int]plan.Node, len(qs))
+		for _, q := range qs {
+			n, err := b.BuildSQL(q.SQL)
+			if err != nil {
+				continue
+			}
+			plans[q.ID] = n
+		}
+
+		// Query frequency (identical text recurring).
+		freq := map[string]int{}
+		for _, q := range qs {
+			freq[q.SQL]++
+			if freq[q.SQL] > row.MaxFrequency {
+				row.MaxFrequency = freq[q.SQL]
+			}
+		}
+
+		// Candidate pairs: within clusters, plus one cross-cluster
+		// representative pair per (tableset, cluster) adjacency.
+		type pair struct{ a, b corpus.WorkloadQuery }
+		var pairs []pair
+		byCluster := map[int][]corpus.WorkloadQuery{}
+		for _, q := range qs {
+			byCluster[q.Cluster] = append(byCluster[q.Cluster], q)
+		}
+		repByTables := map[string][]corpus.WorkloadQuery{}
+		for _, members := range byCluster {
+			// Textually identical recurrences dedupe up front (trivially
+			// equal; the frequency column accounts for them).
+			uniq := members[:0:0]
+			seenSQL := map[string]bool{}
+			for _, m := range members {
+				if !seenSQL[m.SQL] {
+					seenSQL[m.SQL] = true
+					uniq = append(uniq, m)
+				}
+			}
+			for i := 0; i < len(uniq); i++ {
+				for j := i + 1; j < len(uniq); j++ {
+					pairs = append(pairs, pair{uniq[i], uniq[j]})
+				}
+			}
+			key := members[0].TableKey()
+			repByTables[key] = append(repByTables[key], members[0])
+		}
+		for _, reps := range repByTables {
+			for i := 0; i+1 < len(reps) && i < 40; i += 2 {
+				pairs = append(pairs, pair{reps[i], reps[i+1]})
+			}
+		}
+		row.ComparedPairs = len(pairs)
+
+		overlapSPES := map[int]bool{}
+		overlapEQ := map[int]bool{}
+		nzOpts := normalize.Options{}
+		for _, p := range pairs {
+			q1, ok1 := plans[p.a.ID]
+			q2, ok2 := plans[p.b.ID]
+			if !ok1 || !ok2 {
+				continue
+			}
+			spesCheck := func(a, b plan.Node) bool {
+				nz := normalize.New(nzOpts)
+				return verify.New().VerifyPlans(nz.Normalize(a), nz.Normalize(b))
+			}
+			eqCheck := func(a, b plan.Node) bool {
+				return equitas.New().VerifyPlans(a, b)
+			}
+			start := time.Now()
+			spesOK := spesCheck(q1, q2)
+			if !spesOK {
+				// Paper protocol (§7.3): when whole queries do not match,
+				// check their constituent sub-queries over the same tables.
+				spesOK = subqueriesOverlap(q1, q2, spesCheck)
+			}
+			row.SPESTime += time.Since(start)
+			start = time.Now()
+			eqOK := eqCheck(q1, q2)
+			if !eqOK {
+				eqOK = subqueriesOverlap(q1, q2, eqCheck)
+			}
+			row.EQUITASTime += time.Since(start)
+			if spesOK {
+				row.EquivalentPairs++
+				overlapSPES[p.a.ID] = true
+				overlapSPES[p.b.ID] = true
+				if p.a.HasJoin || p.a.HasAgg {
+					row.JoinAggPairs++
+				}
+			}
+			if eqOK {
+				overlapEQ[p.a.ID] = true
+				overlapEQ[p.b.ID] = true
+			}
+		}
+		// Identical duplicate texts also overlap (counted, not verified).
+		for _, members := range byCluster {
+			seen := map[string][]int{}
+			for _, q := range members {
+				seen[q.SQL] = append(seen[q.SQL], q.ID)
+			}
+			for _, ids := range seen {
+				if len(ids) > 1 {
+					for _, id := range ids {
+						overlapSPES[id] = true
+						overlapEQ[id] = true
+					}
+				}
+			}
+		}
+		row.OverlapSPES = len(overlapSPES)
+		row.OverlapEQUITAS = len(overlapEQ)
+
+		totals.Queries += row.Queries
+		totals.ComparedPairs += row.ComparedPairs
+		totals.EquivalentPairs += row.EquivalentPairs
+		totals.OverlapSPES += row.OverlapSPES
+		totals.OverlapEQUITAS += row.OverlapEQUITAS
+		totals.JoinAggPairs += row.JoinAggPairs
+		totals.SPESTime += row.SPESTime
+		totals.EQUITASTime += row.EQUITASTime
+		if row.MaxFrequency > totals.MaxFrequency {
+			totals.MaxFrequency = row.MaxFrequency
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, totals)
+	return rows
+}
+
+// subqueriesOverlap implements the §7.3 decomposition step: when two
+// queries are not equivalent as wholes, their constituent sub-queries over
+// the same input tables may still be. Non-trivial subtrees (more than a
+// bare scan, per the paper's "skip queries containing only table scans")
+// are compared pairwise with the given verifier, first match wins.
+func subqueriesOverlap(q1, q2 plan.Node, check func(a, b plan.Node) bool) bool {
+	subs1 := properSubqueries(q1)
+	subs2 := properSubqueries(q2)
+	checked := 0
+	for _, a := range subs1 {
+		for _, b := range subs2 {
+			if a.tables != b.tables {
+				continue
+			}
+			if a.key == b.key {
+				// Syntactically identical sub-query: overlapping
+				// computation with no solver call needed.
+				return true
+			}
+			if checked >= 6 {
+				return false
+			}
+			checked++
+			if check(a.node, b.node) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type subquery struct {
+	node   plan.Node
+	key    string
+	tables string
+}
+
+// properSubqueries returns the non-trivial proper subtrees of a plan,
+// deduplicated, largest first, capped.
+func properSubqueries(q plan.Node) []subquery {
+	var out []subquery
+	seen := map[string]bool{}
+	first := true
+	plan.Walk(q, func(n plan.Node) bool {
+		if first { // skip the whole query itself
+			first = false
+			return true
+		}
+		if plan.CountNodes(n) < 3 {
+			return false // bare scans and trivial wrappers: skipped per protocol
+		}
+		key := plan.Format(n)
+		if seen[key] || len(out) >= 6 {
+			return false
+		}
+		seen[key] = true
+		var tbls []string
+		plan.Walk(n, func(m plan.Node) bool {
+			if t, ok := m.(*plan.Table); ok {
+				tbls = append(tbls, t.Meta.Name)
+			}
+			return true
+		})
+		sort.Strings(tbls)
+		out = append(out, subquery{node: n, key: key, tables: strings.Join(tbls, ",")})
+		return true
+	})
+	return out
+}
+
+// RenderTable2 formats the overlap study.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: overlap detection on the synthetic production workload\n\n")
+	fmt.Fprintf(&b, "%-7s %-8s %-10s %-12s %-14s %-12s %-11s %-8s %-12s %-12s\n",
+		"Set", "Queries", "Compared", "Equivalent", "Overlap(SPES)", "Overlap(EQ)", "Join/Agg", "MaxFreq", "SPES(ms/p)", "EQ(ms/p)")
+	for _, r := range rows {
+		spesAvg, eqAvg := 0.0, 0.0
+		if r.ComparedPairs > 0 {
+			spesAvg = ms(r.SPESTime) / float64(r.ComparedPairs)
+			eqAvg = ms(r.EQUITASTime) / float64(r.ComparedPairs)
+		}
+		pct := 0.0
+		if r.EquivalentPairs > 0 {
+			pct = 100 * float64(r.JoinAggPairs) / float64(r.EquivalentPairs)
+		}
+		fmt.Fprintf(&b, "%-7s %-8d %-10d %-12d %-14d %-12d %-4d(%3.0f%%) %-8d %-12.2f %-12.2f\n",
+			r.Set, r.Queries, r.ComparedPairs, r.EquivalentPairs,
+			r.OverlapSPES, r.OverlapEQUITAS, r.JoinAggPairs, pct, r.MaxFrequency,
+			spesAvg, eqAvg)
+	}
+	return b.String()
+}

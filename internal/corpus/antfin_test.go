@@ -1,0 +1,118 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"spes/internal/datagen"
+	"spes/internal/exec"
+	"spes/internal/plan"
+)
+
+func TestWorkloadSizesAndDeterminism(t *testing.T) {
+	w1 := ProductionWorkload(42, 0.02)
+	w2 := ProductionWorkload(42, 0.02)
+	if len(w1.Queries) != len(w2.Queries) {
+		t.Fatalf("non-deterministic sizes: %d vs %d", len(w1.Queries), len(w2.Queries))
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i].SQL != w2.Queries[i].SQL {
+			t.Fatal("non-deterministic SQL")
+		}
+	}
+	sets := map[int]int{}
+	for _, q := range w1.Queries {
+		sets[q.Set]++
+	}
+	if len(sets) != 3 {
+		t.Errorf("want 3 sets, got %v", sets)
+	}
+}
+
+func TestWorkloadFullScaleSize(t *testing.T) {
+	w := ProductionWorkload(7, 1.0)
+	if n := len(w.Queries); n < 9486 || n > 11500 {
+		t.Errorf("full-scale workload has %d queries, want ≈9486 (sets overshoot by cluster granularity)", n)
+	}
+}
+
+func TestWorkloadQueriesBuild(t *testing.T) {
+	w := ProductionWorkload(3, 0.01)
+	b := plan.NewBuilder(w.Catalog)
+	total, nodes := 0, 0
+	for _, q := range w.Queries {
+		n, err := b.BuildSQL(q.SQL)
+		if err != nil {
+			t.Fatalf("query %d does not build: %v\n%s", q.ID, err, q.SQL)
+		}
+		total++
+		nodes += plan.CountNodes(n)
+	}
+	avg := float64(nodes) / float64(total)
+	t.Logf("%d queries, mean plan nodes %.1f", total, avg)
+	// Figure 7 calibration: production queries are an order of magnitude
+	// more complex than the Calcite suite's (paper: 45.4 vs 5.4).
+	if avg < 20 || avg > 80 {
+		t.Errorf("mean complexity %.1f outside the calibrated band [20, 80]", avg)
+	}
+}
+
+// TestClusterEquivalence checks the generator's core promise: queries in
+// the same cluster are bag-equivalent (they are rewrites of one base).
+func TestClusterEquivalence(t *testing.T) {
+	w := ProductionWorkload(11, 0.01)
+	b := plan.NewBuilder(w.Catalog)
+	byCluster := map[int][]WorkloadQuery{}
+	for _, q := range w.Queries {
+		byCluster[q.Cluster] = append(byCluster[q.Cluster], q)
+	}
+	r := rand.New(rand.NewSource(5))
+	checked := 0
+	for _, members := range byCluster {
+		if len(members) < 2 || checked > 25 {
+			continue
+		}
+		checked++
+		base, err := b.BuildSQL(members[0].SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		other, err := b.BuildSQL(members[1].SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			db := datagen.Random(w.Catalog, r, datagen.Options{MaxRows: 4, IntRange: 1200})
+			r1, err := exec.Run(db, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := exec.Run(db, other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exec.BagEqual(r1, r2) {
+				t.Fatalf("cluster members not equivalent:\n%s\n%s", members[0].SQL, members[1].SQL)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no multi-member clusters generated")
+	}
+}
+
+func TestWorkloadMixesJoinAndAgg(t *testing.T) {
+	w := ProductionWorkload(9, 0.02)
+	joins, aggs := 0, 0
+	for _, q := range w.Queries {
+		if q.HasJoin {
+			joins++
+		}
+		if q.HasAgg {
+			aggs++
+		}
+	}
+	if joins == 0 || aggs == 0 {
+		t.Errorf("workload must mix joins (%d) and aggregates (%d)", joins, aggs)
+	}
+}

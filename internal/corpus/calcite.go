@@ -1,0 +1,797 @@
+package corpus
+
+import (
+	"fmt"
+)
+
+// CalcitePairs returns the 232-pair benchmark. Pairs are generated the way
+// the Apache Calcite test suite's pairs were: by applying an optimizer
+// rewrite rule to a seed query, instantiated over the benchmark schema. A
+// fixed subset deliberately uses SQL features outside the supported subset
+// (CAST, window functions, LIMIT/FETCH, INTERSECT), reproducing the
+// supported/unsupported split of Table 1; another subset exercises the
+// §7.4 limitation classes (union+aggregate, join+aggregate,
+// integrity-constraint reasoning) and is expected to stay unproved.
+func CalcitePairs() []Pair {
+	g := &gen{}
+
+	g.uspjPairs()
+	g.aggregatePairs()
+	g.outerJoinPairs()
+	g.extraPairs()
+	g.limitationPairs()
+	g.unsupportedPairs()
+
+	if len(g.pairs) != 232 {
+		panic(fmt.Sprintf("corpus: generated %d pairs, want 232", len(g.pairs)))
+	}
+	return g.pairs
+}
+
+type gen struct {
+	pairs []Pair
+}
+
+func (g *gen) add(rule string, cat Category, sql1, sql2, note string) {
+	g.pairs = append(g.pairs, Pair{
+		ID:         fmt.Sprintf("calcite-%03d", len(g.pairs)+1),
+		Rule:       rule,
+		Category:   cat,
+		SQL1:       sql1,
+		SQL2:       sql2,
+		Equivalent: note == "" || note[:6] == "limit:",
+		Note:       note,
+	})
+}
+
+// ---------------------------------------------------------------- USPJ ---
+
+func (g *gen) uspjPairs() {
+	// FilterMergeRule: σp(σq(T)) = σ(q ∧ p)(T).
+	for _, c := range []struct{ tbl, p, q string }{
+		{"EMP", "SALARY > 5", "DEPT_ID < 9"},
+		{"EMP", "SALARY >= 2", "LOCATION = 'NY'"},
+		{"DEPT", "BUDGET > 100", "DEPT_ID > 1"},
+		{"BONUS", "AMOUNT > 0", "YEAR = 2020"},
+		{"ACCOUNT", "BALANCE >= 10", "EMP_ID > 3"},
+	} {
+		g.add("FilterMerge", USPJ,
+			fmt.Sprintf("SELECT * FROM (SELECT * FROM %s WHERE %s) T WHERE %s", c.tbl, c.q, c.p),
+			fmt.Sprintf("SELECT * FROM %s WHERE %s AND %s", c.tbl, c.q, c.p),
+			"")
+	}
+
+	// FilterProjectTransposeRule: π over σ vs σ over π.
+	for _, c := range []struct{ tbl, cols, pred string }{
+		{"EMP", "EMP_ID, SALARY", "SALARY > 10"},
+		{"EMP", "DEPT_ID, LOCATION", "DEPT_ID = 3"},
+		{"DEPT", "DEPT_ID, BUDGET", "BUDGET < 500"},
+		{"BONUS", "EMP_ID, AMOUNT", "AMOUNT >= 1"},
+	} {
+		g.add("FilterProjectTranspose", USPJ,
+			fmt.Sprintf("SELECT %s FROM %s WHERE %s", c.cols, c.tbl, c.pred),
+			fmt.Sprintf("SELECT * FROM (SELECT %s FROM %s) T WHERE %s", c.cols, c.tbl, c.pred),
+			"")
+	}
+
+	// ProjectMergeRule: π∘π composes.
+	for _, c := range []struct{ inner, outer, direct string }{
+		{"SELECT SALARY + 1 AS S, DEPT_ID FROM EMP", "SELECT S + 2, DEPT_ID FROM (%s) T", "SELECT SALARY + 3, DEPT_ID FROM EMP"},
+		{"SELECT SALARY * 2 AS S FROM EMP", "SELECT S * 3 FROM (%s) T", "SELECT SALARY * 6 FROM EMP"},
+		{"SELECT BUDGET - 5 AS B FROM DEPT", "SELECT B - 5 FROM (%s) T", "SELECT BUDGET - 10 FROM DEPT"},
+		{"SELECT AMOUNT AS A, YEAR AS Y FROM BONUS", "SELECT Y, A FROM (%s) T", "SELECT YEAR, AMOUNT FROM BONUS"},
+	} {
+		g.add("ProjectMerge", USPJ,
+			fmt.Sprintf(c.outer, c.inner),
+			c.direct,
+			"")
+	}
+
+	// FilterIntoJoinRule: filter above a join folds into the join.
+	for _, c := range []struct{ on, w string }{
+		{"EMP.DEPT_ID = DEPT.DEPT_ID", "EMP.SALARY > 10"},
+		{"EMP.DEPT_ID = DEPT.DEPT_ID", "DEPT.BUDGET > 50"},
+		{"EMP.EMP_ID = BONUS.EMP_ID", "BONUS.AMOUNT > 0"},
+		{"EMP.DEPT_ID = DEPT.DEPT_ID", "EMP.SALARY > DEPT.BUDGET"},
+	} {
+		tbl2 := "DEPT"
+		if c.on == "EMP.EMP_ID = BONUS.EMP_ID" {
+			tbl2 = "BONUS"
+		}
+		g.add("FilterIntoJoin", USPJ,
+			fmt.Sprintf("SELECT EMP.EMP_ID FROM EMP JOIN %s ON %s WHERE %s", tbl2, c.on, c.w),
+			fmt.Sprintf("SELECT EMP.EMP_ID FROM EMP JOIN %s ON %s AND %s", tbl2, c.on, c.w),
+			"")
+	}
+
+	// JoinCommuteRule.
+	for _, c := range []struct{ a, b, on, sel string }{
+		{"EMP", "DEPT", "EMP.DEPT_ID = DEPT.DEPT_ID", "EMP.EMP_ID, DEPT.DEPT_NAME"},
+		{"EMP", "BONUS", "EMP.EMP_ID = BONUS.EMP_ID", "EMP.ENAME, BONUS.AMOUNT"},
+		{"DEPT", "ACCOUNT", "DEPT.DEPT_ID = ACCOUNT.EMP_ID", "DEPT.DEPT_NAME, ACCOUNT.BALANCE"},
+		{"EMP", "ACCOUNT", "EMP.EMP_ID = ACCOUNT.EMP_ID", "EMP.SALARY, ACCOUNT.BALANCE"},
+		{"BONUS", "ACCOUNT", "BONUS.EMP_ID = ACCOUNT.EMP_ID", "BONUS.YEAR, ACCOUNT.ACCT_ID"},
+	} {
+		g.add("JoinCommute", USPJ,
+			fmt.Sprintf("SELECT %s FROM %s, %s WHERE %s", c.sel, c.a, c.b, c.on),
+			fmt.Sprintf("SELECT %s FROM %s, %s WHERE %s", c.sel, c.b, c.a, c.on),
+			"")
+	}
+
+	// JoinAssociateRule: three-way join reordered.
+	for i, perm := range []string{
+		"EMP, DEPT, BONUS",
+		"BONUS, EMP, DEPT",
+		"DEPT, BONUS, EMP",
+	} {
+		_ = i
+		g.add("JoinAssociate", USPJ,
+			"SELECT EMP.ENAME FROM EMP, DEPT, BONUS WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND EMP.EMP_ID = BONUS.EMP_ID",
+			fmt.Sprintf("SELECT EMP.ENAME FROM %s WHERE EMP.EMP_ID = BONUS.EMP_ID AND DEPT.DEPT_ID = EMP.DEPT_ID", perm),
+			"")
+	}
+
+	// ReduceExpressions: semantically equal, syntactically different
+	// predicates (the headline UDP-defeating rule).
+	for _, c := range []struct{ p1, p2 string }{
+		{"DEPT_ID > 10", "DEPT_ID + 5 > 15"},
+		{"SALARY >= 7", "SALARY + 1 >= 8"},
+		{"SALARY < 4", "2 * SALARY < 8"},
+		{"DEPT_ID = 10", "DEPT_ID + 5 = 15"},
+		{"SALARY - DEPT_ID > 0", "SALARY > DEPT_ID"},
+		{"SALARY > 3 AND SALARY > 5", "SALARY > 5"},
+	} {
+		g.add("ReduceExpressions", USPJ,
+			fmt.Sprintf("SELECT EMP_ID, LOCATION FROM EMP WHERE %s", c.p1),
+			fmt.Sprintf("SELECT EMP_ID, LOCATION FROM EMP WHERE %s", c.p2),
+			"")
+	}
+
+	// NOT over comparisons.
+	for _, c := range []struct{ p1, p2 string }{
+		{"NOT (SALARY > 10)", "SALARY <= 10"},
+		{"NOT (SALARY <= 10)", "SALARY > 10"},
+		{"NOT (SALARY = 10 OR SALARY = 20)", "SALARY <> 10 AND SALARY <> 20"},
+	} {
+		g.add("NotPushdown", USPJ,
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p1),
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p2),
+			"")
+	}
+
+	// Constant propagation through equalities.
+	for _, c := range []struct{ p1, p2 string }{
+		{"DEPT_ID = 10 AND SALARY > DEPT_ID", "DEPT_ID = 10 AND SALARY > 10"},
+		{"DEPT_ID = 3 AND DEPT_ID + SALARY > 5", "DEPT_ID = 3 AND SALARY > 2"},
+		{"SALARY = DEPT_ID AND SALARY > 4", "SALARY = DEPT_ID AND DEPT_ID > 4"},
+	} {
+		g.add("ConstantPropagation", USPJ,
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p1),
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p2),
+			"")
+	}
+
+	// IN-list expansion and reordering.
+	for _, c := range []struct{ p1, p2 string }{
+		{"DEPT_ID IN (1, 2, 3)", "DEPT_ID = 1 OR DEPT_ID = 2 OR DEPT_ID = 3"},
+		{"DEPT_ID IN (1, 2)", "DEPT_ID IN (2, 1)"},
+		{"LOCATION IN ('NY', 'SF')", "LOCATION = 'SF' OR LOCATION = 'NY'"},
+	} {
+		g.add("InListExpand", USPJ,
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p1),
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p2),
+			"")
+	}
+
+	// BETWEEN expansion.
+	for _, c := range []struct{ p1, p2 string }{
+		{"SALARY BETWEEN 3 AND 9", "SALARY >= 3 AND SALARY <= 9"},
+		{"NOT (SALARY BETWEEN 3 AND 9)", "SALARY < 3 OR SALARY > 9"},
+	} {
+		g.add("BetweenExpand", USPJ,
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p1),
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p2),
+			"")
+	}
+
+	// CASE rewrites.
+	for _, c := range []struct{ e1, e2 string }{
+		{
+			"CASE WHEN SALARY > 10 THEN 1 ELSE 0 END",
+			"CASE WHEN SALARY <= 10 THEN 0 WHEN SALARY > 10 THEN 1 ELSE 0 END",
+		},
+		{
+			"CASE WHEN DEPT_ID = 1 THEN 'a' WHEN DEPT_ID = 2 THEN 'b' ELSE 'c' END",
+			"CASE DEPT_ID WHEN 1 THEN 'a' WHEN 2 THEN 'b' ELSE 'c' END",
+		},
+		{
+			"CASE WHEN TRUE THEN SALARY ELSE 0 END",
+			"SALARY",
+		},
+	} {
+		g.add("CaseRewrite", USPJ,
+			fmt.Sprintf("SELECT %s FROM EMP", c.e1),
+			fmt.Sprintf("SELECT %s FROM EMP", c.e2),
+			"")
+	}
+
+	// UnionMergeRule: associativity/flattening.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT DEPT_ID FROM EMP UNION ALL (SELECT DEPT_ID FROM DEPT UNION ALL SELECT EMP_ID FROM BONUS)",
+			"(SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM DEPT) UNION ALL SELECT EMP_ID FROM BONUS",
+		},
+		{
+			"SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM DEPT",
+			"SELECT DEPT_ID FROM DEPT UNION ALL SELECT DEPT_ID FROM EMP",
+		},
+		{
+			"SELECT SALARY FROM EMP UNION ALL SELECT SALARY FROM EMP",
+			"SELECT SALARY FROM EMP UNION ALL SELECT SALARY FROM EMP",
+		},
+	} {
+		g.add("UnionMerge", USPJ, c.q1, c.q2, "")
+	}
+
+	// FilterUnionTransposeRule.
+	for _, pred := range []string{"DEPT_ID > 2", "DEPT_ID + 1 > 3", "DEPT_ID IS NOT NULL"} {
+		g.add("FilterUnionTranspose", USPJ,
+			fmt.Sprintf("SELECT * FROM (SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM DEPT) T WHERE %s", pred),
+			fmt.Sprintf("SELECT DEPT_ID FROM EMP WHERE %s UNION ALL SELECT DEPT_ID FROM DEPT WHERE %s", pred, pred),
+			"")
+	}
+
+	// ProjectRemoveRule: identity projections vanish.
+	g.add("ProjectRemove", USPJ,
+		"SELECT EMP_ID, ENAME, SALARY, DEPT_ID, LOCATION, MGR_ID FROM EMP",
+		"SELECT * FROM EMP",
+		"")
+	g.add("ProjectRemove", USPJ,
+		"SELECT * FROM (SELECT * FROM DEPT) T",
+		"SELECT * FROM DEPT",
+		"")
+
+	// ReduceExpressions to empty: contradictory predicates.
+	for _, c := range []struct{ p1, p2 string }{
+		{"SALARY > 5 AND SALARY < 3", "SALARY > 9 AND SALARY < 1"},
+		{"DEPT_ID = 1 AND DEPT_ID = 2", "FALSE"},
+	} {
+		g.add("PruneEmpty", USPJ,
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p1),
+			fmt.Sprintf("SELECT EMP_ID FROM EMP WHERE %s", c.p2),
+			"")
+	}
+
+	// Self-join on the primary key collapses.
+	g.add("SelfJoinPK", USPJ,
+		"SELECT E1.SALARY, E2.LOCATION FROM EMP E1, EMP E2 WHERE E1.EMP_ID = E2.EMP_ID",
+		"SELECT SALARY, LOCATION FROM EMP",
+		"")
+	g.add("SelfJoinPK", USPJ,
+		"SELECT D1.BUDGET FROM DEPT D1, DEPT D2 WHERE D1.DEPT_ID = D2.DEPT_ID AND D2.BUDGET > 10",
+		"SELECT BUDGET FROM DEPT WHERE BUDGET > 10",
+		"")
+
+	// Three-valued-logic aware rewrites.
+	g.add("NullFilter", USPJ,
+		"SELECT EMP_ID FROM EMP WHERE SALARY = SALARY",
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NOT NULL",
+		"")
+	g.add("NullFilter", USPJ,
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NULL OR SALARY < 3",
+		"SELECT EMP_ID FROM EMP WHERE SALARY < 3 OR SALARY IS NULL",
+		"")
+
+	// EXISTS canonicalization.
+	g.add("ExistsCanon", USPJ,
+		"SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)",
+		"SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE EMP.DEPT_ID = DEPT.DEPT_ID)",
+		"")
+	g.add("ExistsCanon", USPJ,
+		"SELECT EMP_ID FROM EMP WHERE NOT EXISTS (SELECT 1 FROM BONUS WHERE BONUS.EMP_ID = EMP.EMP_ID)",
+		"SELECT EMP_ID FROM EMP WHERE NOT EXISTS (SELECT 1 FROM BONUS WHERE EMP.EMP_ID = BONUS.EMP_ID)",
+		"")
+
+	// Scalar functions: identical uninterpreted calls unify.
+	g.add("UdfIdentity", USPJ,
+		"SELECT RISKSCORE(SALARY, DEPT_ID) FROM EMP WHERE SALARY > 0",
+		"SELECT RISKSCORE(SALARY, DEPT_ID) FROM EMP WHERE SALARY + 1 > 1",
+		"")
+	g.add("UdfIdentity", USPJ,
+		"SELECT EMP_ID FROM EMP WHERE ENAME LIKE 'A%'",
+		"SELECT EMP_ID FROM EMP WHERE ENAME LIKE 'A%' AND 1 = 1",
+		"")
+}
+
+// ----------------------------------------------------------- Aggregate ---
+
+func (g *gen) aggregatePairs() {
+	// AggregateProjectMerge: the aggregate argument composes with a
+	// projection.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT LOCATION, SUM(S) FROM (SELECT LOCATION, SALARY AS S FROM EMP) T GROUP BY LOCATION",
+			"SELECT LOCATION, SUM(SALARY) FROM EMP GROUP BY LOCATION",
+		},
+		{
+			"SELECT D, COUNT(*) FROM (SELECT DEPT_ID AS D FROM EMP) T GROUP BY D",
+			"SELECT DEPT_ID, COUNT(*) FROM EMP GROUP BY DEPT_ID",
+		},
+		{
+			"SELECT LOCATION, MIN(S) FROM (SELECT LOCATION, SALARY + 0 AS S FROM EMP) T GROUP BY LOCATION",
+			"SELECT LOCATION, MIN(SALARY) FROM EMP GROUP BY LOCATION",
+		},
+		{
+			"SELECT Y, MAX(A) FROM (SELECT YEAR AS Y, AMOUNT AS A FROM BONUS) T GROUP BY Y",
+			"SELECT YEAR, MAX(AMOUNT) FROM BONUS GROUP BY YEAR",
+		},
+	} {
+		g.add("AggregateProjectMerge", Aggregate, c.q1, c.q2, "")
+	}
+
+	// DISTINCT is GROUP BY over all columns.
+	for _, cols := range []string{"DEPT_ID", "DEPT_ID, LOCATION", "LOCATION", "SALARY, DEPT_ID"} {
+		g.add("DistinctToAggregate", Aggregate,
+			fmt.Sprintf("SELECT DISTINCT %s FROM EMP", cols),
+			fmt.Sprintf("SELECT %s FROM EMP GROUP BY %s", cols, cols),
+			"")
+	}
+
+	// GROUP BY column order is irrelevant.
+	for _, c := range []struct{ sel, g1, g2 string }{
+		{"DEPT_ID, LOCATION", "DEPT_ID, LOCATION", "LOCATION, DEPT_ID"},
+		{"LOCATION, SALARY", "LOCATION, SALARY", "SALARY, LOCATION"},
+		{"DEPT_ID, MGR_ID", "DEPT_ID, MGR_ID", "MGR_ID, DEPT_ID"},
+	} {
+		g.add("GroupKeyPermute", Aggregate,
+			fmt.Sprintf("SELECT %s, COUNT(*) FROM EMP GROUP BY %s", c.sel, c.g1),
+			fmt.Sprintf("SELECT %s, COUNT(*) FROM EMP GROUP BY %s", c.sel, c.g2),
+			"")
+	}
+
+	// AggregateRemove: grouping that covers the primary key.
+	g.add("AggregateRemovePK", Aggregate,
+		"SELECT EMP_ID, SALARY FROM EMP GROUP BY EMP_ID, SALARY",
+		"SELECT EMP_ID, SALARY FROM EMP",
+		"")
+	g.add("AggregateRemovePK", Aggregate,
+		"SELECT DISTINCT DEPT_ID, DEPT_NAME FROM DEPT",
+		"SELECT DEPT_ID, DEPT_NAME FROM DEPT",
+		"")
+	g.add("AggregateRemovePK", Aggregate,
+		"SELECT ACCT_ID, BALANCE FROM ACCOUNT GROUP BY ACCT_ID, BALANCE",
+		"SELECT ACCT_ID, BALANCE FROM ACCOUNT",
+		"")
+
+	// HAVING on grouping columns commutes with WHERE.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID HAVING DEPT_ID > 5",
+			"SELECT DEPT_ID, SUM(SALARY) FROM EMP WHERE DEPT_ID > 5 GROUP BY DEPT_ID",
+		},
+		{
+			"SELECT LOCATION, COUNT(*) FROM EMP GROUP BY LOCATION HAVING LOCATION = 'NY'",
+			"SELECT LOCATION, COUNT(*) FROM EMP WHERE LOCATION = 'NY' GROUP BY LOCATION",
+		},
+		{
+			"SELECT DEPT_ID, MAX(SALARY) FROM EMP GROUP BY DEPT_ID HAVING DEPT_ID + 1 > 6",
+			"SELECT DEPT_ID, MAX(SALARY) FROM EMP WHERE DEPT_ID > 5 GROUP BY DEPT_ID",
+		},
+		{
+			"SELECT YEAR, SUM(AMOUNT) FROM BONUS GROUP BY YEAR HAVING YEAR = 2021",
+			"SELECT YEAR, SUM(AMOUNT) FROM BONUS WHERE YEAR = 2021 GROUP BY YEAR",
+		},
+	} {
+		g.add("FilterAggregateTranspose", Aggregate, c.q1, c.q2, "")
+	}
+
+	// AggregateMerge: nested roll-ups compose.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT LOCATION, SUM(S) FROM (SELECT LOCATION, DEPT_ID, SUM(SALARY) AS S FROM EMP GROUP BY LOCATION, DEPT_ID) T GROUP BY LOCATION",
+			"SELECT LOCATION, SUM(SALARY) FROM EMP GROUP BY LOCATION",
+		},
+		{
+			"SELECT LOCATION, MAX(M) FROM (SELECT LOCATION, DEPT_ID, MAX(SALARY) AS M FROM EMP GROUP BY LOCATION, DEPT_ID) T GROUP BY LOCATION",
+			"SELECT LOCATION, MAX(SALARY) FROM EMP GROUP BY LOCATION",
+		},
+		{
+			"SELECT LOCATION, MIN(M) FROM (SELECT LOCATION, DEPT_ID, MIN(SALARY) AS M FROM EMP GROUP BY LOCATION, DEPT_ID) T GROUP BY LOCATION",
+			"SELECT LOCATION, MIN(SALARY) FROM EMP GROUP BY LOCATION",
+		},
+		{
+			"SELECT LOCATION, SUM(C) FROM (SELECT LOCATION, DEPT_ID, COUNT(*) AS C FROM EMP GROUP BY LOCATION, DEPT_ID) T GROUP BY LOCATION",
+			"SELECT LOCATION, COUNT(*) FROM EMP GROUP BY LOCATION",
+		},
+	} {
+		g.add("AggregateMerge", Aggregate, c.q1, c.q2, "")
+	}
+
+	// The paper's §3.2 Example 1 family: constant-pinned grouping columns.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			`SELECT SUM(T.SALARY), T.LOCATION FROM (SELECT SALARY, LOCATION FROM DEPT, EMP WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID + 5 = 15) AS T GROUP BY T.LOCATION`,
+			`SELECT SUM(T.SALARY), T.LOCATION FROM (SELECT SALARY, LOCATION, DEPT.DEPT_ID FROM EMP, DEPT WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID = 10) AS T GROUP BY T.LOCATION, T.DEPT_ID`,
+		},
+		{
+			"SELECT LOCATION, COUNT(*) FROM EMP WHERE DEPT_ID = 7 GROUP BY LOCATION",
+			"SELECT LOCATION, COUNT(*) FROM EMP WHERE DEPT_ID + 1 = 8 GROUP BY LOCATION, DEPT_ID",
+		},
+		{
+			"SELECT MIN(SALARY), LOCATION FROM EMP WHERE MGR_ID = 1 GROUP BY LOCATION",
+			"SELECT MIN(SALARY), LOCATION FROM EMP WHERE MGR_ID = 1 GROUP BY LOCATION, MGR_ID",
+		},
+	} {
+		g.add("ConstantGroupKey", Aggregate, c.q1, c.q2, "")
+	}
+
+	// Aggregate arguments compare semantically, not syntactically.
+	g.add("AggArgSemantics", Aggregate,
+		"SELECT DEPT_ID, SUM(SALARY + SALARY) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, SUM(2 * SALARY) FROM EMP GROUP BY DEPT_ID",
+		"")
+	g.add("AggArgSemantics", Aggregate,
+		"SELECT DEPT_ID, MAX(SALARY - 1) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, MAX(SALARY + -1) FROM EMP GROUP BY DEPT_ID",
+		"")
+
+	// AVG and COUNT(DISTINCT).
+	g.add("AggIdentity", Aggregate,
+		"SELECT LOCATION, AVG(SALARY) FROM EMP GROUP BY LOCATION",
+		"SELECT LOCATION, AVG(SALARY) FROM EMP GROUP BY LOCATION",
+		"")
+	g.add("AggIdentity", Aggregate,
+		"SELECT DEPT_ID, COUNT(DISTINCT LOCATION) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, COUNT(DISTINCT LOCATION) FROM EMP GROUP BY DEPT_ID",
+		"")
+
+	// Injective transforms of group keys preserve the partition.
+	for _, c := range [][2]string{
+		{"DEPT_ID", "DEPT_ID + 1"},
+		{"SALARY", "SALARY - 3"},
+		{"MGR_ID", "2 * MGR_ID"},
+	} {
+		g.add("GroupKeyInjective", Aggregate,
+			fmt.Sprintf("SELECT COUNT(*) FROM EMP GROUP BY %s", c[0]),
+			fmt.Sprintf("SELECT COUNT(*) FROM EMP GROUP BY %s", c[1]),
+			"")
+	}
+
+	// Global aggregates.
+	g.add("GlobalAgg", Aggregate,
+		"SELECT SUM(SALARY), COUNT(*) FROM EMP WHERE DEPT_ID > 3",
+		"SELECT SUM(SALARY), COUNT(*) FROM EMP WHERE DEPT_ID + 1 > 4",
+		"")
+	g.add("GlobalAgg", Aggregate,
+		"SELECT MAX(BALANCE) FROM ACCOUNT",
+		"SELECT MAX(BALANCE) FROM ACCOUNT",
+		"")
+
+	// Aggregate over a filter-merged input.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT DEPT_ID, SUM(SALARY) FROM (SELECT * FROM EMP WHERE SALARY > 2) T WHERE DEPT_ID < 8 GROUP BY DEPT_ID",
+			"SELECT DEPT_ID, SUM(SALARY) FROM EMP WHERE SALARY > 2 AND DEPT_ID < 8 GROUP BY DEPT_ID",
+		},
+		{
+			"SELECT LOCATION, COUNT(*) FROM (SELECT LOCATION FROM EMP WHERE DEPT_ID = 4) T GROUP BY LOCATION",
+			"SELECT LOCATION, COUNT(*) FROM EMP WHERE DEPT_ID = 4 GROUP BY LOCATION",
+		},
+	} {
+		g.add("AggregateFilterMerge", Aggregate, c.q1, c.q2, "")
+	}
+
+	// Aggregates over joins with commuted inputs.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT DEPT.DEPT_NAME, SUM(EMP.SALARY) FROM EMP, DEPT WHERE EMP.DEPT_ID = DEPT.DEPT_ID GROUP BY DEPT.DEPT_NAME",
+			"SELECT DEPT.DEPT_NAME, SUM(EMP.SALARY) FROM DEPT, EMP WHERE DEPT.DEPT_ID = EMP.DEPT_ID GROUP BY DEPT.DEPT_NAME",
+		},
+		{
+			"SELECT BONUS.YEAR, COUNT(*) FROM EMP, BONUS WHERE EMP.EMP_ID = BONUS.EMP_ID GROUP BY BONUS.YEAR",
+			"SELECT BONUS.YEAR, COUNT(*) FROM BONUS, EMP WHERE BONUS.EMP_ID = EMP.EMP_ID GROUP BY BONUS.YEAR",
+		},
+	} {
+		g.add("AggregateJoinCommute", Aggregate, c.q1, c.q2, "")
+	}
+
+	// UNION (distinct) both ways.
+	g.add("UnionToDistinct", Aggregate,
+		"SELECT DEPT_ID FROM EMP UNION SELECT DEPT_ID FROM DEPT",
+		"SELECT DISTINCT DEPT_ID FROM (SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM DEPT) T",
+		"")
+	// Deduplicating a doubled bag equals deduplicating the single bag, but
+	// the union branch counts differ (2 vs 1), so VeriVec cannot pair them —
+	// a union+aggregate limitation (§7.4).
+	g.add("UnionToDistinct", Aggregate,
+		"SELECT LOCATION FROM EMP UNION SELECT LOCATION FROM EMP",
+		"SELECT DISTINCT LOCATION FROM EMP",
+		"limit:union+aggregate")
+}
+
+// ----------------------------------------------------------- OuterJoin ---
+
+func (g *gen) outerJoinPairs() {
+	// Null-rejecting filters turn outer joins into inner joins.
+	for _, c := range []struct{ filter string }{
+		{"DEPT.DEPT_NAME IS NOT NULL"},
+		{"DEPT.BUDGET > 0"},
+		{"DEPT.BUDGET = 100"},
+		{"DEPT.DEPT_NAME = 'ENG'"},
+		{"DEPT.BUDGET + 1 > 1"},
+	} {
+		g.add("OuterToInner", OuterJoin,
+			fmt.Sprintf("SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE %s", c.filter),
+			fmt.Sprintf("SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE %s", c.filter),
+			"")
+	}
+
+	// LEFT and RIGHT joins are mirror images.
+	for _, c := range []struct{ sel, on string }{
+		{"EMP.EMP_ID, DEPT.DEPT_NAME", "EMP.DEPT_ID = DEPT.DEPT_ID"},
+		{"EMP.SALARY, DEPT.BUDGET", "EMP.DEPT_ID = DEPT.DEPT_ID"},
+		{"EMP.ENAME, DEPT.DEPT_ID", "EMP.DEPT_ID = DEPT.DEPT_ID"},
+		{"EMP.EMP_ID, DEPT.DEPT_ID", "EMP.MGR_ID = DEPT.DEPT_ID"},
+	} {
+		g.add("LeftRightSwap", OuterJoin,
+			fmt.Sprintf("SELECT %s FROM EMP LEFT JOIN DEPT ON %s", c.sel, c.on),
+			fmt.Sprintf("SELECT %s FROM DEPT RIGHT JOIN EMP ON %s", c.sel, c.on),
+			"")
+	}
+
+	// FULL joins with a one-sided null-rejecting filter reduce to the
+	// corresponding one-sided outer join.
+	g.add("FullToLeft", OuterJoin,
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP FULL OUTER JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE EMP.SALARY > 0",
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE EMP.SALARY > 0",
+		"")
+	g.add("FullToRight", OuterJoin,
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP FULL OUTER JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE DEPT.BUDGET > 0",
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP RIGHT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE DEPT.BUDGET > 0",
+		"")
+
+	// Identical outer joins with cosmetic predicate differences.
+	for _, c := range []struct{ on1, on2 string }{
+		{"EMP.DEPT_ID = DEPT.DEPT_ID", "DEPT.DEPT_ID = EMP.DEPT_ID"},
+		{"EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.BUDGET > 2", "DEPT.BUDGET > 2 AND EMP.DEPT_ID = DEPT.DEPT_ID"},
+		{"EMP.MGR_ID = DEPT.DEPT_ID", "DEPT.DEPT_ID = EMP.MGR_ID"},
+	} {
+		g.add("OuterJoinCanon", OuterJoin,
+			fmt.Sprintf("SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP LEFT JOIN DEPT ON %s", c.on1),
+			fmt.Sprintf("SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP LEFT JOIN DEPT ON %s", c.on2),
+			"")
+	}
+
+	// Filters on the preserved side commute with the outer join.
+	for _, c := range []struct{ w1, w2 string }{
+		{"EMP.SALARY > 10", "EMP.SALARY + 5 > 15"},
+		{"EMP.LOCATION = 'NY'", "EMP.LOCATION = 'NY' AND 1 = 1"},
+		{"EMP.SALARY BETWEEN 2 AND 8", "EMP.SALARY >= 2 AND EMP.SALARY <= 8"},
+	} {
+		g.add("OuterJoinFilterPush", OuterJoin,
+			fmt.Sprintf("SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE %s", c.w1),
+			fmt.Sprintf("SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE %s", c.w2),
+			"")
+	}
+}
+
+// -------------------------------------------------------------- Extras ---
+
+// extraPairs rounds the suite out with additional rule instances across
+// all three categories.
+func (g *gen) extraPairs() {
+	for _, c := range []struct{ p1, p2 string }{
+		{"BALANCE - 10 > 0", "BALANCE > 10"},
+		{"BALANCE >= 5 AND BALANCE >= 3", "BALANCE >= 5"},
+		{"EMP_ID = 2 OR EMP_ID = 2", "EMP_ID = 2"},
+	} {
+		g.add("ReduceExpressions", USPJ,
+			fmt.Sprintf("SELECT ACCT_ID FROM ACCOUNT WHERE %s", c.p1),
+			fmt.Sprintf("SELECT ACCT_ID FROM ACCOUNT WHERE %s", c.p2),
+			"")
+	}
+	g.add("FilterMerge", USPJ,
+		"SELECT * FROM (SELECT * FROM (SELECT * FROM EMP WHERE SALARY > 1) A WHERE SALARY > 2) B WHERE SALARY > 3",
+		"SELECT * FROM EMP WHERE SALARY > 3",
+		"")
+	g.add("JoinCommute", USPJ,
+		"SELECT E.ENAME FROM EMP E, DEPT D, ACCOUNT A WHERE E.DEPT_ID = D.DEPT_ID AND E.EMP_ID = A.EMP_ID",
+		"SELECT E.ENAME FROM ACCOUNT A, DEPT D, EMP E WHERE A.EMP_ID = E.EMP_ID AND E.DEPT_ID = D.DEPT_ID",
+		"")
+	g.add("FilterUnionTranspose", USPJ,
+		"SELECT * FROM (SELECT SALARY FROM EMP UNION ALL SELECT BALANCE FROM ACCOUNT) T WHERE SALARY > 7",
+		"SELECT SALARY FROM EMP WHERE SALARY > 7 UNION ALL SELECT BALANCE FROM ACCOUNT WHERE BALANCE > 7",
+		"")
+
+	g.add("AggregateProjectMerge", Aggregate,
+		"SELECT E, SUM(B) FROM (SELECT EMP_ID AS E, BALANCE AS B FROM ACCOUNT) T GROUP BY E",
+		"SELECT EMP_ID, SUM(BALANCE) FROM ACCOUNT GROUP BY EMP_ID",
+		"")
+	g.add("FilterAggregateTranspose", Aggregate,
+		"SELECT EMP_ID, COUNT(*) FROM BONUS GROUP BY EMP_ID HAVING EMP_ID > 2",
+		"SELECT EMP_ID, COUNT(*) FROM BONUS WHERE EMP_ID > 2 GROUP BY EMP_ID",
+		"")
+	g.add("DistinctToAggregate", Aggregate,
+		"SELECT DISTINCT YEAR FROM BONUS WHERE AMOUNT > 0",
+		"SELECT YEAR FROM BONUS WHERE AMOUNT > 0 GROUP BY YEAR",
+		"")
+	g.add("GlobalAgg", Aggregate,
+		"SELECT MIN(AMOUNT), MAX(AMOUNT) FROM BONUS WHERE YEAR = 2020",
+		"SELECT MIN(AMOUNT), MAX(AMOUNT) FROM BONUS WHERE YEAR + 1 = 2021",
+		"")
+
+	g.add("OuterToInner", OuterJoin,
+		"SELECT E.EMP_ID, A.BALANCE FROM EMP E LEFT JOIN ACCOUNT A ON E.EMP_ID = A.EMP_ID WHERE A.BALANCE >= 0",
+		"SELECT E.EMP_ID, A.BALANCE FROM EMP E JOIN ACCOUNT A ON E.EMP_ID = A.EMP_ID WHERE A.BALANCE >= 0",
+		"")
+	g.add("LeftRightSwap", OuterJoin,
+		"SELECT B.AMOUNT, E.ENAME FROM BONUS B LEFT JOIN EMP E ON B.EMP_ID = E.EMP_ID",
+		"SELECT B.AMOUNT, E.ENAME FROM EMP E RIGHT JOIN BONUS B ON B.EMP_ID = E.EMP_ID",
+		"")
+	g.add("OuterJoinFilterPush", OuterJoin,
+		"SELECT E.EMP_ID, D.DEPT_NAME FROM EMP E LEFT JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID WHERE E.SALARY * 2 > 6",
+		"SELECT E.EMP_ID, D.DEPT_NAME FROM EMP E LEFT JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID WHERE E.SALARY > 3",
+		"")
+}
+
+// --------------------------------------------------------- Limitations ---
+
+// limitationPairs are equivalent pairs the §7.4 limitation classes leave
+// unproved: union+aggregate interchange, aggregate-join transposition, and
+// reasoning requiring richer integrity constraints.
+func (g *gen) limitationPairs() {
+	// Union+aggregate: aggregating a partition equals aggregating the
+	// whole (needs a normalization rule SPES lacks).
+	partitions := [][3]string{
+		{"SALARY > 0", "SALARY <= 0", "SALARY IS NULL"},
+		{"DEPT_ID > 5", "DEPT_ID <= 5", "DEPT_ID IS NULL"},
+		{"MGR_ID = 1", "MGR_ID <> 1", "MGR_ID IS NULL"},
+	}
+	for _, p := range partitions {
+		g.add("AggregateUnionMerge", Aggregate,
+			fmt.Sprintf(`SELECT SUM(SALARY) FROM (SELECT SALARY FROM EMP WHERE %s UNION ALL SELECT SALARY FROM EMP WHERE %s UNION ALL SELECT SALARY FROM EMP WHERE %s) T`, p[0], p[1], p[2]),
+			"SELECT SUM(SALARY) FROM EMP",
+			"limit:union+aggregate")
+		g.add("AggregateUnionMerge", Aggregate,
+			fmt.Sprintf(`SELECT COUNT(*) FROM (SELECT EMP_ID FROM EMP WHERE %s UNION ALL SELECT EMP_ID FROM EMP WHERE %s UNION ALL SELECT EMP_ID FROM EMP WHERE %s) T`, p[0], p[1], p[2]),
+			"SELECT COUNT(*) FROM EMP",
+			"limit:union+aggregate")
+	}
+
+	// Aggregate-join transposition.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT D.DEPT_NAME, X.C FROM DEPT D JOIN (SELECT DEPT_ID, COUNT(*) AS C FROM EMP GROUP BY DEPT_ID) X ON D.DEPT_ID = X.DEPT_ID",
+			"SELECT D.DEPT_NAME, COUNT(*) FROM DEPT D JOIN EMP E ON D.DEPT_ID = E.DEPT_ID GROUP BY D.DEPT_ID, D.DEPT_NAME",
+		},
+		{
+			"SELECT D.DEPT_NAME, X.S FROM DEPT D JOIN (SELECT DEPT_ID, SUM(SALARY) AS S FROM EMP GROUP BY DEPT_ID) X ON D.DEPT_ID = X.DEPT_ID",
+			"SELECT D.DEPT_NAME, SUM(E.SALARY) FROM DEPT D JOIN EMP E ON D.DEPT_ID = E.DEPT_ID GROUP BY D.DEPT_ID, D.DEPT_NAME",
+		},
+		{
+			"SELECT D.BUDGET, X.M FROM DEPT D JOIN (SELECT DEPT_ID, MAX(SALARY) AS M FROM EMP GROUP BY DEPT_ID) X ON D.DEPT_ID = X.DEPT_ID",
+			"SELECT D.BUDGET, MAX(E.SALARY) FROM DEPT D JOIN EMP E ON D.DEPT_ID = E.DEPT_ID GROUP BY D.DEPT_ID, D.BUDGET",
+		},
+		{
+			"SELECT D.DEPT_ID, X.M FROM DEPT D JOIN (SELECT DEPT_ID, MIN(SALARY) AS M FROM EMP GROUP BY DEPT_ID) X ON D.DEPT_ID = X.DEPT_ID",
+			"SELECT D.DEPT_ID, MIN(E.SALARY) FROM DEPT D JOIN EMP E ON D.DEPT_ID = E.DEPT_ID GROUP BY D.DEPT_ID",
+		},
+	} {
+		g.add("AggregateJoinTranspose", Aggregate, c.q1, c.q2, "limit:join+aggregate")
+	}
+
+	// Integrity constraints: joining on a unique key has multiplicity one,
+	// so IN and JOIN coincide — provable via the join-to-semi-join
+	// extension rule plus cardinality-insensitive EXISTS naming.
+	for _, c := range []struct{ q1, q2 string }{
+		{
+			"SELECT E.EMP_ID, E.SALARY FROM EMP E JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID",
+			"SELECT E.EMP_ID, E.SALARY FROM EMP E WHERE E.DEPT_ID IN (SELECT DEPT_ID FROM DEPT)",
+		},
+		{
+			"SELECT B.AMOUNT FROM BONUS B JOIN EMP E ON B.EMP_ID = E.EMP_ID",
+			"SELECT B.AMOUNT FROM BONUS B WHERE B.EMP_ID IN (SELECT EMP_ID FROM EMP)",
+		},
+	} {
+		g.add("JoinToSemiJoinPK", USPJ, c.q1, c.q2, "")
+	}
+
+	// COUNT of a NOT NULL column is COUNT(*): provable via the extension
+	// normalization rule (countNotNull in internal/normalize).
+	g.add("CountNotNullColumn", Aggregate,
+		"SELECT DEPT_ID, COUNT(EMP_ID) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, COUNT(*) FROM EMP GROUP BY DEPT_ID",
+		"")
+	g.add("CountNotNullColumn", Aggregate,
+		"SELECT COUNT(ACCT_ID) FROM ACCOUNT",
+		"SELECT COUNT(*) FROM ACCOUNT",
+		"")
+
+	// Integer-only predicate equivalences: sound to refuse over the
+	// solver's rational relaxation (x = 6.5 distinguishes them), but
+	// integer column semantics make them equivalent in practice.
+	g.add("IntegerTightening", USPJ,
+		"SELECT EMP_ID FROM EMP WHERE SALARY >= 7",
+		"SELECT EMP_ID FROM EMP WHERE SALARY + 1 > 7",
+		"limit:integer-semantics")
+}
+
+// --------------------------------------------------------- Unsupported ---
+
+// unsupportedPairs exercise features outside the supported subset,
+// reproducing the 232-pair suite's unsupported fraction (the paper reports
+// 112 of 232: CAST and features Calcite's own compiler rejected).
+func (g *gen) unsupportedPairs() {
+	casts := []string{"FLOAT", "VARCHAR(10)", "INTEGER", "DECIMAL(10,2)"}
+	cols := []string{"SALARY", "DEPT_ID", "EMP_ID", "MGR_ID", "BUDGET"}
+	n := 0
+	for _, typ := range casts {
+		for _, col := range cols {
+			tbl := "EMP"
+			if col == "BUDGET" {
+				tbl = "DEPT"
+			}
+			g.add("CastProject", USPJ,
+				fmt.Sprintf("SELECT CAST(%s AS %s) FROM %s", col, typ, tbl),
+				fmt.Sprintf("SELECT CAST(%s AS %s) FROM %s WHERE 1 = 1", col, typ, tbl),
+				"unsupported:CAST")
+			n++
+			if n >= 38 {
+				break
+			}
+		}
+		if n >= 38 {
+			break
+		}
+	}
+	// CAST inside predicates and aggregates.
+	for i := 0; i < 6; i++ {
+		g.add("CastPredicate", Aggregate,
+			fmt.Sprintf("SELECT SUM(CAST(SALARY AS FLOAT)) FROM EMP WHERE DEPT_ID = %d GROUP BY LOCATION", i),
+			fmt.Sprintf("SELECT SUM(CAST(SALARY AS FLOAT)) FROM EMP WHERE DEPT_ID = %d GROUP BY LOCATION", i),
+			"unsupported:CAST")
+	}
+
+	// Window functions (rejected by the parser, mirroring queries Calcite
+	// compiled but SPES's categories cannot express).
+	windows := []string{
+		"RANK() OVER (PARTITION BY DEPT_ID ORDER BY SALARY)",
+		"ROW_NUMBER() OVER (ORDER BY EMP_ID)",
+		"SUM(SALARY) OVER (PARTITION BY LOCATION)",
+		"AVG(SALARY) OVER (PARTITION BY DEPT_ID)",
+		"COUNT(*) OVER (PARTITION BY MGR_ID)",
+	}
+	for i := 0; i < 25; i++ {
+		w := windows[i%len(windows)]
+		g.add("WindowFunction", USPJ,
+			fmt.Sprintf("SELECT EMP_ID, %s FROM EMP WHERE SALARY > %d", w, i),
+			fmt.Sprintf("SELECT EMP_ID, %s FROM EMP WHERE SALARY > %d", w, i),
+			"unsupported:window")
+	}
+
+	// LIMIT / OFFSET / FETCH.
+	for i := 0; i < 20; i++ {
+		g.add("SortLimit", USPJ,
+			fmt.Sprintf("SELECT EMP_ID FROM EMP ORDER BY SALARY LIMIT %d", i+1),
+			fmt.Sprintf("SELECT EMP_ID FROM EMP ORDER BY SALARY LIMIT %d", i+1),
+			"unsupported:LIMIT")
+	}
+
+	// INTERSECT / EXCEPT (not in the grammar).
+	setOps := []string{"INTERSECT", "EXCEPT"}
+	for i := 0; i < 10; i++ {
+		op := setOps[i%2]
+		g.add("SetOp", USPJ,
+			fmt.Sprintf("SELECT DEPT_ID FROM EMP %s SELECT DEPT_ID FROM DEPT", op),
+			fmt.Sprintf("SELECT DEPT_ID FROM EMP %s SELECT DEPT_ID FROM DEPT", op),
+			"unsupported:"+op)
+	}
+
+	// VALUES constructors.
+	for i := 0; i < 3; i++ {
+		g.add("Values", USPJ,
+			fmt.Sprintf("SELECT * FROM (VALUES (1, %d)) AS T", i),
+			fmt.Sprintf("SELECT * FROM (VALUES (1, %d)) AS T", i),
+			"unsupported:VALUES")
+	}
+}

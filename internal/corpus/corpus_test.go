@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"spes/internal/datagen"
+	"spes/internal/exec"
+	"spes/internal/plan"
+)
+
+func TestCalcitePairCount(t *testing.T) {
+	pairs := CalcitePairs()
+	if len(pairs) != 232 {
+		t.Fatalf("corpus has %d pairs, want 232", len(pairs))
+	}
+	ids := map[string]bool{}
+	for _, p := range pairs {
+		if ids[p.ID] {
+			t.Errorf("duplicate pair id %s", p.ID)
+		}
+		ids[p.ID] = true
+		if p.SQL1 == "" || p.SQL2 == "" || p.Rule == "" {
+			t.Errorf("%s: incomplete pair", p.ID)
+		}
+	}
+}
+
+func TestCategoryBreakdown(t *testing.T) {
+	counts := map[Category]int{}
+	unsupported := 0
+	for _, p := range CalcitePairs() {
+		if p.Unsupported() {
+			unsupported++
+			continue
+		}
+		counts[p.Category]++
+	}
+	t.Logf("supported: USPJ=%d Aggregate=%d OuterJoin=%d, unsupported=%d",
+		counts[USPJ], counts[Aggregate], counts[OuterJoin], unsupported)
+	if counts[USPJ] == 0 || counts[Aggregate] == 0 || counts[OuterJoin] == 0 {
+		t.Error("every category must be populated")
+	}
+	if unsupported < 80 {
+		t.Errorf("unsupported fraction too small: %d", unsupported)
+	}
+}
+
+// TestUnsupportedPairsReallyUnsupported ensures the tagged pairs fail to
+// parse or build, and the untagged ones succeed.
+func TestUnsupportedPairsReallyUnsupported(t *testing.T) {
+	cat := Catalog()
+	b := plan.NewBuilder(cat)
+	for _, p := range CalcitePairs() {
+		_, err1 := b.BuildSQL(p.SQL1)
+		_, err2 := b.BuildSQL(p.SQL2)
+		failed := err1 != nil || err2 != nil
+		if p.Unsupported() && !failed {
+			t.Errorf("%s (%s): tagged unsupported but builds fine", p.ID, p.Rule)
+		}
+		if !p.Unsupported() && failed {
+			t.Errorf("%s (%s): should build, got %v / %v\nq1: %s\nq2: %s",
+				p.ID, p.Rule, err1, err2, p.SQL1, p.SQL2)
+		}
+	}
+}
+
+// TestGroundTruthByExecution validates the Equivalent flag of every
+// supported pair by differential execution on random databases. This is the
+// corpus's core integrity check: a pair marked equivalent that ever differs
+// is a corpus bug.
+func TestGroundTruthByExecution(t *testing.T) {
+	cat := Catalog()
+	b := plan.NewBuilder(cat)
+	r := rand.New(rand.NewSource(1234))
+	for _, p := range CalcitePairs() {
+		if p.Unsupported() {
+			continue
+		}
+		q1, err := b.BuildSQL(p.SQL1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		q2, err := b.BuildSQL(p.SQL2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		if !p.Equivalent {
+			continue // no inequivalent pairs in this suite
+		}
+		for i := 0; i < 12; i++ {
+			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
+			r1, err := exec.Run(db, q1)
+			if err != nil {
+				t.Fatalf("%s: exec q1: %v", p.ID, err)
+			}
+			r2, err := exec.Run(db, q2)
+			if err != nil {
+				t.Fatalf("%s: exec q2: %v", p.ID, err)
+			}
+			if !exec.BagEqual(r1, r2) {
+				t.Fatalf("%s (%s): pair marked equivalent but outputs differ\nq1: %s\nq2: %s\nout1:\n%s\nout2:\n%s",
+					p.ID, p.Rule, p.SQL1, p.SQL2, exec.FormatRows(r1), exec.FormatRows(r2))
+			}
+		}
+	}
+}

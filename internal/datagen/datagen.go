@@ -1,0 +1,108 @@
+// Package datagen produces small random databases for property-based and
+// differential testing. Value domains are deliberately tiny so that joins
+// match, groups collide, duplicates occur, and NULLs appear — the situations
+// that distinguish bag semantics from set semantics.
+package datagen
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"spes/internal/exec"
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+// Options tunes generation.
+type Options struct {
+	// MaxRows bounds rows per table (default 6).
+	MaxRows int
+	// NullProb is the probability of NULL in a nullable column
+	// (default 0.2).
+	NullProb float64
+	// IntRange bounds integer magnitudes; values are drawn from
+	// [lo, lo+IntRange) around the paper's predicate constants
+	// (default 16, lo = 0 — covering thresholds like 10 and 15).
+	IntRange int
+}
+
+func (o Options) maxRows() int {
+	if o.MaxRows > 0 {
+		return o.MaxRows
+	}
+	return 6
+}
+
+func (o Options) nullProb() float64 {
+	if o.NullProb > 0 {
+		return o.NullProb
+	}
+	return 0.2
+}
+
+func (o Options) intRange() int {
+	if o.IntRange > 0 {
+		return o.IntRange
+	}
+	return 16
+}
+
+var stringPool = []string{"NY", "SF", "LA", "CHI", "SEA"}
+
+// Random generates a database for every table in the catalog.
+func Random(cat *schema.Catalog, r *rand.Rand, opts Options) exec.Database {
+	db := make(exec.Database)
+	for _, name := range cat.Names() {
+		t := cat.MustTable(name)
+		db[strings.ToUpper(name)] = randomTable(t, r, opts)
+	}
+	return db
+}
+
+func randomTable(t *schema.Table, r *rand.Rand, opts Options) *exec.Table {
+	n := r.Intn(opts.maxRows() + 1)
+	var pkIdx []int
+	for _, pk := range t.PrimaryKey {
+		pkIdx = append(pkIdx, t.ColumnIndex(pk))
+	}
+	out := &exec.Table{}
+	seenPK := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		row := make(exec.Row, len(t.Columns))
+		for j, c := range t.Columns {
+			row[j] = randomDatum(c, r, opts)
+		}
+		if len(pkIdx) > 0 {
+			var kb strings.Builder
+			for _, j := range pkIdx {
+				kb.WriteString(row[j].Key())
+				kb.WriteByte('\x00')
+			}
+			if seenPK[kb.String()] {
+				continue // drop rows violating the primary key
+			}
+			seenPK[kb.String()] = true
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func randomDatum(c schema.Column, r *rand.Rand, opts Options) plan.Datum {
+	if !c.NotNull && r.Float64() < opts.nullProb() {
+		return plan.NullDatum()
+	}
+	switch c.Type {
+	case schema.Int:
+		return plan.IntDatum(int64(r.Intn(opts.intRange())))
+	case schema.Float:
+		// Halves keep arithmetic exact in the rational executor.
+		return plan.NumDatum(big.NewRat(int64(r.Intn(2*opts.intRange())), 2))
+	case schema.String:
+		return plan.StrDatum(stringPool[r.Intn(len(stringPool))])
+	case schema.Bool:
+		return plan.BoolDatum(r.Intn(2) == 0)
+	}
+	return plan.NullDatum()
+}

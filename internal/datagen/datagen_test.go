@@ -1,0 +1,104 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spes/internal/schema"
+)
+
+func TestRandomRespectsSchema(t *testing.T) {
+	cat := schema.NewCatalog()
+	if err := cat.AddTable(&schema.Table{
+		Name: "T",
+		Columns: []schema.Column{
+			{Name: "ID", Type: schema.Int, NotNull: true},
+			{Name: "V", Type: schema.Int},
+			{Name: "S", Type: schema.String},
+			{Name: "B", Type: schema.Bool},
+		},
+		PrimaryKey: []string{"ID"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		db := Random(cat, r, Options{})
+		tbl, ok := db["T"]
+		if !ok {
+			t.Fatal("table T missing")
+		}
+		seen := map[string]bool{}
+		for _, row := range tbl.Rows {
+			if len(row) != 4 {
+				t.Fatalf("row width %d", len(row))
+			}
+			if row[0].Null {
+				t.Error("NOT NULL column generated NULL")
+			}
+			k := row[0].Key()
+			if seen[k] {
+				t.Error("primary key duplicated")
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestRandomProducesNullsAndDuplicateValues(t *testing.T) {
+	cat := schema.NewCatalog()
+	if err := cat.AddTable(&schema.Table{
+		Name: "U",
+		Columns: []schema.Column{
+			{Name: "A", Type: schema.Int},
+			{Name: "S", Type: schema.String},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	nulls, rows := 0, 0
+	valueCounts := map[string]int{}
+	for iter := 0; iter < 200; iter++ {
+		db := Random(cat, r, Options{MaxRows: 8})
+		for _, row := range db["U"].Rows {
+			rows++
+			if row[0].Null {
+				nulls++
+			} else {
+				valueCounts[row[0].Key()]++
+			}
+		}
+	}
+	if nulls == 0 {
+		t.Error("generator never produced NULL")
+	}
+	dup := false
+	for _, c := range valueCounts {
+		if c > 1 {
+			dup = true
+		}
+	}
+	if !dup {
+		t.Error("generator never produced duplicate values (bag semantics untestable)")
+	}
+	if rows == 0 {
+		t.Error("generator produced no rows at all")
+	}
+}
+
+func TestStringPoolOnly(t *testing.T) {
+	cat := schema.NewCatalog()
+	_ = cat.AddTable(&schema.Table{
+		Name:    "S",
+		Columns: []schema.Column{{Name: "X", Type: schema.String, NotNull: true}},
+	})
+	r := rand.New(rand.NewSource(3))
+	db := Random(cat, r, Options{MaxRows: 20})
+	for _, row := range db["S"].Rows {
+		if !strings.Contains(strings.Join(stringPool, ","), row[0].Str) {
+			t.Errorf("unexpected string %q", row[0].Str)
+		}
+	}
+}

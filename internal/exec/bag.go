@@ -1,0 +1,89 @@
+package exec
+
+import (
+	"sort"
+	"strings"
+
+	"spes/internal/plan"
+)
+
+// rowKey renders a row canonically.
+func rowKey(r Row) string {
+	var b strings.Builder
+	for _, d := range r {
+		b.WriteString(d.Key())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// BagEqual reports whether two results are equal as multisets of tuples
+// (full equivalence, Def 2 of the paper).
+func BagEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[rowKey(r)]++
+	}
+	for _, r := range b {
+		k := rowKey(r)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetEqual reports whether two results are equal as sets of tuples
+// (set-semantics equivalence, the EQUITAS guarantee).
+func SetEqual(a, b []Row) bool {
+	sa := make(map[string]bool, len(a))
+	for _, r := range a {
+		sa[rowKey(r)] = true
+	}
+	sb := make(map[string]bool, len(b))
+	for _, r := range b {
+		sb[rowKey(r)] = true
+	}
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortRows orders rows canonically in place, for readable diffs in tests.
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return rowKey(rows[i]) < rowKey(rows[j]) })
+}
+
+// FormatRows renders rows one per line after canonical sorting.
+func FormatRows(rows []Row) string {
+	cp := append([]Row(nil), rows...)
+	SortRows(cp)
+	var b strings.Builder
+	for _, r := range cp {
+		for i, d := range r {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(d.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NewTable builds a Table from datum rows; a convenience for tests and
+// examples.
+func NewTable(rows ...Row) *Table { return &Table{Rows: rows} }
+
+// R builds a row from datums; a convenience for tests and examples.
+func R(ds ...plan.Datum) Row { return Row(ds) }

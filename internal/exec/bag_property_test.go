@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spes/internal/plan"
+)
+
+// Property-based checks on the multiset comparison primitives the whole
+// differential harness rests on.
+
+func randRows(r *rand.Rand, n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		w := 1 + r.Intn(3)
+		row := make(Row, w)
+		for j := range row {
+			switch r.Intn(4) {
+			case 0:
+				row[j] = plan.NullDatum()
+			case 1:
+				row[j] = plan.StrDatum([]string{"a", "b"}[r.Intn(2)])
+			default:
+				row[j] = plan.IntDatum(int64(r.Intn(4)))
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestBagEqualPermutationInvariant: shuffling never changes bag equality.
+func TestBagEqualPermutationInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rows := randRows(rr, rr.Intn(8))
+		shuffled := append([]Row(nil), rows...)
+		rr.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return BagEqual(rows, shuffled) && SetEqual(rows, shuffled)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBagEqualDetectsMultiplicity: adding a duplicate breaks bag equality
+// but not set equality.
+func TestBagEqualDetectsMultiplicity(t *testing.T) {
+	r := rand.New(rand.NewSource(56))
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rows := randRows(rr, 1+rr.Intn(6))
+		dup := append(append([]Row(nil), rows...), rows[rr.Intn(len(rows))])
+		return !BagEqual(rows, dup) && SetEqual(rows, dup)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBagEqualIsEquivalenceRelation: symmetry and reflexivity on random
+// bags; transitivity via a third shuffled copy.
+func TestBagEqualIsEquivalenceRelation(t *testing.T) {
+	r := rand.New(rand.NewSource(57))
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randRows(rr, rr.Intn(6))
+		b := append([]Row(nil), a...)
+		rr.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		c := append([]Row(nil), b...)
+		rr.Shuffle(len(c), func(i, j int) { c[i], c[j] = c[j], c[i] })
+		if !BagEqual(a, a) || !BagEqual(b, a) || !BagEqual(a, b) {
+			return false
+		}
+		return BagEqual(a, b) && BagEqual(b, c) == BagEqual(a, c)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRowKeyInjective: distinct datums never collide in the canonical key
+// (NULL vs zero vs empty string vs boolean false, etc.).
+func TestRowKeyInjective(t *testing.T) {
+	distinct := []plan.Datum{
+		plan.NullDatum(),
+		plan.IntDatum(0),
+		plan.IntDatum(1),
+		plan.StrDatum(""),
+		plan.StrDatum("0"),
+		plan.StrDatum("∅"),
+		plan.BoolDatum(false),
+		plan.BoolDatum(true),
+	}
+	seen := map[string]plan.Datum{}
+	for _, d := range distinct {
+		k := rowKey(Row{d})
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision: %v and %v both map to %q", prev, d, k)
+		}
+		seen[k] = d
+	}
+	// Row boundaries matter: ["ab"] != ["a","b"].
+	if rowKey(Row{plan.StrDatum("ab")}) == rowKey(Row{plan.StrDatum("a"), plan.StrDatum("b")}) {
+		t.Error("row boundary collision")
+	}
+}

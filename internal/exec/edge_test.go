@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"spes/internal/plan"
+)
+
+// TestScalarSubqueryCardinality covers the three scalar-subquery cases:
+// zero rows (NULL), one row (value), many rows (error).
+func TestScalarSubqueryCardinality(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(10), num(1), str("NY")),
+			R(num(2), num(20), num(1), str("NY")),
+		),
+		"DEPT": NewTable(),
+	}
+	// Zero rows: NULL. SALARY > NULL is UNKNOWN, so nothing qualifies.
+	rows := runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE SALARY > (SELECT DEPT_ID FROM DEPT)")
+	if len(rows) != 0 {
+		t.Errorf("comparison against empty scalar subquery should keep nothing:\n%s", FormatRows(rows))
+	}
+	// Many rows: runtime error.
+	n, err := plan.NewBuilder(testCatalog(t)).BuildSQL(
+		"SELECT EMP_ID FROM EMP WHERE SALARY > (SELECT SALARY FROM EMP)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(db, n); err == nil || !strings.Contains(err.Error(), "scalar subquery") {
+		t.Errorf("multi-row scalar subquery should error, got %v", err)
+	}
+}
+
+func TestModAndDivisionEdgeCases(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(7), num(3), str("NY")),
+			R(num(2), num(7), num(0), str("NY")),
+		),
+		"DEPT": NewTable(),
+	}
+	rows := runSQL(t, db, "SELECT SALARY % DEPT_ID, SALARY / DEPT_ID FROM EMP WHERE DEPT_ID = 3")
+	if rows[0][0].Num.Cmp(num(1).Num) != 0 {
+		t.Errorf("7 %% 3 = %v, want 1", rows[0][0])
+	}
+	// Division and modulo by zero evaluate to NULL (total semantics).
+	rows = runSQL(t, db, "SELECT SALARY % DEPT_ID, SALARY / DEPT_ID FROM EMP WHERE DEPT_ID = 0")
+	if !rows[0][0].Null || !rows[0][1].Null {
+		t.Errorf("division/modulo by zero should be NULL: %v, %v", rows[0][0], rows[0][1])
+	}
+}
+
+func TestNestedCorrelation(t *testing.T) {
+	// EXISTS inside EXISTS, correlating two levels of rows.
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(10), num(11), str("NY")),
+			R(num(2), num(20), num(99), str("SF")),
+		),
+		"DEPT": NewTable(
+			R(num(11), str("ENG")),
+		),
+	}
+	rows := runSQL(t, db, `SELECT E1.EMP_ID FROM EMP E1 WHERE EXISTS (
+		SELECT 1 FROM DEPT D WHERE D.DEPT_ID = E1.DEPT_ID AND EXISTS (
+			SELECT 1 FROM EMP E2 WHERE E2.DEPT_ID = D.DEPT_ID AND E2.SALARY >= E1.SALARY))`)
+	if len(rows) != 1 || rows[0][0].Num.Cmp(num(1).Num) != 0 {
+		t.Fatalf("nested correlation wrong:\n%s", FormatRows(rows))
+	}
+}
+
+func TestEmptyNodeAndGlobalAggregate(t *testing.T) {
+	// A contradictory filter normalizes to Empty in the verifier path, but
+	// the executor must also handle the raw plan: zero rows in, and a
+	// global aggregate on top still emits its single row.
+	db := empDB()
+	rows := runSQL(t, db, "SELECT COUNT(*) FROM (SELECT * FROM EMP WHERE 1 = 2) T")
+	if len(rows) != 1 || rows[0][0].Num.Sign() != 0 {
+		t.Fatalf("COUNT over empty derived table:\n%s", FormatRows(rows))
+	}
+	if rows2, _ := Run(db, &plan.Empty{Names: []string{"A"}}); len(rows2) != 0 {
+		t.Error("Empty node must produce no rows")
+	}
+}
+
+func TestGroupingMixedNullKeys(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(10), null(), str("NY")),
+			R(num(2), num(20), null(), str("NY")),
+			R(num(3), num(30), num(1), str("NY")),
+		),
+		"DEPT": NewTable(),
+	}
+	// SQL grouping treats NULL keys as one group.
+	rows := runSQL(t, db, "SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID")
+	if len(rows) != 2 {
+		t.Fatalf("NULLs must group together:\n%s", FormatRows(rows))
+	}
+	var nullSum *plan.Datum
+	for _, r := range rows {
+		if r[0].Null {
+			d := r[1]
+			nullSum = &d
+		}
+	}
+	if nullSum == nil || nullSum.Num.Cmp(num(30).Num) != 0 {
+		t.Errorf("NULL group sum = %v, want 30", nullSum)
+	}
+}
+
+func TestSelectWithoutFromEvaluates(t *testing.T) {
+	db := Database{"EMP": NewTable(), "DEPT": NewTable()}
+	rows := runSQL(t, db, "SELECT 1 + 2, 'x'")
+	if len(rows) != 1 || rows[0][0].Num.Cmp(num(3).Num) != 0 || rows[0][1].Str != "x" {
+		t.Fatalf("constant select wrong:\n%s", FormatRows(rows))
+	}
+}
+
+func TestUnionArityAtRuntime(t *testing.T) {
+	// Builder enforces arity; the executor trusts plans, so exercise a
+	// well-formed union with mixed sources.
+	db := empDB()
+	rows := runSQL(t, db, "SELECT DEPT_ID FROM EMP WHERE SALARY > 200 UNION ALL SELECT DEPT_ID FROM DEPT")
+	if len(rows) != 2 {
+		t.Fatalf("rows:\n%s", FormatRows(rows))
+	}
+}
+
+func TestCaseOperandDesugaredEvaluation(t *testing.T) {
+	db := empDB()
+	rows := runSQL(t, db, "SELECT CASE DEPT_ID WHEN 11 THEN 'eng' WHEN 5 THEN 'ops' END FROM EMP")
+	counts := map[string]int{}
+	for _, r := range rows {
+		if r[0].Null {
+			counts["null"]++
+		} else {
+			counts[r[0].Str]++
+		}
+	}
+	if counts["eng"] != 3 || counts["ops"] != 1 {
+		t.Errorf("operand case distribution wrong: %v", counts)
+	}
+}
+
+func TestComparisonAcrossKindsErrors(t *testing.T) {
+	db := empDB()
+	n, err := plan.NewBuilder(testCatalog(t)).BuildSQL("SELECT EMP_ID FROM EMP WHERE LOCATION = SALARY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(db, n); err == nil {
+		t.Error("string-to-number comparison should be a runtime type error")
+	}
+}

@@ -1,0 +1,279 @@
+// Package exec interprets plan trees over concrete databases with full bag
+// semantics and SQL three-valued logic. It is the ground truth for the
+// differential test harness: whenever SPES proves two queries fully
+// equivalent, this executor must return identical multisets on every input
+// database — the operational reading of the paper's Theorem 1.
+package exec
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"spes/internal/plan"
+)
+
+// Row is one tuple.
+type Row []plan.Datum
+
+// Table is a bag of rows.
+type Table struct {
+	Rows []Row
+}
+
+// Database maps upper-cased table names to contents.
+type Database map[string]*Table
+
+// Limits bounds evaluation to keep property tests and workload scans fast.
+type Limits struct {
+	// MaxRows bounds the size of any intermediate result; 0 means the
+	// default (100000).
+	MaxRows int
+}
+
+func (l Limits) maxRows() int {
+	if l.MaxRows > 0 {
+		return l.MaxRows
+	}
+	return 100000
+}
+
+// Run evaluates the plan against the database and returns the output bag.
+func Run(db Database, n plan.Node) ([]Row, error) {
+	return RunLimits(db, n, Limits{})
+}
+
+// RunLimits evaluates with explicit limits.
+func RunLimits(db Database, n plan.Node, lim Limits) ([]Row, error) {
+	ex := &executor{db: db, lim: lim}
+	return ex.node(n, nil)
+}
+
+// env is the runtime scope chain for correlated subqueries: row is the
+// current tuple, parent the enclosing query's scope.
+type env struct {
+	parent *env
+	row    Row
+}
+
+type executor struct {
+	db  Database
+	lim Limits
+}
+
+func (ex *executor) node(n plan.Node, outer *env) ([]Row, error) {
+	switch v := n.(type) {
+	case *plan.Table:
+		t, ok := ex.db[strings.ToUpper(v.Meta.Name)]
+		if !ok {
+			return nil, fmt.Errorf("exec: no data for table %q", v.Meta.Name)
+		}
+		out := make([]Row, len(t.Rows))
+		for i, r := range t.Rows {
+			if len(r) != v.Arity() {
+				return nil, fmt.Errorf("exec: row width %d != schema width %d for %q", len(r), v.Arity(), v.Meta.Name)
+			}
+			out[i] = r
+		}
+		return out, nil
+
+	case *plan.Empty:
+		return nil, nil
+
+	case *plan.SPJ:
+		return ex.spj(v, outer)
+
+	case *plan.Agg:
+		return ex.agg(v, outer)
+
+	case *plan.Union:
+		var out []Row
+		for _, in := range v.Inputs {
+			rows, err := ex.node(in, outer)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+			if len(out) > ex.lim.maxRows() {
+				return nil, fmt.Errorf("exec: row limit exceeded in union")
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("exec: unknown node %T", n)
+}
+
+func (ex *executor) spj(v *plan.SPJ, outer *env) ([]Row, error) {
+	// Evaluate inputs, then enumerate the cartesian product.
+	inputs := make([][]Row, len(v.Inputs))
+	for i, in := range v.Inputs {
+		rows, err := ex.node(in, outer)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = rows
+	}
+	var out []Row
+	combined := make(Row, 0, 16)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(inputs) {
+			en := &env{parent: outer, row: combined}
+			if v.Pred != nil {
+				d, err := ex.expr(v.Pred, en)
+				if err != nil {
+					return err
+				}
+				if d.Null || d.Kind != plan.KBool || !d.Bool {
+					return nil
+				}
+			}
+			row := make(Row, len(v.Proj))
+			for j, p := range v.Proj {
+				d, err := ex.expr(p.E, en)
+				if err != nil {
+					return err
+				}
+				row[j] = d
+			}
+			out = append(out, row)
+			if len(out) > ex.lim.maxRows() {
+				return fmt.Errorf("exec: row limit exceeded in spj")
+			}
+			return nil
+		}
+		for _, r := range inputs[i] {
+			save := len(combined)
+			combined = append(combined, r...)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			combined = combined[:save]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (ex *executor) agg(v *plan.Agg, outer *env) ([]Row, error) {
+	rows, err := ex.node(v.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keyVals Row
+		rows    []*env
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rows {
+		en := &env{parent: outer, row: r}
+		keyVals := make(Row, len(v.GroupBy))
+		var kb strings.Builder
+		for i, g := range v.GroupBy {
+			d, err := ex.expr(g.E, en)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = d
+			kb.WriteString(d.Key())
+			kb.WriteByte('\x00')
+		}
+		key := kb.String()
+		gr, ok := groups[key]
+		if !ok {
+			gr = &group{keyVals: keyVals}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		gr.rows = append(gr.rows, en)
+	}
+	// SQL: an empty input with no GROUP BY still produces one global group.
+	if len(rows) == 0 && len(v.GroupBy) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+	sort.Strings(order) // deterministic output order (bags ignore it anyway)
+	var out []Row
+	for _, key := range order {
+		gr := groups[key]
+		row := make(Row, 0, v.Arity())
+		row = append(row, gr.keyVals...)
+		for _, a := range v.Aggs {
+			d, err := ex.aggregate(a, gr.rows)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// aggregate computes one aggregate over a group with SQL NULL rules:
+// COUNT(*) counts rows; COUNT(x) counts non-NULL x; SUM/MIN/MAX/AVG skip
+// NULLs and yield NULL on an effectively empty group.
+func (ex *executor) aggregate(a plan.AggExpr, rows []*env) (plan.Datum, error) {
+	if a.Op == plan.AggCountStar {
+		return plan.IntDatum(int64(len(rows))), nil
+	}
+	var vals []plan.Datum
+	seen := make(map[string]bool)
+	for _, en := range rows {
+		d, err := ex.expr(a.Arg, en)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		if d.Null {
+			continue
+		}
+		if a.Distinct {
+			k := d.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, d)
+	}
+	switch a.Op {
+	case plan.AggCount:
+		return plan.IntDatum(int64(len(vals))), nil
+	case plan.AggSum, plan.AggAvg:
+		if len(vals) == 0 {
+			return plan.NullDatum(), nil
+		}
+		sum := new(big.Rat)
+		for _, d := range vals {
+			if d.Kind != plan.KNum {
+				return plan.Datum{}, fmt.Errorf("exec: %v over non-numeric value", a.Op)
+			}
+			sum.Add(sum, d.Num)
+		}
+		if a.Op == plan.AggAvg {
+			sum.Quo(sum, big.NewRat(int64(len(vals)), 1))
+		}
+		return plan.NumDatum(sum), nil
+	case plan.AggMin, plan.AggMax:
+		if len(vals) == 0 {
+			return plan.NullDatum(), nil
+		}
+		best := vals[0]
+		for _, d := range vals[1:] {
+			c, err := d.Compare(best)
+			if err != nil {
+				return plan.Datum{}, err
+			}
+			if (a.Op == plan.AggMin && c < 0) || (a.Op == plan.AggMax && c > 0) {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	return plan.Datum{}, fmt.Errorf("exec: unknown aggregate %v", a.Op)
+}

@@ -1,0 +1,439 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+func testCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	add := func(tbl *schema.Table) {
+		if err := cat.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&schema.Table{
+		Name: "EMP",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "SALARY", Type: schema.Int},
+			{Name: "DEPT_ID", Type: schema.Int},
+			{Name: "LOCATION", Type: schema.String},
+		},
+		PrimaryKey: []string{"EMP_ID"},
+	})
+	add(&schema.Table{
+		Name: "DEPT",
+		Columns: []schema.Column{
+			{Name: "DEPT_ID", Type: schema.Int, NotNull: true},
+			{Name: "DEPT_NAME", Type: schema.String},
+		},
+		PrimaryKey: []string{"DEPT_ID"},
+	})
+	return cat
+}
+
+func num(v int64) plan.Datum  { return plan.IntDatum(v) }
+func str(s string) plan.Datum { return plan.StrDatum(s) }
+func null() plan.Datum        { return plan.NullDatum() }
+func boolv(b bool) plan.Datum { return plan.BoolDatum(b) }
+
+// empDB is the Figure-1 database: three employees share department 11 and
+// location NY.
+func empDB() Database {
+	return Database{
+		"EMP": NewTable(
+			R(num(1), num(100), num(11), str("NY")),
+			R(num(2), num(120), num(11), str("NY")),
+			R(num(3), num(90), num(11), str("NY")),
+			R(num(4), num(50), num(5), str("SF")),
+		),
+		"DEPT": NewTable(
+			R(num(11), str("ENG")),
+			R(num(5), str("OPS")),
+		),
+	}
+}
+
+func runSQL(t *testing.T, db Database, sql string) []Row {
+	t.Helper()
+	n, err := plan.NewBuilder(testCatalog(t)).BuildSQL(sql)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	rows, err := Run(db, n)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return rows
+}
+
+// TestFigure1BagVsSet reproduces the paper's Figure 1: the filter query and
+// the GROUP BY query agree under set semantics but not under bag semantics.
+func TestFigure1BagVsSet(t *testing.T) {
+	db := empDB()
+	q1 := runSQL(t, db, "SELECT EMP.DEPT_ID, EMP.LOCATION FROM EMP WHERE DEPT_ID > 10")
+	q2 := runSQL(t, db, `SELECT EMP.DEPT_ID, EMP.LOCATION FROM EMP
+		WHERE DEPT_ID + 5 > 15 GROUP BY EMP.DEPT_ID, EMP.LOCATION`)
+	if len(q1) != 3 {
+		t.Fatalf("q1 returned %d rows, want 3:\n%s", len(q1), FormatRows(q1))
+	}
+	if len(q2) != 1 {
+		t.Fatalf("q2 returned %d rows, want 1:\n%s", len(q2), FormatRows(q2))
+	}
+	if !SetEqual(q1, q2) {
+		t.Error("q1 and q2 should be set-equal")
+	}
+	if BagEqual(q1, q2) {
+		t.Error("q1 and q2 must differ as bags")
+	}
+}
+
+// TestExample1Aggregates reproduces §3.2 Example 1: the two aggregation
+// queries are fully equivalent under bag semantics.
+func TestExample1Aggregates(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(100), num(10), str("NY")),
+			R(num(2), num(120), num(10), str("NY")),
+			R(num(3), num(90), num(10), str("SF")),
+			R(num(4), num(50), num(7), str("SF")),
+		),
+		"DEPT": NewTable(
+			R(num(10), str("ENG")),
+			R(num(7), str("OPS")),
+		),
+	}
+	q1 := runSQL(t, db, `SELECT SUM(T.SALARY), T.LOCATION FROM
+		(SELECT SALARY, LOCATION FROM DEPT, EMP
+		 WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID + 5 = 15) AS T
+		GROUP BY T.LOCATION`)
+	q2 := runSQL(t, db, `SELECT SUM(T.SALARY), T.LOCATION FROM
+		(SELECT SALARY, LOCATION, DEPT.DEPT_ID FROM EMP, DEPT
+		 WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID = 10) AS T
+		GROUP BY T.LOCATION, T.DEPT_ID`)
+	want := [][2]string{{"220", "NY"}, {"90", "SF"}}
+	if len(q1) != 2 {
+		t.Fatalf("q1 rows:\n%s", FormatRows(q1))
+	}
+	if !BagEqual(q1, q2) {
+		t.Errorf("q1 and q2 should be bag-equal:\nq1:\n%s\nq2:\n%s", FormatRows(q1), FormatRows(q2))
+	}
+	_ = want
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(100), null(), str("NY")),
+			R(num(2), num(120), num(11), str("NY")),
+		),
+		"DEPT": NewTable(),
+	}
+	// NULL > 10 is UNKNOWN: the row is filtered out.
+	rows := runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE DEPT_ID > 10")
+	if len(rows) != 1 || rows[0][0].Num.Cmp(num(2).Num) != 0 {
+		t.Fatalf("want only EMP_ID=2:\n%s", FormatRows(rows))
+	}
+	// ... and NOT(NULL > 10) is also UNKNOWN: still filtered.
+	rows = runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE NOT (DEPT_ID > 10)")
+	if len(rows) != 0 {
+		t.Fatalf("NOT UNKNOWN should filter:\n%s", FormatRows(rows))
+	}
+	// IS NULL is two-valued.
+	rows = runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE DEPT_ID IS NULL")
+	if len(rows) != 1 || rows[0][0].Num.Cmp(num(1).Num) != 0 {
+		t.Fatalf("IS NULL wrong:\n%s", FormatRows(rows))
+	}
+	// OR: UNKNOWN OR TRUE = TRUE.
+	rows = runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE DEPT_ID > 10 OR SALARY = 100")
+	if len(rows) != 2 {
+		t.Fatalf("UNKNOWN OR TRUE wrong:\n%s", FormatRows(rows))
+	}
+}
+
+func TestAggregateNullRules(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), null(), num(1), str("NY")),
+			R(num(2), num(10), num(1), str("NY")),
+			R(num(3), num(20), num(1), str("NY")),
+		),
+		"DEPT": NewTable(),
+	}
+	rows := runSQL(t, db, "SELECT COUNT(*), COUNT(SALARY), SUM(SALARY), MIN(SALARY), MAX(SALARY), AVG(SALARY) FROM EMP")
+	if len(rows) != 1 {
+		t.Fatalf("rows:\n%s", FormatRows(rows))
+	}
+	r := rows[0]
+	for i, want := range []int64{3, 2, 30, 10, 20, 15} {
+		if r[i].Null || r[i].Num.Cmp(num(want).Num) != 0 {
+			t.Errorf("col %d = %v, want %d", i, r[i], want)
+		}
+	}
+	// Aggregates over an empty table: COUNT = 0, SUM/MIN/MAX/AVG = NULL,
+	// and exactly one row is produced.
+	rows = runSQL(t, db, "SELECT COUNT(*), SUM(DEPT_ID) FROM DEPT")
+	if len(rows) != 1 {
+		t.Fatalf("global aggregate over empty table must yield one row, got %d", len(rows))
+	}
+	if rows[0][0].Num.Sign() != 0 || !rows[0][1].Null {
+		t.Errorf("empty-table aggregates = %v", rows[0])
+	}
+	// But GROUP BY over an empty table yields no rows.
+	rows = runSQL(t, db, "SELECT DEPT_ID, COUNT(*) FROM DEPT GROUP BY DEPT_ID")
+	if len(rows) != 0 {
+		t.Errorf("grouped aggregate over empty table must yield no rows:\n%s", FormatRows(rows))
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(10), num(1), str("NY")),
+			R(num(2), num(10), num(1), str("NY")),
+			R(num(3), num(20), num(1), str("NY")),
+		),
+		"DEPT": NewTable(),
+	}
+	rows := runSQL(t, db, "SELECT COUNT(DISTINCT SALARY) FROM EMP")
+	if rows[0][0].Num.Cmp(num(2).Num) != 0 {
+		t.Errorf("COUNT(DISTINCT) = %v, want 2", rows[0][0])
+	}
+}
+
+func TestOuterJoins(t *testing.T) {
+	db := Database{
+		"EMP": NewTable(
+			R(num(1), num(100), num(11), str("NY")),
+			R(num(2), num(120), num(99), str("SF")), // no matching dept
+		),
+		"DEPT": NewTable(
+			R(num(11), str("ENG")),
+			R(num(42), str("GHOST")), // no matching emp
+		),
+	}
+	left := runSQL(t, db, "SELECT EMP_ID, DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID")
+	if len(left) != 2 {
+		t.Fatalf("left join rows:\n%s", FormatRows(left))
+	}
+	var sawNull bool
+	for _, r := range left {
+		if r[1].Null {
+			sawNull = true
+		}
+	}
+	if !sawNull {
+		t.Error("left join should pad unmatched EMP row with NULL")
+	}
+	right := runSQL(t, db, "SELECT EMP_ID, DEPT_NAME FROM EMP RIGHT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID")
+	if len(right) != 2 {
+		t.Fatalf("right join rows:\n%s", FormatRows(right))
+	}
+	full := runSQL(t, db, "SELECT EMP_ID, DEPT_NAME FROM EMP FULL OUTER JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID")
+	if len(full) != 3 {
+		t.Fatalf("full join rows:\n%s", FormatRows(full))
+	}
+	// NULL join keys never match.
+	db["EMP"].Rows = append(db["EMP"].Rows, R(num(3), num(1), null(), str("LA")))
+	left = runSQL(t, db, "SELECT EMP_ID, DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID")
+	if len(left) != 3 {
+		t.Fatalf("left join with NULL key:\n%s", FormatRows(left))
+	}
+}
+
+func TestUnionAllKeepsDuplicates(t *testing.T) {
+	db := empDB()
+	rows := runSQL(t, db, "SELECT LOCATION FROM EMP UNION ALL SELECT LOCATION FROM EMP")
+	if len(rows) != 8 {
+		t.Errorf("UNION ALL rows = %d, want 8", len(rows))
+	}
+	rows = runSQL(t, db, "SELECT LOCATION FROM EMP UNION SELECT LOCATION FROM EMP")
+	if len(rows) != 2 {
+		t.Errorf("UNION rows = %d, want 2 (NY, SF)", len(rows))
+	}
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	db := empDB()
+	rows := runSQL(t, db, `SELECT EMP_ID FROM EMP WHERE EXISTS
+		(SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID AND DEPT.DEPT_NAME = 'ENG')`)
+	if len(rows) != 3 {
+		t.Fatalf("exists rows:\n%s", FormatRows(rows))
+	}
+	rows = runSQL(t, db, `SELECT EMP_ID FROM EMP WHERE NOT EXISTS
+		(SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID AND DEPT.DEPT_NAME = 'ENG')`)
+	if len(rows) != 1 {
+		t.Fatalf("not-exists rows:\n%s", FormatRows(rows))
+	}
+}
+
+func TestInSubqueryAndScalarSub(t *testing.T) {
+	db := empDB()
+	rows := runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE DEPT_ID IN (SELECT DEPT_ID FROM DEPT)")
+	if len(rows) != 4 {
+		t.Fatalf("IN subquery rows:\n%s", FormatRows(rows))
+	}
+	rows = runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE SALARY > (SELECT MIN(SALARY) FROM EMP)")
+	if len(rows) != 3 {
+		t.Fatalf("scalar subquery rows:\n%s", FormatRows(rows))
+	}
+}
+
+func TestCaseEvaluation(t *testing.T) {
+	db := empDB()
+	rows := runSQL(t, db, `SELECT CASE WHEN SALARY >= 100 THEN 'high' ELSE 'low' END FROM EMP`)
+	hi, lo := 0, 0
+	for _, r := range rows {
+		switch r[0].Str {
+		case "high":
+			hi++
+		case "low":
+			lo++
+		}
+	}
+	if hi != 2 || lo != 2 {
+		t.Errorf("case split = %d/%d, want 2/2", hi, lo)
+	}
+	// CASE with no ELSE yields NULL.
+	rows = runSQL(t, db, `SELECT CASE WHEN SALARY > 1000 THEN 1 END FROM EMP`)
+	for _, r := range rows {
+		if !r[0].Null {
+			t.Errorf("expected NULL, got %v", r[0])
+		}
+	}
+}
+
+func TestArithmeticNullPropagation(t *testing.T) {
+	db := Database{
+		"EMP":  NewTable(R(num(1), null(), num(2), str("NY"))),
+		"DEPT": NewTable(),
+	}
+	rows := runSQL(t, db, "SELECT SALARY + 1, -SALARY, SALARY * DEPT_ID FROM EMP")
+	for i := 0; i < 3; i++ {
+		if !rows[0][i].Null {
+			t.Errorf("col %d should be NULL, got %v", i, rows[0][i])
+		}
+	}
+}
+
+func TestBagEqualAndSetEqual(t *testing.T) {
+	a := []Row{R(num(1)), R(num(1)), R(num(2))}
+	b := []Row{R(num(2)), R(num(1)), R(num(1))}
+	c := []Row{R(num(1)), R(num(2)), R(num(2))}
+	if !BagEqual(a, b) {
+		t.Error("a and b are the same bag")
+	}
+	if BagEqual(a, c) {
+		t.Error("a and c differ as bags")
+	}
+	if !SetEqual(a, c) {
+		t.Error("a and c are the same set")
+	}
+	if BagEqual(a, a[:2]) {
+		t.Error("different sizes are never bag-equal")
+	}
+	// NULL-containing rows compare by their NULL pattern.
+	d := []Row{R(null(), num(1))}
+	e := []Row{R(null(), num(1))}
+	if !BagEqual(d, e) {
+		t.Error("NULL rows with equal shape should be bag-equal")
+	}
+}
+
+func TestRowLimit(t *testing.T) {
+	rows := make([]Row, 200)
+	for i := range rows {
+		rows[i] = R(num(int64(i)), num(0), num(0), str("NY"))
+	}
+	db := Database{"EMP": &Table{Rows: rows}, "DEPT": NewTable()}
+	n, err := plan.NewBuilder(testCatalog(t)).BuildSQL("SELECT E1.EMP_ID FROM EMP E1, EMP E2, EMP E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLimits(db, n, Limits{MaxRows: 1000}); err == nil {
+		t.Error("row limit should trip on an 8M-row product")
+	}
+}
+
+func TestDeterministicUninterpretedFunctions(t *testing.T) {
+	db := empDB()
+	a := runSQL(t, db, "SELECT MYFN(SALARY, DEPT_ID) FROM EMP")
+	b := runSQL(t, db, "SELECT MYFN(SALARY, DEPT_ID) FROM EMP")
+	if !BagEqual(a, b) {
+		t.Error("uninterpreted functions must be deterministic")
+	}
+	// Congruence: equal args give equal results even via different
+	// expressions.
+	c := runSQL(t, db, "SELECT MYFN(SALARY + 0, DEPT_ID) FROM EMP")
+	if !BagEqual(a, c) {
+		t.Error("uninterpreted functions must respect argument values")
+	}
+}
+
+func TestLikeFunction(t *testing.T) {
+	db := empDB()
+	rows := runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE LOCATION LIKE 'N%'")
+	if len(rows) != 3 {
+		t.Fatalf("LIKE 'N%%' rows:\n%s", FormatRows(rows))
+	}
+	rows = runSQL(t, db, "SELECT EMP_ID FROM EMP WHERE LOCATION LIKE '_F'")
+	if len(rows) != 1 {
+		t.Fatalf("LIKE '_F' rows:\n%s", FormatRows(rows))
+	}
+}
+
+// TestRandomizedFilterSplit checks on random databases that
+// σ(p∧q) ≡ σ(p)∘σ(q), a rewrite the corpus relies on.
+func TestRandomizedFilterSplit(t *testing.T) {
+	cat := testCatalog(t)
+	b := plan.NewBuilder(cat)
+	q1, err := b.BuildSQL("SELECT EMP_ID FROM EMP WHERE SALARY > 5 AND DEPT_ID < 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := b.BuildSQL("SELECT EMP_ID FROM (SELECT * FROM EMP WHERE SALARY > 5) T WHERE DEPT_ID < 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		db := randomEmpDB(r)
+		a, err := Run(db, q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := Run(db, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !BagEqual(a, bb) {
+			t.Fatalf("filter split mismatch on db %v:\n%s\nvs\n%s", db, FormatRows(a), FormatRows(bb))
+		}
+	}
+}
+
+func randomEmpDB(r *rand.Rand) Database {
+	emp := &Table{}
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		sal := plan.Datum(num(int64(r.Intn(12))))
+		if r.Intn(5) == 0 {
+			sal = null()
+		}
+		dep := plan.Datum(num(int64(r.Intn(12))))
+		if r.Intn(5) == 0 {
+			dep = null()
+		}
+		emp.Rows = append(emp.Rows, R(num(int64(i)), sal, dep, str([]string{"NY", "SF"}[r.Intn(2)])))
+	}
+	dept := &Table{}
+	for i := 0; i < r.Intn(4); i++ {
+		dept.Rows = append(dept.Rows, R(num(int64(r.Intn(12))), str("D")))
+	}
+	return Database{"EMP": emp, "DEPT": dept}
+}

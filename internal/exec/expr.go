@@ -1,0 +1,339 @@
+package exec
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"spes/internal/plan"
+)
+
+// nullBool is the UNKNOWN truth value.
+func nullBool() plan.Datum { return plan.Datum{Null: true, Kind: plan.KBool} }
+
+func (ex *executor) expr(e plan.Expr, en *env) (plan.Datum, error) {
+	switch v := e.(type) {
+	case *plan.ColRef:
+		if v.Index >= len(en.row) {
+			return plan.Datum{}, fmt.Errorf("exec: column $%d out of range (row width %d)", v.Index, len(en.row))
+		}
+		return en.row[v.Index], nil
+
+	case *plan.OuterRef:
+		cur := en
+		for d := 0; d < v.Depth; d++ {
+			if cur.parent == nil {
+				return plan.Datum{}, fmt.Errorf("exec: outer reference depth %d exceeds scope", v.Depth)
+			}
+			cur = cur.parent
+		}
+		if v.Index >= len(cur.row) {
+			return plan.Datum{}, fmt.Errorf("exec: outer column $%d out of range", v.Index)
+		}
+		return cur.row[v.Index], nil
+
+	case *plan.Const:
+		return v.Val, nil
+
+	case *plan.Bin:
+		return ex.bin(v, en)
+
+	case *plan.Not:
+		d, err := ex.expr(v.E, en)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		if d.Null {
+			return nullBool(), nil
+		}
+		if d.Kind != plan.KBool {
+			return plan.Datum{}, fmt.Errorf("exec: NOT over non-boolean %v", d)
+		}
+		return plan.BoolDatum(!d.Bool), nil
+
+	case *plan.Neg:
+		d, err := ex.expr(v.E, en)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		if d.Null {
+			return plan.NullDatum(), nil
+		}
+		if d.Kind != plan.KNum {
+			return plan.Datum{}, fmt.Errorf("exec: negation of non-numeric %v", d)
+		}
+		return plan.NumDatum(new(big.Rat).Neg(d.Num)), nil
+
+	case *plan.IsNull:
+		d, err := ex.expr(v.E, en)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		return plan.BoolDatum(d.Null), nil
+
+	case *plan.Case:
+		for _, w := range v.Whens {
+			c, err := ex.expr(w.Cond, en)
+			if err != nil {
+				return plan.Datum{}, err
+			}
+			if !c.Null && c.Kind == plan.KBool && c.Bool {
+				return ex.expr(w.Then, en)
+			}
+		}
+		if v.Else != nil {
+			return ex.expr(v.Else, en)
+		}
+		return plan.NullDatum(), nil
+
+	case *plan.Func:
+		return ex.fn(v, en)
+
+	case *plan.Exists:
+		rows, err := ex.node(v.Sub, en)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		return plan.BoolDatum((len(rows) > 0) != v.Negate), nil
+
+	case *plan.ScalarSub:
+		rows, err := ex.node(v.Sub, en)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		switch len(rows) {
+		case 0:
+			return plan.NullDatum(), nil
+		case 1:
+			return rows[0][0], nil
+		}
+		return plan.Datum{}, fmt.Errorf("exec: scalar subquery returned %d rows", len(rows))
+	}
+	return plan.Datum{}, fmt.Errorf("exec: unknown expression %T", e)
+}
+
+func (ex *executor) bin(v *plan.Bin, en *env) (plan.Datum, error) {
+	l, err := ex.expr(v.L, en)
+	if err != nil {
+		return plan.Datum{}, err
+	}
+	r, err := ex.expr(v.R, en)
+	if err != nil {
+		return plan.Datum{}, err
+	}
+
+	switch {
+	case v.Op.IsLogic():
+		return kleene(v.Op, l, r)
+	case v.Op.IsComparison():
+		if l.Null || r.Null {
+			return nullBool(), nil
+		}
+		if v.Op == plan.OpEq || v.Op == plan.OpNe {
+			if l.Kind != r.Kind {
+				return plan.Datum{}, fmt.Errorf("exec: comparing %v with %v", l, r)
+			}
+			eq := l.Equal(r)
+			return plan.BoolDatum(eq == (v.Op == plan.OpEq)), nil
+		}
+		c, err := l.Compare(r)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		switch v.Op {
+		case plan.OpLt:
+			return plan.BoolDatum(c < 0), nil
+		case plan.OpLe:
+			return plan.BoolDatum(c <= 0), nil
+		case plan.OpGt:
+			return plan.BoolDatum(c > 0), nil
+		case plan.OpGe:
+			return plan.BoolDatum(c >= 0), nil
+		}
+	default: // arithmetic
+		if l.Null || r.Null {
+			return plan.NullDatum(), nil
+		}
+		if l.Kind != plan.KNum || r.Kind != plan.KNum {
+			return plan.Datum{}, fmt.Errorf("exec: arithmetic over non-numeric %v, %v", l, r)
+		}
+		out := new(big.Rat)
+		switch v.Op {
+		case plan.OpAdd:
+			out.Add(l.Num, r.Num)
+		case plan.OpSub:
+			out.Sub(l.Num, r.Num)
+		case plan.OpMul:
+			out.Mul(l.Num, r.Num)
+		case plan.OpDiv:
+			if r.Num.Sign() == 0 {
+				// SQL raises; total evaluation prefers NULL. The symbolic
+				// layer treats division by non-constants as uninterpreted,
+				// so no equivalence decision rests on this choice.
+				return plan.NullDatum(), nil
+			}
+			out.Quo(l.Num, r.Num)
+		case plan.OpMod:
+			if !l.Num.IsInt() || !r.Num.IsInt() || r.Num.Sign() == 0 {
+				return plan.NullDatum(), nil
+			}
+			m := new(big.Int).Rem(l.Num.Num(), r.Num.Num())
+			out.SetInt(m)
+		}
+		return plan.NumDatum(out), nil
+	}
+	return plan.Datum{}, fmt.Errorf("exec: unknown operator %v", v.Op)
+}
+
+// kleene implements three-valued AND/OR.
+func kleene(op plan.BinOp, l, r plan.Datum) (plan.Datum, error) {
+	truth := func(d plan.Datum) (int, error) { // 0=false, 1=unknown, 2=true
+		if d.Null {
+			return 1, nil
+		}
+		if d.Kind != plan.KBool {
+			return 0, fmt.Errorf("exec: logic over non-boolean %v", d)
+		}
+		if d.Bool {
+			return 2, nil
+		}
+		return 0, nil
+	}
+	a, err := truth(l)
+	if err != nil {
+		return plan.Datum{}, err
+	}
+	b, err := truth(r)
+	if err != nil {
+		return plan.Datum{}, err
+	}
+	var v int
+	if op == plan.OpAnd {
+		v = a
+		if b < v {
+			v = b
+		}
+	} else {
+		v = a
+		if b > v {
+			v = b
+		}
+	}
+	switch v {
+	case 0:
+		return plan.BoolDatum(false), nil
+	case 2:
+		return plan.BoolDatum(true), nil
+	}
+	return nullBool(), nil
+}
+
+// fn evaluates scalar functions. A few common functions get their real
+// semantics; everything else gets a deterministic congruence-respecting
+// interpretation (a legal model of the uninterpreted function the symbolic
+// layer assumes).
+func (ex *executor) fn(v *plan.Func, en *env) (plan.Datum, error) {
+	args := make([]plan.Datum, len(v.Args))
+	for i, a := range v.Args {
+		d, err := ex.expr(a, en)
+		if err != nil {
+			return plan.Datum{}, err
+		}
+		args[i] = d
+	}
+	switch v.Name {
+	case "CONCAT":
+		if args[0].Null || args[1].Null {
+			return plan.NullDatum(), nil
+		}
+		return plan.StrDatum(datumText(args[0]) + datumText(args[1])), nil
+	case "UPPER":
+		if len(args) == 1 {
+			if args[0].Null {
+				return plan.NullDatum(), nil
+			}
+			return plan.StrDatum(strings.ToUpper(datumText(args[0]))), nil
+		}
+	case "LOWER":
+		if len(args) == 1 {
+			if args[0].Null {
+				return plan.NullDatum(), nil
+			}
+			return plan.StrDatum(strings.ToLower(datumText(args[0]))), nil
+		}
+	case "LIKE":
+		if args[0].Null || args[1].Null {
+			return nullBool(), nil
+		}
+		return plan.BoolDatum(likeMatch(datumText(args[0]), datumText(args[1]))), nil
+	}
+	return hashFn(v, args), nil
+}
+
+func datumText(d plan.Datum) string {
+	switch d.Kind {
+	case plan.KStr:
+		return d.Str
+	case plan.KNum:
+		return d.Num.RatString()
+	case plan.KBool:
+		if d.Bool {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	var rec func(si, pi int) bool
+	rec = func(si, pi int) bool {
+		for pi < len(pattern) {
+			switch pattern[pi] {
+			case '%':
+				for k := si; k <= len(s); k++ {
+					if rec(k, pi+1) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if si >= len(s) {
+					return false
+				}
+				si++
+				pi++
+			default:
+				if si >= len(s) || s[si] != pattern[pi] {
+					return false
+				}
+				si++
+				pi++
+			}
+		}
+		return si == len(s)
+	}
+	return rec(0, 0)
+}
+
+// hashFn is the default deterministic interpretation for uninterpreted
+// functions: result depends only on the name and argument values.
+func hashFn(v *plan.Func, args []plan.Datum) plan.Datum {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(v.Name)
+	for _, a := range args {
+		mix(a.Key())
+		mix("|")
+	}
+	if v.Bool {
+		return plan.BoolDatum(h&1 == 0)
+	}
+	return plan.IntDatum(int64(h % 23))
+}

@@ -1,0 +1,165 @@
+package fol
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Value is a concrete value for ground evaluation: exactly one of Rat (for
+// numeric terms) or Bool (for boolean terms) is meaningful, per Sort.
+type Value struct {
+	Sort Sort
+	Rat  *big.Rat
+	Bool bool
+}
+
+// NumValue wraps a rational as a numeric Value.
+func NumValue(r *big.Rat) Value { return Value{Sort: SortNum, Rat: r} }
+
+// BoolValue wraps a boolean as a boolean Value.
+func BoolValue(b bool) Value { return Value{Sort: SortBool, Bool: b} }
+
+// Interp supplies concrete meanings for the open parts of a term during
+// ground evaluation: variable values and uninterpreted-function behaviour.
+type Interp struct {
+	// Vars maps variable names to values. Evaluation fails on unmapped
+	// variables.
+	Vars map[string]Value
+	// App evaluates an uninterpreted application. When nil, a default
+	// deterministic interpretation (hash of name and arguments) is used,
+	// which respects functional congruence.
+	App func(name string, sort Sort, args []Value) Value
+}
+
+// Eval evaluates a ground term under the interpretation. It is used by
+// differential tests that compare SMT verdicts against brute force; it is
+// not on the verification hot path.
+func Eval(t *Term, in Interp) (Value, error) {
+	switch t.Kind {
+	case KVar:
+		v, ok := in.Vars[t.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("fol: unbound variable %q", t.Name)
+		}
+		if v.Sort != t.Sort {
+			return Value{}, fmt.Errorf("fol: variable %q bound to %v, want %v", t.Name, v.Sort, t.Sort)
+		}
+		return v, nil
+	case KNum:
+		return NumValue(t.Rat), nil
+	case KTrue:
+		return BoolValue(true), nil
+	case KFalse:
+		return BoolValue(false), nil
+	case KIte:
+		c, err := Eval(t.Args[0], in)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.Bool {
+			return Eval(t.Args[1], in)
+		}
+		return Eval(t.Args[2], in)
+	case KApp:
+		args := make([]Value, len(t.Args))
+		for i, a := range t.Args {
+			v, err := Eval(a, in)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		if in.App != nil {
+			return in.App(t.Name, t.Sort, args), nil
+		}
+		return defaultApp(t.Name, t.Sort, args), nil
+	}
+
+	args := make([]Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := Eval(a, in)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch t.Kind {
+	case KAdd:
+		acc := new(big.Rat)
+		for _, a := range args {
+			acc.Add(acc, a.Rat)
+		}
+		return NumValue(acc), nil
+	case KMul:
+		acc := new(big.Rat).SetInt64(1)
+		for _, a := range args {
+			acc.Mul(acc, a.Rat)
+		}
+		return NumValue(acc), nil
+	case KNeg:
+		return NumValue(new(big.Rat).Neg(args[0].Rat)), nil
+	case KDiv:
+		if args[1].Rat.Sign() == 0 {
+			// SQL division by zero is an error; for solver-differential
+			// purposes define it as zero, matching the solver's
+			// uninterpreted treatment only loosely. Tests avoid this case.
+			return NumValue(new(big.Rat)), nil
+		}
+		return NumValue(new(big.Rat).Quo(args[0].Rat, args[1].Rat)), nil
+	case KEq:
+		return BoolValue(args[0].Rat.Cmp(args[1].Rat) == 0), nil
+	case KLe:
+		return BoolValue(args[0].Rat.Cmp(args[1].Rat) <= 0), nil
+	case KLt:
+		return BoolValue(args[0].Rat.Cmp(args[1].Rat) < 0), nil
+	case KNot:
+		return BoolValue(!args[0].Bool), nil
+	case KAnd:
+		for _, a := range args {
+			if !a.Bool {
+				return BoolValue(false), nil
+			}
+		}
+		return BoolValue(true), nil
+	case KOr:
+		for _, a := range args {
+			if a.Bool {
+				return BoolValue(true), nil
+			}
+		}
+		return BoolValue(false), nil
+	case KIff:
+		return BoolValue(args[0].Bool == args[1].Bool), nil
+	}
+	return Value{}, fmt.Errorf("fol: cannot evaluate kind %v", t.Kind)
+}
+
+// defaultApp is a deterministic congruence-respecting interpretation for
+// uninterpreted functions: the result depends only on the symbol and the
+// argument values.
+func defaultApp(name string, sort Sort, args []Value) Value {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(name)
+	for _, a := range args {
+		if a.Sort == SortBool {
+			if a.Bool {
+				mix("#t")
+			} else {
+				mix("#f")
+			}
+		} else {
+			mix(a.Rat.RatString())
+		}
+		mix("|")
+	}
+	if sort == SortBool {
+		return BoolValue(h&1 == 0)
+	}
+	return NumValue(new(big.Rat).SetInt64(int64(h % 17)))
+}

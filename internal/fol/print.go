@@ -1,0 +1,53 @@
+package fol
+
+import (
+	"strings"
+)
+
+// String renders t as an s-expression. The rendering is canonical: two terms
+// render identically iff they are structurally equal, so it doubles as a map
+// key (see Key).
+func (t *Term) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+// Key returns the canonical form of t, memoized on first use. Terms are
+// immutable, so memoization is safe; callers must not mutate terms after
+// construction.
+func (t *Term) Key() string {
+	if t.key == "" {
+		t.key = t.String()
+	}
+	return t.key
+}
+
+func (t *Term) write(b *strings.Builder) {
+	switch t.Kind {
+	case KVar:
+		b.WriteString(t.Name)
+	case KNum:
+		b.WriteString(t.Rat.RatString())
+	case KTrue:
+		b.WriteString("true")
+	case KFalse:
+		b.WriteString("false")
+	case KApp:
+		b.WriteByte('(')
+		b.WriteString("@" + t.Name)
+		for _, a := range t.Args {
+			b.WriteByte(' ')
+			a.write(b)
+		}
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		b.WriteString(t.Kind.String())
+		for _, a := range t.Args {
+			b.WriteByte(' ')
+			a.write(b)
+		}
+		b.WriteByte(')')
+	}
+}

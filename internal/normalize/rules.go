@@ -1,0 +1,599 @@
+package normalize
+
+import (
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+// mergeSPJ inlines an SPJ child into its parent (the central UNF conversion
+// rule of §4.2): SPJ(E::q0, p1, o1) with q0 = SPJ(e2, p2, o2) becomes
+// SPJ(E::e2, p1∘o2 ∧ p2, o1∘o2). Reference bookkeeping: the child occupied
+// columns [a, a+childArity) of the parent's input row; after inlining, the
+// child's own input row sits there instead.
+func mergeSPJ(parent *plan.SPJ, idx int, child *plan.SPJ) *plan.SPJ {
+	a := 0
+	for _, in := range parent.Inputs[:idx] {
+		a += in.Arity()
+	}
+	childArity := child.Arity()
+	delta := child.InputArity() - childArity
+
+	// shiftChild re-expresses a child-level expression in the merged row.
+	shiftChild := func(j int) plan.Expr { return &plan.ColRef{Index: j + a} }
+	// f maps parent-level references into the merged row.
+	f := func(i int) plan.Expr {
+		switch {
+		case i < a:
+			return &plan.ColRef{Index: i}
+		case i < a+childArity:
+			return plan.MapOwnRefs(child.Proj[i-a].E, shiftChild)
+		default:
+			return &plan.ColRef{Index: i + delta}
+		}
+	}
+
+	inputs := make([]plan.Node, 0, len(parent.Inputs)+len(child.Inputs)-1)
+	inputs = append(inputs, parent.Inputs[:idx]...)
+	inputs = append(inputs, child.Inputs...)
+	inputs = append(inputs, parent.Inputs[idx+1:]...)
+
+	var preds []plan.Expr
+	if child.Pred != nil {
+		preds = append(preds, plan.MapOwnRefs(child.Pred, shiftChild))
+	}
+	if parent.Pred != nil {
+		preds = append(preds, plan.MapOwnRefs(parent.Pred, f))
+	}
+
+	proj := make([]plan.NamedExpr, len(parent.Proj))
+	for i, p := range parent.Proj {
+		proj[i] = plan.NamedExpr{Name: p.Name, E: plan.MapOwnRefs(p.E, f)}
+	}
+	return &plan.SPJ{Inputs: inputs, Pred: plan.AndAll(preds), Proj: proj}
+}
+
+// pushdown moves predicate conjuncts that touch a single input into that
+// input when it is an aggregate (conjunct over group columns only) or a
+// union (conjunct replicated per branch).
+func (nz *Normalizer) pushdown(s *plan.SPJ) (plan.Node, bool) {
+	if s.Pred == nil {
+		return s, false
+	}
+	conjs := plan.Conjuncts(s.Pred)
+	offsets := make([]int, len(s.Inputs)+1)
+	for i, in := range s.Inputs {
+		offsets[i+1] = offsets[i] + in.Arity()
+	}
+	ownerOf := func(ref int) int {
+		for i := 0; i < len(s.Inputs); i++ {
+			if ref >= offsets[i] && ref < offsets[i+1] {
+				return i
+			}
+		}
+		return -1
+	}
+
+	inputs := append([]plan.Node{}, s.Inputs...)
+	var remaining []plan.Expr
+	changed := false
+	for _, c := range conjs {
+		refs := plan.OwnRefs(c)
+		owner := -1
+		single := len(refs) > 0
+		for _, r := range refs {
+			o := ownerOf(r)
+			if owner == -1 {
+				owner = o
+			} else if owner != o {
+				single = false
+				break
+			}
+		}
+		if !single || owner == -1 {
+			remaining = append(remaining, c)
+			continue
+		}
+		lo := offsets[owner]
+		switch in := inputs[owner].(type) {
+		case *plan.Agg:
+			allGroup := true
+			for _, r := range refs {
+				if r-lo >= len(in.GroupBy) {
+					allGroup = false
+					break
+				}
+			}
+			if !allGroup {
+				remaining = append(remaining, c)
+				continue
+			}
+			pushed := plan.MapOwnRefs(c, func(i int) plan.Expr { return in.GroupBy[i-lo].E })
+			inputs[owner] = &plan.Agg{
+				Input:   wrapFilter(in.Input, pushed),
+				GroupBy: in.GroupBy,
+				Aggs:    in.Aggs,
+			}
+			changed = true
+		case *plan.Union:
+			local := plan.MapOwnRefs(c, func(i int) plan.Expr { return &plan.ColRef{Index: i - lo} })
+			branches := make([]plan.Node, len(in.Inputs))
+			for k, b := range in.Inputs {
+				branches[k] = wrapFilter(b, local)
+			}
+			inputs[owner] = &plan.Union{Inputs: branches}
+			changed = true
+		default:
+			remaining = append(remaining, c)
+		}
+	}
+	if !changed {
+		return s, false
+	}
+	return &plan.SPJ{Inputs: inputs, Pred: plan.AndAll(remaining), Proj: s.Proj}, true
+}
+
+// wrapFilter places a filtering identity SPJ over a node.
+func wrapFilter(n plan.Node, pred plan.Expr) plan.Node {
+	proj := make([]plan.NamedExpr, n.Arity())
+	for i, name := range n.ColumnNames() {
+		proj[i] = plan.NamedExpr{Name: name, E: &plan.ColRef{Index: i}}
+	}
+	return &plan.SPJ{Inputs: []plan.Node{n}, Pred: pred, Proj: proj}
+}
+
+// selfJoinPK implements the integrity-constraint rule: a table joined with
+// itself on its full primary key collapses to a single scan (§4.2). Primary
+// keys imply uniqueness and non-null keys, so each row joins exactly with
+// itself.
+func selfJoinPK(s *plan.SPJ) (plan.Node, bool) {
+	if s.Pred == nil {
+		return s, false
+	}
+	offsets := make([]int, len(s.Inputs)+1)
+	for i, in := range s.Inputs {
+		offsets[i+1] = offsets[i] + in.Arity()
+	}
+	// Equality pairs between plain column references in top-level conjuncts.
+	eq := map[[2]int]bool{}
+	for _, c := range plan.Conjuncts(s.Pred) {
+		b, ok := c.(*plan.Bin)
+		if !ok || b.Op != plan.OpEq {
+			continue
+		}
+		l, lok := b.L.(*plan.ColRef)
+		r, rok := b.R.(*plan.ColRef)
+		if lok && rok {
+			eq[[2]int{l.Index, r.Index}] = true
+			eq[[2]int{r.Index, l.Index}] = true
+		}
+	}
+	for i := 0; i < len(s.Inputs); i++ {
+		ti, ok := s.Inputs[i].(*plan.Table)
+		if !ok || len(ti.Meta.PrimaryKey) == 0 {
+			continue
+		}
+		for j := i + 1; j < len(s.Inputs); j++ {
+			tj, ok := s.Inputs[j].(*plan.Table)
+			if !ok || tj.Meta != ti.Meta {
+				continue
+			}
+			covered := true
+			for _, pk := range ti.Meta.PrimaryKey {
+				k := ti.Meta.ColumnIndex(pk)
+				if !eq[[2]int{offsets[i] + k, offsets[j] + k}] {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				continue
+			}
+			return collapseInput(s, i, j, offsets), true
+		}
+	}
+	return s, false
+}
+
+// collapseInput removes input j, redirecting its column references to the
+// identical columns of input i.
+func collapseInput(s *plan.SPJ, i, j int, offsets []int) *plan.SPJ {
+	width := offsets[j+1] - offsets[j]
+	f := func(r int) plan.Expr {
+		switch {
+		case r >= offsets[j] && r < offsets[j+1]:
+			return &plan.ColRef{Index: offsets[i] + (r - offsets[j])}
+		case r >= offsets[j+1]:
+			return &plan.ColRef{Index: r - width}
+		}
+		return &plan.ColRef{Index: r}
+	}
+	inputs := append(append([]plan.Node{}, s.Inputs[:j]...), s.Inputs[j+1:]...)
+	var pred plan.Expr
+	if s.Pred != nil {
+		pred = plan.MapOwnRefs(s.Pred, f)
+	}
+	proj := make([]plan.NamedExpr, len(s.Proj))
+	for k, p := range s.Proj {
+		proj[k] = plan.NamedExpr{Name: p.Name, E: plan.MapOwnRefs(p.E, f)}
+	}
+	return &plan.SPJ{Inputs: inputs, Pred: pred, Proj: proj}
+}
+
+// joinToSemijoin implements an integrity-constraint extension: a base
+// table joined on its full primary key contributes at most one row per
+// outer row, so when none of its columns escape the join (not projected;
+// referenced only by predicate conjuncts, which all move), the join is a
+// semi-join and rewrites to an EXISTS predicate. Combined with the
+// encoder's cardinality-insensitive EXISTS naming, this unifies
+// `... JOIN d ON d.pk = x` with `... WHERE x IN (SELECT pk FROM d)`.
+func joinToSemijoin(s *plan.SPJ) (plan.Node, bool) {
+	if s.Pred == nil || len(s.Inputs) < 2 {
+		return s, false
+	}
+	offsets := make([]int, len(s.Inputs)+1)
+	for i, in := range s.Inputs {
+		offsets[i+1] = offsets[i] + in.Arity()
+	}
+	conjs := plan.Conjuncts(s.Pred)
+
+	for i, in := range s.Inputs {
+		tbl, ok := in.(*plan.Table)
+		if !ok || len(tbl.Meta.PrimaryKey) == 0 {
+			continue
+		}
+		lo, hi := offsets[i], offsets[i+1]
+		width := hi - lo
+		inRange := func(refs []int) (any, all bool) {
+			any, all = false, true
+			for _, r := range refs {
+				if r >= lo && r < hi {
+					any = true
+				} else {
+					all = false
+				}
+			}
+			return any, all
+		}
+		// The projection must not mention the table.
+		escapes := false
+		for _, p := range s.Proj {
+			if a, _ := inRange(plan.OwnRefs(p.E)); a {
+				escapes = true
+				break
+			}
+		}
+		if escapes {
+			continue
+		}
+		// Partition conjuncts. To keep the rule convergent (it must never
+		// make two equivalent queries *less* alike — see Paper Example 1,
+		// where one side projects a table column the other does not), it
+		// only fires on *pure* key joins: every conjunct touching the table
+		// is a primary-key equality against an outside expression, and the
+		// equalities cover the whole key.
+		var moved, kept []plan.Expr
+		pinned := map[int]bool{} // table column index
+		pure := true
+		for _, c := range conjs {
+			refs := plan.OwnRefs(c)
+			anyIn, _ := inRange(refs)
+			if !anyIn {
+				kept = append(kept, c)
+				continue
+			}
+			moved = append(moved, c)
+			isPin := false
+			if b, ok := c.(*plan.Bin); ok && b.Op == plan.OpEq {
+				for _, side := range [][2]plan.Expr{{b.L, b.R}, {b.R, b.L}} {
+					col, ok := side[0].(*plan.ColRef)
+					if !ok || col.Index < lo || col.Index >= hi {
+						continue
+					}
+					if tbl.Meta.ColumnIndex(tbl.Meta.Columns[col.Index-lo].Name) < 0 {
+						continue
+					}
+					isPK := false
+					for _, pk := range tbl.Meta.PrimaryKey {
+						if tbl.Meta.ColumnIndex(pk) == col.Index-lo {
+							isPK = true
+						}
+					}
+					if !isPK {
+						continue
+					}
+					if a, _ := inRange(plan.OwnRefs(side[1])); !a {
+						pinned[col.Index-lo] = true
+						isPin = true
+					}
+				}
+			}
+			if !isPin {
+				pure = false
+				break
+			}
+		}
+		if !pure {
+			continue
+		}
+		covered := true
+		for _, pk := range tbl.Meta.PrimaryKey {
+			if !pinned[tbl.Meta.ColumnIndex(pk)] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+
+		// Reference adjustments for the reduced outer row.
+		adj := func(r int) int {
+			if r >= hi {
+				return r - width
+			}
+			return r
+		}
+		subMap := func(r int) plan.Expr {
+			if r >= lo && r < hi {
+				return &plan.ColRef{Index: r - lo}
+			}
+			return &plan.OuterRef{Depth: 1, Index: adj(r)}
+		}
+		// Moving a conjunct into the EXISTS adds one subplan nesting level;
+		// references to scopes *outside* this SPJ would need their depth
+		// bumped. Such correlated pure-key joins are rare — guard instead
+		// of rewriting.
+		foreign := false
+		for _, c := range moved {
+			if hasForeignRefs(c) {
+				foreign = true
+				break
+			}
+		}
+		if foreign {
+			continue
+		}
+		var subConjs []plan.Expr
+		for _, c := range moved {
+			subConjs = append(subConjs, plan.MapOwnRefs(c, subMap))
+		}
+		exists := &plan.Exists{Sub: &plan.SPJ{
+			Inputs: []plan.Node{in},
+			Pred:   plan.AndAll(subConjs),
+			Proj:   []plan.NamedExpr{{Name: "1", E: &plan.Const{Val: plan.IntDatum(1)}}},
+		}}
+
+		outerMap := func(r int) plan.Expr { return &plan.ColRef{Index: adj(r)} }
+		newConjs := []plan.Expr{}
+		for _, c := range kept {
+			newConjs = append(newConjs, plan.MapOwnRefs(c, outerMap))
+		}
+		newConjs = append(newConjs, exists)
+		proj := make([]plan.NamedExpr, len(s.Proj))
+		for k, p := range s.Proj {
+			proj[k] = plan.NamedExpr{Name: p.Name, E: plan.MapOwnRefs(p.E, outerMap)}
+		}
+		inputs := append(append([]plan.Node{}, s.Inputs[:i]...), s.Inputs[i+1:]...)
+		return &plan.SPJ{Inputs: inputs, Pred: plan.AndAll(newConjs), Proj: proj}, true
+	}
+	return s, false
+}
+
+// hasForeignRefs reports whether e references a scope outside its own row
+// (an OuterRef whose depth exceeds its subplan nesting).
+func hasForeignRefs(e plan.Expr) bool {
+	found := false
+	var visitExpr func(x plan.Expr, depth int)
+	var visitNode func(n plan.Node, depth int)
+	visitExpr = func(x plan.Expr, depth int) {
+		plan.WalkExpr(x, func(y plan.Expr) bool {
+			switch v := y.(type) {
+			case *plan.OuterRef:
+				if v.Depth > depth {
+					found = true
+				}
+			case *plan.Exists:
+				visitNode(v.Sub, depth+1)
+			case *plan.ScalarSub:
+				visitNode(v.Sub, depth+1)
+			}
+			return !found
+		})
+	}
+	visitNode = func(n plan.Node, depth int) {
+		if found {
+			return
+		}
+		switch v := n.(type) {
+		case *plan.SPJ:
+			visitExpr(v.Pred, depth)
+			for _, p := range v.Proj {
+				visitExpr(p.E, depth)
+			}
+		case *plan.Agg:
+			for _, g := range v.GroupBy {
+				visitExpr(g.E, depth)
+			}
+			for _, a := range v.Aggs {
+				if a.Arg != nil {
+					visitExpr(a.Arg, depth)
+				}
+			}
+		}
+		for _, c := range plan.Children(n) {
+			visitNode(c, depth)
+		}
+	}
+	visitExpr(e, 0)
+	return found
+}
+
+// groupByPK implements the second integrity-constraint rule: grouping a
+// single table (optionally filtered/projected) by columns that cover its
+// primary key, with no aggregate functions, is a plain projection — every
+// group is a singleton.
+func groupByPK(a *plan.Agg) (plan.Node, bool) {
+	if len(a.Aggs) != 0 || len(a.GroupBy) == 0 {
+		return a, false
+	}
+	var tbl *schema.Table
+	var colOf func(outIdx int) int // input output column -> table column, -1 if not pure
+	switch in := a.Input.(type) {
+	case *plan.Table:
+		tbl = in.Meta
+		colOf = func(i int) int { return i }
+	case *plan.SPJ:
+		if len(in.Inputs) == 1 {
+			if t, ok := in.Inputs[0].(*plan.Table); ok {
+				tbl = t.Meta
+				colOf = func(i int) int {
+					if c, ok := in.Proj[i].E.(*plan.ColRef); ok {
+						return c.Index
+					}
+					return -1
+				}
+			}
+		}
+	}
+	if tbl == nil || len(tbl.PrimaryKey) == 0 {
+		return a, false
+	}
+	covered := map[int]bool{}
+	for _, g := range a.GroupBy {
+		if c, ok := g.E.(*plan.ColRef); ok {
+			if t := colOf(c.Index); t >= 0 {
+				covered[t] = true
+			}
+		}
+	}
+	for _, pk := range tbl.PrimaryKey {
+		if !covered[tbl.ColumnIndex(pk)] {
+			return a, false
+		}
+	}
+	proj := make([]plan.NamedExpr, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		proj[i] = plan.NamedExpr{Name: g.Name, E: g.E}
+	}
+	return &plan.SPJ{Inputs: []plan.Node{a.Input}, Proj: proj}, true
+}
+
+// countNotNull rewrites COUNT(x) to COUNT(*) when x is a provably non-NULL
+// column of the input — an extension rule beyond the paper's minimal set
+// (its absence is one of the §7.4-style limitation classes; see
+// EXPERIMENTS.md).
+func countNotNull(a *plan.Agg) (*plan.Agg, bool) {
+	changed := false
+	aggs := make([]plan.AggExpr, len(a.Aggs))
+	for i, f := range a.Aggs {
+		aggs[i] = f
+		if f.Op != plan.AggCount || f.Distinct {
+			continue
+		}
+		c, ok := f.Arg.(*plan.ColRef)
+		if !ok || !notNullColumn(a.Input, c.Index) {
+			continue
+		}
+		aggs[i] = plan.AggExpr{Op: plan.AggCountStar, Name: f.Name}
+		changed = true
+	}
+	if !changed {
+		return a, false
+	}
+	return &plan.Agg{Input: a.Input, GroupBy: a.GroupBy, Aggs: aggs}, true
+}
+
+// notNullColumn conservatively decides whether output column idx of a node
+// can never be NULL: declared NOT NULL base columns, non-NULL constants,
+// and pass-through references propagate; everything else reports false.
+func notNullColumn(n plan.Node, idx int) bool {
+	switch v := n.(type) {
+	case *plan.Table:
+		return v.Meta.Columns[idx].NotNull
+	case *plan.SPJ:
+		switch e := v.Proj[idx].E.(type) {
+		case *plan.Const:
+			return !e.Val.Null
+		case *plan.ColRef:
+			// Resolve which input owns the referenced column.
+			off := 0
+			for _, in := range v.Inputs {
+				if e.Index < off+in.Arity() {
+					return notNullColumn(in, e.Index-off)
+				}
+				off += in.Arity()
+			}
+		}
+	case *plan.Agg:
+		if idx >= len(v.GroupBy) {
+			f := v.Aggs[idx-len(v.GroupBy)]
+			return f.Op == plan.AggCount || f.Op == plan.AggCountStar
+		}
+		if c, ok := v.GroupBy[idx].E.(*plan.ColRef); ok {
+			return notNullColumn(v.Input, c.Index)
+		}
+	case *plan.Union:
+		for _, in := range v.Inputs {
+			if !notNullColumn(in, idx) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// aggMergeTable maps (outer op, inner op) to the merged aggregate.
+var aggMergeTable = map[[2]plan.AggOp]plan.AggOp{
+	{plan.AggSum, plan.AggSum}:       plan.AggSum,
+	{plan.AggMin, plan.AggMin}:       plan.AggMin,
+	{plan.AggMax, plan.AggMax}:       plan.AggMax,
+	{plan.AggSum, plan.AggCount}:     plan.AggCount,
+	{plan.AggSum, plan.AggCountStar}: plan.AggCountStar,
+}
+
+// mergeAggregates implements the aggregate-merge rule (§4.2): an aggregate
+// over an aggregate merges when the outer group set is a subset of the
+// inner group set and the functions compose (MAX/MIN/SUM/COUNT).
+func mergeAggregates(a *plan.Agg) (plan.Node, bool) {
+	inner, ok := a.Input.(*plan.Agg)
+	if !ok {
+		return a, false
+	}
+	// Outer groups must reference inner group columns.
+	groups := make([]plan.NamedExpr, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		c, ok := g.E.(*plan.ColRef)
+		if !ok || c.Index >= len(inner.GroupBy) {
+			return a, false
+		}
+		groups[i] = plan.NamedExpr{Name: g.Name, E: inner.GroupBy[c.Index].E}
+	}
+	aggs := make([]plan.AggExpr, len(a.Aggs))
+	for i, f := range a.Aggs {
+		if f.Distinct {
+			return a, false
+		}
+		c, ok := f.Arg.(*plan.ColRef)
+		if !ok || c.Index < len(inner.GroupBy) {
+			return a, false
+		}
+		g := inner.Aggs[c.Index-len(inner.GroupBy)]
+		if g.Distinct {
+			return a, false
+		}
+		merged, ok := aggMergeTable[[2]plan.AggOp{f.Op, g.Op}]
+		if !ok {
+			return a, false
+		}
+		// SUM-of-COUNT is unsound for a global outer aggregate over a
+		// grouped inner one: zero inner groups make the outer SUM NULL,
+		// while the merged COUNT would report 0.
+		if (merged == plan.AggCount || merged == plan.AggCountStar) &&
+			len(a.GroupBy) == 0 && len(inner.GroupBy) > 0 {
+			return a, false
+		}
+		aggs[i] = plan.AggExpr{Op: merged, Arg: g.Arg, Name: f.Name}
+	}
+	return &plan.Agg{Input: inner.Input, GroupBy: groups, Aggs: aggs}, true
+}

@@ -1,0 +1,164 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"spes/internal/plan"
+)
+
+// Tests for the extension rules beyond the paper's minimal set: COUNT of a
+// NOT NULL column, join-to-semi-join on unique keys, and normalization of
+// subplans nested inside expressions. Every case goes through
+// checkPreserves, so semantics preservation is enforced by differential
+// execution, not just by structure checks.
+
+func TestCountNotNullRule(t *testing.T) {
+	out := checkPreserves(t, "SELECT DEPT_ID, COUNT(EMP_ID) FROM EMP GROUP BY DEPT_ID")
+	sawStar := false
+	plan.Walk(out, func(n plan.Node) bool {
+		if a, ok := n.(*plan.Agg); ok {
+			for _, f := range a.Aggs {
+				if f.Op == plan.AggCountStar {
+					sawStar = true
+				}
+			}
+		}
+		return true
+	})
+	if !sawStar {
+		t.Fatalf("COUNT(EMP_ID) over the PK should normalize to COUNT(*):\n%s", plan.Indent(out))
+	}
+
+	// Nullable column: rule must not fire (semantics differ!).
+	out = checkPreserves(t, "SELECT DEPT_ID, COUNT(SALARY) FROM EMP GROUP BY DEPT_ID")
+	plan.Walk(out, func(n plan.Node) bool {
+		if a, ok := n.(*plan.Agg); ok {
+			for _, f := range a.Aggs {
+				if f.Op == plan.AggCountStar {
+					t.Fatal("COUNT over a nullable column must not become COUNT(*)")
+				}
+			}
+		}
+		return true
+	})
+
+	// COUNT(DISTINCT pk) keeps its distinct flag.
+	out = checkPreserves(t, "SELECT COUNT(DISTINCT EMP_ID) FROM EMP")
+	plan.Walk(out, func(n plan.Node) bool {
+		if a, ok := n.(*plan.Agg); ok {
+			for _, f := range a.Aggs {
+				if f.Op == plan.AggCountStar {
+					t.Fatal("COUNT(DISTINCT ...) must not be rewritten")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestJoinToSemijoinFires(t *testing.T) {
+	out := checkPreserves(t,
+		"SELECT E.EMP_ID, E.SALARY FROM EMP E JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID")
+	spj, ok := out.(*plan.SPJ)
+	if !ok || len(spj.Inputs) != 1 {
+		t.Fatalf("unique-key join should reduce to one input:\n%s", plan.Indent(out))
+	}
+	if !strings.Contains(plan.Format(out), "exists") {
+		t.Fatalf("expected an EXISTS semi-join predicate:\n%s", plan.Indent(out))
+	}
+}
+
+func TestJoinToSemijoinGuards(t *testing.T) {
+	// Projecting a column of the joined table blocks the rewrite.
+	out := checkPreserves(t,
+		"SELECT E.EMP_ID, D.DEPT_NAME FROM EMP E JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID")
+	if spj, ok := out.(*plan.SPJ); !ok || len(spj.Inputs) != 2 {
+		t.Fatalf("escaping column must keep the join:\n%s", plan.Indent(out))
+	}
+	// Joining on a non-key column blocks it (multiplicity!).
+	out = checkPreserves(t,
+		"SELECT E.EMP_ID FROM EMP E JOIN DEPT D ON E.DEPT_ID = D.BUDGET")
+	if spj, ok := out.(*plan.SPJ); !ok || len(spj.Inputs) != 2 {
+		t.Fatalf("non-key join must stay a join:\n%s", plan.Indent(out))
+	}
+	// An extra predicate on the table blocks the pure-key-join requirement.
+	out = checkPreserves(t,
+		"SELECT E.EMP_ID FROM EMP E JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID AND D.BUDGET > 5")
+	if spj, ok := out.(*plan.SPJ); !ok || len(spj.Inputs) != 2 {
+		t.Fatalf("impure key join must stay a join:\n%s", plan.Indent(out))
+	}
+}
+
+func TestInSubqueryConvergesWithSemijoin(t *testing.T) {
+	// The IN-desugared form and the semi-joined form normalize to the same
+	// canonical EXISTS shape (modulo the encoder's projection stripping).
+	a := checkPreserves(t,
+		"SELECT E.EMP_ID, E.SALARY FROM EMP E JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID")
+	b := checkPreserves(t,
+		"SELECT E.EMP_ID, E.SALARY FROM EMP E WHERE E.DEPT_ID IN (SELECT DEPT_ID FROM DEPT)")
+	sa, oka := a.(*plan.SPJ)
+	sb, okb := b.(*plan.SPJ)
+	if !oka || !okb || len(sa.Inputs) != 1 || len(sb.Inputs) != 1 {
+		t.Fatalf("both should be single-input SPJs:\n%s\n%s", plan.Indent(a), plan.Indent(b))
+	}
+}
+
+func TestSubplanNormalization(t *testing.T) {
+	// The EXISTS subquery contains nested SPJs that must merge during
+	// normalization.
+	out := checkPreserves(t, `SELECT EMP_ID FROM EMP WHERE EXISTS
+		(SELECT 1 FROM (SELECT * FROM DEPT WHERE BUDGET > 1) D WHERE D.DEPT_ID = EMP.DEPT_ID)`)
+	var depth int
+	plan.WalkExpr(out.(*plan.SPJ).Pred, func(e plan.Expr) bool {
+		if ex, ok := e.(*plan.Exists); ok {
+			// The sub must be a flat SPJ over the base table.
+			sub, ok := ex.Sub.(*plan.SPJ)
+			if !ok || len(sub.Inputs) != 1 {
+				t.Fatalf("subplan not normalized:\n%s", plan.Indent(ex.Sub))
+			}
+			if _, ok := sub.Inputs[0].(*plan.Table); !ok {
+				t.Fatalf("subplan should reach the base table:\n%s", plan.Indent(ex.Sub))
+			}
+			depth++
+		}
+		return true
+	})
+	if depth != 1 {
+		t.Fatalf("expected one EXISTS, got %d", depth)
+	}
+}
+
+func TestNotNullSchemaFactsInEmptyRule(t *testing.T) {
+	// A NOT NULL (primary key) column can never be NULL: the filter is
+	// unsatisfiable and the query normalizes to Empty.
+	out := checkPreserves(t, "SELECT EMP_ID FROM EMP WHERE EMP_ID IS NULL")
+	if _, ok := out.(*plan.Empty); !ok {
+		t.Fatalf("IS NULL on a NOT NULL column should be empty:\n%s", plan.Indent(out))
+	}
+	// On a nullable column the rule must not fire.
+	out = checkPreserves(t, "SELECT EMP_ID FROM EMP WHERE SALARY IS NULL")
+	if _, ok := out.(*plan.Empty); ok {
+		t.Fatal("IS NULL on a nullable column is satisfiable")
+	}
+}
+
+func TestJoinToSemijoinGuardsCorrelatedConjuncts(t *testing.T) {
+	// Inside the EXISTS, DEPT's primary key is pinned by a reference to the
+	// OUTER query's row. Moving that conjunct into a deeper EXISTS would
+	// have to re-point the outer reference; the rule must refuse instead.
+	// checkPreserves would catch any depth mix-up as a semantics change.
+	out := checkPreserves(t, `SELECT E1.EMP_ID FROM EMP E1 WHERE EXISTS
+		(SELECT 1 FROM EMP E2, DEPT D WHERE D.DEPT_ID = E1.DEPT_ID AND E2.SALARY > 0)`)
+	// The inner SPJ must keep both inputs (no semi-join rewrite).
+	plan.WalkExpr(out.(*plan.SPJ).Pred, func(e plan.Expr) bool {
+		if ex, ok := e.(*plan.Exists); ok {
+			if sub, ok := ex.Sub.(*plan.SPJ); ok {
+				if len(sub.Inputs) != 2 {
+					t.Fatalf("correlated pure-key join must not semi-join:\n%s", plan.Indent(ex.Sub))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,843 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"spes/internal/schema"
+	"spes/internal/sqlparser"
+)
+
+// UnsupportedError marks SQL features the verifier does not support
+// (mirroring the paper's supported/unsupported split on the Calcite
+// benchmark). Callers distinguish it from hard errors to classify pairs.
+type UnsupportedError struct{ Feature string }
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("plan: unsupported SQL feature: %s", e.Feature)
+}
+
+// Unsupported reports whether err (or its chain) is an UnsupportedError.
+func Unsupported(err error) bool {
+	for err != nil {
+		if _, ok := err.(*UnsupportedError); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Builder lowers parsed SQL into the four-category plan tree.
+type Builder struct {
+	cat *schema.Catalog
+}
+
+// NewBuilder returns a Builder over the catalog.
+func NewBuilder(cat *schema.Catalog) *Builder { return &Builder{cat: cat} }
+
+// Build lowers a query. The error is an *UnsupportedError for recognized
+// but unsupported features.
+func (b *Builder) Build(q sqlparser.Query) (Node, error) {
+	return b.buildQuery(q, nil)
+}
+
+// BuildSQL parses and lowers a query in one step.
+func (b *Builder) BuildSQL(sql string) (Node, error) {
+	q, err := sqlparser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(q)
+}
+
+// scopeCol is one visible column during name resolution.
+type scopeCol struct {
+	table string // alias qualifier (upper-cased)
+	name  string // column name (upper-cased)
+}
+
+type scope struct {
+	parent *scope
+	cols   []scopeCol
+}
+
+// resolve finds (depth, index) for a possibly qualified column name.
+func (s *scope) resolve(table, name string) (int, int, error) {
+	table = strings.ToUpper(table)
+	name = strings.ToUpper(name)
+	depth := 0
+	for cur := s; cur != nil; cur, depth = cur.parent, depth+1 {
+		found := -1
+		for i, c := range cur.cols {
+			if c.name != name {
+				continue
+			}
+			if table != "" && c.table != table {
+				continue
+			}
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("plan: ambiguous column %q", name)
+			}
+			found = i
+		}
+		if found >= 0 {
+			return depth, found, nil
+		}
+	}
+	if table != "" {
+		return 0, 0, fmt.Errorf("plan: unknown column %s.%s", table, name)
+	}
+	return 0, 0, fmt.Errorf("plan: unknown column %s", name)
+}
+
+func (b *Builder) buildQuery(q sqlparser.Query, outer *scope) (Node, error) {
+	switch v := q.(type) {
+	case *sqlparser.Select:
+		return b.buildSelect(v, outer)
+	case *sqlparser.SetOp:
+		l, err := b.buildQuery(v.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.buildQuery(v.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		if l.Arity() != r.Arity() {
+			return nil, fmt.Errorf("plan: UNION arms have %d and %d columns", l.Arity(), r.Arity())
+		}
+		u := &Union{Inputs: []Node{l, r}}
+		if v.All {
+			return u, nil
+		}
+		return distinctify(u), nil
+	}
+	return nil, fmt.Errorf("plan: unknown query type %T", q)
+}
+
+// distinctify implements DISTINCT as grouping on all columns (§4.1).
+func distinctify(n Node) Node {
+	names := n.ColumnNames()
+	group := make([]NamedExpr, n.Arity())
+	for i := range group {
+		group[i] = NamedExpr{Name: names[i], E: &ColRef{Index: i}}
+	}
+	return &Agg{Input: n, GroupBy: group}
+}
+
+func (b *Builder) buildSelect(sel *sqlparser.Select, outer *scope) (Node, error) {
+	var fromNodes []Node
+	var fromCols []scopeCol
+	for _, ref := range sel.From {
+		node, cols, err := b.buildTableRef(ref, outer)
+		if err != nil {
+			return nil, err
+		}
+		fromNodes = append(fromNodes, node)
+		fromCols = append(fromCols, cols...)
+	}
+	sc := &scope{parent: outer, cols: fromCols}
+
+	var where Expr
+	if sel.Where != nil {
+		var err error
+		where, err = b.buildExpr(sel.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	items, err := b.expandStars(sel.Exprs, fromCols)
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !grouped {
+		for _, it := range items {
+			if containsAgg(it.expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+
+	var node Node
+	if !grouped {
+		proj := make([]NamedExpr, len(items))
+		for i, it := range items {
+			e, err := b.buildExpr(it.expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			proj[i] = NamedExpr{Name: it.name(i), E: e}
+		}
+		node = &SPJ{Inputs: fromNodes, Pred: where, Proj: proj}
+	} else {
+		node, err = b.buildGrouped(sel, items, fromNodes, fromCols, where, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sel.Distinct {
+		node = distinctify(node)
+	}
+	// ORDER BY does not affect bag equivalence; it is validated for
+	// resolvability and otherwise ignored.
+	for _, o := range sel.OrderBy {
+		if _, err := b.buildExpr(o.Expr, sc); err != nil {
+			// Order keys may also reference output aliases; tolerate.
+			continue
+		}
+	}
+	return node, nil
+}
+
+// selectItem is a star-expanded projection item.
+type selectItem struct {
+	alias string
+	expr  sqlparser.Expr
+}
+
+func (s selectItem) name(i int) string {
+	if s.alias != "" {
+		return s.alias
+	}
+	if c, ok := s.expr.(*sqlparser.ColRef); ok {
+		return strings.ToUpper(c.Name)
+	}
+	return fmt.Sprintf("EXPR$%d", i)
+}
+
+func (b *Builder) expandStars(exprs []sqlparser.SelectExpr, cols []scopeCol) ([]selectItem, error) {
+	var out []selectItem
+	for _, se := range exprs {
+		if !se.Star {
+			out = append(out, selectItem{alias: strings.ToUpper(se.Alias), expr: se.Expr})
+			continue
+		}
+		qual := strings.ToUpper(se.Table)
+		matched := false
+		for _, c := range cols {
+			if qual != "" && c.table != qual {
+				continue
+			}
+			matched = true
+			out = append(out, selectItem{
+				alias: c.name,
+				expr:  &sqlparser.ColRef{Table: c.table, Name: c.name},
+			})
+		}
+		if !matched {
+			return nil, fmt.Errorf("plan: %s.* matches no columns", se.Table)
+		}
+	}
+	return out, nil
+}
+
+var aggNames = map[string]AggOp{
+	"SUM": AggSum, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg, "COUNT": AggCount,
+}
+
+func containsAgg(e sqlparser.Expr) bool {
+	found := false
+	walkAST(e, func(x sqlparser.Expr) bool {
+		if f, ok := x.(*sqlparser.FuncExpr); ok {
+			if _, isAgg := aggNames[f.Name]; isAgg {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// walkAST visits an AST expression tree (not descending into subqueries).
+func walkAST(e sqlparser.Expr, fn func(sqlparser.Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch v := e.(type) {
+	case *sqlparser.BinExpr:
+		walkAST(v.L, fn)
+		walkAST(v.R, fn)
+	case *sqlparser.NotExpr:
+		walkAST(v.E, fn)
+	case *sqlparser.NegExpr:
+		walkAST(v.E, fn)
+	case *sqlparser.IsNullExpr:
+		walkAST(v.E, fn)
+	case *sqlparser.CaseExpr:
+		for _, w := range v.Whens {
+			walkAST(w.Cond, fn)
+			walkAST(w.Then, fn)
+		}
+		walkAST(v.Else, fn)
+	case *sqlparser.FuncExpr:
+		for _, a := range v.Args {
+			walkAST(a, fn)
+		}
+	case *sqlparser.InExpr:
+		walkAST(v.E, fn)
+		for _, x := range v.List {
+			walkAST(x, fn)
+		}
+	case *sqlparser.CastExpr:
+		walkAST(v.E, fn)
+	}
+}
+
+// buildGrouped lowers an aggregation query: a base SPJ (identity projection
+// over the FROM row with the WHERE predicate), an Agg node, and a top SPJ
+// for the select list and HAVING.
+func (b *Builder) buildGrouped(sel *sqlparser.Select, items []selectItem,
+	fromNodes []Node, fromCols []scopeCol, where Expr, sc *scope) (Node, error) {
+
+	identity := make([]NamedExpr, len(fromCols))
+	for i, c := range fromCols {
+		identity[i] = NamedExpr{Name: c.name, E: &ColRef{Index: i}}
+	}
+	base := &SPJ{Inputs: fromNodes, Pred: where, Proj: identity}
+
+	// Resolve GROUP BY expressions (with ordinal support: GROUP BY 2).
+	var groupBy []NamedExpr
+	for _, g := range sel.GroupBy {
+		ast := g
+		if n, ok := g.(*sqlparser.NumLit); ok && n.Val.IsInt() {
+			ord := int(n.Val.Num().Int64())
+			if ord < 1 || ord > len(items) {
+				return nil, fmt.Errorf("plan: GROUP BY ordinal %d out of range", ord)
+			}
+			ast = items[ord-1].expr
+		}
+		e, err := b.buildExpr(ast, sc)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("GRP$%d", len(groupBy))
+		if c, ok := ast.(*sqlparser.ColRef); ok {
+			name = strings.ToUpper(c.Name)
+		}
+		groupBy = append(groupBy, NamedExpr{Name: name, E: e})
+	}
+
+	// Collect aggregate calls from the select list and HAVING.
+	var aggs []AggExpr
+	aggSlots := make(map[string]int) // AggExpr key -> slot
+	collect := func(ast sqlparser.Expr) error {
+		var inner error
+		walkAST(ast, func(x sqlparser.Expr) bool {
+			f, ok := x.(*sqlparser.FuncExpr)
+			if !ok {
+				return true
+			}
+			op, isAgg := aggNames[f.Name]
+			if !isAgg {
+				return true
+			}
+			var arg Expr
+			if f.Star {
+				op = AggCountStar
+			} else {
+				if len(f.Args) != 1 {
+					inner = fmt.Errorf("plan: aggregate %s takes one argument", f.Name)
+					return false
+				}
+				var err error
+				arg, err = b.buildExpr(f.Args[0], sc)
+				if err != nil {
+					inner = err
+					return false
+				}
+			}
+			ae := AggExpr{Op: op, Arg: arg, Distinct: f.Distinct}
+			key := ae.key()
+			if _, dup := aggSlots[key]; !dup {
+				ae.Name = fmt.Sprintf("AGG$%d", len(aggs))
+				aggSlots[key] = len(aggs)
+				aggs = append(aggs, ae)
+			}
+			return false // don't descend into aggregate arguments again
+		})
+		return inner
+	}
+	for _, it := range items {
+		if err := collect(it.expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := collect(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+
+	aggNode := &Agg{Input: base, GroupBy: groupBy, Aggs: aggs}
+
+	// Map select list and HAVING onto the Agg output.
+	mapper := &aggMapper{b: b, sc: sc, groupBy: groupBy, aggSlots: aggSlots, nGroup: len(groupBy)}
+	proj := make([]NamedExpr, len(items))
+	for i, it := range items {
+		e, err := mapper.rewrite(it.expr)
+		if err != nil {
+			return nil, err
+		}
+		proj[i] = NamedExpr{Name: it.name(i), E: e}
+	}
+	var having Expr
+	if sel.Having != nil {
+		var err error
+		having, err = mapper.rewrite(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SPJ{Inputs: []Node{aggNode}, Pred: having, Proj: proj}, nil
+}
+
+// aggMapper rewrites post-aggregation expressions onto Agg output columns.
+type aggMapper struct {
+	b        *Builder
+	sc       *scope
+	groupBy  []NamedExpr
+	aggSlots map[string]int
+	nGroup   int
+}
+
+func (m *aggMapper) rewrite(ast sqlparser.Expr) (Expr, error) {
+	// Aggregate call: map to its slot.
+	if f, ok := ast.(*sqlparser.FuncExpr); ok {
+		if op, isAgg := aggNames[f.Name]; isAgg {
+			var arg Expr
+			if f.Star {
+				op = AggCountStar
+			} else {
+				var err error
+				arg, err = m.b.buildExpr(f.Args[0], m.sc)
+				if err != nil {
+					return nil, err
+				}
+			}
+			ae := AggExpr{Op: op, Arg: arg, Distinct: f.Distinct}
+			slot, ok := m.aggSlots[ae.key()]
+			if !ok {
+				return nil, fmt.Errorf("plan: internal: aggregate %s not collected", ae.key())
+			}
+			return &ColRef{Index: m.nGroup + slot}, nil
+		}
+	}
+	// Whole expression matches a GROUP BY expression.
+	if pe, err := m.b.buildExpr(ast, m.sc); err == nil {
+		for i, g := range m.groupBy {
+			if ExprEqual(pe, g.E) {
+				return &ColRef{Index: i}, nil
+			}
+		}
+		// Expressions with no local column references (constants, correlated
+		// references) pass through unchanged.
+		local := false
+		WalkExpr(pe, func(x Expr) bool {
+			if _, ok := x.(*ColRef); ok {
+				local = true
+				return false
+			}
+			return true
+		})
+		if !local {
+			return pe, nil
+		}
+	}
+	// Decompose and recurse.
+	switch v := ast.(type) {
+	case *sqlparser.BinExpr:
+		l, err := m.rewrite(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.rewrite(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return buildBin(v.Op, l, r)
+	case *sqlparser.NotExpr:
+		e, err := m.rewrite(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	case *sqlparser.NegExpr:
+		e, err := m.rewrite(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: e}, nil
+	case *sqlparser.IsNullExpr:
+		e, err := m.rewrite(v.E)
+		if err != nil {
+			return nil, err
+		}
+		if v.Negate {
+			return &Not{E: &IsNull{E: e}}, nil
+		}
+		return &IsNull{E: e}, nil
+	case *sqlparser.CaseExpr:
+		out := &Case{}
+		for _, w := range v.Whens {
+			c, err := m.rewrite(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			t, err := m.rewrite(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, When{Cond: c, Then: t})
+		}
+		if v.Else != nil {
+			e, err := m.rewrite(v.Else)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = e
+		}
+		return out, nil
+	case *sqlparser.FuncExpr:
+		out := &Func{Name: v.Name, Bool: v.Name == "LIKE"}
+		for _, a := range v.Args {
+			e, err := m.rewrite(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, e)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("plan: expression is neither aggregated nor grouped: %T", ast)
+}
+
+// buildTableRef lowers one FROM item; it returns the node and its visible
+// columns.
+func (b *Builder) buildTableRef(ref sqlparser.TableRef, outer *scope) (Node, []scopeCol, error) {
+	switch v := ref.(type) {
+	case *sqlparser.TableName:
+		meta, ok := b.cat.Table(v.Name)
+		if !ok {
+			return nil, nil, fmt.Errorf("plan: unknown table %q", v.Name)
+		}
+		alias := v.Alias
+		if alias == "" {
+			alias = v.Name
+		}
+		cols := make([]scopeCol, len(meta.Columns))
+		for i, c := range meta.Columns {
+			cols[i] = scopeCol{table: strings.ToUpper(alias), name: strings.ToUpper(c.Name)}
+		}
+		return &Table{Meta: meta}, cols, nil
+
+	case *sqlparser.SubqueryRef:
+		node, err := b.buildQuery(v.Query, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols := make([]scopeCol, node.Arity())
+		for i, name := range node.ColumnNames() {
+			cols[i] = scopeCol{table: strings.ToUpper(v.Alias), name: strings.ToUpper(name)}
+		}
+		return node, cols, nil
+
+	case *sqlparser.JoinRef:
+		return b.buildJoin(v, outer)
+	}
+	return nil, nil, fmt.Errorf("plan: unknown table reference %T", ref)
+}
+
+func (b *Builder) buildJoin(j *sqlparser.JoinRef, outer *scope) (Node, []scopeCol, error) {
+	l, lcols, err := b.buildTableRef(j.Left, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, rcols, err := b.buildTableRef(j.Right, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := append(append([]scopeCol{}, lcols...), rcols...)
+	joinScope := &scope{parent: outer, cols: cols}
+	var on Expr
+	if j.On != nil {
+		on, err = b.buildExpr(j.On, joinScope)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	identity := func(cols []scopeCol) []NamedExpr {
+		out := make([]NamedExpr, len(cols))
+		for i, c := range cols {
+			out[i] = NamedExpr{Name: c.name, E: &ColRef{Index: i}}
+		}
+		return out
+	}
+	la := l.Arity()
+	inner := &SPJ{Inputs: []Node{l, r}, Pred: on, Proj: identity(cols)}
+
+	switch j.Type {
+	case sqlparser.JoinInner, sqlparser.JoinCross:
+		return inner, cols, nil
+
+	case sqlparser.JoinLeft:
+		anti, err := b.antiBranch(l, r, on, la, cols, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Union{Inputs: []Node{inner, anti}}, cols, nil
+
+	case sqlparser.JoinRight:
+		anti, err := b.antiBranch(l, r, on, la, cols, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Union{Inputs: []Node{inner, anti}}, cols, nil
+
+	case sqlparser.JoinFull:
+		antiL, err := b.antiBranch(l, r, on, la, cols, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		antiR, err := b.antiBranch(l, r, on, la, cols, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Union{Inputs: []Node{inner, antiL, antiR}}, cols, nil
+	}
+	return nil, nil, fmt.Errorf("plan: unknown join type %v", j.Type)
+}
+
+// antiBranch builds the outer component of an outer join as the paper
+// prescribes (§4.1): an SPJ over the preserved side whose predicate is a
+// negated EXISTS over the other side, padding the discarded side's columns
+// with NULL.
+func (b *Builder) antiBranch(l, r Node, on Expr, la int, cols []scopeCol, keepLeft bool) (Node, error) {
+	keep, other := l, r
+	if !keepLeft {
+		keep, other = r, l
+	}
+	// Rewrite the ON predicate for the EXISTS subquery: kept side becomes an
+	// outer reference, the other side becomes the subquery's local row.
+	subPred := RewriteExpr(on, func(x Expr) Expr {
+		switch v := x.(type) {
+		case *ColRef:
+			if keepLeft {
+				if v.Index < la {
+					return &OuterRef{Depth: 1, Index: v.Index}
+				}
+				return &ColRef{Index: v.Index - la}
+			}
+			if v.Index < la {
+				return &ColRef{Index: v.Index}
+			}
+			return &OuterRef{Depth: 1, Index: v.Index - la}
+		case *OuterRef:
+			return &OuterRef{Depth: v.Depth + 1, Index: v.Index}
+		}
+		return nil
+	})
+	sub := &SPJ{
+		Inputs: []Node{other},
+		Pred:   subPred,
+		Proj:   []NamedExpr{{Name: "ONE", E: &Const{Val: IntDatum(1)}}},
+	}
+	proj := make([]NamedExpr, len(cols))
+	for i, c := range cols {
+		onKeptSide := i < la == keepLeft
+		if onKeptSide {
+			idx := i
+			if !keepLeft {
+				idx = i - la
+			}
+			proj[i] = NamedExpr{Name: c.name, E: &ColRef{Index: idx}}
+		} else {
+			proj[i] = NamedExpr{Name: c.name, E: &Const{Val: NullDatum()}}
+		}
+	}
+	return &SPJ{
+		Inputs: []Node{keep},
+		Pred:   &Exists{Sub: sub, Negate: true},
+		Proj:   proj,
+	}, nil
+}
+
+// buildExpr lowers a scalar/predicate AST expression in the given scope.
+func (b *Builder) buildExpr(e sqlparser.Expr, sc *scope) (Expr, error) {
+	switch v := e.(type) {
+	case *sqlparser.ColRef:
+		depth, idx, err := sc.resolve(v.Table, v.Name)
+		if err != nil {
+			return nil, err
+		}
+		if depth == 0 {
+			return &ColRef{Index: idx}, nil
+		}
+		return &OuterRef{Depth: depth, Index: idx}, nil
+	case *sqlparser.NumLit:
+		return &Const{Val: NumDatum(v.Val)}, nil
+	case *sqlparser.StrLit:
+		return &Const{Val: StrDatum(v.Val)}, nil
+	case *sqlparser.BoolLit:
+		return &Const{Val: BoolDatum(v.Val)}, nil
+	case *sqlparser.NullLit:
+		return &Const{Val: NullDatum()}, nil
+	case *sqlparser.BinExpr:
+		l, err := b.buildExpr(v.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.buildExpr(v.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		return buildBin(v.Op, l, r)
+	case *sqlparser.NotExpr:
+		inner, err := b.buildExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		if ex, ok := inner.(*Exists); ok {
+			return &Exists{Sub: ex.Sub, Negate: !ex.Negate}, nil
+		}
+		return &Not{E: inner}, nil
+	case *sqlparser.NegExpr:
+		inner, err := b.buildExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: inner}, nil
+	case *sqlparser.IsNullExpr:
+		inner, err := b.buildExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		if v.Negate {
+			return &Not{E: &IsNull{E: inner}}, nil
+		}
+		return &IsNull{E: inner}, nil
+	case *sqlparser.CaseExpr:
+		out := &Case{}
+		for _, w := range v.Whens {
+			c, err := b.buildExpr(w.Cond, sc)
+			if err != nil {
+				return nil, err
+			}
+			t, err := b.buildExpr(w.Then, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, When{Cond: c, Then: t})
+		}
+		if v.Else != nil {
+			els, err := b.buildExpr(v.Else, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = els
+		}
+		return out, nil
+	case *sqlparser.FuncExpr:
+		if _, isAgg := aggNames[v.Name]; isAgg {
+			return nil, fmt.Errorf("plan: aggregate %s not allowed here", v.Name)
+		}
+		out := &Func{Name: v.Name, Bool: v.Name == "LIKE"}
+		for _, a := range v.Args {
+			pe, err := b.buildExpr(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, pe)
+		}
+		return out, nil
+	case *sqlparser.ExistsExpr:
+		sub, err := b.buildQuery(v.Query, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &Exists{Sub: sub, Negate: v.Negate}, nil
+	case *sqlparser.InExpr:
+		lhs, err := b.buildExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		if v.Query != nil {
+			sub, err := b.buildQuery(v.Query, sc)
+			if err != nil {
+				return nil, err
+			}
+			if sub.Arity() != 1 {
+				return nil, fmt.Errorf("plan: IN subquery must produce one column, got %d", sub.Arity())
+			}
+			// x IN (sub) lowers to EXISTS(SELECT * FROM sub WHERE col = x).
+			eq := &Bin{Op: OpEq, L: &ColRef{Index: 0}, R: ShiftOwnRefs(lhs, 1)}
+			wrapped := &SPJ{
+				Inputs: []Node{sub},
+				Pred:   eq,
+				Proj:   []NamedExpr{{Name: "V", E: &ColRef{Index: 0}}},
+			}
+			return &Exists{Sub: wrapped, Negate: v.Negate}, nil
+		}
+		var ors Expr
+		for _, item := range v.List {
+			rhs, err := b.buildExpr(item, sc)
+			if err != nil {
+				return nil, err
+			}
+			eq := &Bin{Op: OpEq, L: lhs, R: rhs}
+			if ors == nil {
+				ors = eq
+			} else {
+				ors = &Bin{Op: OpOr, L: ors, R: eq}
+			}
+		}
+		if ors == nil {
+			return &Const{Val: BoolDatum(false)}, nil
+		}
+		if v.Negate {
+			return &Not{E: ors}, nil
+		}
+		return ors, nil
+	case *sqlparser.ScalarSubquery:
+		sub, err := b.buildQuery(v.Query, sc)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Arity() != 1 {
+			return nil, fmt.Errorf("plan: scalar subquery must produce one column, got %d", sub.Arity())
+		}
+		return &ScalarSub{Sub: sub}, nil
+	case *sqlparser.CastExpr:
+		return nil, &UnsupportedError{Feature: "CAST"}
+	}
+	return nil, fmt.Errorf("plan: unknown expression %T", e)
+}
+
+var astBinOps = map[sqlparser.BinOp]BinOp{
+	sqlparser.OpAdd: OpAdd, sqlparser.OpSub: OpSub, sqlparser.OpMul: OpMul,
+	sqlparser.OpDiv: OpDiv, sqlparser.OpMod: OpMod,
+	sqlparser.OpEq: OpEq, sqlparser.OpNe: OpNe, sqlparser.OpLt: OpLt,
+	sqlparser.OpLe: OpLe, sqlparser.OpGt: OpGt, sqlparser.OpGe: OpGe,
+	sqlparser.OpAnd: OpAnd, sqlparser.OpOr: OpOr,
+}
+
+func buildBin(op sqlparser.BinOp, l, r Expr) (Expr, error) {
+	if op == sqlparser.OpConcat {
+		return &Func{Name: "CONCAT", Args: []Expr{l, r}}, nil
+	}
+	po, ok := astBinOps[op]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown operator %v", op)
+	}
+	return &Bin{Op: po, L: l, R: r}, nil
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"sort"
+)
+
+// CanonExpr normalizes an expression syntactically: AND/OR argument lists
+// sort canonically, equality operands order canonically, > and >= rewrite
+// to < and <=, and double negations cancel. Used wherever structural
+// comparison should be insensitive to commutativity — the UDP baseline's
+// matcher and the canonical naming of EXISTS subqueries.
+func CanonExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *Bin:
+		l, r := CanonExpr(v.L), CanonExpr(v.R)
+		switch v.Op {
+		case OpAnd, OpOr:
+			parts := collectLogic(v.Op, l, r)
+			sort.Slice(parts, func(i, j int) bool { return parts[i].String() < parts[j].String() })
+			out := parts[0]
+			for _, p := range parts[1:] {
+				out = &Bin{Op: v.Op, L: out, R: p}
+			}
+			return out
+		case OpEq, OpNe, OpAdd, OpMul:
+			if l.String() > r.String() {
+				l, r = r, l
+			}
+		case OpGt:
+			return &Bin{Op: OpLt, L: r, R: l}
+		case OpGe:
+			return &Bin{Op: OpLe, L: r, R: l}
+		}
+		return &Bin{Op: v.Op, L: l, R: r}
+	case *Not:
+		inner := CanonExpr(v.E)
+		if n, ok := inner.(*Not); ok {
+			return n.E
+		}
+		return &Not{E: inner}
+	case *Neg:
+		return &Neg{E: CanonExpr(v.E)}
+	case *IsNull:
+		return &IsNull{E: CanonExpr(v.E)}
+	case *Case:
+		out := &Case{}
+		for _, w := range v.Whens {
+			out.Whens = append(out.Whens, When{Cond: CanonExpr(w.Cond), Then: CanonExpr(w.Then)})
+		}
+		if v.Else != nil {
+			out.Else = CanonExpr(v.Else)
+		}
+		return out
+	case *Func:
+		out := &Func{Name: v.Name, Bool: v.Bool}
+		for _, a := range v.Args {
+			out.Args = append(out.Args, CanonExpr(a))
+		}
+		return out
+	case *Exists:
+		return &Exists{Sub: CanonNode(v.Sub), Negate: v.Negate}
+	case *ScalarSub:
+		return &ScalarSub{Sub: CanonNode(v.Sub)}
+	}
+	return e
+}
+
+func collectLogic(op BinOp, es ...Expr) []Expr {
+	var out []Expr
+	for _, e := range es {
+		if b, ok := e.(*Bin); ok && b.Op == op {
+			out = append(out, collectLogic(op, b.L, b.R)...)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// CanonNode canonicalizes every expression in a plan tree.
+func CanonNode(n Node) Node {
+	return RewriteNodeDeep(n, 0, func(e Expr, depth int) Expr {
+		return CanonExpr(e)
+	})
+}

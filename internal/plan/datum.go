@@ -1,0 +1,136 @@
+// Package plan defines SPES's query representation: the four-category tree
+// of §4.1 (TABLE, SPJ, AGG, UNION), a scalar/predicate expression IR over
+// positional column references, and a builder that lowers parsed SQL into
+// it — including the paper's reductions of outer joins to UNION-of-SPJ and
+// DISTINCT to aggregation.
+package plan
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// DatumKind classifies runtime values.
+type DatumKind uint8
+
+const (
+	KNum DatumKind = iota
+	KStr
+	KBool
+)
+
+// Datum is a runtime SQL value: possibly NULL, otherwise a rational number,
+// string, or boolean. The executor (internal/exec) interprets plans over
+// Datums; the symbolic encoder maps them to FOL constants.
+type Datum struct {
+	Null bool
+	Kind DatumKind
+	Num  *big.Rat
+	Str  string
+	Bool bool
+}
+
+// NullDatum is the untyped NULL value.
+func NullDatum() Datum { return Datum{Null: true} }
+
+// NumDatum wraps a rational.
+func NumDatum(r *big.Rat) Datum { return Datum{Kind: KNum, Num: r} }
+
+// IntDatum wraps an integer.
+func IntDatum(v int64) Datum { return Datum{Kind: KNum, Num: big.NewRat(v, 1)} }
+
+// StrDatum wraps a string.
+func StrDatum(s string) Datum { return Datum{Kind: KStr, Str: s} }
+
+// BoolDatum wraps a boolean.
+func BoolDatum(b bool) Datum { return Datum{Kind: KBool, Bool: b} }
+
+// Equal reports SQL value equality between two non-NULL datums; comparing a
+// NULL is the caller's three-valued-logic concern.
+func (d Datum) Equal(o Datum) bool {
+	if d.Null || o.Null {
+		return d.Null == o.Null
+	}
+	if d.Kind != o.Kind {
+		return false
+	}
+	switch d.Kind {
+	case KNum:
+		return d.Num.Cmp(o.Num) == 0
+	case KStr:
+		return d.Str == o.Str
+	case KBool:
+		return d.Bool == o.Bool
+	}
+	return false
+}
+
+// Compare orders two non-NULL datums of the same kind: -1, 0, or 1.
+func (d Datum) Compare(o Datum) (int, error) {
+	if d.Null || o.Null {
+		return 0, fmt.Errorf("plan: Compare on NULL datum")
+	}
+	if d.Kind != o.Kind {
+		return 0, fmt.Errorf("plan: Compare across kinds %v and %v", d.Kind, o.Kind)
+	}
+	switch d.Kind {
+	case KNum:
+		return d.Num.Cmp(o.Num), nil
+	case KStr:
+		switch {
+		case d.Str < o.Str:
+			return -1, nil
+		case d.Str > o.Str:
+			return 1, nil
+		}
+		return 0, nil
+	case KBool:
+		a, b := 0, 0
+		if d.Bool {
+			a = 1
+		}
+		if o.Bool {
+			b = 1
+		}
+		return a - b, nil
+	}
+	return 0, fmt.Errorf("plan: Compare on unknown kind")
+}
+
+// Key renders the datum canonically for hashing (bag comparison in tests and
+// the executor's grouping).
+func (d Datum) Key() string {
+	if d.Null {
+		return "∅"
+	}
+	switch d.Kind {
+	case KNum:
+		return "n" + d.Num.RatString()
+	case KStr:
+		return "s" + d.Str
+	case KBool:
+		if d.Bool {
+			return "bT"
+		}
+		return "bF"
+	}
+	return "?"
+}
+
+func (d Datum) String() string {
+	if d.Null {
+		return "NULL"
+	}
+	switch d.Kind {
+	case KNum:
+		return d.Num.RatString()
+	case KStr:
+		return fmt.Sprintf("'%s'", d.Str)
+	case KBool:
+		if d.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}

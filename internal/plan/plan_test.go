@@ -1,0 +1,353 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"spes/internal/schema"
+)
+
+func testCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	add := func(tbl *schema.Table) {
+		if err := cat.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&schema.Table{
+		Name: "EMP",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "SALARY", Type: schema.Int},
+			{Name: "DEPT_ID", Type: schema.Int},
+			{Name: "LOCATION", Type: schema.String},
+		},
+		PrimaryKey: []string{"EMP_ID"},
+	})
+	add(&schema.Table{
+		Name: "DEPT",
+		Columns: []schema.Column{
+			{Name: "DEPT_ID", Type: schema.Int, NotNull: true},
+			{Name: "DEPT_NAME", Type: schema.String},
+		},
+		PrimaryKey: []string{"DEPT_ID"},
+	})
+	return cat
+}
+
+func build(t *testing.T, sql string) Node {
+	t.Helper()
+	n, err := NewBuilder(testCatalog(t)).BuildSQL(sql)
+	if err != nil {
+		t.Fatalf("BuildSQL(%q): %v", sql, err)
+	}
+	return n
+}
+
+func TestBuildSimpleSelect(t *testing.T) {
+	n := build(t, "SELECT EMP.DEPT_ID, EMP.LOCATION FROM EMP WHERE DEPT_ID > 10")
+	spj, ok := n.(*SPJ)
+	if !ok {
+		t.Fatalf("got %T, want SPJ", n)
+	}
+	if len(spj.Inputs) != 1 {
+		t.Fatalf("inputs = %d, want 1", len(spj.Inputs))
+	}
+	if _, ok := spj.Inputs[0].(*Table); !ok {
+		t.Fatalf("input is %T, want Table", spj.Inputs[0])
+	}
+	if spj.Arity() != 2 {
+		t.Errorf("arity = %d, want 2", spj.Arity())
+	}
+	if spj.Pred == nil || !strings.Contains(spj.Pred.String(), "> $2") && !strings.Contains(spj.Pred.String(), "$2") {
+		t.Errorf("pred = %v", spj.Pred)
+	}
+	names := spj.ColumnNames()
+	if names[0] != "DEPT_ID" || names[1] != "LOCATION" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestBuildSelectStar(t *testing.T) {
+	n := build(t, "SELECT * FROM EMP")
+	spj := n.(*SPJ)
+	if spj.Arity() != 4 {
+		t.Errorf("arity = %d, want 4", spj.Arity())
+	}
+	for i, p := range spj.Proj {
+		c, ok := p.E.(*ColRef)
+		if !ok || c.Index != i {
+			t.Errorf("proj[%d] = %v, want $%d", i, p.E, i)
+		}
+	}
+}
+
+func TestBuildCrossProduct(t *testing.T) {
+	n := build(t, "SELECT * FROM EMP, DEPT WHERE EMP.DEPT_ID = DEPT.DEPT_ID")
+	spj := n.(*SPJ)
+	if len(spj.Inputs) != 2 {
+		t.Fatalf("inputs = %d, want 2", len(spj.Inputs))
+	}
+	if spj.Arity() != 6 {
+		t.Errorf("arity = %d, want 6", spj.Arity())
+	}
+	// DEPT.DEPT_ID is column 4 in the concatenated row.
+	if !strings.Contains(spj.Pred.String(), "$4") {
+		t.Errorf("pred = %v, expected reference to $4", spj.Pred)
+	}
+}
+
+func TestBuildAggregate(t *testing.T) {
+	n := build(t, `SELECT SUM(SALARY), LOCATION FROM EMP GROUP BY LOCATION`)
+	top, ok := n.(*SPJ)
+	if !ok {
+		t.Fatalf("top = %T, want SPJ", n)
+	}
+	agg, ok := top.Inputs[0].(*Agg)
+	if !ok {
+		t.Fatalf("input = %T, want Agg", top.Inputs[0])
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 1 {
+		t.Fatalf("groupby=%d aggs=%d, want 1/1", len(agg.GroupBy), len(agg.Aggs))
+	}
+	if agg.Aggs[0].Op != AggSum {
+		t.Errorf("agg op = %v, want SUM", agg.Aggs[0].Op)
+	}
+	// Top projection: AGG$0 is output 1 of agg node, LOCATION is output 0.
+	if c := top.Proj[0].E.(*ColRef); c.Index != 1 {
+		t.Errorf("SUM should map to $1, got %v", top.Proj[0].E)
+	}
+	if c := top.Proj[1].E.(*ColRef); c.Index != 0 {
+		t.Errorf("LOCATION should map to $0, got %v", top.Proj[1].E)
+	}
+}
+
+func TestBuildHavingAndDuplicateAggs(t *testing.T) {
+	n := build(t, `SELECT LOCATION, SUM(SALARY) FROM EMP GROUP BY LOCATION
+		HAVING SUM(SALARY) > 100 AND COUNT(*) > 1`)
+	top := n.(*SPJ)
+	if top.Pred == nil {
+		t.Fatal("missing HAVING predicate")
+	}
+	agg := top.Inputs[0].(*Agg)
+	// SUM(SALARY) is shared between select and having; COUNT(*) adds one.
+	if len(agg.Aggs) != 2 {
+		t.Fatalf("aggs = %d, want 2 (dedup)", len(agg.Aggs))
+	}
+}
+
+func TestBuildGroupByExpression(t *testing.T) {
+	n := build(t, "SELECT DEPT_ID + 1, COUNT(*) FROM EMP GROUP BY DEPT_ID + 1")
+	top := n.(*SPJ)
+	if c, ok := top.Proj[0].E.(*ColRef); !ok || c.Index != 0 {
+		t.Errorf("grouped expression should map to $0: %v", top.Proj[0].E)
+	}
+}
+
+func TestBuildGroupByOrdinal(t *testing.T) {
+	n := build(t, "SELECT LOCATION, COUNT(*) FROM EMP GROUP BY 1")
+	agg := n.(*SPJ).Inputs[0].(*Agg)
+	if len(agg.GroupBy) != 1 || agg.GroupBy[0].E.String() != "$3" {
+		t.Errorf("group by = %v", agg.GroupBy)
+	}
+}
+
+func TestBuildNotGroupedError(t *testing.T) {
+	_, err := NewBuilder(testCatalog(t)).BuildSQL("SELECT SALARY, COUNT(*) FROM EMP GROUP BY LOCATION")
+	if err == nil {
+		t.Fatal("ungrouped column should be rejected")
+	}
+}
+
+func TestBuildDistinct(t *testing.T) {
+	n := build(t, "SELECT DISTINCT DEPT_ID FROM EMP")
+	agg, ok := n.(*Agg)
+	if !ok {
+		t.Fatalf("got %T, want Agg (distinct lowering)", n)
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 0 {
+		t.Errorf("distinct lowering wrong: %v", Format(n))
+	}
+}
+
+func TestBuildUnion(t *testing.T) {
+	n := build(t, "SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM DEPT")
+	u, ok := n.(*Union)
+	if !ok {
+		t.Fatalf("got %T, want Union", n)
+	}
+	if len(u.Inputs) != 2 {
+		t.Errorf("inputs = %d", len(u.Inputs))
+	}
+	// Distinct UNION wraps in Agg.
+	n2 := build(t, "SELECT DEPT_ID FROM EMP UNION SELECT DEPT_ID FROM DEPT")
+	if _, ok := n2.(*Agg); !ok {
+		t.Fatalf("got %T, want Agg over Union", n2)
+	}
+}
+
+func TestBuildInnerJoin(t *testing.T) {
+	n := build(t, "SELECT * FROM EMP JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID")
+	spj := n.(*SPJ)
+	inner := spj.Inputs[0].(*SPJ)
+	if len(inner.Inputs) != 2 {
+		t.Fatalf("join inputs = %d, want 2", len(inner.Inputs))
+	}
+	if inner.Pred == nil {
+		t.Fatal("missing ON predicate")
+	}
+}
+
+func TestBuildLeftJoinLowering(t *testing.T) {
+	n := build(t, "SELECT * FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID")
+	spj := n.(*SPJ)
+	u, ok := spj.Inputs[0].(*Union)
+	if !ok {
+		t.Fatalf("left join should lower to UNION, got %T", spj.Inputs[0])
+	}
+	if len(u.Inputs) != 2 {
+		t.Fatalf("union branches = %d, want 2", len(u.Inputs))
+	}
+	antiSPJ, ok := u.Inputs[1].(*SPJ)
+	if !ok {
+		t.Fatalf("anti branch = %T", u.Inputs[1])
+	}
+	ex, ok := antiSPJ.Pred.(*Exists)
+	if !ok || !ex.Negate {
+		t.Fatalf("anti branch predicate = %v, want NOT EXISTS", antiSPJ.Pred)
+	}
+	// DEPT columns padded with NULL.
+	if c, ok := antiSPJ.Proj[4].E.(*Const); !ok || !c.Val.Null {
+		t.Errorf("anti branch should pad DEPT columns with NULL: %v", antiSPJ.Proj[4].E)
+	}
+	// The EXISTS sub-predicate references the outer row.
+	subPred := ex.Sub.(*SPJ).Pred.String()
+	if !strings.Contains(subPred, "$out1.") {
+		t.Errorf("correlated predicate = %s, want outer reference", subPred)
+	}
+}
+
+func TestBuildFullJoinLowering(t *testing.T) {
+	n := build(t, "SELECT * FROM EMP FULL OUTER JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID")
+	u := n.(*SPJ).Inputs[0].(*Union)
+	if len(u.Inputs) != 3 {
+		t.Fatalf("full join branches = %d, want 3", len(u.Inputs))
+	}
+}
+
+func TestBuildExistsAndIn(t *testing.T) {
+	n := build(t, `SELECT EMP_ID FROM EMP WHERE EXISTS
+		(SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)`)
+	spj := n.(*SPJ)
+	ex, ok := spj.Pred.(*Exists)
+	if !ok || ex.Negate {
+		t.Fatalf("pred = %v, want EXISTS", spj.Pred)
+	}
+	n2 := build(t, "SELECT EMP_ID FROM EMP WHERE DEPT_ID IN (SELECT DEPT_ID FROM DEPT)")
+	if _, ok := n2.(*SPJ).Pred.(*Exists); !ok {
+		t.Fatalf("IN-subquery should lower to EXISTS: %v", n2.(*SPJ).Pred)
+	}
+	n3 := build(t, "SELECT EMP_ID FROM EMP WHERE DEPT_ID IN (1, 2)")
+	if b, ok := n3.(*SPJ).Pred.(*Bin); !ok || b.Op != OpOr {
+		t.Fatalf("IN-list should lower to OR: %v", n3.(*SPJ).Pred)
+	}
+}
+
+func TestBuildSubqueryFrom(t *testing.T) {
+	n := build(t, `SELECT SUM(T.SALARY), T.LOCATION FROM
+		(SELECT SALARY, LOCATION FROM DEPT, EMP WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID + 5 = 15) AS T
+		GROUP BY T.LOCATION`)
+	top := n.(*SPJ)
+	agg := top.Inputs[0].(*Agg)
+	base := agg.Input.(*SPJ)
+	inner := base.Inputs[0].(*SPJ)
+	if len(inner.Inputs) != 2 {
+		t.Fatalf("inner SPJ inputs = %d, want 2", len(inner.Inputs))
+	}
+}
+
+func TestBuildUnsupportedCast(t *testing.T) {
+	_, err := NewBuilder(testCatalog(t)).BuildSQL("SELECT CAST(SALARY AS FLOAT) FROM EMP")
+	if err == nil || !Unsupported(err) {
+		t.Fatalf("CAST should yield UnsupportedError, got %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := NewBuilder(testCatalog(t))
+	bad := []string{
+		"SELECT * FROM NOSUCH",
+		"SELECT NOSUCHCOL FROM EMP",
+		"SELECT DEPT_ID FROM EMP, DEPT",                       // ambiguous
+		"SELECT DEPT_ID FROM EMP UNION ALL SELECT * FROM EMP", // arity
+		"SELECT EMP_ID FROM EMP WHERE SALARY IN (SELECT * FROM DEPT)",
+	}
+	for _, sql := range bad {
+		if _, err := b.BuildSQL(sql); err == nil {
+			t.Errorf("BuildSQL(%q) should fail", sql)
+		}
+	}
+}
+
+func TestBuildSelectWithoutFrom(t *testing.T) {
+	n := build(t, "SELECT 1, 'x'")
+	spj := n.(*SPJ)
+	if len(spj.Inputs) != 0 || spj.Arity() != 2 {
+		t.Fatalf("bad no-FROM select: %v", Format(n))
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	n := build(t, `SELECT EMP_ID FROM EMP WHERE EXISTS
+		(SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)`)
+	// SPJ + Table + (exists: SPJ + Table) = 4.
+	if got := CountNodes(n); got != 4 {
+		t.Errorf("CountNodes = %d, want 4", got)
+	}
+}
+
+func TestFormatIsCanonical(t *testing.T) {
+	a := build(t, "SELECT DEPT_ID FROM EMP WHERE SALARY > 10")
+	b := build(t, "SELECT DEPT_ID FROM EMP WHERE SALARY > 10")
+	if Format(a) != Format(b) {
+		t.Error("identical queries should format identically")
+	}
+	c := build(t, "SELECT DEPT_ID FROM EMP WHERE SALARY > 11")
+	if Format(a) == Format(c) {
+		t.Error("different queries should format differently")
+	}
+}
+
+func TestIndentSmoke(t *testing.T) {
+	n := build(t, "SELECT LOCATION, COUNT(*) FROM EMP GROUP BY LOCATION")
+	out := Indent(n)
+	for _, want := range []string{"SPJ", "AGG", "TABLE EMP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Indent output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShiftAndOffsetRefs(t *testing.T) {
+	e := &Bin{Op: OpEq, L: &ColRef{Index: 2}, R: &OuterRef{Depth: 1, Index: 0}}
+	shifted := ShiftRefs(e).(*Bin)
+	if o, ok := shifted.L.(*OuterRef); !ok || o.Depth != 1 || o.Index != 2 {
+		t.Errorf("ShiftRefs L = %v", shifted.L)
+	}
+	if o := shifted.R.(*OuterRef); o.Depth != 2 {
+		t.Errorf("ShiftRefs R depth = %d, want 2", o.Depth)
+	}
+	off := OffsetRefs(e, 3).(*Bin)
+	if c := off.L.(*ColRef); c.Index != 5 {
+		t.Errorf("OffsetRefs = %v", off.L)
+	}
+}
+
+func TestCaseBuild(t *testing.T) {
+	n := build(t, "SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP")
+	spj := n.(*SPJ)
+	if _, ok := spj.Proj[0].E.(*Case); !ok {
+		t.Fatalf("proj = %v, want Case", spj.Proj[0].E)
+	}
+}

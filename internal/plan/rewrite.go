@@ -1,0 +1,187 @@
+package plan
+
+// RewriteDeep rebuilds an expression tree, descending into subquery plans
+// (Exists, ScalarSub). fn is consulted for every expression node along with
+// its subplan nesting depth (0 for the root's own level); a non-nil result
+// replaces the node wholesale.
+func RewriteDeep(e Expr, fn func(x Expr, depth int) Expr) Expr {
+	return rewriteDeepExpr(e, 0, fn)
+}
+
+func rewriteDeepExpr(e Expr, depth int, fn func(x Expr, depth int) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return RewriteExpr(e, func(x Expr) Expr {
+		switch v := x.(type) {
+		case *Exists:
+			return &Exists{Sub: RewriteNodeDeep(v.Sub, depth+1, fn), Negate: v.Negate}
+		case *ScalarSub:
+			return &ScalarSub{Sub: RewriteNodeDeep(v.Sub, depth+1, fn)}
+		}
+		return fn(x, depth)
+	})
+}
+
+// RewriteNodeDeep rebuilds a plan tree, applying fn to every expression in
+// it. The depth parameter is the subplan nesting depth of the tree's root
+// relative to where rewriting started (callers pass 0 for standalone use).
+func RewriteNodeDeep(n Node, depth int, fn func(x Expr, depth int) Expr) Node {
+	switch v := n.(type) {
+	case *Table, *Empty:
+		return n
+	case *SPJ:
+		out := &SPJ{Pred: rewriteDeepExpr(v.Pred, depth, fn)}
+		for _, in := range v.Inputs {
+			out.Inputs = append(out.Inputs, RewriteNodeDeep(in, depth, fn))
+		}
+		for _, p := range v.Proj {
+			out.Proj = append(out.Proj, NamedExpr{Name: p.Name, E: rewriteDeepExpr(p.E, depth, fn)})
+		}
+		return out
+	case *Agg:
+		out := &Agg{Input: RewriteNodeDeep(v.Input, depth, fn)}
+		for _, g := range v.GroupBy {
+			out.GroupBy = append(out.GroupBy, NamedExpr{Name: g.Name, E: rewriteDeepExpr(g.E, depth, fn)})
+		}
+		for _, a := range v.Aggs {
+			na := AggExpr{Op: a.Op, Distinct: a.Distinct, Name: a.Name}
+			if a.Arg != nil {
+				na.Arg = rewriteDeepExpr(a.Arg, depth, fn)
+			}
+			out.Aggs = append(out.Aggs, na)
+		}
+		return out
+	case *Union:
+		out := &Union{}
+		for _, in := range v.Inputs {
+			out.Inputs = append(out.Inputs, RewriteNodeDeep(in, depth, fn))
+		}
+		return out
+	}
+	return n
+}
+
+// ShiftOwnRefs re-expresses an expression d subplan levels deeper: its own
+// row references (ColRef at level 0) become OuterRef{d}, and outer
+// references pointing past its current nesting shift by d.
+func ShiftOwnRefs(e Expr, d int) Expr {
+	if d == 0 {
+		return e
+	}
+	return RewriteDeep(e, func(x Expr, depth int) Expr {
+		switch v := x.(type) {
+		case *ColRef:
+			if depth == 0 {
+				return &OuterRef{Depth: d, Index: v.Index}
+			}
+		case *OuterRef:
+			if v.Depth > depth {
+				return &OuterRef{Depth: v.Depth + d, Index: v.Index}
+			}
+		}
+		return nil
+	})
+}
+
+// MapOwnRefs substitutes every reference to the expression's own row —
+// ColRef at the top level, OuterRef{d} at nesting depth d — by f(index).
+// f's result is expressed at top level (its ColRefs denote the own row) and
+// is shifted when substituted under subplans.
+func MapOwnRefs(e Expr, f func(idx int) Expr) Expr {
+	return RewriteDeep(e, func(x Expr, depth int) Expr {
+		switch v := x.(type) {
+		case *ColRef:
+			if depth == 0 {
+				return ShiftOwnRefs(f(v.Index), 0)
+			}
+		case *OuterRef:
+			if v.Depth == depth && depth > 0 {
+				return ShiftOwnRefs(f(v.Index), depth)
+			}
+		}
+		return nil
+	})
+}
+
+// OwnRefs returns the distinct own-row column indices referenced by e
+// (including references from inside nested subplans), in first-occurrence
+// order.
+func OwnRefs(e Expr) []int {
+	var out []int
+	seen := map[int]bool{}
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	var visitExpr func(x Expr, depth int)
+	var visitNode func(n Node, depth int)
+	visitExpr = func(x Expr, depth int) {
+		WalkExpr(x, func(y Expr) bool {
+			switch v := y.(type) {
+			case *ColRef:
+				if depth == 0 {
+					add(v.Index)
+				}
+			case *OuterRef:
+				if v.Depth == depth && depth > 0 {
+					add(v.Index)
+				}
+			case *Exists:
+				visitNode(v.Sub, depth+1)
+			case *ScalarSub:
+				visitNode(v.Sub, depth+1)
+			}
+			return true
+		})
+	}
+	visitNode = func(n Node, depth int) {
+		switch v := n.(type) {
+		case *SPJ:
+			visitExpr(v.Pred, depth)
+			for _, p := range v.Proj {
+				visitExpr(p.E, depth)
+			}
+		case *Agg:
+			for _, g := range v.GroupBy {
+				visitExpr(g.E, depth)
+			}
+			for _, a := range v.Aggs {
+				if a.Arg != nil {
+					visitExpr(a.Arg, depth)
+				}
+			}
+		}
+		for _, c := range Children(n) {
+			visitNode(c, depth)
+		}
+	}
+	visitExpr(e, 0)
+	return out
+}
+
+// Conjuncts flattens an AND tree into its conjunct list.
+func Conjuncts(p Expr) []Expr {
+	if p == nil {
+		return nil
+	}
+	if b, ok := p.(*Bin); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{p}
+}
+
+// AndAll rebuilds a conjunction; nil for the empty list.
+func AndAll(cs []Expr) Expr {
+	var out Expr
+	for _, c := range cs {
+		if out == nil {
+			out = c
+		} else {
+			out = &Bin{Op: OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package plan
+
+import (
+	"testing"
+)
+
+// subWithOuterRef builds an EXISTS whose subquery references the enclosing
+// row at the given index.
+func subWithOuterRef(idx int) *Exists {
+	return &Exists{Sub: &SPJ{
+		Inputs: []Node{},
+		Pred:   &Bin{Op: OpEq, L: &OuterRef{Depth: 1, Index: idx}, R: &Const{Val: IntDatum(1)}},
+		Proj:   []NamedExpr{{Name: "1", E: &Const{Val: IntDatum(1)}}},
+	}}
+}
+
+func TestMapOwnRefsTopLevel(t *testing.T) {
+	e := &Bin{Op: OpAdd, L: &ColRef{Index: 2}, R: &ColRef{Index: 5}}
+	got := MapOwnRefs(e, func(i int) Expr { return &ColRef{Index: i + 10} })
+	want := "(+ $12 $15)"
+	if got.String() != want {
+		t.Errorf("got %v, want %s", got, want)
+	}
+}
+
+func TestMapOwnRefsInsideSubplan(t *testing.T) {
+	// A predicate whose EXISTS references our row at depth 1: remapping the
+	// own row must rewrite that nested reference too.
+	e := &Bin{Op: OpAnd, L: &Bin{Op: OpGt, L: &ColRef{Index: 0}, R: &Const{Val: IntDatum(3)}}, R: subWithOuterRef(4)}
+	got := MapOwnRefs(e, func(i int) Expr { return &ColRef{Index: i + 100} })
+	s := got.String()
+	if !contains(s, "$100") {
+		t.Errorf("top-level reference not remapped: %s", s)
+	}
+	if !contains(s, "$out1.104") {
+		t.Errorf("nested depth-1 reference not remapped: %s", s)
+	}
+}
+
+func TestMapOwnRefsSubstitutesExpressionsUnderDepth(t *testing.T) {
+	// Substituting a composite expression into a nested reference must
+	// shift the replacement's own references to the right depth.
+	e := subWithOuterRef(0)
+	repl := &Bin{Op: OpAdd, L: &ColRef{Index: 7}, R: &Const{Val: IntDatum(1)}}
+	got := MapOwnRefs(e, func(i int) Expr { return repl })
+	s := got.String()
+	if !contains(s, "$out1.7") {
+		t.Errorf("replacement ColRef should become a depth-1 outer ref: %s", s)
+	}
+}
+
+func TestShiftOwnRefs(t *testing.T) {
+	e := &Bin{Op: OpEq, L: &ColRef{Index: 1}, R: &OuterRef{Depth: 2, Index: 0}}
+	got := ShiftOwnRefs(e, 3).(*Bin)
+	if o, ok := got.L.(*OuterRef); !ok || o.Depth != 3 || o.Index != 1 {
+		t.Errorf("ColRef should shift to depth 3: %v", got.L)
+	}
+	if o := got.R.(*OuterRef); o.Depth != 5 {
+		t.Errorf("OuterRef depth 2 should shift to 5: %v", got.R)
+	}
+	if ShiftOwnRefs(e, 0) != e {
+		t.Error("zero shift should be identity")
+	}
+}
+
+func TestOwnRefsCollectsThroughSubplans(t *testing.T) {
+	e := &Bin{Op: OpAnd,
+		L: &Bin{Op: OpLt, L: &ColRef{Index: 3}, R: &ColRef{Index: 1}},
+		R: subWithOuterRef(6),
+	}
+	refs := OwnRefs(e)
+	want := map[int]bool{3: true, 1: true, 6: true}
+	if len(refs) != 3 {
+		t.Fatalf("refs = %v, want 3 entries", refs)
+	}
+	for _, r := range refs {
+		if !want[r] {
+			t.Errorf("unexpected ref %d", r)
+		}
+	}
+}
+
+func TestConjunctsAndAll(t *testing.T) {
+	a := &Bin{Op: OpGt, L: &ColRef{Index: 0}, R: &Const{Val: IntDatum(1)}}
+	b := &Bin{Op: OpLt, L: &ColRef{Index: 1}, R: &Const{Val: IntDatum(2)}}
+	c := &IsNull{E: &ColRef{Index: 2}}
+	all := &Bin{Op: OpAnd, L: &Bin{Op: OpAnd, L: a, R: b}, R: c}
+	cs := Conjuncts(all)
+	if len(cs) != 3 {
+		t.Fatalf("got %d conjuncts, want 3", len(cs))
+	}
+	rebuilt := AndAll(cs)
+	if rebuilt.String() != all.String() {
+		// Associativity may differ; semantics must match structurally after
+		// re-flattening.
+		if len(Conjuncts(rebuilt)) != 3 {
+			t.Errorf("AndAll lost conjuncts: %v", rebuilt)
+		}
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+}
+
+func TestCanonExprCommutativity(t *testing.T) {
+	x, y := &ColRef{Index: 0}, &ColRef{Index: 1}
+	cases := [][2]Expr{
+		{&Bin{Op: OpEq, L: x, R: y}, &Bin{Op: OpEq, L: y, R: x}},
+		{&Bin{Op: OpAdd, L: x, R: y}, &Bin{Op: OpAdd, L: y, R: x}},
+		{&Bin{Op: OpMul, L: x, R: y}, &Bin{Op: OpMul, L: y, R: x}},
+		{
+			&Bin{Op: OpAnd, L: &Bin{Op: OpGt, L: x, R: y}, R: &IsNull{E: x}},
+			&Bin{Op: OpAnd, L: &IsNull{E: x}, R: &Bin{Op: OpLt, L: y, R: x}},
+		},
+		{&Not{E: &Not{E: &IsNull{E: x}}}, &IsNull{E: x}},
+	}
+	for i, c := range cases {
+		a, b := CanonExpr(c[0]), CanonExpr(c[1])
+		if a.String() != b.String() {
+			t.Errorf("case %d: canon mismatch:\n%v\n%v", i, a, b)
+		}
+	}
+	// Non-commutative operators must not be reordered.
+	sub := &Bin{Op: OpSub, L: x, R: y}
+	bus := &Bin{Op: OpSub, L: y, R: x}
+	if CanonExpr(sub).String() == CanonExpr(bus).String() {
+		t.Error("subtraction must not canonicalize commutatively")
+	}
+}
+
+func TestCanonNodeReachesSubplans(t *testing.T) {
+	x, y := &ColRef{Index: 0}, &OuterRef{Depth: 1, Index: 0}
+	mk := func(l, r Expr) Node {
+		return &SPJ{
+			Inputs: []Node{},
+			Pred:   &Exists{Sub: &SPJ{Pred: &Bin{Op: OpEq, L: l, R: r}, Proj: []NamedExpr{{Name: "1", E: &Const{Val: IntDatum(1)}}}}},
+			Proj:   []NamedExpr{{Name: "A", E: &Const{Val: IntDatum(1)}}},
+		}
+	}
+	a := Format(CanonNode(mk(x, y)))
+	b := Format(CanonNode(mk(y, x)))
+	if a != b {
+		t.Errorf("canon must reach nested subplans:\n%s\n%s", a, b)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

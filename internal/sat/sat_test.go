@@ -1,0 +1,275 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lit(v int) Lit  { return MkLit(v, false) }
+func nlit(v int) Lit { return MkLit(v, true) }
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Fatalf("bad positive literal: %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() {
+		t.Fatalf("bad negation: %v", n)
+	}
+	if n.Not() != l {
+		t.Fatal("double negation is not identity")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(nlit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	if s.Value(a) {
+		t.Error("a should be false")
+	}
+	if !s.Value(b) {
+		t.Error("b should be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	if ok := s.AddClause(nlit(a)); ok {
+		t.Error("AddClause should report top-level conflict")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if ok := s.AddClause(); ok {
+		t.Error("empty clause should report conflict")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a), nlit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+}
+
+// TestPigeonhole checks unsatisfiability of PHP(n+1, n): n+1 pigeons in n
+// holes. This exercises conflict analysis and learning.
+func TestPigeonhole(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		s := New()
+		// v[p][h]: pigeon p sits in hole h.
+		v := make([][]int, n+1)
+		for p := range v {
+			v[p] = make([]int, n)
+			for h := range v[p] {
+				v[p][h] = s.NewVar()
+			}
+		}
+		// Each pigeon sits somewhere.
+		for p := 0; p <= n; p++ {
+			cl := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				cl[h] = lit(v[p][h])
+			}
+			s.AddClause(cl...)
+		}
+		// No two pigeons share a hole.
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(nlit(v[p1][h]), nlit(v[p2][h]))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Errorf("PHP(%d,%d) = %v, want unsat", n+1, n, got)
+		}
+	}
+}
+
+// TestGraphColoring checks a satisfiable structured instance: 3-coloring of a
+// cycle of even length (possible) and odd length with 2 colors (impossible).
+func TestGraphColoring(t *testing.T) {
+	color := func(cycle, colors int) Status {
+		s := New()
+		v := make([][]int, cycle)
+		for i := range v {
+			v[i] = make([]int, colors)
+			for c := range v[i] {
+				v[i][c] = s.NewVar()
+			}
+		}
+		for i := 0; i < cycle; i++ {
+			cl := make([]Lit, colors)
+			for c := 0; c < colors; c++ {
+				cl[c] = lit(v[i][c])
+			}
+			s.AddClause(cl...)
+			j := (i + 1) % cycle
+			for c := 0; c < colors; c++ {
+				s.AddClause(nlit(v[i][c]), nlit(v[j][c]))
+			}
+		}
+		return s.Solve()
+	}
+	if got := color(5, 2); got != Unsat {
+		t.Errorf("odd cycle 2-coloring = %v, want unsat", got)
+	}
+	if got := color(6, 2); got != Sat {
+		t.Errorf("even cycle 2-coloring = %v, want sat", got)
+	}
+	if got := color(7, 3); got != Sat {
+		t.Errorf("odd cycle 3-coloring = %v, want sat", got)
+	}
+}
+
+// TestIncrementalBlocking enumerates all models of a small formula by adding
+// blocking clauses, the access pattern the lazy SMT loop uses.
+func TestIncrementalBlocking(t *testing.T) {
+	s := New()
+	vars := []int{s.NewVar(), s.NewVar(), s.NewVar()}
+	s.AddClause(lit(vars[0]), lit(vars[1]), lit(vars[2])) // at least one true
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		if count > 10 {
+			t.Fatal("too many models")
+		}
+		block := make([]Lit, len(vars))
+		for i, v := range vars {
+			block[i] = MkLit(v, s.Value(v))
+		}
+		s.AddClause(block...)
+	}
+	if count != 7 {
+		t.Errorf("enumerated %d models, want 7", count)
+	}
+}
+
+// TestRandom3SATDifferential cross-checks the solver against brute force on
+// random 3-SAT instances.
+func TestRandom3SATDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 3 + r.Intn(8)
+		nClauses := 1 + r.Intn(4*nVars)
+		cls := make([][]Lit, nClauses)
+		for i := range cls {
+			width := 1 + r.Intn(3)
+			c := make([]Lit, width)
+			for j := range c {
+				c[j] = MkLit(r.Intn(nVars), r.Intn(2) == 0)
+			}
+			cls[i] = c
+		}
+		want := bruteForceSat(nVars, cls)
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range cls {
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		wantStatus := Unsat
+		if want {
+			wantStatus = Sat
+		}
+		if got != wantStatus {
+			t.Fatalf("iter %d: solver=%v brute=%v clauses=%v", iter, got, wantStatus, cls)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies every clause.
+			for _, c := range cls {
+				ok := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.Neg() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: reported model violates clause %v", iter, c)
+				}
+			}
+		}
+	}
+}
+
+func bruteForceSat(nVars int, cls [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, c := range cls {
+			sat := false
+			for _, l := range c {
+				val := m>>l.Var()&1 == 1
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	// A hard instance with a tiny budget should return Unknown, not hang.
+	n := 7
+	s := New()
+	v := make([][]int, n+1)
+	for p := range v {
+		v[p] = make([]int, n)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = lit(v[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(nlit(v[p1][h]), nlit(v[p2][h]))
+			}
+		}
+	}
+	s.MaxConflicts = 10
+	if got := s.Solve(); got != Unknown {
+		// The instance may be solved within budget on some heuristics;
+		// only a wrong answer is a failure.
+		if got == Sat {
+			t.Errorf("PHP reported sat")
+		}
+	}
+}

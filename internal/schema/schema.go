@@ -1,0 +1,158 @@
+// Package schema defines the catalog SPES verifies queries against: table
+// definitions with typed, optionally non-nullable columns and primary keys.
+// Primary keys feed the integrity-constraint normalization rules (§4.2 of
+// the paper); NOT NULL feeds the three-valued-logic encoding.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a column type. SPES's symbolic encoding models every non-boolean
+// type as a numeric sort (strings are interned), so types mainly matter to
+// the executor and the data generator.
+type Type uint8
+
+const (
+	Int Type = iota
+	Float
+	String
+	Bool
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// ParseType maps a SQL type name to a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT", "DATE", "TIMESTAMP":
+		return Int, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return Float, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return String, nil
+	case "BOOLEAN", "BOOL":
+		return Bool, nil
+	}
+	return Int, fmt.Errorf("schema: unknown type %q", s)
+}
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+// Table describes a base table.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string // column names; empty means no key declared
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsPrimaryKey reports whether the given column positions exactly cover the
+// primary key (order-insensitive).
+func (t *Table) IsPrimaryKey(cols []int) bool {
+	if len(t.PrimaryKey) == 0 || len(cols) != len(t.PrimaryKey) {
+		return false
+	}
+	want := make(map[int]bool, len(t.PrimaryKey))
+	for _, name := range t.PrimaryKey {
+		idx := t.ColumnIndex(name)
+		if idx < 0 {
+			return false
+		}
+		want[idx] = true
+	}
+	for _, c := range cols {
+		if !want[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Catalog is a set of table definitions.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// AddTable registers t; it returns an error on duplicate names or invalid
+// primary keys.
+func (c *Catalog) AddTable(t *Table) error {
+	key := strings.ToUpper(t.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("schema: duplicate table %q", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		u := strings.ToUpper(col.Name)
+		if seen[u] {
+			return fmt.Errorf("schema: duplicate column %q in table %q", col.Name, t.Name)
+		}
+		seen[u] = true
+	}
+	for _, pk := range t.PrimaryKey {
+		if t.ColumnIndex(pk) < 0 {
+			return fmt.Errorf("schema: primary key column %q not in table %q", pk, t.Name)
+		}
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Table looks a table up by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToUpper(name)]
+	return t, ok
+}
+
+// MustTable looks a table up and panics when absent; for tests and fixed
+// benchmark schemas.
+func (c *Catalog) MustTable(name string) *Table {
+	t, ok := c.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("schema: no table %q", name))
+	}
+	return t
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"INT": Int, "integer": Int, "BIGINT": Int, "DATE": Int,
+		"FLOAT": Float, "decimal": Float,
+		"VARCHAR": String, "text": String,
+		"BOOLEAN": Bool, "bool": Bool,
+	}
+	for in, want := range cases {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Error("unknown type should fail")
+	}
+}
+
+func TestCatalogAddAndLookup(t *testing.T) {
+	cat := NewCatalog()
+	tbl := &Table{
+		Name: "Emp",
+		Columns: []Column{
+			{Name: "ID", Type: Int, NotNull: true},
+			{Name: "Name", Type: String},
+		},
+		PrimaryKey: []string{"ID"},
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive lookup.
+	for _, name := range []string{"EMP", "emp", "Emp"} {
+		if _, ok := cat.Table(name); !ok {
+			t.Errorf("Table(%q) not found", name)
+		}
+	}
+	if _, ok := cat.Table("NOPE"); ok {
+		t.Error("missing table found")
+	}
+	// Duplicates rejected.
+	if err := cat.AddTable(&Table{Name: "emp"}); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if got := cat.Names(); len(got) != 1 || got[0] != "Emp" {
+		t.Errorf("Names() = %v", got)
+	}
+	if cat.MustTable("EMP") != tbl {
+		t.Error("MustTable should return the registered table")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on a missing table should panic")
+		}
+	}()
+	cat.MustTable("GHOST")
+}
+
+func TestCatalogValidation(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.AddTable(&Table{
+		Name:    "T",
+		Columns: []Column{{Name: "A", Type: Int}, {Name: "a", Type: Int}},
+	}); err == nil {
+		t.Error("duplicate column names (case-insensitive) should fail")
+	}
+	if err := cat.AddTable(&Table{
+		Name:       "U",
+		Columns:    []Column{{Name: "A", Type: Int}},
+		PrimaryKey: []string{"MISSING"},
+	}); err == nil {
+		t.Error("primary key over a missing column should fail")
+	}
+}
+
+func TestColumnIndexAndPrimaryKey(t *testing.T) {
+	tbl := &Table{
+		Name: "T",
+		Columns: []Column{
+			{Name: "A", Type: Int}, {Name: "B", Type: Int}, {Name: "C", Type: Int},
+		},
+		PrimaryKey: []string{"A", "B"},
+	}
+	if tbl.ColumnIndex("b") != 1 || tbl.ColumnIndex("Z") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if !tbl.IsPrimaryKey([]int{0, 1}) || !tbl.IsPrimaryKey([]int{1, 0}) {
+		t.Error("full PK cover (any order) should match")
+	}
+	if tbl.IsPrimaryKey([]int{0}) || tbl.IsPrimaryKey([]int{0, 2}) || tbl.IsPrimaryKey([]int{0, 1, 2}) {
+		t.Error("partial or superset covers must not match")
+	}
+	none := &Table{Name: "N", Columns: tbl.Columns}
+	if none.IsPrimaryKey([]int{0}) {
+		t.Error("tables without a declared key never match")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, typ := range []Type{Int, Float, String, Bool} {
+		if strings.TrimSpace(typ.String()) == "" {
+			t.Errorf("Type(%d) has empty String()", typ)
+		}
+	}
+}

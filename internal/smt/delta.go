@@ -1,0 +1,71 @@
+// Package smt implements a satisfiability-modulo-theories solver sufficient
+// for SPES's symbolic verification: quantifier-free formulas over linear
+// rational arithmetic combined with uninterpreted functions, solved lazily on
+// top of the CDCL core in internal/sat.
+//
+// Soundness contract: an Unsat answer is always correct (the formula has no
+// model over the rationals with functions uninterpreted, hence none over the
+// integers or any refinement). A Sat answer may be spurious with respect to
+// richer intended semantics (true non-linear multiplication, integers-only
+// columns); SPES only draws conclusions from Unsat answers, so this
+// asymmetry preserves its soundness and costs only completeness — mirroring
+// the incompleteness the paper already accepts from Z3 (§5.5).
+package smt
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// delta is a rational extended with an infinitesimal component: value
+// R + D·δ where δ is positive and smaller than any positive rational. Strict
+// bounds become weak bounds on delta-rationals (x < c ⇔ x ≤ c − δ), the
+// standard trick from the Dutertre–de Moura simplex.
+type delta struct {
+	R *big.Rat
+	D *big.Rat
+}
+
+func dRat(r *big.Rat) delta { return delta{R: new(big.Rat).Set(r), D: new(big.Rat)} }
+
+func dInt(v int64) delta { return delta{R: big.NewRat(v, 1), D: new(big.Rat)} }
+
+// dStrict returns r with the infinitesimal shifted by dir (+1 for lower
+// bounds from >, -1 for upper bounds from <).
+func dStrict(r *big.Rat, dir int64) delta {
+	return delta{R: new(big.Rat).Set(r), D: big.NewRat(dir, 1)}
+}
+
+func (d delta) clone() delta {
+	return delta{R: new(big.Rat).Set(d.R), D: new(big.Rat).Set(d.D)}
+}
+
+// cmp orders delta-rationals lexicographically on (R, D).
+func (d delta) cmp(o delta) int {
+	if c := d.R.Cmp(o.R); c != 0 {
+		return c
+	}
+	return d.D.Cmp(o.D)
+}
+
+// add returns d + o.
+func (d delta) add(o delta) delta {
+	return delta{R: new(big.Rat).Add(d.R, o.R), D: new(big.Rat).Add(d.D, o.D)}
+}
+
+// sub returns d - o.
+func (d delta) sub(o delta) delta {
+	return delta{R: new(big.Rat).Sub(d.R, o.R), D: new(big.Rat).Sub(d.D, o.D)}
+}
+
+// scale returns d * c for a rational scalar c.
+func (d delta) scale(c *big.Rat) delta {
+	return delta{R: new(big.Rat).Mul(d.R, c), D: new(big.Rat).Mul(d.D, c)}
+}
+
+func (d delta) String() string {
+	if d.D.Sign() == 0 {
+		return d.R.RatString()
+	}
+	return fmt.Sprintf("%s%+sδ", d.R.RatString(), d.D.RatString())
+}

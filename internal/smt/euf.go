@@ -1,0 +1,294 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spes/internal/fol"
+)
+
+// euf is a congruence-closure engine over ground terms. Every fol term kind
+// with arguments is treated as an uninterpreted function symbol (so x = y
+// entails x+1 = y+1, f(x) = f(y), ...), which is sound for conflict
+// detection. Numeric and boolean constants carry distinct interpretations:
+// merging two classes holding different constants is a conflict.
+type euf struct {
+	ids      map[string]int // term key -> node
+	terms    []*fol.Term    // node -> term
+	parent   []int          // union-find
+	size     []int
+	constVal []string // node -> constant tag ("" if none); maintained on roots
+	uses     [][]int  // root -> application nodes with an argument in the class
+	appArgs  [][]int  // node -> argument node ids (apps only)
+	appSym   []string // node -> function symbol (apps only)
+	sigs     map[string]int
+	diseqs   [][2]int
+	conflict bool
+}
+
+func newEUF() *euf {
+	return &euf{ids: make(map[string]int), sigs: make(map[string]int)}
+}
+
+// funcSymbol maps a term's head to an uninterpreted function symbol, or ""
+// for leaves.
+func funcSymbol(t *fol.Term) string {
+	switch t.Kind {
+	case fol.KApp:
+		return "@" + t.Name
+	case fol.KAdd:
+		return "+"
+	case fol.KMul:
+		return "*"
+	case fol.KNeg:
+		return "neg"
+	case fol.KDiv:
+		return "/"
+	}
+	return ""
+}
+
+// constTag returns the interpretation tag for constant terms.
+func constTag(t *fol.Term) string {
+	switch t.Kind {
+	case fol.KNum:
+		return "n:" + t.Rat.RatString()
+	case fol.KTrue:
+		return "b:true"
+	case fol.KFalse:
+		return "b:false"
+	}
+	return ""
+}
+
+// node interns t (and its subterms) and returns its node id.
+func (e *euf) node(t *fol.Term) int {
+	key := t.Key()
+	if id, ok := e.ids[key]; ok {
+		return id
+	}
+	sym := funcSymbol(t)
+	var args []int
+	if sym != "" {
+		args = make([]int, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = e.node(a)
+		}
+	}
+	id := len(e.terms)
+	e.ids[key] = id
+	e.terms = append(e.terms, t)
+	e.parent = append(e.parent, id)
+	e.size = append(e.size, 1)
+	e.constVal = append(e.constVal, constTag(t))
+	e.uses = append(e.uses, nil)
+	e.appArgs = append(e.appArgs, args)
+	e.appSym = append(e.appSym, sym)
+	if sym != "" {
+		for _, a := range args {
+			r := e.find(a)
+			e.uses[r] = append(e.uses[r], id)
+		}
+		e.insertSig(id)
+	}
+	return id
+}
+
+func (e *euf) find(a int) int {
+	for e.parent[a] != a {
+		e.parent[a] = e.parent[e.parent[a]]
+		a = e.parent[a]
+	}
+	return a
+}
+
+func (e *euf) signature(app int) string {
+	sym := e.appSym[app]
+	roots := make([]int, len(e.appArgs[app]))
+	for i, a := range e.appArgs[app] {
+		roots[i] = e.find(a)
+	}
+	if sym == "+" || sym == "*" {
+		// Commutative heads get order-insensitive signatures, so x*y and
+		// y*x are congruent regardless of canonical argument order.
+		sort.Ints(roots)
+	}
+	var b strings.Builder
+	b.WriteString(sym)
+	for _, r := range roots {
+		fmt.Fprintf(&b, " %d", r)
+	}
+	return b.String()
+}
+
+// insertSig records app's current signature; if another application already
+// has the same signature, the two are congruent and their classes merge.
+func (e *euf) insertSig(app int) {
+	s := e.signature(app)
+	if other, ok := e.sigs[s]; ok {
+		e.mergeNodes(app, other)
+		return
+	}
+	e.sigs[s] = app
+}
+
+// assertEq merges the classes of t1 and t2.
+func (e *euf) assertEq(t1, t2 *fol.Term) {
+	if e.conflict {
+		return
+	}
+	e.mergeNodes(e.node(t1), e.node(t2))
+	e.checkDiseqs()
+}
+
+// assertDiseq records that t1 and t2 are distinct.
+func (e *euf) assertDiseq(t1, t2 *fol.Term) {
+	if e.conflict {
+		return
+	}
+	a, b := e.node(t1), e.node(t2)
+	e.diseqs = append(e.diseqs, [2]int{a, b})
+	e.checkDiseqs()
+}
+
+func (e *euf) mergeNodes(a, b int) {
+	if e.conflict {
+		return
+	}
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return
+	}
+	if e.size[ra] > e.size[rb] {
+		ra, rb = rb, ra
+	}
+	// ra merges into rb.
+	ca, cb := e.constVal[ra], e.constVal[rb]
+	if ca != "" && cb != "" && ca != cb {
+		e.conflict = true
+		return
+	}
+	e.parent[ra] = rb
+	e.size[rb] += e.size[ra]
+	if cb == "" {
+		e.constVal[rb] = ca
+	}
+	// Congruence: re-signature every application using the absorbed class.
+	moved := e.uses[ra]
+	e.uses[ra] = nil
+	e.uses[rb] = append(e.uses[rb], moved...)
+	for _, app := range moved {
+		e.insertSig(app)
+		if e.conflict {
+			return
+		}
+	}
+}
+
+func (e *euf) checkDiseqs() {
+	if e.conflict {
+		return
+	}
+	for _, d := range e.diseqs {
+		if e.find(d[0]) == e.find(d[1]) {
+			e.conflict = true
+			return
+		}
+	}
+}
+
+// equal reports whether the two terms are currently in the same class (both
+// must have been interned already for a meaningful answer).
+func (e *euf) equal(t1, t2 *fol.Term) bool {
+	a, ok1 := e.ids[t1.Key()]
+	b, ok2 := e.ids[t2.Key()]
+	return ok1 && ok2 && e.find(a) == e.find(b)
+}
+
+// classes returns the node ids grouped by class root, deterministically
+// ordered, for the theory-combination layer.
+func (e *euf) classes() map[int][]int {
+	out := make(map[int][]int)
+	for id := range e.terms {
+		r := e.find(id)
+		out[r] = append(out[r], id)
+	}
+	for _, members := range out {
+		sort.Ints(members)
+	}
+	return out
+}
+
+// argPairs returns candidate pairs of numeric argument nodes that, if made
+// equal, could trigger new congruences: arguments in the same position of
+// two applications with the same symbol, currently in different classes.
+func (e *euf) argPairs() [][2]int {
+	bySym := make(map[string][]int)
+	for id, sym := range e.appSym {
+		if sym != "" {
+			bySym[sym] = append(bySym[sym], id)
+		}
+	}
+	var out [][2]int
+	seen := make(map[[2]int]bool)
+	for _, apps := range bySym {
+		for i := 0; i < len(apps); i++ {
+			for j := i + 1; j < len(apps); j++ {
+				a1, a2 := e.appArgs[apps[i]], e.appArgs[apps[j]]
+				if len(a1) != len(a2) {
+					continue
+				}
+				for k := range a1 {
+					x, y := e.find(a1[k]), e.find(a2[k])
+					if x == y {
+						continue
+					}
+					if e.terms[a1[k]].Sort != fol.SortNum {
+						continue
+					}
+					p := [2]int{a1[k], a2[k]}
+					if p[0] > p[1] {
+						p[0], p[1] = p[1], p[0]
+					}
+					if !seen[p] {
+						seen[p] = true
+						out = append(out, p)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// term returns the term for a node id.
+func (e *euf) term(id int) *fol.Term { return e.terms[id] }
+
+// hasApps reports whether any genuinely uninterpreted application is
+// registered: a named function, a division, or a non-linear product.
+// Arithmetic heads (+, negation, constant-scaled products) give congruences
+// the simplex already subsumes.
+func (e *euf) hasApps() bool {
+	for id, sym := range e.appSym {
+		if sym == "" {
+			continue
+		}
+		t := e.terms[id]
+		switch t.Kind {
+		case fol.KApp, fol.KDiv:
+			return true
+		case fol.KMul:
+			if t.Args[0].Kind != fol.KNum {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,372 @@
+package smt
+
+import (
+	"math/big"
+)
+
+// simplex is a general simplex solver for linear rational arithmetic in the
+// style of Dutertre and de Moura ("A Fast Linear-Arithmetic Solver for
+// DPLL(T)"): variables carry optional lower/upper delta-rational bounds, a
+// tableau defines basic variables as linear combinations of non-basic ones,
+// and check() pivots with Bland's rule until all bounds hold or a conflict
+// row proves infeasibility.
+//
+// Usage is build-then-check: allocate variables, add rows, assert bounds,
+// then call check. probeEqual supports the theory-combination layer's
+// implied-equality detection by re-checking strengthened copies.
+type simplex struct {
+	n        int
+	lower    []*delta
+	upper    []*delta
+	lowerWhy []int // originating constraint tag per lower bound (-1 unknown)
+	upperWhy []int
+	rows     map[int]map[int]*big.Rat // basic variable -> linear form over non-basic variables
+	isBasic  []bool
+	beta     []delta
+	inited   bool
+	// conflictWhy holds the constraint tags explaining the most recent
+	// infeasibility verdict (nil when unavailable).
+	conflictWhy []int
+}
+
+func newSimplex() *simplex {
+	return &simplex{rows: make(map[int]map[int]*big.Rat)}
+}
+
+// newVar allocates a fresh variable and returns its index.
+func (s *simplex) newVar() int {
+	v := s.n
+	s.n++
+	s.lower = append(s.lower, nil)
+	s.upper = append(s.upper, nil)
+	s.lowerWhy = append(s.lowerWhy, -1)
+	s.upperWhy = append(s.upperWhy, -1)
+	s.isBasic = append(s.isBasic, false)
+	s.beta = append(s.beta, dInt(0))
+	return v
+}
+
+// defineSlack allocates a slack variable defined as the given linear
+// combination (which may mention basic variables; they are expanded). The
+// slack becomes basic.
+func (s *simplex) defineSlack(coeffs map[int]*big.Rat) int {
+	v := s.newVar()
+	row := make(map[int]*big.Rat)
+	for x, c := range coeffs {
+		s.accumulate(row, x, c)
+	}
+	s.rows[v] = row
+	s.isBasic[v] = true
+	return v
+}
+
+// accumulate adds c*x into row, expanding x if it is basic.
+func (s *simplex) accumulate(row map[int]*big.Rat, x int, c *big.Rat) {
+	if s.isBasic[x] {
+		for y, cy := range s.rows[x] {
+			s.accumulate(row, y, new(big.Rat).Mul(c, cy))
+		}
+		return
+	}
+	if cur, ok := row[x]; ok {
+		cur.Add(cur, c)
+		if cur.Sign() == 0 {
+			delete(row, x)
+		}
+		return
+	}
+	if c.Sign() == 0 {
+		return
+	}
+	row[x] = new(big.Rat).Set(c)
+}
+
+// assertLower tightens x's lower bound; it reports false on an immediate
+// bound conflict (lower exceeds upper). why tags the originating
+// constraint for conflict explanations.
+func (s *simplex) assertLower(x int, b delta, why int) bool {
+	if s.lower[x] == nil || b.cmp(*s.lower[x]) > 0 {
+		bb := b.clone()
+		s.lower[x] = &bb
+		s.lowerWhy[x] = why
+	}
+	if s.upper[x] != nil && s.lower[x].cmp(*s.upper[x]) > 0 {
+		s.conflictWhy = []int{s.lowerWhy[x], s.upperWhy[x]}
+		return false
+	}
+	return true
+}
+
+// assertUpper tightens x's upper bound; it reports false on an immediate
+// bound conflict.
+func (s *simplex) assertUpper(x int, b delta, why int) bool {
+	if s.upper[x] == nil || b.cmp(*s.upper[x]) < 0 {
+		bb := b.clone()
+		s.upper[x] = &bb
+		s.upperWhy[x] = why
+	}
+	if s.lower[x] != nil && s.lower[x].cmp(*s.upper[x]) > 0 {
+		s.conflictWhy = []int{s.lowerWhy[x], s.upperWhy[x]}
+		return false
+	}
+	return true
+}
+
+// initAssign sets every non-basic variable to a value within its bounds and
+// recomputes basic variables from the tableau.
+func (s *simplex) initAssign() {
+	for x := 0; x < s.n; x++ {
+		if s.isBasic[x] {
+			continue
+		}
+		switch {
+		case s.lower[x] != nil:
+			s.beta[x] = s.lower[x].clone()
+		case s.upper[x] != nil:
+			s.beta[x] = s.upper[x].clone()
+		default:
+			s.beta[x] = dInt(0)
+		}
+	}
+	for b, row := range s.rows {
+		s.beta[b] = s.rowValue(row)
+	}
+	s.inited = true
+}
+
+func (s *simplex) rowValue(row map[int]*big.Rat) delta {
+	v := dInt(0)
+	for x, c := range row {
+		v = v.add(s.beta[x].scale(c))
+	}
+	return v
+}
+
+// check runs the simplex main loop. It returns true iff the asserted bounds
+// are satisfiable.
+func (s *simplex) check() bool {
+	if !s.inited {
+		s.initAssign()
+	}
+	// Quick bound-consistency scan (covers variables in no row).
+	for x := 0; x < s.n; x++ {
+		if s.lower[x] != nil && s.upper[x] != nil && s.lower[x].cmp(*s.upper[x]) > 0 {
+			s.conflictWhy = []int{s.lowerWhy[x], s.upperWhy[x]}
+			return false
+		}
+	}
+	for {
+		b := s.findViolating()
+		if b == -1 {
+			return true
+		}
+		row := s.rows[b]
+		if s.lower[b] != nil && s.beta[b].cmp(*s.lower[b]) < 0 {
+			j := s.findPivot(row, true)
+			if j == -1 {
+				s.explainRow(b, row, true)
+				return false
+			}
+			s.pivotAndUpdate(b, j, s.lower[b].clone())
+		} else {
+			j := s.findPivot(row, false)
+			if j == -1 {
+				s.explainRow(b, row, false)
+				return false
+			}
+			s.pivotAndUpdate(b, j, s.upper[b].clone())
+		}
+	}
+}
+
+// explainRow records the infeasibility explanation for a stuck row: the
+// violated bound of the basic variable plus the blocking bound of every
+// non-basic variable in its row (the standard Dutertre–de Moura
+// explanation).
+func (s *simplex) explainRow(b int, row map[int]*big.Rat, increase bool) {
+	why := []int{}
+	if increase {
+		why = append(why, s.lowerWhy[b])
+	} else {
+		why = append(why, s.upperWhy[b])
+	}
+	for x, c := range row {
+		if c.Sign() == 0 {
+			continue
+		}
+		pos := c.Sign() > 0
+		if !increase {
+			pos = !pos
+		}
+		if pos {
+			why = append(why, s.upperWhy[x])
+		} else {
+			why = append(why, s.lowerWhy[x])
+		}
+	}
+	s.conflictWhy = why
+}
+
+// findViolating returns the smallest-index basic variable outside its
+// bounds, or -1 (Bland's rule, part one).
+func (s *simplex) findViolating() int {
+	for b := 0; b < s.n; b++ {
+		if !s.isBasic[b] {
+			continue
+		}
+		if s.lower[b] != nil && s.beta[b].cmp(*s.lower[b]) < 0 {
+			return b
+		}
+		if s.upper[b] != nil && s.beta[b].cmp(*s.upper[b]) > 0 {
+			return b
+		}
+	}
+	return -1
+}
+
+// findPivot returns the smallest-index non-basic variable in row that can
+// move in the direction needed to increase (or decrease) the basic variable,
+// or -1 if the row proves infeasibility (Bland's rule, part two).
+func (s *simplex) findPivot(row map[int]*big.Rat, increase bool) int {
+	best := -1
+	for x, c := range row {
+		if c.Sign() == 0 {
+			continue
+		}
+		canUse := false
+		pos := c.Sign() > 0
+		if !increase {
+			pos = !pos
+		}
+		if pos {
+			canUse = s.upper[x] == nil || s.beta[x].cmp(*s.upper[x]) < 0
+		} else {
+			canUse = s.lower[x] == nil || s.beta[x].cmp(*s.lower[x]) > 0
+		}
+		if canUse && (best == -1 || x < best) {
+			best = x
+		}
+	}
+	return best
+}
+
+// pivotAndUpdate moves basic variable b to value v by adjusting non-basic j,
+// then swaps their roles in the tableau.
+func (s *simplex) pivotAndUpdate(b, j int, v delta) {
+	a := s.rows[b][j]
+	theta := v.sub(s.beta[b]).scale(new(big.Rat).Inv(a))
+	s.beta[b] = v
+	s.beta[j] = s.beta[j].add(theta)
+	for i, row := range s.rows {
+		if i == b {
+			continue
+		}
+		if c, ok := row[j]; ok {
+			s.beta[i] = s.beta[i].add(theta.scale(c))
+		}
+	}
+	s.pivot(b, j)
+}
+
+// pivot swaps basic b with non-basic j.
+func (s *simplex) pivot(b, j int) {
+	row := s.rows[b]
+	a := row[j]
+	inv := new(big.Rat).Inv(a)
+	// Solve row for j: j = (b - Σ_{k≠j} c_k x_k) / a.
+	newRow := make(map[int]*big.Rat, len(row))
+	newRow[b] = new(big.Rat).Set(inv)
+	for k, c := range row {
+		if k == j {
+			continue
+		}
+		newRow[k] = new(big.Rat).Neg(new(big.Rat).Mul(c, inv))
+	}
+	delete(s.rows, b)
+	s.rows[j] = newRow
+	s.isBasic[b] = false
+	s.isBasic[j] = true
+	// Substitute j out of every other row.
+	for i, r := range s.rows {
+		if i == j {
+			continue
+		}
+		c, ok := r[j]
+		if !ok {
+			continue
+		}
+		delete(r, j)
+		for k, ck := range newRow {
+			add := new(big.Rat).Mul(c, ck)
+			if cur, ok := r[k]; ok {
+				cur.Add(cur, add)
+				if cur.Sign() == 0 {
+					delete(r, k)
+				}
+			} else if add.Sign() != 0 {
+				r[k] = add
+			}
+		}
+	}
+}
+
+// clone deep-copies the solver state.
+func (s *simplex) clone() *simplex {
+	c := &simplex{
+		n:        s.n,
+		lower:    make([]*delta, s.n),
+		upper:    make([]*delta, s.n),
+		lowerWhy: append([]int(nil), s.lowerWhy...),
+		upperWhy: append([]int(nil), s.upperWhy...),
+		rows:     make(map[int]map[int]*big.Rat, len(s.rows)),
+		isBasic:  append([]bool(nil), s.isBasic...),
+		beta:     make([]delta, s.n),
+		inited:   s.inited,
+	}
+	for i := 0; i < s.n; i++ {
+		if s.lower[i] != nil {
+			b := s.lower[i].clone()
+			c.lower[i] = &b
+		}
+		if s.upper[i] != nil {
+			b := s.upper[i].clone()
+			c.upper[i] = &b
+		}
+		c.beta[i] = s.beta[i].clone()
+	}
+	for b, row := range s.rows {
+		nr := make(map[int]*big.Rat, len(row))
+		for x, v := range row {
+			nr[x] = new(big.Rat).Set(v)
+		}
+		c.rows[b] = nr
+	}
+	return c
+}
+
+// value returns the current assignment of x (valid after a successful
+// check).
+func (s *simplex) value(x int) delta { return s.beta[x] }
+
+// probeZero reports whether Σ row + konst = 0 is entailed by the asserted
+// constraints, established by checking that both a strictly negative and a
+// strictly positive value are infeasible. It requires a prior successful
+// check and does not disturb the receiver.
+func (s *simplex) probeZero(row map[int]*big.Rat, konst *big.Rat) bool {
+	for _, dir := range []int64{-1, 1} {
+		c := s.clone()
+		d := c.defineSlack(row)
+		c.beta[d] = c.rowValue(c.rows[d])
+		bound := new(big.Rat).Neg(konst) // Σ row ⋈ -konst
+		ok := true
+		if dir < 0 {
+			ok = c.assertUpper(d, dStrict(bound, -1), -1) // Σ row + konst < 0
+		} else {
+			ok = c.assertLower(d, dStrict(bound, 1), -1) // Σ row + konst > 0
+		}
+		if ok && c.check() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,406 @@
+package smt
+
+import (
+	"fmt"
+
+	"spes/internal/fol"
+	"spes/internal/sat"
+)
+
+// Result is a three-valued satisfiability verdict.
+type Result int
+
+const (
+	// Unknown means the solver could not decide within its budget.
+	Unknown Result = iota
+	// Sat means the formula has a model (in the solver's theory: linear
+	// rational arithmetic with uninterpreted functions).
+	Sat
+	// Unsat means the formula has no model. Unsat verdicts are sound for
+	// any refinement of the theory (integers, real multiplication, concrete
+	// function meanings).
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Stats accumulates solver counters across queries.
+type Stats struct {
+	Queries      int
+	ModelRounds  int   // propositional models examined across queries
+	TheoryConfls int   // theory conflicts (blocking clauses learned)
+	Atoms        int   // theory atoms across queries
+	MaxRoundsHit int   // queries that exhausted the model budget
+	CoreChecks   int64 // theory checks spent minimizing cores
+}
+
+// Solver checks satisfiability and validity of quantifier-free fol formulas.
+// A Solver is not safe for concurrent use; each goroutine should own one.
+// The zero value is not usable; call New.
+type Solver struct {
+	// MaxModelRounds bounds the number of propositional models examined per
+	// CheckSat call before giving up with Unknown.
+	MaxModelRounds int
+	// MaxSATConflicts bounds the CDCL search per Solve call.
+	MaxSATConflicts int64
+	// TheoryBudget bounds equality-propagation rounds per theory check.
+	TheoryBudget int
+
+	Stats Stats
+
+	iteCounter int
+}
+
+// New returns a solver with defaults suitable for SPES workloads.
+func New() *Solver {
+	return &Solver{
+		MaxModelRounds:  20000,
+		MaxSATConflicts: 500000,
+		TheoryBudget:    60,
+	}
+}
+
+// CheckSat decides satisfiability of f, which must be boolean-sorted.
+func (s *Solver) CheckSat(f *fol.Term) Result {
+	if f.Sort != fol.SortBool {
+		panic(fmt.Sprintf("smt: CheckSat on non-boolean term %v", f))
+	}
+	s.Stats.Queries++
+	f = s.liftIte(f)
+
+	// Case-split top-level disjunctions: SPES's obligations conjoin large
+	// ORs (union-branch ASSIGN constraints); solving each branch
+	// combination as a nearly-conjunctive problem avoids enumerating the
+	// cross product of spurious propositional models. Negation normal form
+	// first, so negated implications expose their conjunctive structure.
+	cases := splitCases(nnf(f, false), 64)
+	sawUnknown := false
+	for _, c := range cases {
+		switch s.checkOne(c) {
+		case Sat:
+			return Sat
+		case Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown
+	}
+	return Unsat
+}
+
+// nnf pushes negations through the boolean connectives (De Morgan),
+// leaving atoms, Iff, and everything else intact.
+func nnf(f *fol.Term, neg bool) *fol.Term {
+	switch f.Kind {
+	case fol.KNot:
+		return nnf(f.Args[0], !neg)
+	case fol.KAnd, fol.KOr:
+		args := make([]*fol.Term, len(f.Args))
+		for i, a := range f.Args {
+			args[i] = nnf(a, neg)
+		}
+		if (f.Kind == fol.KAnd) != neg {
+			return fol.And(args...)
+		}
+		return fol.Or(args...)
+	}
+	if neg {
+		return fol.Not(f)
+	}
+	return f
+}
+
+// splitCases distributes top-level disjunctions under the root conjunction
+// into separate cases (f is satisfiable iff some case is), stopping at
+// limit cases.
+func splitCases(f *fol.Term, limit int) []*fol.Term {
+	cases := []*fol.Term{f}
+	for {
+		split := false
+		var next []*fol.Term
+		for _, c := range cases {
+			or := findTopOr(c)
+			if or == nil || len(cases)+len(next)+len(or.Args) > limit {
+				next = append(next, c)
+				continue
+			}
+			split = true
+			for _, alt := range or.Args {
+				next = append(next, replaceConjunct(c, or, alt))
+			}
+		}
+		cases = next
+		if !split {
+			return cases
+		}
+	}
+}
+
+// findTopOr returns a disjunction conjoined at the top of f, or nil.
+func findTopOr(f *fol.Term) *fol.Term {
+	if f.Kind == fol.KOr {
+		return f
+	}
+	if f.Kind != fol.KAnd {
+		return nil
+	}
+	for _, a := range f.Args {
+		if a.Kind == fol.KOr {
+			return a
+		}
+	}
+	return nil
+}
+
+// replaceConjunct rebuilds f with the given top-level conjunct replaced.
+func replaceConjunct(f, old, repl *fol.Term) *fol.Term {
+	if f == old {
+		return repl
+	}
+	args := make([]*fol.Term, 0, len(f.Args))
+	for _, a := range f.Args {
+		if a == old {
+			args = append(args, repl)
+		} else {
+			args = append(args, a)
+		}
+	}
+	return fol.And(args...)
+}
+
+// checkOne solves a single case.
+func (s *Solver) checkOne(f *fol.Term) Result {
+	switch f.Kind {
+	case fol.KTrue:
+		return Sat
+	case fol.KFalse:
+		return Unsat
+	}
+	in := newInstance()
+	in.sat.MaxConflicts = s.MaxSATConflicts
+	root := in.encode(f)
+	in.sat.AddClause(root)
+	in.addTrichotomy()
+	s.Stats.Atoms += len(in.atoms)
+	return s.run(in)
+}
+
+// run drives the lazy DPLL(T) loop on an encoded instance.
+func (s *Solver) run(in *instance) Result {
+	for round := 0; round < s.MaxModelRounds; round++ {
+		s.Stats.ModelRounds++
+		switch in.sat.Solve() {
+		case sat.Unsat:
+			return Unsat
+		case sat.Unknown:
+			return Unknown
+		}
+		lits := in.modelLits()
+		// Theory reasoning never crosses disjoint variable sets (both
+		// theories are over shared variables only), so the model's
+		// literals split into independent components: the conjunction is
+		// consistent iff every component is, and a conflict localizes to
+		// one small component — which keeps core minimization cheap.
+		comps := components(lits)
+		consistent := true
+		uncertain := false
+		var conflictComp []theoryLit
+		var expl []int
+		for _, comp := range comps {
+			ok, certain, e := theoryCheckExplain(comp, s.TheoryBudget)
+			if !certain {
+				uncertain = true
+				break
+			}
+			if !ok {
+				consistent = false
+				conflictComp, expl = comp, e
+				break
+			}
+		}
+		if uncertain {
+			return Unknown
+		}
+		if consistent {
+			return Sat
+		}
+		s.Stats.TheoryConfls++
+		// An arithmetic explanation gives a small starting core; verify it
+		// and minimize from there, falling back to the whole component.
+		start := conflictComp
+		if expl != nil {
+			trial := make([]theoryLit, len(expl))
+			for i, idx := range expl {
+				trial[i] = conflictComp[idx]
+			}
+			s.Stats.CoreChecks++
+			if ok, certain := theoryCheck(trial, s.TheoryBudget); certain && !ok {
+				start = trial
+			}
+		}
+		core := s.minimizeCore(start)
+		in.block(core)
+	}
+	s.Stats.MaxRoundsHit++
+	return Unknown
+}
+
+// components partitions literals into variable-connected components.
+func components(lits []theoryLit) [][]theoryLit {
+	parent := make([]int, len(lits))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := make(map[string]int)
+	for i, l := range lits {
+		for _, v := range fol.Vars(l.atom) {
+			if j, ok := owner[v.Name]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				owner[v.Name] = i
+			}
+		}
+	}
+	groups := make(map[int][]theoryLit)
+	var order []int
+	for i, l := range lits {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], l)
+	}
+	out := make([][]theoryLit, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// minimizeCore shrinks an inconsistent literal set with chunked deletion
+// (try dropping halves, then quarters, ... then singles), yielding strong
+// blocking clauses in O(k·log n) theory checks for a core of size k.
+func (s *Solver) minimizeCore(lits []theoryLit) []theoryLit {
+	core := append([]theoryLit(nil), lits...)
+	inconsistent := func(trial []theoryLit) bool {
+		s.Stats.CoreChecks++
+		consistent, certain := theoryCheck(trial, s.TheoryBudget)
+		return certain && !consistent
+	}
+	for chunk := len(core) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(core); {
+			trial := make([]theoryLit, 0, len(core)-chunk)
+			trial = append(trial, core[:i]...)
+			trial = append(trial, core[i+chunk:]...)
+			if inconsistent(trial) {
+				core = trial
+			} else {
+				i += chunk
+			}
+		}
+	}
+	return core
+}
+
+// Valid reports whether f holds in every model. Only a definite refutation
+// of ¬f counts; Unknown maps to false (unproven), preserving SPES's
+// soundness contract.
+func (s *Solver) Valid(f *fol.Term) bool {
+	return s.CheckSat(fol.Not(f)) == Unsat
+}
+
+// liftIte removes numeric if-then-else terms by introducing fresh variables
+// with defining constraints, producing an equisatisfiable formula.
+func (s *Solver) liftIte(f *fol.Term) *fol.Term {
+	var defs []*fol.Term
+	memo := make(map[string]*fol.Term)
+	var rec func(t *fol.Term) *fol.Term
+	rec = func(t *fol.Term) *fol.Term {
+		if len(t.Args) == 0 {
+			return t
+		}
+		args := make([]*fol.Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = rec(a)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		cur := t
+		if changed {
+			cur = rebuildWith(t, args)
+		}
+		if cur.Kind == fol.KIte && cur.Sort == fol.SortNum {
+			key := cur.Key()
+			if v, ok := memo[key]; ok {
+				return v
+			}
+			s.iteCounter++
+			v := fol.NumVar(fmt.Sprintf("$ite%d", s.iteCounter))
+			c, then, els := cur.Args[0], cur.Args[1], cur.Args[2]
+			defs = append(defs,
+				fol.Implies(c, fol.Eq(v, then)),
+				fol.Implies(fol.Not(c), fol.Eq(v, els)))
+			memo[key] = v
+			return v
+		}
+		return cur
+	}
+	g := rec(f)
+	if len(defs) == 0 {
+		return g
+	}
+	return fol.And(append([]*fol.Term{g}, defs...)...)
+}
+
+// rebuildWith reconstructs a term with new arguments through the smart
+// constructors.
+func rebuildWith(t *fol.Term, args []*fol.Term) *fol.Term {
+	switch t.Kind {
+	case fol.KAdd:
+		return fol.Add(args...)
+	case fol.KMul:
+		return fol.Mul(args...)
+	case fol.KNeg:
+		return fol.Neg(args[0])
+	case fol.KDiv:
+		return fol.Div(args[0], args[1])
+	case fol.KEq:
+		return fol.Eq(args[0], args[1])
+	case fol.KLe:
+		return fol.Le(args[0], args[1])
+	case fol.KLt:
+		return fol.Lt(args[0], args[1])
+	case fol.KNot:
+		return fol.Not(args[0])
+	case fol.KAnd:
+		return fol.And(args...)
+	case fol.KOr:
+		return fol.Or(args...)
+	case fol.KIff:
+		return fol.Iff(args[0], args[1])
+	case fol.KIte:
+		return fol.Ite(args[0], args[1], args[2])
+	case fol.KApp:
+		return fol.App(t.Name, t.Sort, args...)
+	}
+	return &fol.Term{Kind: t.Kind, Sort: t.Sort, Name: t.Name, Rat: t.Rat, Args: args}
+}

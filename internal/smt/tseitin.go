@@ -1,0 +1,155 @@
+package smt
+
+import (
+	"fmt"
+
+	"spes/internal/fol"
+	"spes/internal/sat"
+)
+
+// instance is the per-query propositional encoding state: the CDCL solver,
+// the atom vocabulary, and the Tseitin gate cache.
+type instance struct {
+	sat     *sat.Solver
+	atomVar map[string]int // atom key -> SAT variable
+	atoms   []*fol.Term    // ordered atom vocabulary
+	gates   map[string]sat.Lit
+	trueLit sat.Lit
+	hasTrue bool
+}
+
+func newInstance() *instance {
+	return &instance{
+		sat:     sat.New(),
+		atomVar: make(map[string]int),
+		gates:   make(map[string]sat.Lit),
+	}
+}
+
+// constTrue returns a literal forced true at the top level.
+func (in *instance) constTrue() sat.Lit {
+	if !in.hasTrue {
+		v := in.sat.NewVar()
+		in.trueLit = sat.MkLit(v, false)
+		in.sat.AddClause(in.trueLit)
+		in.hasTrue = true
+	}
+	return in.trueLit
+}
+
+// atomLit interns a theory atom and returns its literal.
+func (in *instance) atomLit(t *fol.Term) sat.Lit {
+	key := t.Key()
+	if v, ok := in.atomVar[key]; ok {
+		return sat.MkLit(v, false)
+	}
+	v := in.sat.NewVar()
+	in.atomVar[key] = v
+	in.atoms = append(in.atoms, t)
+	return sat.MkLit(v, false)
+}
+
+// encode Tseitin-encodes a boolean term and returns the literal equivalent
+// to it. Gates are shared across structurally equal sub-formulas.
+func (in *instance) encode(t *fol.Term) sat.Lit {
+	switch t.Kind {
+	case fol.KTrue:
+		return in.constTrue()
+	case fol.KFalse:
+		return in.constTrue().Not()
+	case fol.KNot:
+		return in.encode(t.Args[0]).Not()
+	case fol.KEq, fol.KLe, fol.KLt, fol.KVar, fol.KApp:
+		return in.atomLit(t)
+	}
+
+	key := t.Key()
+	if g, ok := in.gates[key]; ok {
+		return g
+	}
+	switch t.Kind {
+	case fol.KAnd:
+		lits := make([]sat.Lit, len(t.Args))
+		for i, a := range t.Args {
+			lits[i] = in.encode(a)
+		}
+		g := sat.MkLit(in.sat.NewVar(), false)
+		long := make([]sat.Lit, 0, len(lits)+1)
+		long = append(long, g)
+		for _, l := range lits {
+			in.sat.AddClause(g.Not(), l)
+			long = append(long, l.Not())
+		}
+		in.sat.AddClause(long...)
+		in.gates[key] = g
+		return g
+	case fol.KOr:
+		lits := make([]sat.Lit, len(t.Args))
+		for i, a := range t.Args {
+			lits[i] = in.encode(a)
+		}
+		g := sat.MkLit(in.sat.NewVar(), false)
+		long := make([]sat.Lit, 0, len(lits)+1)
+		long = append(long, g.Not())
+		for _, l := range lits {
+			in.sat.AddClause(g, l.Not())
+			long = append(long, l)
+		}
+		in.sat.AddClause(long...)
+		in.gates[key] = g
+		return g
+	case fol.KIff:
+		a := in.encode(t.Args[0])
+		b := in.encode(t.Args[1])
+		g := sat.MkLit(in.sat.NewVar(), false)
+		in.sat.AddClause(g.Not(), a.Not(), b)
+		in.sat.AddClause(g.Not(), a, b.Not())
+		in.sat.AddClause(g, a, b)
+		in.sat.AddClause(g, a.Not(), b.Not())
+		in.gates[key] = g
+		return g
+	}
+	panic(fmt.Sprintf("smt: cannot encode term kind %v (%v)", t.Kind, t))
+}
+
+// addTrichotomy adds, for every numeric equality atom a = b in the
+// vocabulary, the valid clause (a=b) ∨ (a<b) ∨ (b<a). Without it, a model
+// asserting ¬(a=b) would give the arithmetic theory nothing to refute, since
+// the simplex cannot represent disequalities directly.
+func (in *instance) addTrichotomy() {
+	// The vocabulary may grow while we add clauses (the Lt atoms are new);
+	// iterate by index.
+	for i := 0; i < len(in.atoms); i++ {
+		t := in.atoms[i]
+		if t.Kind != fol.KEq || t.Args[0].Sort != fol.SortNum {
+			continue
+		}
+		eq := in.atomLit(t)
+		lt1 := in.encode(fol.Lt(t.Args[0], t.Args[1]))
+		lt2 := in.encode(fol.Lt(t.Args[1], t.Args[0]))
+		in.sat.AddClause(eq, lt1, lt2)
+	}
+}
+
+// modelLits extracts the theory literals implied by the current SAT model.
+func (in *instance) modelLits() []theoryLit {
+	out := make([]theoryLit, 0, len(in.atoms))
+	for _, t := range in.atoms {
+		v := in.atomVar[t.Key()]
+		out = append(out, theoryLit{atom: t, pos: in.sat.Value(v)})
+	}
+	return out
+}
+
+// block adds a clause forbidding the given literal conjunction.
+func (in *instance) block(core []theoryLit) {
+	cl := make([]sat.Lit, len(core))
+	for i, l := range core {
+		lit := in.atomLit(l.atom)
+		if l.pos {
+			lit = lit.Not()
+		}
+		cl[i] = lit
+	}
+	in.sat.AddClause(cl...)
+}

@@ -1,0 +1,191 @@
+// Package sqlparser provides a hand-written lexer and recursive-descent
+// parser for the SQL subset SPES verifies: SELECT-PROJECT-JOIN queries with
+// inner and outer joins, grouping and aggregation, HAVING, UNION [ALL],
+// DISTINCT, scalar expressions with CASE and three-valued predicates
+// (IS [NOT] NULL), EXISTS/IN subqueries, and CREATE TABLE statements for
+// catalog definition. It plays the role Apache Calcite's SQL front end plays
+// in the paper's pipeline.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are uppercased; identifiers keep original case
+	pos  int    // byte offset for error messages
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case
+// insensitively) lex as keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
+	"UNION": true, "ALL": true, "DISTINCT": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "ON": true, "USING": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"TRUE": true, "FALSE": true,
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"VALUES": true, "CAST": true, "LIMIT": true, "OFFSET": true, "FETCH": true,
+	"OVER": true, "PARTITION": true, "ROWS": true, "RANGE": true,
+}
+
+// lexer produces tokens from SQL text.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lexAll tokenizes the whole input.
+func (l *lexer) lexAll() ([]token, error) {
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tkEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return token{kind: tkKeyword, text: upper, pos: start}, nil
+		}
+		return token{kind: tkIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9':
+		l.pos++
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tkNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tkString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+	case c == '"':
+		// Double-quoted identifier.
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '"')
+		if end < 0 {
+			return token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+		}
+		word := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tkIdent, text: word, pos: start}, nil
+	}
+	// Multi-character operators first.
+	for _, op := range []string{"<>", "<=", ">=", "!=", "||"} {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += len(op)
+			if op == "!=" {
+				op = "<>"
+			}
+			return token{kind: tkSymbol, text: op, pos: start}, nil
+		}
+	}
+	switch c {
+	case '(', ')', ',', '+', '-', '*', '/', '=', '<', '>', '.', ';', '%':
+		l.pos++
+		return token{kind: tkSymbol, text: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += nl + 1
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += end + 4
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

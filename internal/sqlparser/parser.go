@@ -1,0 +1,856 @@
+package sqlparser
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Parse parses a single SQL statement (query or CREATE TABLE).
+func Parse(sql string) (Statement, error) {
+	p, err := newParser(sql)
+	if err != nil {
+		return nil, err
+	}
+	var stmt Statement
+	if p.peekKeyword("CREATE") {
+		stmt, err = p.parseCreateTable()
+	} else {
+		stmt, err = p.parseQuery()
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkSymbol, ";")
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// ParseQuery parses a query statement (SELECT or UNION chain).
+func ParseQuery(sql string) (Query, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := stmt.(Query)
+	if !ok {
+		return nil, fmt.Errorf("sql: statement is not a query")
+	}
+	return q, nil
+}
+
+// ParseSchema parses a semicolon-separated list of CREATE TABLE statements.
+func ParseSchema(sql string) ([]*CreateTable, error) {
+	p, err := newParser(sql)
+	if err != nil {
+		return nil, err
+	}
+	var out []*CreateTable
+	for !p.atEOF() {
+		ct, err := p.parseCreateTable()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ct)
+		p.accept(tkSymbol, ";")
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func newParser(sql string) (*parser, error) {
+	toks, err := newLexer(sql).lexAll()
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks, src: sql}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tkEOF }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tkKeyword && t.text == kw
+}
+
+// accept consumes the current token if it matches; it reports whether it
+// did.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(tkKeyword, kw) }
+
+func (p *parser) expect(kind tokenKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// ---------- CREATE TABLE ----------
+
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	if err := p.expect(tkKeyword, "CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tkKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expect(tkKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tkSymbol, "("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ct.PK = append(ct.PK, col)
+				if !p.accept(tkSymbol, ",") {
+					break
+				}
+			}
+			if err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			colName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			typTok := p.cur()
+			if typTok.kind != tkIdent && typTok.kind != tkKeyword {
+				return nil, p.errf("expected column type, found %q", typTok.text)
+			}
+			p.pos++
+			// Optional precision like VARCHAR(20) or DECIMAL(10,2).
+			if p.accept(tkSymbol, "(") {
+				for !p.accept(tkSymbol, ")") {
+					if p.atEOF() {
+						return nil, p.errf("unterminated type precision")
+					}
+					p.pos++
+				}
+			}
+			def := ColumnDef{Name: colName, Type: typTok.text}
+			for {
+				switch {
+				case p.acceptKeyword("NOT"):
+					if err := p.expect(tkKeyword, "NULL"); err != nil {
+						return nil, err
+					}
+					def.NotNull = true
+				case p.acceptKeyword("PRIMARY"):
+					if err := p.expect(tkKeyword, "KEY"); err != nil {
+						return nil, err
+					}
+					def.PK = true
+					def.NotNull = true
+				default:
+					goto colDone
+				}
+			}
+		colDone:
+			ct.Columns = append(ct.Columns, def)
+		}
+		if p.accept(tkSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	for _, c := range ct.Columns {
+		if c.PK {
+			ct.PK = append(ct.PK, c.Name)
+		}
+	}
+	return ct, nil
+}
+
+// ---------- queries ----------
+
+func (p *parser) parseQuery() (Query, error) {
+	left, err := p.parseQueryTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		right, err := p.parseQueryTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{All: all, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseQueryTerm() (Query, error) {
+	if p.accept(tkSymbol, "(") {
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	return p.parseSelect()
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expect(tkKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Exprs = append(sel.Exprs, item)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, ref)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.peekKeyword("LIMIT") || p.peekKeyword("OFFSET") || p.peekKeyword("FETCH") {
+		return nil, p.errf("LIMIT/OFFSET/FETCH are not supported")
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	if p.accept(tkSymbol, "*") {
+		return SelectExpr{Star: true}, nil
+	}
+	// alias.* needs two-token lookahead.
+	if p.cur().kind == tkIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tkSymbol && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tkSymbol && p.toks[p.pos+2].text == "*" {
+		table := p.cur().text
+		p.pos += 3
+		return SelectExpr{Star: true, Table: table}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	item := SelectExpr{Expr: e}
+	if p.acceptKeyword("AS") {
+		item.Alias, err = p.expectIdent()
+		if err != nil {
+			return SelectExpr{}, err
+		}
+	} else if p.cur().kind == tkIdent {
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var jt JoinType
+		switch {
+		case p.acceptKeyword("INNER"):
+			jt = JoinInner
+		case p.acceptKeyword("LEFT"):
+			jt = JoinLeft
+			p.acceptKeyword("OUTER")
+		case p.acceptKeyword("RIGHT"):
+			jt = JoinRight
+			p.acceptKeyword("OUTER")
+		case p.acceptKeyword("FULL"):
+			jt = JoinFull
+			p.acceptKeyword("OUTER")
+		case p.acceptKeyword("CROSS"):
+			jt = JoinCross
+		case p.peekKeyword("JOIN"):
+			jt = JoinInner
+		default:
+			return left, nil
+		}
+		if err := p.expect(tkKeyword, "JOIN"); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		join := &JoinRef{Type: jt, Left: left, Right: right}
+		if jt != JoinCross {
+			if err := p.expect(tkKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			join.On, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		left = join
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableRef, error) {
+	if p.accept(tkSymbol, "(") {
+		// Subquery or parenthesized join: look past nested "(" for SELECT.
+		isQuery := false
+		for i := p.pos; i < len(p.toks); i++ {
+			if p.toks[i].kind == tkSymbol && p.toks[i].text == "(" {
+				continue
+			}
+			isQuery = p.toks[i].kind == tkKeyword && p.toks[i].text == "SELECT"
+			break
+		}
+		if isQuery {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			alias := ""
+			if p.acceptKeyword("AS") {
+				alias, err = p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+			} else if p.cur().kind == tkIdent {
+				alias = p.cur().text
+				p.pos++
+			}
+			return &SubqueryRef{Query: q, Alias: alias}, nil
+		}
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return ref, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ref := &TableName{Name: name}
+	if p.acceptKeyword("AS") {
+		ref.Alias, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	} else if p.cur().kind == tkIdent {
+		ref.Alias = p.cur().text
+		p.pos++
+	}
+	return ref, nil
+}
+
+// ---------- expressions ----------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+var compOps = map[string]BinOp{
+	"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tkSymbol {
+		if op, ok := compOps[t.text]; ok {
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if err := p.expect(tkKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: left, Negate: neg}, nil
+	}
+	neg := false
+	if p.peekKeyword("NOT") &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tkKeyword &&
+		(p.toks[p.pos+1].text == "IN" || p.toks[p.pos+1].text == "BETWEEN" || p.toks[p.pos+1].text == "LIKE") {
+		p.pos++
+		neg = true
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.peekKeyword("SELECT") {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{E: left, Query: q, Negate: neg}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: left, List: list, Negate: neg}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		between := &BinExpr{Op: OpAnd,
+			L: &BinExpr{Op: OpGe, L: left, R: lo},
+			R: &BinExpr{Op: OpLe, L: left, R: hi}}
+		if neg {
+			return &NotExpr{E: between}, nil
+		}
+		return between, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := &FuncExpr{Name: "LIKE", Args: []Expr{left, pat}}
+		if neg {
+			return &NotExpr{E: like}, nil
+		}
+		return like, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch {
+		case p.accept(tkSymbol, "+"):
+			op = OpAdd
+		case p.accept(tkSymbol, "-"):
+			op = OpSub
+		case p.accept(tkSymbol, "||"):
+			op = OpConcat
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch {
+		case p.accept(tkSymbol, "*"):
+			op = OpMul
+		case p.accept(tkSymbol, "/"):
+			op = OpDiv
+		case p.accept(tkSymbol, "%"):
+			op = OpMod
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tkSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{E: e}, nil
+	}
+	p.accept(tkSymbol, "+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		r, ok := new(big.Rat).SetString(t.text)
+		if !ok {
+			return nil, p.errf("bad numeric literal %q", t.text)
+		}
+		return &NumLit{Val: r}, nil
+	case tkString:
+		p.pos++
+		return &StrLit{Val: t.text}, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &NullLit{}, nil
+		case "TRUE":
+			p.pos++
+			return &BoolLit{Val: true}, nil
+		case "FALSE":
+			p.pos++
+			return &BoolLit{Val: false}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			p.pos++
+			if err := p.expect(tkSymbol, "("); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tkKeyword, "AS"); err != nil {
+				return nil, err
+			}
+			typ := p.cur()
+			if typ.kind != tkIdent && typ.kind != tkKeyword {
+				return nil, p.errf("expected type name in CAST")
+			}
+			p.pos++
+			if p.accept(tkSymbol, "(") {
+				for !p.accept(tkSymbol, ")") {
+					if p.atEOF() {
+						return nil, p.errf("unterminated CAST type")
+					}
+					p.pos++
+				}
+			}
+			if err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &CastExpr{E: e, Type: typ.text}, nil
+		case "EXISTS":
+			p.pos++
+			if err := p.expect(tkSymbol, "("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Query: q}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tkSymbol:
+		if t.text == "(" {
+			p.pos++
+			if p.peekKeyword("SELECT") {
+				q, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(tkSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return &ScalarSubquery{Query: q}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tkIdent:
+		// Function call or column reference.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tkSymbol && p.toks[p.pos+1].text == "(" {
+			name := strings.ToUpper(t.text)
+			p.pos += 2
+			fn := &FuncExpr{Name: name}
+			switch {
+			case p.accept(tkSymbol, "*"):
+				fn.Star = true
+				if err := p.expect(tkSymbol, ")"); err != nil {
+					return nil, err
+				}
+			case p.accept(tkSymbol, ")"):
+				// No arguments.
+			default:
+				if p.acceptKeyword("DISTINCT") {
+					fn.Distinct = true
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fn.Args = append(fn.Args, e)
+					if !p.accept(tkSymbol, ",") {
+						break
+					}
+				}
+				if err := p.expect(tkSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			if p.peekKeyword("OVER") {
+				return nil, p.errf("window functions are not supported")
+			}
+			return fn, nil
+		}
+		p.pos++
+		ref := &ColRef{Name: t.text}
+		if p.accept(tkSymbol, ".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Table = ref.Name
+			ref.Name = col
+		}
+		return ref, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expect(tkKeyword, "CASE"); err != nil {
+		return nil, err
+	}
+	var operand Expr
+	if !p.peekKeyword("WHEN") {
+		var err error
+		operand, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if operand != nil {
+			cond = &BinExpr{Op: OpEq, L: operand, R: cond}
+		}
+		if err := p.expect(tkKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expect(tkKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

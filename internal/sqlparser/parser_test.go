@@ -1,0 +1,345 @@
+package sqlparser
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func mustQuery(t *testing.T, sql string) Query {
+	t.Helper()
+	q, err := ParseQuery(sql)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustQuery(t, "SELECT EMP.DEPT_ID, EMP.LOCATION FROM EMP WHERE DEPT_ID > 10")
+	sel, ok := q.(*Select)
+	if !ok {
+		t.Fatalf("got %T, want *Select", q)
+	}
+	if len(sel.Exprs) != 2 {
+		t.Fatalf("got %d select exprs, want 2", len(sel.Exprs))
+	}
+	c0, ok := sel.Exprs[0].Expr.(*ColRef)
+	if !ok || c0.Table != "EMP" || c0.Name != "DEPT_ID" {
+		t.Errorf("first expr = %#v, want EMP.DEPT_ID", sel.Exprs[0].Expr)
+	}
+	if len(sel.From) != 1 {
+		t.Fatalf("got %d from items, want 1", len(sel.From))
+	}
+	w, ok := sel.Where.(*BinExpr)
+	if !ok || w.Op != OpGt {
+		t.Fatalf("where = %#v, want >", sel.Where)
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	q := mustQuery(t, `SELECT SUM(T.SALARY), T.LOCATION FROM EMP AS T
+		GROUP BY T.LOCATION HAVING SUM(T.SALARY) > 100`)
+	sel := q.(*Select)
+	fn, ok := sel.Exprs[0].Expr.(*FuncExpr)
+	if !ok || fn.Name != "SUM" || len(fn.Args) != 1 {
+		t.Fatalf("first expr = %#v, want SUM(arg)", sel.Exprs[0].Expr)
+	}
+	if len(sel.GroupBy) != 1 {
+		t.Fatalf("GroupBy len = %d, want 1", len(sel.GroupBy))
+	}
+	if sel.Having == nil {
+		t.Fatal("missing HAVING")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want JoinType
+	}{
+		{"SELECT * FROM A JOIN B ON A.X = B.Y", JoinInner},
+		{"SELECT * FROM A INNER JOIN B ON A.X = B.Y", JoinInner},
+		{"SELECT * FROM A LEFT JOIN B ON A.X = B.Y", JoinLeft},
+		{"SELECT * FROM A LEFT OUTER JOIN B ON A.X = B.Y", JoinLeft},
+		{"SELECT * FROM A RIGHT JOIN B ON A.X = B.Y", JoinRight},
+		{"SELECT * FROM A FULL OUTER JOIN B ON A.X = B.Y", JoinFull},
+	}
+	for _, c := range cases {
+		sel := mustQuery(t, c.sql).(*Select)
+		j, ok := sel.From[0].(*JoinRef)
+		if !ok {
+			t.Fatalf("%q: from[0] = %T, want JoinRef", c.sql, sel.From[0])
+		}
+		if j.Type != c.want {
+			t.Errorf("%q: join type = %v, want %v", c.sql, j.Type, c.want)
+		}
+		if j.On == nil {
+			t.Errorf("%q: missing ON", c.sql)
+		}
+	}
+	// CROSS JOIN has no ON.
+	sel := mustQuery(t, "SELECT * FROM A CROSS JOIN B").(*Select)
+	j := sel.From[0].(*JoinRef)
+	if j.Type != JoinCross || j.On != nil {
+		t.Errorf("cross join parsed wrong: %#v", j)
+	}
+}
+
+func TestParseChainedJoins(t *testing.T) {
+	sel := mustQuery(t, "SELECT * FROM A JOIN B ON A.X = B.X LEFT JOIN C ON B.Y = C.Y").(*Select)
+	outer, ok := sel.From[0].(*JoinRef)
+	if !ok || outer.Type != JoinLeft {
+		t.Fatalf("outer join = %#v, want LEFT", sel.From[0])
+	}
+	inner, ok := outer.Left.(*JoinRef)
+	if !ok || inner.Type != JoinInner {
+		t.Fatalf("inner join = %#v, want INNER", outer.Left)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := mustQuery(t, "SELECT A FROM T UNION ALL SELECT B FROM U UNION SELECT C FROM V")
+	top, ok := q.(*SetOp)
+	if !ok || top.All {
+		t.Fatalf("top = %#v, want distinct UNION", q)
+	}
+	left, ok := top.Left.(*SetOp)
+	if !ok || !left.All {
+		t.Fatalf("left = %#v, want UNION ALL", top.Left)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	q := mustQuery(t, `SELECT SUM(T.SALARY), T.LOCATION FROM
+		(SELECT SALARY, LOCATION FROM DEPT, EMP WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID + 5 = 15) AS T
+		GROUP BY T.LOCATION`)
+	sel := q.(*Select)
+	sq, ok := sel.From[0].(*SubqueryRef)
+	if !ok || sq.Alias != "T" {
+		t.Fatalf("from[0] = %#v, want subquery aliased T", sel.From[0])
+	}
+	inner := sq.Query.(*Select)
+	if len(inner.From) != 2 {
+		t.Errorf("inner FROM len = %d, want 2", len(inner.From))
+	}
+}
+
+func TestParseExistsAndIn(t *testing.T) {
+	sel := mustQuery(t, `SELECT * FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)
+		AND EMP.DEPT_ID IN (1, 2, 3) AND EMP.EMP_ID NOT IN (SELECT EMP_ID FROM BONUS)`).(*Select)
+	and1 := sel.Where.(*BinExpr)
+	if and1.Op != OpAnd {
+		t.Fatal("expected AND chain")
+	}
+	// Check the IN list variant exists somewhere in the tree.
+	var foundList, foundSub, foundExists bool
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinExpr:
+			walk(v.L)
+			walk(v.R)
+		case *InExpr:
+			if v.Query != nil {
+				foundSub = true
+				if !v.Negate {
+					t.Error("IN subquery should be negated")
+				}
+			} else {
+				foundList = true
+				if len(v.List) != 3 {
+					t.Errorf("IN list length = %d, want 3", len(v.List))
+				}
+			}
+		case *ExistsExpr:
+			foundExists = true
+		}
+	}
+	walk(sel.Where)
+	if !foundList || !foundSub || !foundExists {
+		t.Errorf("missing predicates: list=%v sub=%v exists=%v", foundList, foundSub, foundExists)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustQuery(t, `SELECT CASE WHEN X > 0 THEN 1 WHEN X < 0 THEN -1 ELSE 0 END FROM T`).(*Select)
+	c, ok := sel.Exprs[0].Expr.(*CaseExpr)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case = %#v", sel.Exprs[0].Expr)
+	}
+	// Operand form desugars into comparisons.
+	sel2 := mustQuery(t, `SELECT CASE X WHEN 1 THEN 'a' ELSE 'b' END FROM T`).(*Select)
+	c2 := sel2.Exprs[0].Expr.(*CaseExpr)
+	cmp, ok := c2.Whens[0].Cond.(*BinExpr)
+	if !ok || cmp.Op != OpEq {
+		t.Fatalf("operand case did not desugar: %#v", c2.Whens[0].Cond)
+	}
+}
+
+func TestParseBetweenAndLiterals(t *testing.T) {
+	sel := mustQuery(t, `SELECT * FROM T WHERE A BETWEEN 1 AND 10 AND B = 'x''y' AND C IS NOT NULL AND D = 2.5`).(*Select)
+	var sawStr, sawIsNotNull, sawRat bool
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinExpr:
+			walk(v.L)
+			walk(v.R)
+		case *StrLit:
+			if v.Val == "x'y" {
+				sawStr = true
+			}
+		case *IsNullExpr:
+			if v.Negate {
+				sawIsNotNull = true
+			}
+		case *NumLit:
+			if v.Val.Cmp(big.NewRat(5, 2)) == 0 {
+				sawRat = true
+			}
+		}
+	}
+	walk(sel.Where)
+	if !sawStr || !sawIsNotNull || !sawRat {
+		t.Errorf("missing literals: str=%v isnotnull=%v rat=%v", sawStr, sawIsNotNull, sawRat)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustQuery(t, "SELECT * FROM T WHERE A + B * 2 = C OR D < 1 AND E > 2").(*Select)
+	or, ok := sel.Where.(*BinExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top should be OR: %#v", sel.Where)
+	}
+	and, ok := or.R.(*BinExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right of OR should be AND: %#v", or.R)
+	}
+	eq := or.L.(*BinExpr)
+	add := eq.L.(*BinExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("left of = should be +: %#v", eq.L)
+	}
+	if mul, ok := add.R.(*BinExpr); !ok || mul.Op != OpMul {
+		t.Fatalf("* should bind tighter than +: %#v", add.R)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE EMP (
+		EMP_ID INT NOT NULL PRIMARY KEY,
+		SALARY INT,
+		DEPT_ID INT,
+		LOCATION VARCHAR(20)
+	)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTable)
+	if ct.Name != "EMP" || len(ct.Columns) != 4 {
+		t.Fatalf("bad create table: %#v", ct)
+	}
+	if !ct.Columns[0].NotNull || !ct.Columns[0].PK {
+		t.Error("EMP_ID should be NOT NULL PRIMARY KEY")
+	}
+	if len(ct.PK) != 1 || ct.PK[0] != "EMP_ID" {
+		t.Errorf("PK = %v, want [EMP_ID]", ct.PK)
+	}
+}
+
+func TestParseSchemaMulti(t *testing.T) {
+	tables, err := ParseSchema(`
+		CREATE TABLE A (X INT, Y INT, PRIMARY KEY (X, Y));
+		CREATE TABLE B (Z INT NOT NULL);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	if len(tables[0].PK) != 2 {
+		t.Errorf("table A PK = %v, want 2 columns", tables[0].PK)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM T WHERE",
+		"SELECT * FROM T LIMIT 10",
+		"SELECT RANK() OVER (PARTITION BY X) FROM T",
+		"SELECT 'unterminated FROM T",
+		"SELECT * FROM T WHERE A = @",
+		"SELECT * FROM T T2 T3",
+	}
+	for _, sql := range bad {
+		if _, err := ParseQuery(sql); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseParenthesizedUnionAsDerivedTable(t *testing.T) {
+	q := mustQuery(t, `SELECT * FROM ((SELECT A FROM T) UNION ALL (SELECT A FROM U)) AS W`)
+	sel := q.(*Select)
+	sq, ok := sel.From[0].(*SubqueryRef)
+	if !ok {
+		t.Fatalf("from[0] = %T, want SubqueryRef", sel.From[0])
+	}
+	if _, ok := sq.Query.(*SetOp); !ok {
+		t.Fatalf("derived table should be a SetOp, got %T", sq.Query)
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	q := mustQuery(t, `-- leading comment
+		SELECT /* inline */ A FROM T -- trailing`)
+	if _, ok := q.(*Select); !ok {
+		t.Fatalf("got %T", q)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	sel := mustQuery(t, "SELECT A FROM T ORDER BY A DESC, B").(*Select)
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order by = %#v", sel.OrderBy)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	sel := mustQuery(t, "SELECT DISTINCT A, B FROM T").(*Select)
+	if !sel.Distinct {
+		t.Error("DISTINCT not set")
+	}
+	sel2 := mustQuery(t, "SELECT COUNT(DISTINCT A) FROM T").(*Select)
+	fn := sel2.Exprs[0].Expr.(*FuncExpr)
+	if !fn.Distinct {
+		t.Error("COUNT(DISTINCT ...) not set")
+	}
+}
+
+func TestParseCastParsed(t *testing.T) {
+	sel := mustQuery(t, "SELECT CAST(A AS VARCHAR(10)) FROM T").(*Select)
+	c, ok := sel.Exprs[0].Expr.(*CastExpr)
+	if !ok || !strings.EqualFold(c.Type, "VARCHAR") {
+		t.Fatalf("cast = %#v", sel.Exprs[0].Expr)
+	}
+}
+
+func TestParseStarVariants(t *testing.T) {
+	sel := mustQuery(t, "SELECT *, T.* , COUNT(*) FROM T").(*Select)
+	if !sel.Exprs[0].Star || sel.Exprs[0].Table != "" {
+		t.Error("bare * wrong")
+	}
+	if !sel.Exprs[1].Star || sel.Exprs[1].Table != "T" {
+		t.Error("T.* wrong")
+	}
+	fn := sel.Exprs[2].Expr.(*FuncExpr)
+	if !fn.Star {
+		t.Error("COUNT(*) wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// seedQueries are valid inputs whose mutations drive the robustness test.
+var seedQueries = []string{
+	"SELECT A, B FROM T WHERE A > 1 AND B < 2",
+	"SELECT SUM(X), Y FROM (SELECT X, Y FROM U WHERE X IS NOT NULL) S GROUP BY Y HAVING SUM(X) > 0",
+	"SELECT * FROM A LEFT JOIN B ON A.X = B.Y WHERE B.Z IN (1, 2, 3)",
+	"SELECT CASE WHEN X > 0 THEN 'p' WHEN X < 0 THEN 'n' ELSE 'z' END FROM T",
+	"SELECT DISTINCT T.C FROM T WHERE EXISTS (SELECT 1 FROM U WHERE U.ID = T.ID)",
+	"(SELECT A FROM T UNION ALL SELECT B FROM U) UNION SELECT C FROM V",
+	"CREATE TABLE X (A INT NOT NULL PRIMARY KEY, B VARCHAR(20), PRIMARY KEY (A))",
+	"SELECT X BETWEEN 1 AND 2 FROM T ORDER BY X DESC",
+}
+
+// TestParserNeverPanics mutates valid queries aggressively (byte deletion,
+// duplication, substitution, truncation, splicing) and requires the parser
+// to either succeed or return an error — never panic, never loop.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1717))
+	alphabet := []byte("abzXY019'\"().,*<>=+-_ ;%|")
+	for iter := 0; iter < 5000; iter++ {
+		s := seedQueries[r.Intn(len(seedQueries))]
+		b := []byte(s)
+		for m := 0; m < 1+r.Intn(4); m++ {
+			if len(b) == 0 {
+				break
+			}
+			switch r.Intn(4) {
+			case 0: // delete a byte
+				i := r.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 1: // substitute
+				b[r.Intn(len(b))] = alphabet[r.Intn(len(alphabet))]
+			case 2: // duplicate a span
+				i := r.Intn(len(b))
+				j := i + r.Intn(len(b)-i)
+				b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+			case 3: // truncate
+				b = b[:r.Intn(len(b)+1)]
+			}
+		}
+		input := string(b)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on %q: %v", input, rec)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestParserSplicedInputs crosses two seeds at random cut points.
+func TestParserSplicedInputs(t *testing.T) {
+	r := rand.New(rand.NewSource(2929))
+	for iter := 0; iter < 3000; iter++ {
+		a := seedQueries[r.Intn(len(seedQueries))]
+		b := seedQueries[r.Intn(len(seedQueries))]
+		input := a[:r.Intn(len(a)+1)] + b[r.Intn(len(b)+1):]
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on %q: %v", input, rec)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestLexerUnterminatedInputs covers the unterminated-token error paths.
+func TestLexerUnterminatedInputs(t *testing.T) {
+	bad := []string{
+		"SELECT 'abc",
+		`SELECT "abc`,
+		"SELECT /* never closed",
+		"SELECT -- trailing comment",
+		"SELECT 'a''",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil && !strings.HasPrefix(s, "SELECT --") {
+			// The trailing line comment is fine; the others must error.
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+// TestDeeplyNestedParens guards the recursive-descent stack on pathological
+// nesting (bounded input keeps recursion depth proportional but finite).
+func TestDeeplyNestedParens(t *testing.T) {
+	depth := 300
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	if _, err := Parse("SELECT " + expr + " FROM T"); err != nil {
+		t.Fatalf("deeply nested parens should parse: %v", err)
+	}
+	sub := "SELECT A FROM T"
+	for i := 0; i < 60; i++ {
+		sub = "SELECT A FROM (" + sub + ") X" + string(rune('a'+i%26))
+	}
+	if _, err := Parse(sub); err != nil {
+		t.Fatalf("deeply nested derived tables should parse: %v", err)
+	}
+}

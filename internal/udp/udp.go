@@ -1,0 +1,287 @@
+// Package udp reimplements the UDP baseline the paper compares against
+// (§1, §7.2): an algebraic prover of query equivalence under bag semantics.
+// UDP normalizes algebraic expressions with syntax-driven rewrite rules and
+// then looks for an isomorphism between the normalized expressions.
+//
+// The reimplementation exhibits UDP's published limitations:
+//   - predicates must match syntactically (modulo commutativity and
+//     constant normalization) — DEPT_ID > 10 and DEPT_ID + 5 > 15 do not
+//     unify;
+//   - no support for NULL semantics: queries mentioning NULL literals,
+//     IS NULL, or outer joins are rejected as unsupported;
+//   - normalization is purely syntactic (no solver-backed rules).
+package udp
+
+import (
+	"sort"
+	"strings"
+
+	"spes/internal/normalize"
+	"spes/internal/plan"
+)
+
+// Verdict distinguishes unsupported inputs from failed proofs.
+type Verdict int
+
+const (
+	NotProved Verdict = iota
+	Proved
+	Unsupported
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Proved:
+		return "proved"
+	case Unsupported:
+		return "unsupported"
+	}
+	return "not-proved"
+}
+
+// Verifier proves bag-semantics equivalence algebraically.
+type Verifier struct {
+	nz *normalize.Normalizer
+}
+
+// New returns a fresh verifier.
+func New() *Verifier {
+	// Syntactic rules only: the solver-backed empty-table rule is off, as
+	// are the integrity-constraint rules UDP lacks.
+	return &Verifier{nz: normalize.New(normalize.Options{
+		NoEmptyTable: true,
+		NoIntegrity:  true,
+	})}
+}
+
+// VerifyPlans checks the pair. Proved is sound for bag semantics.
+func (v *Verifier) VerifyPlans(q1, q2 plan.Node) Verdict {
+	if usesNulls(q1) || usesNulls(q2) {
+		return Unsupported
+	}
+	if q1.Arity() != q2.Arity() {
+		return NotProved
+	}
+	n1 := v.nz.Normalize(q1)
+	n2 := v.nz.Normalize(q2)
+	if isomorphic(n1, n2) {
+		return Proved
+	}
+	return NotProved
+}
+
+// usesNulls reports whether the plan relies on NULL semantics: NULL
+// literals, IS NULL tests, or outer joins (which the builder lowers to
+// unions with NULL padding and anti-join EXISTS predicates).
+func usesNulls(n plan.Node) bool {
+	found := false
+	var visitExpr func(e plan.Expr)
+	var visit func(n plan.Node)
+	visitExpr = func(e plan.Expr) {
+		plan.WalkExpr(e, func(x plan.Expr) bool {
+			switch v := x.(type) {
+			case *plan.IsNull:
+				found = true
+			case *plan.Const:
+				if v.Val.Null {
+					found = true
+				}
+			case *plan.Exists:
+				visit(v.Sub)
+			case *plan.ScalarSub:
+				visit(v.Sub)
+			}
+			return !found
+		})
+	}
+	visit = func(n plan.Node) {
+		if found {
+			return
+		}
+		switch v := n.(type) {
+		case *plan.SPJ:
+			visitExpr(v.Pred)
+			for _, p := range v.Proj {
+				visitExpr(p.E)
+			}
+		case *plan.Agg:
+			for _, g := range v.GroupBy {
+				visitExpr(g.E)
+			}
+			for _, a := range v.Aggs {
+				if a.Arg != nil {
+					visitExpr(a.Arg)
+				}
+			}
+		}
+		for _, c := range plan.Children(n) {
+			visit(c)
+		}
+	}
+	visit(n)
+	return found
+}
+
+// isomorphic compares two normalized plans structurally, searching over
+// input permutations of SPJ and Union nodes, with predicates and
+// projections compared by canonical string after commutativity
+// normalization.
+func isomorphic(a, b plan.Node) bool {
+	switch x := a.(type) {
+	case *plan.Table:
+		y, ok := b.(*plan.Table)
+		return ok && x.Meta.Name == y.Meta.Name
+	case *plan.Empty:
+		_, ok := b.(*plan.Empty)
+		return ok
+	case *plan.SPJ:
+		y, ok := b.(*plan.SPJ)
+		if !ok || len(x.Inputs) != len(y.Inputs) || len(x.Proj) != len(y.Proj) {
+			return false
+		}
+		return matchSPJ(x, y)
+	case *plan.Agg:
+		y, ok := b.(*plan.Agg)
+		if !ok || len(x.GroupBy) != len(y.GroupBy) || len(x.Aggs) != len(y.Aggs) {
+			return false
+		}
+		if !isomorphic(x.Input, y.Input) {
+			return false
+		}
+		// Group-by sets compare as sets; aggregates positionally.
+		gx := canonSet(x.GroupBy)
+		gy := canonSet(y.GroupBy)
+		if gx != gy {
+			return false
+		}
+		for i := range x.Aggs {
+			if x.Aggs[i].Op != y.Aggs[i].Op || x.Aggs[i].Distinct != y.Aggs[i].Distinct {
+				return false
+			}
+			ax, ay := "", ""
+			if x.Aggs[i].Arg != nil {
+				ax = canonExpr(x.Aggs[i].Arg)
+			}
+			if y.Aggs[i].Arg != nil {
+				ay = canonExpr(y.Aggs[i].Arg)
+			}
+			if ax != ay {
+				return false
+			}
+		}
+		return true
+	case *plan.Union:
+		y, ok := b.(*plan.Union)
+		if !ok || len(x.Inputs) != len(y.Inputs) {
+			return false
+		}
+		// Branches compare as a multiset via canonical keys.
+		kx := make([]string, len(x.Inputs))
+		ky := make([]string, len(y.Inputs))
+		for i := range x.Inputs {
+			kx[i] = canonNode(x.Inputs[i])
+			ky[i] = canonNode(y.Inputs[i])
+		}
+		sort.Strings(kx)
+		sort.Strings(ky)
+		return strings.Join(kx, "\x00") == strings.Join(ky, "\x00")
+	}
+	return false
+}
+
+// matchSPJ searches input permutations; on each permutation the predicate
+// and projections must match canonically after re-indexing.
+func matchSPJ(x, y *plan.SPJ) bool {
+	n := len(x.Inputs)
+	// Candidate pairings by recursive isomorphism.
+	feasible := make([][]bool, n)
+	for i := range feasible {
+		feasible[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			feasible[i][j] = isomorphic(x.Inputs[i], y.Inputs[j])
+		}
+	}
+	xoff := make([]int, n+1)
+	yoff := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		xoff[i+1] = xoff[i] + x.Inputs[i].Arity()
+		yoff[i+1] = yoff[i] + y.Inputs[i].Arity()
+	}
+	used := make([]bool, n)
+	perm := make([]int, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return matchUnderPerm(x, y, perm, xoff, yoff)
+		}
+		for j := 0; j < n; j++ {
+			if used[j] || !feasible[i][j] {
+				continue
+			}
+			if x.Inputs[i].Arity() != y.Inputs[j].Arity() {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			if rec(i + 1) {
+				return true
+			}
+			used[j] = false
+		}
+		return false
+	}
+	if n == 0 {
+		return matchUnderPerm(x, y, nil, xoff, yoff)
+	}
+	return rec(0)
+}
+
+func matchUnderPerm(x, y *plan.SPJ, perm, xoff, yoff []int) bool {
+	// Remap x's references into y's layout.
+	remap := func(e plan.Expr) plan.Expr {
+		return plan.MapOwnRefs(e, func(idx int) plan.Expr {
+			for i := 0; i+1 < len(xoff); i++ {
+				if idx >= xoff[i] && idx < xoff[i+1] {
+					return &plan.ColRef{Index: yoff[perm[i]] + (idx - xoff[i])}
+				}
+			}
+			return &plan.ColRef{Index: idx}
+		})
+	}
+	px, py := "", ""
+	if x.Pred != nil {
+		px = canonExpr(remap(x.Pred))
+	}
+	if y.Pred != nil {
+		py = canonExpr(y.Pred)
+	}
+	if px != py {
+		return false
+	}
+	for i := range x.Proj {
+		if canonExpr(remap(x.Proj[i].E)) != canonExpr(y.Proj[i].E) {
+			return false
+		}
+	}
+	return true
+}
+
+func canonSet(items []plan.NamedExpr) string {
+	keys := make([]string, len(items))
+	for i, g := range items {
+		keys[i] = canonExpr(g.E)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x00")
+}
+
+func canonNode(n plan.Node) string {
+	// Canonical node rendering: every expression is canonicalized, then the
+	// tree is formatted.
+	return plan.Format(plan.CanonNode(n))
+}
+
+// canonExpr renders an expression canonically via plan.CanonExpr.
+func canonExpr(e plan.Expr) string {
+	return plan.CanonExpr(e).String()
+}

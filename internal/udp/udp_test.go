@@ -1,0 +1,135 @@
+package udp
+
+import (
+	"testing"
+
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+func testCatalog(t testing.TB) *schema.Catalog {
+	cat := schema.NewCatalog()
+	add := func(tbl *schema.Table) {
+		if err := cat.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&schema.Table{
+		Name: "EMP",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "SALARY", Type: schema.Int},
+			{Name: "DEPT_ID", Type: schema.Int},
+			{Name: "LOCATION", Type: schema.String},
+		},
+		PrimaryKey: []string{"EMP_ID"},
+	})
+	add(&schema.Table{
+		Name: "DEPT",
+		Columns: []schema.Column{
+			{Name: "DEPT_ID", Type: schema.Int, NotNull: true},
+			{Name: "DEPT_NAME", Type: schema.String},
+		},
+		PrimaryKey: []string{"DEPT_ID"},
+	})
+	return cat
+}
+
+func check(t *testing.T, sql1, sql2 string, want Verdict) {
+	t.Helper()
+	b := plan.NewBuilder(testCatalog(t))
+	q1, err := b.BuildSQL(sql1)
+	if err != nil {
+		t.Fatalf("build q1: %v", err)
+	}
+	q2, err := b.BuildSQL(sql2)
+	if err != nil {
+		t.Fatalf("build q2: %v", err)
+	}
+	if got := New().VerifyPlans(q1, q2); got != want {
+		t.Errorf("UDP(%q, %q) = %v, want %v", sql1, sql2, got, want)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	check(t,
+		"SELECT DEPT_ID FROM EMP WHERE SALARY > 5",
+		"SELECT DEPT_ID FROM EMP WHERE SALARY > 5",
+		Proved)
+}
+
+func TestCommutedPredicate(t *testing.T) {
+	// Commutativity is part of the syntactic normalization.
+	check(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 5 AND DEPT_ID < 9",
+		"SELECT EMP_ID FROM EMP WHERE DEPT_ID < 9 AND SALARY > 5",
+		Proved)
+	check(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 5",
+		"SELECT EMP_ID FROM EMP WHERE 5 < SALARY",
+		Proved)
+}
+
+func TestFilterSplitViaRules(t *testing.T) {
+	// SPJ merging is a syntactic rule UDP has.
+	check(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 5 AND DEPT_ID < 9",
+		"SELECT EMP_ID FROM (SELECT * FROM EMP WHERE SALARY > 5) T WHERE DEPT_ID < 9",
+		Proved)
+}
+
+func TestSemanticPredicateGapNotProved(t *testing.T) {
+	// The paper's headline UDP limitation: syntactically different but
+	// semantically equal predicates.
+	check(t,
+		"SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 10",
+		"SELECT DEPT_ID FROM EMP WHERE DEPT_ID + 5 > 15",
+		NotProved)
+}
+
+func TestJoinCommute(t *testing.T) {
+	check(t,
+		"SELECT EMP_ID, DEPT_NAME FROM EMP, DEPT WHERE EMP.DEPT_ID = DEPT.DEPT_ID",
+		"SELECT EMP_ID, DEPT_NAME FROM DEPT, EMP WHERE DEPT.DEPT_ID = EMP.DEPT_ID",
+		Proved)
+}
+
+func TestNullFeaturesUnsupported(t *testing.T) {
+	check(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NULL",
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NULL",
+		Unsupported)
+	check(t,
+		"SELECT EMP_ID, DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID",
+		"SELECT EMP_ID, DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID",
+		Unsupported)
+	check(t,
+		"SELECT NULL FROM EMP",
+		"SELECT NULL FROM EMP",
+		Unsupported)
+}
+
+func TestUnionBranchesAsMultiset(t *testing.T) {
+	check(t,
+		"SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM DEPT",
+		"SELECT DEPT_ID FROM DEPT UNION ALL SELECT DEPT_ID FROM EMP",
+		Proved)
+}
+
+func TestAggregates(t *testing.T) {
+	check(t,
+		"SELECT LOCATION, SUM(SALARY) FROM EMP GROUP BY LOCATION",
+		"SELECT LOCATION, SUM(SALARY) FROM EMP GROUP BY LOCATION",
+		Proved)
+	check(t,
+		"SELECT LOCATION, SUM(SALARY) FROM EMP GROUP BY LOCATION",
+		"SELECT LOCATION, SUM(EMP_ID) FROM EMP GROUP BY LOCATION",
+		NotProved)
+}
+
+func TestDifferentConstants(t *testing.T) {
+	check(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 5",
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 6",
+		NotProved)
+}

@@ -1,0 +1,270 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spes/internal/datagen"
+	"spes/internal/exec"
+	"spes/internal/normalize"
+	"spes/internal/plan"
+)
+
+// This file is the end-to-end randomized soundness harness (the operational
+// Theorem 1): generate random queries, derive both equivalence-preserving
+// rewrites and deliberately broken perturbations, and require that
+//
+//  1. whenever SPES proves a pair, the executor finds identical bags on
+//     every random database tried (soundness — an absolute invariant);
+//  2. SPES never proves a perturbed pair for which the executor exhibits a
+//     counterexample database (soundness again, from the other side);
+//  3. SPES proves a healthy fraction of the preserving rewrites
+//     (effectiveness — a regression tripwire, not a theorem).
+
+// qdesc is a structured random query over the EMP/DEPT schema that we can
+// both render to SQL and rewrite symbolically.
+type qdesc struct {
+	cols     []string // projection column names (EMP columns)
+	conj     []cond   // WHERE conjuncts
+	groupBy  []string // optional grouping columns (subset of cols)
+	agg      string   // optional aggregate: "", "COUNT", "SUM"
+	distinct bool
+}
+
+type cond struct {
+	col string
+	op  string
+	k   int
+}
+
+var empCols = []string{"EMP_ID", "SALARY", "DEPT_ID"}
+
+func randQuery(r *rand.Rand) qdesc {
+	q := qdesc{}
+	// 1-2 projection columns.
+	perm := r.Perm(len(empCols))
+	for _, i := range perm[:1+r.Intn(2)] {
+		q.cols = append(q.cols, empCols[i])
+	}
+	for i := 0; i < 1+r.Intn(2); i++ {
+		q.conj = append(q.conj, cond{
+			col: empCols[r.Intn(len(empCols))],
+			op:  []string{">", "<", ">=", "<=", "="}[r.Intn(5)],
+			k:   r.Intn(12),
+		})
+	}
+	switch r.Intn(4) {
+	case 0:
+		q.agg = []string{"COUNT", "SUM"}[r.Intn(2)]
+		q.groupBy = q.cols
+	case 1:
+		q.distinct = true
+	}
+	return q
+}
+
+func (q qdesc) sql() string {
+	var sel []string
+	sel = append(sel, q.cols...)
+	if q.agg == "COUNT" {
+		sel = append(sel, "COUNT(*)")
+	} else if q.agg == "SUM" {
+		sel = append(sel, "SUM(SALARY)")
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.distinct {
+		b.WriteString("DISTINCT ")
+	}
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString(" FROM EMP")
+	if len(q.conj) > 0 {
+		var cs []string
+		for _, c := range q.conj {
+			cs = append(cs, fmt.Sprintf("%s %s %d", c.col, c.op, c.k))
+		}
+		b.WriteString(" WHERE " + strings.Join(cs, " AND "))
+	}
+	if len(q.groupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(q.groupBy, ", "))
+	}
+	return b.String()
+}
+
+// preservingRewrite renders an equivalent SQL formulation of q.
+func preservingRewrite(q qdesc, r *rand.Rand) string {
+	switch r.Intn(4) {
+	case 0: // arithmetic shift on a conjunct
+		cp := q
+		cp.conj = append([]cond{}, q.conj...)
+		if len(cp.conj) > 0 {
+			i := r.Intn(len(cp.conj))
+			c := cp.conj[i]
+			shift := 1 + r.Intn(5)
+			// col op k  ≡  col + shift op k + shift
+			sql := cp.sqlWithConjunct(i, fmt.Sprintf("%s + %d %s %d", c.col, shift, c.op, c.k+shift))
+			return sql
+		}
+		return q.sql()
+	case 1: // nest in an identity derived table
+		return fmt.Sprintf("SELECT * FROM (%s) T", q.sql())
+	case 2: // split the WHERE across a derived table
+		if len(q.conj) >= 2 && q.agg == "" && !q.distinct {
+			inner := fmt.Sprintf("SELECT * FROM EMP WHERE %s %s %d",
+				q.conj[0].col, q.conj[0].op, q.conj[0].k)
+			var rest []string
+			for _, c := range q.conj[1:] {
+				rest = append(rest, fmt.Sprintf("%s %s %d", c.col, c.op, c.k))
+			}
+			return fmt.Sprintf("SELECT %s FROM (%s) T WHERE %s",
+				strings.Join(q.cols, ", "), inner, strings.Join(rest, " AND "))
+		}
+		return q.sql()
+	default: // reorder conjuncts
+		cp := q
+		if len(cp.conj) >= 2 {
+			cp.conj = []cond{q.conj[len(q.conj)-1]}
+			cp.conj = append(cp.conj, q.conj[:len(q.conj)-1]...)
+		}
+		return cp.sql()
+	}
+}
+
+// sqlWithConjunct renders q with conjunct i replaced by raw SQL text.
+func (q qdesc) sqlWithConjunct(i int, raw string) string {
+	var sel []string
+	sel = append(sel, q.cols...)
+	if q.agg == "COUNT" {
+		sel = append(sel, "COUNT(*)")
+	} else if q.agg == "SUM" {
+		sel = append(sel, "SUM(SALARY)")
+	}
+	var cs []string
+	for j, c := range q.conj {
+		if j == i {
+			cs = append(cs, raw)
+		} else {
+			cs = append(cs, fmt.Sprintf("%s %s %d", c.col, c.op, c.k))
+		}
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.distinct {
+		b.WriteString("DISTINCT ")
+	}
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString(" FROM EMP WHERE ")
+	b.WriteString(strings.Join(cs, " AND "))
+	if len(q.groupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(q.groupBy, ", "))
+	}
+	return b.String()
+}
+
+// breakingPerturbation renders a (usually) inequivalent variant.
+func breakingPerturbation(q qdesc, r *rand.Rand) string {
+	cp := q
+	cp.conj = append([]cond{}, q.conj...)
+	switch r.Intn(3) {
+	case 0: // shift a constant without compensating
+		if len(cp.conj) > 0 {
+			i := r.Intn(len(cp.conj))
+			cp.conj[i].k += 1 + r.Intn(3)
+		}
+	case 1: // drop a conjunct
+		if len(cp.conj) > 1 {
+			cp.conj = cp.conj[1:]
+		} else {
+			cp.conj = nil
+		}
+	default: // toggle DISTINCT / aggregation structure
+		if cp.agg == "" {
+			cp.distinct = !cp.distinct
+		} else if cp.agg == "COUNT" {
+			cp.agg = "SUM"
+		} else {
+			cp.agg = "COUNT"
+		}
+	}
+	return cp.sql()
+}
+
+func verifyPair(t *testing.T, sql1, sql2 string) (proved bool, q1, q2 plan.Node) {
+	t.Helper()
+	b := plan.NewBuilder(testCatalog(t))
+	var err error
+	q1, err = b.BuildSQL(sql1)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql1, err)
+	}
+	q2, err = b.BuildSQL(sql2)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql2, err)
+	}
+	nz := normalize.New(normalize.Options{})
+	return New().VerifyPlans(nz.Normalize(q1), nz.Normalize(q2)), q1, q2
+}
+
+// execsAgree runs both plans on n random databases; it returns false as
+// soon as a counterexample database distinguishes them.
+func execsAgree(t *testing.T, q1, q2 plan.Node, r *rand.Rand, n int) bool {
+	t.Helper()
+	cat := testCatalog(t)
+	for i := 0; i < n; i++ {
+		db := datagen.Random(cat, r, datagen.Options{MaxRows: 5})
+		r1, err := exec.Run(db, q1)
+		if err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+		r2, err := exec.Run(db, q2)
+		if err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+		if !exec.BagEqual(r1, r2) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRandomizedSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(20220701))
+	iterations := 120
+	if testing.Short() {
+		iterations = 25
+	}
+	provedPreserving, totalPreserving := 0, 0
+	for iter := 0; iter < iterations; iter++ {
+		q := randQuery(r)
+		base := q.sql()
+
+		// Equivalence-preserving rewrite: proof implies execution agreement.
+		rewrite := preservingRewrite(q, r)
+		totalPreserving++
+		proved, p1, p2 := verifyPair(t, base, rewrite)
+		if proved {
+			provedPreserving++
+			if !execsAgree(t, p1, p2, r, 12) {
+				t.Fatalf("SOUNDNESS VIOLATION (preserving rewrite):\n q1: %s\n q2: %s", base, rewrite)
+			}
+		}
+
+		// Breaking perturbation: if the executor can tell them apart, SPES
+		// must not have proved them.
+		broken := breakingPerturbation(q, r)
+		if broken == base {
+			continue
+		}
+		provedBroken, b1, b2 := verifyPair(t, base, broken)
+		if provedBroken && !execsAgree(t, b1, b2, r, 20) {
+			t.Fatalf("SOUNDNESS VIOLATION (perturbation proved but differs):\n q1: %s\n q2: %s", base, broken)
+		}
+	}
+	rate := float64(provedPreserving) / float64(totalPreserving)
+	t.Logf("proved %d/%d preserving rewrites (%.0f%%)", provedPreserving, totalPreserving, 100*rate)
+	if rate < 0.6 {
+		t.Errorf("effectiveness regression: only %.0f%% of preserving rewrites proved", 100*rate)
+	}
+}

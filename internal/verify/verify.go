@@ -1,0 +1,500 @@
+// Package verify implements SPES's equivalence verification algorithms
+// (§5 of the paper): the recursive VeriCard procedure with its category
+// dispatch (Alg. 1), the per-category sub-procedures VeriTable (Alg. 2),
+// VeriSPJ (Alg. 3), VeriAgg (Alg. 4), and VeriUnion (Alg. 5), the VeriVec
+// bijection search over sub-query vectors, and the top-level full
+// equivalence check (Lemma 1 / Alg. 6).
+//
+// Soundness: a Proved verdict means the two plans are fully equivalent
+// under bag semantics for every database, because every step only concludes
+// from solver Unsat answers (see internal/smt's soundness contract). The
+// procedure is deliberately incomplete, like the paper's.
+package verify
+
+import (
+	"fmt"
+
+	"spes/internal/fol"
+	"spes/internal/plan"
+	"spes/internal/smt"
+	"spes/internal/symbolic"
+)
+
+// Stats counts verification work.
+type Stats struct {
+	SolverQueries   int
+	VeriCardCalls   int
+	Candidates      int   // VeriVec candidate bijections examined
+	ModelRounds     int   // propositional models the solver examined
+	TheoryConflicts int   // theory conflicts (blocking clauses learned)
+	CoreChecks      int64 // theory checks spent minimizing cores
+}
+
+// Verifier checks full equivalence of plan pairs. One Verifier per pair is
+// the intended use (fresh symbolic namespace); reuse is safe but
+// accumulates state. Not safe for concurrent use.
+type Verifier struct {
+	// MaxCandidates caps the bijections VeriVec tries per vector pair.
+	MaxCandidates int
+
+	solver *smt.Solver
+	gen    *symbolic.Gen
+	enc    *symbolic.Encoder
+	stats  Stats
+}
+
+// New returns a Verifier with a fresh solver and symbol namespace.
+func New() *Verifier {
+	g := symbolic.NewGen()
+	return &Verifier{
+		MaxCandidates: 64,
+		solver:        smt.New(),
+		gen:           g,
+		enc:           symbolic.NewEncoder(g),
+	}
+}
+
+// Stats returns counters accumulated so far.
+func (v *Verifier) Stats() Stats {
+	s := v.stats
+	s.SolverQueries = v.solver.Stats.Queries
+	s.ModelRounds = v.solver.Stats.ModelRounds
+	s.TheoryConflicts = v.solver.Stats.TheoryConfls
+	s.CoreChecks = v.solver.Stats.CoreChecks
+	return s
+}
+
+// Outcome reports both of the paper's equivalence notions: Cardinal is
+// Def 1 (same output cardinality on every database — a bijection exists);
+// Full is Def 2 (identical output bags — the bijection is an identity).
+// Full implies Cardinal.
+type Outcome struct {
+	Cardinal bool
+	Full     bool
+}
+
+// VerifyPlans reports whether q1 and q2 are proved fully equivalent under
+// bag semantics. false means "not proved", never "proved inequivalent".
+func (v *Verifier) VerifyPlans(q1, q2 plan.Node) bool {
+	return v.Check(q1, q2).Full
+}
+
+// Check runs the two-step procedure of §3.1 and reports how far it got:
+// cardinal equivalence (VeriCard constructs a QPSR) and full equivalence
+// (the QPSR's bijection is an identity map, Lemma 1).
+func (v *Verifier) Check(q1, q2 plan.Node) Outcome {
+	qpsr := v.veriCard(q1, q2)
+	if qpsr == nil {
+		return Outcome{}
+	}
+	out := Outcome{Cardinal: true}
+	if q1.Arity() == q2.Arity() && v.valid(qpsr.FullEquivalenceObligation()) {
+		out.Full = true
+	}
+	return out
+}
+
+func (v *Verifier) valid(f *fol.Term) bool {
+	return v.solver.Valid(f)
+}
+
+// veriCard is Alg. 1: dispatch on category, with type-alignment coercions
+// (wrapping a table in an identity SPJ, or any node in a single-branch
+// union) standing in for the "normalize to the same type" step of §5.3.
+func (v *Verifier) veriCard(q1, q2 plan.Node) *symbolic.QPSR {
+	v.stats.VeriCardCalls++
+	switch a := q1.(type) {
+	case *plan.Empty:
+		if _, ok := q2.(*plan.Empty); ok {
+			return &symbolic.QPSR{
+				Cols1:  v.gen.FreshTuple("e", q1.Arity()),
+				Cols2:  v.gen.FreshTuple("e", q2.Arity()),
+				Cond:   fol.False(),
+				Assign: fol.True(),
+			}
+		}
+		return nil
+	case *plan.Table:
+		switch b := q2.(type) {
+		case *plan.Table:
+			return v.veriTable(a, b)
+		case *plan.SPJ:
+			return v.veriSPJ(identitySPJ(a), b)
+		case *plan.Union:
+			return v.veriUnion(&plan.Union{Inputs: []plan.Node{a}}, b)
+		}
+	case *plan.SPJ:
+		switch b := q2.(type) {
+		case *plan.Table:
+			return v.veriSPJ(a, identitySPJ(b))
+		case *plan.SPJ:
+			return v.veriSPJ(a, b)
+		case *plan.Agg:
+			return v.veriSPJ(a, identitySPJ(b))
+		case *plan.Union:
+			return v.veriUnion(&plan.Union{Inputs: []plan.Node{a}}, b)
+		}
+	case *plan.Agg:
+		switch b := q2.(type) {
+		case *plan.Agg:
+			return v.veriAgg(a, b)
+		case *plan.SPJ:
+			return v.veriSPJ(identitySPJ(a), b)
+		case *plan.Union:
+			return v.veriUnion(&plan.Union{Inputs: []plan.Node{a}}, b)
+		}
+	case *plan.Union:
+		switch q2.(type) {
+		case *plan.Empty:
+			return nil
+		default:
+			b, ok := q2.(*plan.Union)
+			if !ok {
+				b = &plan.Union{Inputs: []plan.Node{q2}}
+			}
+			return v.veriUnion(a, b)
+		}
+	}
+	return nil
+}
+
+// identitySPJ wraps a node in a pass-through SPJ.
+func identitySPJ(n plan.Node) *plan.SPJ {
+	proj := make([]plan.NamedExpr, n.Arity())
+	for i, name := range n.ColumnNames() {
+		proj[i] = plan.NamedExpr{Name: name, E: &plan.ColRef{Index: i}}
+	}
+	return &plan.SPJ{Inputs: []plan.Node{n}, Proj: proj}
+}
+
+// veriTable is Alg. 2: two table queries are cardinally equivalent iff they
+// scan the same table; the QPSR is the identity bijection. NOT NULL columns
+// get a constant-false null flag, encoding the schema constraint.
+func (v *Verifier) veriTable(t1, t2 *plan.Table) *symbolic.QPSR {
+	if t1.Meta.Name != t2.Meta.Name {
+		return nil
+	}
+	cols := make(symbolic.Tuple, len(t1.Meta.Columns))
+	for i, c := range t1.Meta.Columns {
+		sc := v.gen.FreshCol("t")
+		if c.NotNull {
+			sc.Null = fol.False()
+		}
+		cols[i] = sc
+	}
+	return &symbolic.QPSR{Cols1: cols, Cols2: cols, Cond: fol.True(), Assign: fol.True()}
+}
+
+// veriSPJ is Alg. 3.
+func (v *Verifier) veriSPJ(s1, s2 *plan.SPJ) *symbolic.QPSR {
+	var result *symbolic.QPSR
+	v.veriVec(s1.Inputs, s2.Inputs, func(perm []int, qpsrs []*symbolic.QPSR) bool {
+		// Compose: the symbolic join row of s1 concatenates the Cols1 sides
+		// in s1's input order; the join row of s2 concatenates the Cols2
+		// sides in s2's input order.
+		var cols1, cols2 symbolic.Tuple
+		for i := range s1.Inputs {
+			cols1 = append(cols1, qpsrs[i].Cols1...)
+		}
+		inv := make([]int, len(perm))
+		for i, j := range perm {
+			inv[j] = i
+		}
+		for j := range s2.Inputs {
+			cols2 = append(cols2, qpsrs[inv[j]].Cols2...)
+		}
+		conds := make([]*fol.Term, 0, len(qpsrs))
+		assigns := make([]*fol.Term, 0, len(qpsrs))
+		for _, q := range qpsrs {
+			conds = append(conds, q.Cond)
+			assigns = append(assigns, q.Assign)
+		}
+		cond := fol.And(conds...)
+		assign := fol.And(assigns...)
+
+		p1, a1, err := v.encodePred(s1.Pred, cols1)
+		if err != nil {
+			return false
+		}
+		p2, a2, err := v.encodePred(s2.Pred, cols2)
+		if err != nil {
+			return false
+		}
+		// The predicates must select corresponding tuples identically.
+		obligation := fol.Implies(
+			fol.And(cond, assign, a1, a2),
+			fol.Iff(p1.IsTrue(), p2.IsTrue()))
+		if !v.valid(obligation) {
+			return false
+		}
+
+		out1, pa1, err := v.encodeProj(s1.Proj, cols1)
+		if err != nil {
+			return false
+		}
+		out2, pa2, err := v.encodeProj(s2.Proj, cols2)
+		if err != nil {
+			return false
+		}
+		result = &symbolic.QPSR{
+			Cols1:  out1,
+			Cols2:  out2,
+			Cond:   fol.And(cond, p1.IsTrue(), p2.IsTrue()),
+			Assign: fol.And(assign, a1, a2, pa1, pa2),
+		}
+		return true
+	})
+	return result
+}
+
+func (v *Verifier) encodePred(p plan.Expr, in symbolic.Tuple) (symbolic.Pred3, *fol.Term, error) {
+	if p == nil {
+		return symbolic.TruePred(), fol.True(), nil
+	}
+	pred, err := v.enc.Pred(p, in)
+	if err != nil {
+		v.enc.TakeAssigns()
+		return symbolic.Pred3{}, nil, err
+	}
+	return pred, v.enc.TakeAssigns(), nil
+}
+
+func (v *Verifier) encodeProj(proj []plan.NamedExpr, in symbolic.Tuple) (symbolic.Tuple, *fol.Term, error) {
+	out := make(symbolic.Tuple, len(proj))
+	for i, p := range proj {
+		c, err := v.enc.Expr(p.E, in)
+		if err != nil {
+			v.enc.TakeAssigns()
+			return nil, nil, err
+		}
+		out[i] = c
+	}
+	return out, v.enc.TakeAssigns(), nil
+}
+
+// veriAgg is Alg. 4.
+func (v *Verifier) veriAgg(a1, a2 *plan.Agg) *symbolic.QPSR {
+	sub := v.veriCard(a1.Input, a2.Input)
+	if sub == nil {
+		return nil
+	}
+	g1, ga1, err := v.encodeGroup(a1.GroupBy, sub.Cols1)
+	if err != nil {
+		return nil
+	}
+	g2, ga2, err := v.encodeGroup(a2.GroupBy, sub.Cols2)
+	if err != nil {
+		return nil
+	}
+	base := fol.And(sub.Cond, sub.Assign, ga1, ga2)
+
+	// Group-preservation property (both directions): for any two pairs of
+	// corresponding tuples, grouping together on one side entails grouping
+	// together on the other. Fresh primed copies model the second pair.
+	prime := func(t *fol.Term) *fol.Term {
+		return fol.RenameVars(t, func(n string) string { return n + "·p" })
+	}
+	primeTuple := func(t symbolic.Tuple) symbolic.Tuple {
+		out := make(symbolic.Tuple, len(t))
+		for i, c := range t {
+			out[i] = symbolic.Col{Val: prime(c.Val), Null: prime(c.Null)}
+		}
+		return out
+	}
+	g1p, g2p := primeTuple(g1), primeTuple(g2)
+	basep := prime(base)
+	ctx := fol.And(base, basep)
+	if !v.valid(fol.Implies(fol.And(ctx, symbolic.GroupEq(g1, g1p)), symbolic.GroupEq(g2, g2p))) {
+		return nil
+	}
+	if !v.valid(fol.Implies(fol.And(ctx, symbolic.GroupEq(g2, g2p)), symbolic.GroupEq(g1, g1p))) {
+		return nil
+	}
+
+	// InitAgg: fresh symbolic columns for the first query's aggregates.
+	agg1Cols := make(symbolic.Tuple, len(a1.Aggs))
+	agg1Args := make([]*symbolic.Col, len(a1.Aggs))
+	var argAssigns []*fol.Term
+	for i, a := range a1.Aggs {
+		c := v.gen.FreshCol("agg")
+		if a.Op == plan.AggCount || a.Op == plan.AggCountStar {
+			c.Null = fol.False() // COUNT is never NULL
+		}
+		agg1Cols[i] = c
+		if a.Arg != nil {
+			ac, err := v.enc.Expr(a.Arg, sub.Cols1)
+			if err != nil {
+				v.enc.TakeAssigns()
+				return nil
+			}
+			argAssigns = append(argAssigns, v.enc.TakeAssigns())
+			agg1Args[i] = &ac
+		}
+	}
+
+	// CtrAgg: the second query's aggregates reuse a first-query column when
+	// the function, distinctness, and operand values coincide on
+	// corresponding tuples; otherwise they get fresh columns (and full
+	// equivalence will fail on them unless projected away — it cannot be:
+	// aggregate outputs are always part of the tuple, so mismatches are
+	// fatal, which is sound).
+	agg2Cols := make(symbolic.Tuple, len(a2.Aggs))
+	for j, b := range a2.Aggs {
+		matched := false
+		var bc *symbolic.Col
+		if b.Arg != nil {
+			c, err := v.enc.Expr(b.Arg, sub.Cols2)
+			if err != nil {
+				v.enc.TakeAssigns()
+				return nil
+			}
+			argAssigns = append(argAssigns, v.enc.TakeAssigns())
+			bc = &c
+		}
+		for i, a := range a1.Aggs {
+			if a.Op != b.Op || a.Distinct != b.Distinct {
+				continue
+			}
+			if a.Op == plan.AggCountStar {
+				agg2Cols[j] = agg1Cols[i]
+				matched = true
+				break
+			}
+			ac := agg1Args[i]
+			if ac == nil || bc == nil {
+				continue
+			}
+			same := fol.Implies(
+				fol.And(base, fol.And(argAssigns...)),
+				fol.And(fol.Iff(ac.Null, bc.Null),
+					fol.Implies(fol.Not(ac.Null), fol.Eq(ac.Val, bc.Val))))
+			if v.valid(same) {
+				agg2Cols[j] = agg1Cols[i]
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			c := v.gen.FreshCol("agg")
+			if b.Op == plan.AggCount || b.Op == plan.AggCountStar {
+				c.Null = fol.False()
+			}
+			agg2Cols[j] = c
+		}
+	}
+
+	return &symbolic.QPSR{
+		Cols1:  append(append(symbolic.Tuple{}, g1...), agg1Cols...),
+		Cols2:  append(append(symbolic.Tuple{}, g2...), agg2Cols...),
+		Cond:   sub.Cond,
+		Assign: fol.And(append([]*fol.Term{sub.Assign, ga1, ga2}, argAssigns...)...),
+	}
+}
+
+func (v *Verifier) encodeGroup(group []plan.NamedExpr, in symbolic.Tuple) (symbolic.Tuple, *fol.Term, error) {
+	out := make(symbolic.Tuple, len(group))
+	for i, g := range group {
+		c, err := v.enc.Expr(g.E, in)
+		if err != nil {
+			v.enc.TakeAssigns()
+			return nil, nil, err
+		}
+		out[i] = c
+	}
+	return out, v.enc.TakeAssigns(), nil
+}
+
+// veriUnion is Alg. 5: pair the branches bijectively so that each pair is
+// cardinally equivalent, then bind fresh output tuples to the branch tuples
+// disjunctively (ConstAssign).
+func (v *Verifier) veriUnion(u1, u2 *plan.Union) *symbolic.QPSR {
+	var result *symbolic.QPSR
+	v.veriVec(u1.Inputs, u2.Inputs, func(perm []int, qpsrs []*symbolic.QPSR) bool {
+		out1 := v.gen.FreshTuple("u", u1.Arity())
+		out2 := v.gen.FreshTuple("u", u2.Arity())
+		branches := make([]*fol.Term, len(qpsrs))
+		for i, q := range qpsrs {
+			if len(q.Cols1) != len(out1) || len(q.Cols2) != len(out2) {
+				return false
+			}
+			branches[i] = fol.And(q.Cond, q.Assign,
+				symbolic.BindEq(out1, q.Cols1),
+				symbolic.BindEq(out2, q.Cols2))
+		}
+		result = &symbolic.QPSR{
+			Cols1:  out1,
+			Cols2:  out2,
+			Cond:   fol.True(),
+			Assign: fol.Or(branches...),
+		}
+		return true
+	})
+	return result
+}
+
+// veriVec searches for a bijection between two vectors of sub-queries such
+// that each pair is cardinally equivalent (returning all candidate maps,
+// lazily, as the paper's VeriVec does). try receives the permutation
+// (perm[i] = index in e2 paired with e1[i]) and the per-pair QPSRs; a true
+// return stops the search.
+func (v *Verifier) veriVec(e1, e2 []plan.Node, try func(perm []int, qpsrs []*symbolic.QPSR) bool) {
+	if len(e1) != len(e2) {
+		return
+	}
+	n := len(e1)
+	if n == 0 {
+		// The empty product: a single empty tuple on both sides.
+		try(nil, nil)
+		return
+	}
+	type memoKey struct{ i, j int }
+	memo := make(map[memoKey]*symbolic.QPSR)
+	tried := make(map[memoKey]bool)
+	pair := func(i, j int) *symbolic.QPSR {
+		k := memoKey{i, j}
+		if !tried[k] {
+			tried[k] = true
+			memo[k] = v.veriCard(e1[i], e2[j])
+		}
+		return memo[k]
+	}
+	used := make([]bool, n)
+	perm := make([]int, n)
+	qpsrs := make([]*symbolic.QPSR, n)
+	budget := v.MaxCandidates
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			if budget <= 0 {
+				return true // stop the whole search
+			}
+			budget--
+			v.stats.Candidates++
+			return try(append([]int(nil), perm...), append([]*symbolic.QPSR(nil), qpsrs...))
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			q := pair(i, j)
+			if q == nil {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			qpsrs[i] = q
+			if rec(i + 1) {
+				return true
+			}
+			used[j] = false
+		}
+		return false
+	}
+	rec(0)
+}
+
+// String renders verification statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("vericard=%d candidates=%d solver-queries=%d model-rounds=%d conflicts=%d core-checks=%d",
+		s.VeriCardCalls, s.Candidates, s.SolverQueries, s.ModelRounds, s.TheoryConflicts, s.CoreChecks)
+}

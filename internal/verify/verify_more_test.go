@@ -1,0 +1,175 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Additional verifier coverage: union permutations, full joins, aggregate
+// matching subtleties, candidate-budget behaviour, and the §7.4 limitation
+// classes as explicit negative cases.
+
+func TestThreeBranchUnionPermutation(t *testing.T) {
+	checkPair(t,
+		`SELECT DEPT_ID FROM EMP WHERE SALARY > 5
+		 UNION ALL SELECT DEPT_ID FROM DEPT
+		 UNION ALL SELECT EMP_ID FROM BONUS`,
+		`SELECT EMP_ID FROM BONUS
+		 UNION ALL SELECT DEPT_ID FROM EMP WHERE SALARY + 1 > 6
+		 UNION ALL SELECT DEPT_ID FROM DEPT`,
+		true)
+}
+
+func TestUnionBranchCountMismatch(t *testing.T) {
+	// Equivalent (doubled branch deduped by DISTINCT) but branch counts
+	// differ: the documented union+aggregate limitation.
+	checkPair(t,
+		"SELECT DISTINCT DEPT_ID FROM (SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM EMP) T",
+		"SELECT DISTINCT DEPT_ID FROM EMP",
+		false)
+}
+
+func TestFullOuterJoinSymmetry(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP FULL OUTER JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID",
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP FULL OUTER JOIN DEPT ON DEPT.DEPT_ID = EMP.DEPT_ID",
+		true)
+}
+
+func TestRightJoinAsLeftJoin(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM DEPT RIGHT JOIN EMP ON EMP.DEPT_ID = DEPT.DEPT_ID",
+		"SELECT EMP.EMP_ID, DEPT.DEPT_NAME FROM EMP LEFT JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID",
+		true)
+}
+
+func TestAggDistinctFlagsMustMatch(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID, COUNT(DISTINCT LOCATION) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, COUNT(LOCATION) FROM EMP GROUP BY DEPT_ID",
+		false)
+}
+
+func TestAggArgSemanticEquality(t *testing.T) {
+	// Operands match by solver equality, not syntax.
+	checkPair(t,
+		"SELECT DEPT_ID, SUM(SALARY + SALARY) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, SUM(2 * SALARY) FROM EMP GROUP BY DEPT_ID",
+		true)
+	// But genuinely different operands must not unify.
+	checkPair(t,
+		"SELECT DEPT_ID, SUM(SALARY + 1) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID",
+		false)
+}
+
+func TestAvgIsItsOwnFunction(t *testing.T) {
+	// AVG ≠ SUM even over the same operand.
+	checkPair(t,
+		"SELECT DEPT_ID, AVG(SALARY) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID",
+		false)
+}
+
+func TestCountNotNullColumnRule(t *testing.T) {
+	// The extension rule: COUNT over a NOT NULL column is COUNT(*).
+	checkPair(t,
+		"SELECT DEPT_ID, COUNT(EMP_ID) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, COUNT(*) FROM EMP GROUP BY DEPT_ID",
+		true)
+	// Over a nullable column it must NOT fire.
+	checkPair(t,
+		"SELECT DEPT_ID, COUNT(SALARY) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, COUNT(*) FROM EMP GROUP BY DEPT_ID",
+		false)
+}
+
+func TestJoinToSemijoinRule(t *testing.T) {
+	// The unique-key join ↔ IN family (integrity-constraint extension).
+	checkPair(t,
+		"SELECT E.EMP_ID, E.SALARY FROM EMP E JOIN DEPT D ON E.DEPT_ID = D.DEPT_ID",
+		"SELECT E.EMP_ID, E.SALARY FROM EMP E WHERE E.DEPT_ID IN (SELECT DEPT_ID FROM DEPT)",
+		true)
+	// Joining on a NON-key column multiplies rows: must not unify.
+	checkPair(t,
+		"SELECT B1.EMP_ID FROM BONUS B1 JOIN BONUS B2 ON B1.EMP_ID = B2.EMP_ID",
+		"SELECT B1.EMP_ID FROM BONUS B1 WHERE B1.EMP_ID IN (SELECT EMP_ID FROM BONUS)",
+		false)
+}
+
+func TestCandidateBudgetStops(t *testing.T) {
+	// A wide self-product gives n! candidate bijections; the budget must
+	// bound the search without wrong answers.
+	n := 5
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, fmt.Sprintf("EMP E%d", i))
+	}
+	from := strings.Join(parts, ", ")
+	sql := fmt.Sprintf("SELECT E0.EMP_ID FROM %s", from)
+	checkPair(t, sql, sql, true)
+}
+
+func TestDeeplyNestedDerivedTables(t *testing.T) {
+	inner := "SELECT EMP_ID, SALARY FROM EMP WHERE SALARY > 3"
+	q := inner
+	for i := 0; i < 25; i++ {
+		q = fmt.Sprintf("SELECT * FROM (%s) T%d", q, i)
+	}
+	checkPair(t, q, inner, true)
+}
+
+func TestScalarSubqueryAsUF(t *testing.T) {
+	// Identical scalar subqueries unify as uninterpreted symbols.
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > (SELECT MAX(BUDGET) FROM DEPT)",
+		"SELECT EMP_ID FROM EMP WHERE SALARY > (SELECT MAX(BUDGET) FROM DEPT)",
+		true)
+	// Different scalar subqueries must not.
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > (SELECT MAX(BUDGET) FROM DEPT)",
+		"SELECT EMP_ID FROM EMP WHERE SALARY > (SELECT MIN(BUDGET) FROM DEPT)",
+		false)
+}
+
+func TestEmptyVsEmpty(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE 1 = 2",
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 1 AND SALARY < 1",
+		true)
+	// Empty of different arity is still not equivalent.
+	checkPair(t,
+		"SELECT EMP_ID, SALARY FROM EMP WHERE 1 = 2",
+		"SELECT EMP_ID FROM EMP WHERE 1 = 2",
+		false)
+}
+
+func TestConstantTableQueries(t *testing.T) {
+	checkPair(t, "SELECT 1, 2", "SELECT 1, 1 + 1", true)
+	checkPair(t, "SELECT 1", "SELECT 2", false)
+}
+
+func TestLikePatternsAsUF(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE ENAME LIKE 'A%'",
+		"SELECT EMP_ID FROM EMP WHERE ENAME LIKE 'A%'",
+		true)
+	// Different patterns are different symbols (even if they denote the
+	// same language, LIKE is uninterpreted).
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE ENAME LIKE 'A%'",
+		"SELECT EMP_ID FROM EMP WHERE ENAME LIKE 'A%%'",
+		false)
+}
+
+func TestNotNullEmptyEquivalence(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE EMP_ID IS NULL",
+		"SELECT EMP_ID FROM EMP WHERE 1 = 2",
+		true)
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NULL",
+		"SELECT EMP_ID FROM EMP WHERE 1 = 2",
+		false)
+}

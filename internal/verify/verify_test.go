@@ -1,0 +1,348 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"spes/internal/datagen"
+	"spes/internal/exec"
+	"spes/internal/normalize"
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+func testCatalog(t testing.TB) *schema.Catalog {
+	cat := schema.NewCatalog()
+	add := func(tbl *schema.Table) {
+		if err := cat.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&schema.Table{
+		Name: "EMP",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "ENAME", Type: schema.String},
+			{Name: "SALARY", Type: schema.Int},
+			{Name: "DEPT_ID", Type: schema.Int},
+			{Name: "LOCATION", Type: schema.String},
+			{Name: "MGR_ID", Type: schema.Int},
+		},
+		PrimaryKey: []string{"EMP_ID"},
+	})
+	add(&schema.Table{
+		Name: "DEPT",
+		Columns: []schema.Column{
+			{Name: "DEPT_ID", Type: schema.Int, NotNull: true},
+			{Name: "DEPT_NAME", Type: schema.String},
+			{Name: "BUDGET", Type: schema.Int},
+		},
+		PrimaryKey: []string{"DEPT_ID"},
+	})
+	add(&schema.Table{
+		Name: "BONUS",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "AMOUNT", Type: schema.Int},
+		},
+	})
+	return cat
+}
+
+// checkPair verifies sql1 vs sql2 and asserts the expected verdict. When
+// the verdict is "proved", it additionally cross-checks with the
+// bag-semantics executor on random databases (the Theorem 1 soundness
+// property).
+func checkPair(t *testing.T, sql1, sql2 string, wantProved bool) {
+	t.Helper()
+	cat := testCatalog(t)
+	b := plan.NewBuilder(cat)
+	q1, err := b.BuildSQL(sql1)
+	if err != nil {
+		t.Fatalf("build q1: %v", err)
+	}
+	q2, err := b.BuildSQL(sql2)
+	if err != nil {
+		t.Fatalf("build q2: %v", err)
+	}
+	nz := normalize.New(normalize.Options{})
+	n1, n2 := nz.Normalize(q1), nz.Normalize(q2)
+	v := New()
+	got := v.VerifyPlans(n1, n2)
+	if got != wantProved {
+		t.Errorf("VerifyPlans = %v, want %v\nq1: %s\nq2: %s\nstats: %v",
+			got, wantProved, sql1, sql2, v.Stats())
+	}
+	if got {
+		crossCheck(t, cat, q1, q2)
+	}
+}
+
+func crossCheck(t *testing.T, cat *schema.Catalog, q1, q2 plan.Node) {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		db := datagen.Random(cat, r, datagen.Options{MaxRows: 5})
+		r1, err := exec.Run(db, q1)
+		if err != nil {
+			t.Fatalf("exec q1: %v", err)
+		}
+		r2, err := exec.Run(db, q2)
+		if err != nil {
+			t.Fatalf("exec q2: %v", err)
+		}
+		if !exec.BagEqual(r1, r2) {
+			t.Fatalf("SOUNDNESS VIOLATION: proved equivalent but outputs differ\nq1 rows:\n%s\nq2 rows:\n%s",
+				exec.FormatRows(r1), exec.FormatRows(r2))
+		}
+	}
+}
+
+func TestIdenticalQueries(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID > 10",
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID > 10",
+		true)
+}
+
+func TestPredicateArithmetic(t *testing.T) {
+	// §2 Example 1 predicates, but both as plain filters (bag-equivalent).
+	checkPair(t,
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID > 10",
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID + 5 > 15",
+		true)
+}
+
+func TestFigure1NotBagEquivalent(t *testing.T) {
+	// §2: filter vs grouped filter — set-equivalent only; SPES must refuse.
+	checkPair(t,
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID > 10",
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID + 5 > 15 GROUP BY DEPT_ID, LOCATION",
+		false)
+}
+
+func TestPaperExample1(t *testing.T) {
+	// §3.2 Example 1: the flagship bag-semantics aggregate pair.
+	checkPair(t,
+		`SELECT SUM(T.SALARY), T.LOCATION FROM
+			(SELECT SALARY, LOCATION FROM DEPT, EMP
+			 WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID + 5 = 15) AS T
+		 GROUP BY T.LOCATION`,
+		`SELECT SUM(T.SALARY), T.LOCATION FROM
+			(SELECT SALARY, LOCATION, DEPT.DEPT_ID FROM EMP, DEPT
+			 WHERE EMP.DEPT_ID = DEPT.DEPT_ID AND DEPT.DEPT_ID = 10) AS T
+		 GROUP BY T.LOCATION, T.DEPT_ID`,
+		true)
+}
+
+func TestJoinCommutativity(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID, DEPT_NAME FROM EMP, DEPT WHERE EMP.DEPT_ID = DEPT.DEPT_ID",
+		"SELECT EMP_ID, DEPT_NAME FROM DEPT, EMP WHERE DEPT.DEPT_ID = EMP.DEPT_ID",
+		true)
+}
+
+func TestSelfJoinPairing(t *testing.T) {
+	// Two copies of EMP joined with themselves, inputs listed in either
+	// order; VeriVec must find the right pairing.
+	checkPair(t,
+		"SELECT E1.EMP_ID FROM EMP E1, EMP E2 WHERE E1.SALARY < E2.SALARY",
+		"SELECT E2.EMP_ID FROM EMP E1, EMP E2 WHERE E2.SALARY < E1.SALARY",
+		true)
+}
+
+func TestFilterIntoSubquery(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 5 AND DEPT_ID < 9",
+		"SELECT EMP_ID FROM (SELECT * FROM EMP WHERE SALARY > 5) T WHERE DEPT_ID < 9",
+		true)
+}
+
+func TestProjectionComposition(t *testing.T) {
+	checkPair(t,
+		"SELECT SALARY + 2 FROM (SELECT SALARY + 1 AS SALARY FROM EMP) T",
+		"SELECT SALARY + 3 FROM EMP",
+		true)
+}
+
+func TestNotEquivalentDifferentConstant(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 5",
+		"SELECT EMP_ID FROM EMP WHERE SALARY > 6",
+		false)
+}
+
+func TestNotEquivalentDifferentTables(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID FROM EMP",
+		"SELECT DEPT_ID FROM DEPT",
+		false)
+}
+
+func TestNullSensitivePredicates(t *testing.T) {
+	// NOT(x > 10) is not x <= 10 under three-valued logic... but as a
+	// filter both discard UNKNOWN, and NOT(UNKNOWN)=UNKNOWN, so the filters
+	// ARE equivalent.
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE NOT (SALARY > 10)",
+		"SELECT EMP_ID FROM EMP WHERE SALARY <= 10",
+		true)
+	// x = x is not TRUE when x is NULL: these differ.
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY = SALARY",
+		"SELECT EMP_ID FROM EMP",
+		false)
+	// ... but restricted to non-null they agree.
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY = SALARY",
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NOT NULL",
+		true)
+	// NOT NULL column: EMP_ID = EMP_ID is always true.
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE EMP_ID = EMP_ID",
+		"SELECT EMP_ID FROM EMP",
+		true)
+}
+
+func TestIsNullVsCoalescePattern(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY IS NULL OR SALARY < 3",
+		"SELECT EMP_ID FROM EMP WHERE SALARY < 3 OR SALARY IS NULL",
+		true)
+}
+
+func TestUnionAllCommutes(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID FROM EMP WHERE SALARY > 3 UNION ALL SELECT DEPT_ID FROM DEPT",
+		"SELECT DEPT_ID FROM DEPT UNION ALL SELECT DEPT_ID FROM EMP WHERE SALARY + 1 > 4",
+		true)
+}
+
+func TestUnionVsUnionAllDiffer(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM DEPT",
+		"SELECT DEPT_ID FROM EMP UNION SELECT DEPT_ID FROM DEPT",
+		false)
+}
+
+func TestDistinctAsGroupBy(t *testing.T) {
+	checkPair(t,
+		"SELECT DISTINCT DEPT_ID, LOCATION FROM EMP",
+		"SELECT DEPT_ID, LOCATION FROM EMP GROUP BY DEPT_ID, LOCATION",
+		true)
+}
+
+func TestAggregateSameGroupDifferentOrder(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID, LOCATION, COUNT(*) FROM EMP GROUP BY DEPT_ID, LOCATION",
+		"SELECT DEPT_ID, LOCATION, COUNT(*) FROM EMP GROUP BY LOCATION, DEPT_ID",
+		true)
+}
+
+func TestAggregateCountVsSum(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID, COUNT(*) FROM EMP GROUP BY DEPT_ID",
+		"SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID",
+		false)
+}
+
+func TestHavingVsWhereOnGroupColumn(t *testing.T) {
+	checkPair(t,
+		"SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID HAVING DEPT_ID > 5",
+		"SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID HAVING DEPT_ID + 1 > 6",
+		true)
+}
+
+func TestCaseEquivalence(t *testing.T) {
+	checkPair(t,
+		"SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP",
+		"SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP",
+		true)
+	// WHEN NOT(p) THEN 0 ELSE 1 is NOT the complement under three-valued
+	// logic: a NULL salary yields 0 in the first query but 1 in the second.
+	checkPair(t,
+		"SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP",
+		"SELECT CASE WHEN NOT (SALARY > 10) THEN 0 ELSE 1 END FROM EMP",
+		false)
+	// A genuinely equivalent reordering with an exhaustive arm.
+	checkPair(t,
+		"SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP",
+		"SELECT CASE WHEN SALARY <= 10 THEN 0 WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP",
+		true)
+	checkPair(t,
+		"SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 0 END FROM EMP",
+		"SELECT CASE WHEN SALARY > 10 THEN 1 ELSE 2 END FROM EMP",
+		false)
+}
+
+func TestExistsSyntacticMatch(t *testing.T) {
+	checkPair(t,
+		`SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)`,
+		`SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)`,
+		true)
+	// Commuted equality inside the subquery still matches: the EXISTS
+	// symbol is canonicalized.
+	checkPair(t,
+		`SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)`,
+		`SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE EMP.DEPT_ID = DEPT.DEPT_ID)`,
+		true)
+	// Genuinely different subqueries must not be conflated.
+	checkPair(t,
+		`SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID)`,
+		`SELECT EMP_ID FROM EMP WHERE EXISTS (SELECT 1 FROM DEPT WHERE DEPT.DEPT_ID = EMP.DEPT_ID AND DEPT.DEPT_NAME = 'ENG')`,
+		false)
+}
+
+func TestStringLiterals(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE LOCATION = 'NY'",
+		"SELECT EMP_ID FROM EMP WHERE LOCATION = 'NY'",
+		true)
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE LOCATION = 'NY'",
+		"SELECT EMP_ID FROM EMP WHERE LOCATION = 'SF'",
+		false)
+	// Order-preserving interning keeps < sound on strings.
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE LOCATION < 'NY'",
+		"SELECT EMP_ID FROM EMP WHERE LOCATION < 'NY' AND LOCATION < 'SF'",
+		true)
+}
+
+func TestArityMismatchRejected(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID, SALARY FROM EMP",
+		"SELECT EMP_ID FROM EMP",
+		false)
+}
+
+func TestConstantFoldingInPredicates(t *testing.T) {
+	checkPair(t,
+		"SELECT EMP_ID FROM EMP WHERE SALARY * 2 <= 10",
+		"SELECT EMP_ID FROM EMP WHERE SALARY <= 5",
+		true)
+}
+
+func TestThreeWayJoinPermutation(t *testing.T) {
+	checkPair(t,
+		`SELECT E.EMP_ID FROM EMP E, DEPT D, BONUS B
+		 WHERE E.DEPT_ID = D.DEPT_ID AND E.EMP_ID = B.EMP_ID`,
+		`SELECT E.EMP_ID FROM BONUS B, EMP E, DEPT D
+		 WHERE B.EMP_ID = E.EMP_ID AND D.DEPT_ID = E.DEPT_ID`,
+		true)
+}
+
+func TestVerifierStats(t *testing.T) {
+	cat := testCatalog(t)
+	b := plan.NewBuilder(cat)
+	q1, _ := b.BuildSQL("SELECT EMP_ID FROM EMP")
+	q2, _ := b.BuildSQL("SELECT EMP_ID FROM EMP")
+	v := New()
+	if !v.VerifyPlans(q1, q2) {
+		t.Fatal("identity should be proved")
+	}
+	st := v.Stats()
+	if st.VeriCardCalls == 0 || st.SolverQueries == 0 {
+		t.Errorf("stats not collected: %+v", st)
+	}
+}

@@ -1,0 +1,170 @@
+// Package spes is a symbolic prover for SQL query equivalence under bag
+// semantics, reproducing "SPES: A Symbolic Approach to Proving Query
+// Equivalence Under Bag Semantics" (ICDE 2022).
+//
+// Two queries are fully equivalent under bag semantics when they return
+// identical multisets of tuples on every database. SPES proves this by
+// (1) normalizing both queries to a union-normal-form plan tree,
+// (2) recursively proving cardinal equivalence — the existence of a
+// bijection between output tuples — while building a Query Pair Symbolic
+// Representation of that bijection, and (3) asking an SMT solver to show
+// the bijection is an identity map.
+//
+// The prover is sound and incomplete: Equivalent verdicts are always
+// correct; NotProved never means "proved inequivalent".
+//
+// Basic use:
+//
+//	cat, _ := spes.ParseCatalog(`CREATE TABLE EMP (EMP_ID INT PRIMARY KEY, SALARY INT, DEPT_ID INT);`)
+//	res, err := spes.Verify(cat,
+//	    "SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 10",
+//	    "SELECT DEPT_ID FROM EMP WHERE DEPT_ID + 5 > 15")
+//	if err == nil && res.Verdict == spes.Equivalent { ... }
+package spes
+
+import (
+	"spes/internal/normalize"
+	"spes/internal/plan"
+	"spes/internal/schema"
+	"spes/internal/sqlparser"
+	"spes/internal/verify"
+)
+
+// Verdict is the outcome of a verification.
+type Verdict int
+
+const (
+	// NotProved means equivalence could not be established (the queries
+	// may or may not be equivalent).
+	NotProved Verdict = iota
+	// Equivalent means the queries are fully equivalent under bag
+	// semantics on all databases conforming to the catalog.
+	Equivalent
+	// Unsupported means at least one query uses a SQL feature outside the
+	// supported subset.
+	Unsupported
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case Unsupported:
+		return "unsupported"
+	}
+	return "not-proved"
+}
+
+// Result carries the verdict and verification statistics.
+type Result struct {
+	Verdict Verdict
+	// Cardinal reports whether the queries were at least proved
+	// *cardinally* equivalent (Def 1 of the paper: same output cardinality
+	// on every database, i.e. a bijection exists between the outputs).
+	// Equivalent implies Cardinal; a NotProved result with Cardinal set
+	// means the bijection exists but could not be shown to be an identity.
+	Cardinal bool
+	// Reason explains Unsupported and some NotProved outcomes.
+	Reason string
+	// Stats summarizes the verifier's work.
+	Stats verify.Stats
+}
+
+// Options configures verification.
+type Options struct {
+	// DisableNormalization runs the verifier on raw plan trees — the
+	// paper's "SPES (w/o normalization)" ablation.
+	DisableNormalization bool
+	// NormalizeOptions tunes individual rules when normalization is on.
+	NormalizeOptions normalize.Options
+}
+
+// Catalog re-exports the schema catalog type for API convenience.
+type Catalog = schema.Catalog
+
+// ParseCatalog builds a catalog from CREATE TABLE statements. Primary-key
+// columns are implicitly NOT NULL.
+func ParseCatalog(ddl string) (*Catalog, error) {
+	stmts, err := sqlparser.ParseSchema(ddl)
+	if err != nil {
+		return nil, err
+	}
+	cat := schema.NewCatalog()
+	for _, ct := range stmts {
+		t := &schema.Table{Name: ct.Name, PrimaryKey: ct.PK}
+		for _, c := range ct.Columns {
+			typ, err := schema.ParseType(c.Type)
+			if err != nil {
+				return nil, err
+			}
+			notNull := c.NotNull
+			for _, pk := range ct.PK {
+				if pk == c.Name {
+					notNull = true
+				}
+			}
+			t.Columns = append(t.Columns, schema.Column{Name: c.Name, Type: typ, NotNull: notNull})
+		}
+		if err := cat.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// Verify proves (or fails to prove) that two SQL queries are fully
+// equivalent under bag semantics.
+func Verify(cat *Catalog, sql1, sql2 string) (Result, error) {
+	return VerifyWithOptions(cat, sql1, sql2, Options{})
+}
+
+// VerifyWithOptions is Verify with configuration.
+func VerifyWithOptions(cat *Catalog, sql1, sql2 string, opts Options) (Result, error) {
+	b := plan.NewBuilder(cat)
+	q1, err := b.BuildSQL(sql1)
+	if err != nil {
+		return classifyBuildError(err)
+	}
+	q2, err := b.BuildSQL(sql2)
+	if err != nil {
+		return classifyBuildError(err)
+	}
+	return VerifyPlans(q1, q2, opts), nil
+}
+
+func classifyBuildError(err error) (Result, error) {
+	if plan.Unsupported(err) {
+		return Result{Verdict: Unsupported, Reason: err.Error()}, nil
+	}
+	return Result{}, err
+}
+
+// VerifyPlans verifies two already-built plans.
+func VerifyPlans(q1, q2 plan.Node, opts Options) Result {
+	if !opts.DisableNormalization {
+		nz := normalize.New(opts.NormalizeOptions)
+		q1 = nz.Normalize(q1)
+		q2 = nz.Normalize(q2)
+	}
+	v := verify.New()
+	out := v.Check(q1, q2)
+	res := Result{Verdict: NotProved, Cardinal: out.Cardinal, Stats: v.Stats()}
+	if out.Full {
+		res.Verdict = Equivalent
+	}
+	return res
+}
+
+// BuildPlan parses and lowers one query; exported for tools that inspect or
+// execute plans (see cmd/spes and the examples).
+func BuildPlan(cat *Catalog, sql string) (plan.Node, error) {
+	return plan.NewBuilder(cat).BuildSQL(sql)
+}
+
+// ExplainPlan renders a plan tree for human inspection.
+func ExplainPlan(n plan.Node) string { return plan.Indent(n) }
+
+// Normalize applies SPES's normalization rules to a plan.
+func Normalize(n plan.Node, opts normalize.Options) plan.Node {
+	return normalize.New(opts).Normalize(n)
+}

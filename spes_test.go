@@ -1,0 +1,169 @@
+package spes
+
+import (
+	"testing"
+)
+
+const testDDL = `
+CREATE TABLE EMP (
+	EMP_ID INT NOT NULL PRIMARY KEY,
+	SALARY INT,
+	DEPT_ID INT,
+	LOCATION VARCHAR(20)
+);
+CREATE TABLE DEPT (
+	DEPT_ID INT NOT NULL PRIMARY KEY,
+	DEPT_NAME VARCHAR(20)
+);
+`
+
+func testCat(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := ParseCatalog(testDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestVerifyEquivalent(t *testing.T) {
+	cat := testCat(t)
+	res, err := Verify(cat,
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID > 10",
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID + 5 > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Errorf("verdict = %v, want equivalent", res.Verdict)
+	}
+	if res.Stats.SolverQueries == 0 {
+		t.Error("stats missing")
+	}
+}
+
+func TestVerifyNotProved(t *testing.T) {
+	cat := testCat(t)
+	res, err := Verify(cat,
+		"SELECT DEPT_ID FROM EMP WHERE SALARY > 5",
+		"SELECT DEPT_ID FROM EMP WHERE SALARY > 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotProved {
+		t.Errorf("verdict = %v, want not-proved", res.Verdict)
+	}
+}
+
+func TestVerifyUnsupported(t *testing.T) {
+	cat := testCat(t)
+	res, err := Verify(cat,
+		"SELECT CAST(SALARY AS FLOAT) FROM EMP",
+		"SELECT CAST(SALARY AS FLOAT) FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unsupported {
+		t.Errorf("verdict = %v, want unsupported", res.Verdict)
+	}
+	if res.Reason == "" {
+		t.Error("unsupported result should carry a reason")
+	}
+}
+
+func TestVerifyParseError(t *testing.T) {
+	cat := testCat(t)
+	if _, err := Verify(cat, "SELEC bogus", "SELECT 1"); err == nil {
+		t.Error("parse errors should surface as errors")
+	}
+}
+
+func TestNormalizationAblation(t *testing.T) {
+	cat := testCat(t)
+	// This pair needs SPJ merging; it must fail without normalization and
+	// succeed with it.
+	sql1 := "SELECT EMP_ID FROM EMP WHERE SALARY > 5 AND DEPT_ID < 9"
+	sql2 := "SELECT EMP_ID FROM (SELECT * FROM EMP WHERE SALARY > 5) T WHERE DEPT_ID < 9"
+	with, err := Verify(cat, sql1, sql2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := VerifyWithOptions(cat, sql1, sql2, Options{DisableNormalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Verdict != Equivalent {
+		t.Error("normalized SPES should prove the pair")
+	}
+	if without.Verdict == Equivalent {
+		t.Error("without normalization this pair should not be provable")
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	if _, err := ParseCatalog("CREATE TABLE T (X BOGUSTYPE)"); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, err := ParseCatalog("CREATE TABLE T (X INT); CREATE TABLE T (Y INT)"); err == nil {
+		t.Error("duplicate table should fail")
+	}
+}
+
+func TestPrimaryKeyImpliesNotNull(t *testing.T) {
+	cat, err := ParseCatalog("CREATE TABLE T (A INT, B INT, PRIMARY KEY (A))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := cat.Table("T")
+	if !tbl.Columns[0].NotNull {
+		t.Error("PK column should be NOT NULL")
+	}
+	if tbl.Columns[1].NotNull {
+		t.Error("non-PK column should stay nullable")
+	}
+}
+
+func TestBuildAndExplain(t *testing.T) {
+	cat := testCat(t)
+	n, err := BuildPlan(cat, "SELECT LOCATION, COUNT(*) FROM EMP GROUP BY LOCATION")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ExplainPlan(n) == "" {
+		t.Error("explain should render")
+	}
+}
+
+// TestCardinalVsFull exercises the paper's two equivalence notions through
+// the public API: the Figure 2 pair (projection perturbed) is cardinally
+// but not fully equivalent; the Figure 1 pair (grouping added) is neither.
+func TestCardinalVsFull(t *testing.T) {
+	cat := testCat(t)
+	res, err := Verify(cat,
+		"SELECT SALARY FROM EMP WHERE DEPT_ID > 10",
+		"SELECT SALARY + 1 FROM EMP WHERE DEPT_ID + 5 > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotProved || !res.Cardinal {
+		t.Errorf("Figure 2 pair: verdict=%v cardinal=%v, want not-proved but cardinal", res.Verdict, res.Cardinal)
+	}
+	res, err = Verify(cat,
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID > 10",
+		"SELECT DEPT_ID, LOCATION FROM EMP WHERE DEPT_ID > 10 GROUP BY DEPT_ID, LOCATION")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cardinal {
+		t.Error("Figure 1 pair must not even be cardinally equivalent")
+	}
+	res, err = Verify(cat,
+		"SELECT DEPT_ID FROM EMP",
+		"SELECT DEPT_ID FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent || !res.Cardinal {
+		t.Error("full equivalence must imply cardinal equivalence")
+	}
+}
