@@ -14,6 +14,7 @@ import (
 
 	"spes/internal/bench"
 	"spes/internal/corpus"
+	"spes/internal/engine"
 	"spes/internal/equitas"
 	"spes/internal/normalize"
 	"spes/internal/plan"
@@ -161,3 +162,49 @@ func BenchmarkVerify_PaperExample1(b *testing.B) {
 		}
 	}
 }
+
+// batchPairs builds the Table 2 candidate pairs of a small production
+// workload once per benchmark binary; the engine benchmarks below all run
+// the same pair slice, so the numbers compose into the speedup columns of
+// BENCH_batch.json.
+var batchPairsOnce []engine.PlanPair
+
+func batchBenchPairs(b *testing.B) []engine.PlanPair {
+	b.Helper()
+	if batchPairsOnce == nil {
+		w := corpus.ProductionWorkload(2022, 0.1)
+		batchPairsOnce = bench.BatchPairs(w)
+	}
+	if len(batchPairsOnce) == 0 {
+		b.Fatal("no batch pairs built")
+	}
+	return batchPairsOnce
+}
+
+// BenchmarkBatch_Sequential is the baseline the acceptance speedup is
+// measured against: the sequential Table 2 path (fresh normalizer and
+// verifier per pair, no memo layers).
+func BenchmarkBatch_Sequential(b *testing.B) {
+	pairs := batchBenchPairs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunSequentialBaseline(pairs)
+	}
+	b.ReportMetric(float64(len(pairs)*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func benchmarkBatchWorkers(b *testing.B, workers int) {
+	pairs := batchBenchPairs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := engine.VerifyPlanBatch(pairs, engine.Options{Workers: workers})
+		if stats.Pairs != len(pairs) {
+			b.Fatalf("verified %d of %d pairs", stats.Pairs, len(pairs))
+		}
+	}
+	b.ReportMetric(float64(len(pairs)*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkBatch_Parallel1(b *testing.B) { benchmarkBatchWorkers(b, 1) }
+func BenchmarkBatch_Parallel4(b *testing.B) { benchmarkBatchWorkers(b, 4) }
+func BenchmarkBatch_Parallel8(b *testing.B) { benchmarkBatchWorkers(b, 8) }

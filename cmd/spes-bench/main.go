@@ -7,7 +7,14 @@
 //	spes-bench -table 1 -limits     # plus the §7.4 limitation breakdown
 //	spes-bench -table 2 -scale 0.1  # production-workload overlap (Table 2)
 //	spes-bench -figure 7 -scale 0.1 # complexity distribution (Figure 7)
+//	spes-bench -batch -parallel 8   # engine throughput study vs sequential
 //	spes-bench -all                 # everything
+//
+// -parallel N fans Table 2, Figure 7, and the batch study across N engine
+// workers (0 = GOMAXPROCS, 1 = the sequential paper path). With -json, the
+// batch study also writes its report to the BENCH_batch.json artifact
+// (pairs/sec, speedup vs sequential, cache hit rate) so the perf
+// trajectory is tracked across PRs.
 package main
 
 import (
@@ -22,13 +29,17 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate Table 1 or 2")
-		figure = flag.Int("figure", 0, "regenerate Figure 7")
-		all    = flag.Bool("all", false, "regenerate everything")
-		limits = flag.Bool("limits", false, "with -table 1: print the limitation breakdown")
-		scale  = flag.Float64("scale", 0.1, "production workload scale (1.0 = the full 9,486 queries)")
-		seed   = flag.Int64("seed", 2022, "workload generator seed")
-		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+		table    = flag.Int("table", 0, "regenerate Table 1 or 2")
+		figure   = flag.Int("figure", 0, "regenerate Figure 7")
+		all      = flag.Bool("all", false, "regenerate everything")
+		limits   = flag.Bool("limits", false, "with -table 1: print the limitation breakdown")
+		scale    = flag.Float64("scale", 0.1, "production workload scale (1.0 = the full 9,486 queries)")
+		seed     = flag.Int64("seed", 2022, "workload generator seed")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+		parallel = flag.Int("parallel", 1, "engine workers for Table 2 / Figure 7 / -batch (0 = GOMAXPROCS)")
+		batch    = flag.Bool("batch", false, "run the batch-engine throughput study")
+		batchOut = flag.String("batch-out", "BENCH_batch.json", "with -batch -json: artifact path for the batch report")
+		timeout  = flag.Duration("timeout", 0, "with -batch: per-pair verification deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -52,7 +63,7 @@ func main() {
 	if *all || *table == 2 {
 		ranSomething = true
 		w := corpus.ProductionWorkload(*seed, *scale)
-		rows := bench.RunTable2(w)
+		rows := bench.RunTable2Workers(w, *parallel)
 		if *asJSON {
 			out["table2"] = rows
 		} else {
@@ -63,15 +74,30 @@ func main() {
 	if *all || *figure == 7 {
 		ranSomething = true
 		w := corpus.ProductionWorkload(*seed, *scale)
-		fig := bench.RunFigure7(corpus.CalcitePairs(), w)
+		fig := bench.RunFigure7Workers(corpus.CalcitePairs(), w, *parallel)
 		if *asJSON {
 			out["figure7"] = fig
 		} else {
 			fmt.Print(bench.RenderFigure7(fig))
 		}
 	}
+	if *all || *batch {
+		ranSomething = true
+		w := corpus.ProductionWorkload(*seed, *scale)
+		rep := bench.RunBatch(w, *parallel, *timeout)
+		if *asJSON {
+			out["batch"] = rep
+			if err := writeArtifact(*batchOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "spes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *batchOut)
+		} else {
+			fmt.Print(bench.RenderBatch(rep))
+		}
+	}
 	if !ranSomething {
-		fmt.Fprintln(os.Stderr, "spes-bench: nothing selected; use -table 1, -table 2, -figure 7, or -all")
+		fmt.Fprintln(os.Stderr, "spes-bench: nothing selected; use -table 1, -table 2, -figure 7, -batch, or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -83,4 +109,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func writeArtifact(path string, rep bench.BatchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -4,11 +4,13 @@
 //
 // The workload file holds one query per line (blank lines and -- comments
 // skipped); the schema file holds CREATE TABLE statements. Queries over the
-// same input tables are compared pairwise.
+// same input tables are compared pairwise; the candidate pairs are fanned
+// across the batch engine, so repeated plan shapes dedupe and shared proof
+// obligations hit the obligation cache.
 //
 // Usage:
 //
-//	spes-overlap -schema schema.sql -queries workload.sql [-max-pairs N]
+//	spes-overlap -schema schema.sql -queries workload.sql [-max-pairs N] [-workers N]
 //	spes-overlap -demo            # run on the built-in synthetic workload
 package main
 
@@ -19,9 +21,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"spes"
 	"spes/internal/corpus"
+	"spes/internal/engine"
 	"spes/internal/plan"
 )
 
@@ -31,6 +35,9 @@ func main() {
 		queries    = flag.String("queries", "", "path to the workload (one query per line)")
 		maxPairs   = flag.Int("max-pairs", 5000, "cap on verified pairs")
 		demo       = flag.Bool("demo", false, "use the built-in synthetic production workload")
+		workers    = flag.Int("workers", 0, "verification workers (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-pair verification deadline (0 = none)")
+		stats      = flag.Bool("stats", false, "print engine batch statistics")
 	)
 	flag.Parse()
 
@@ -78,12 +85,14 @@ func main() {
 		}
 	}
 
-	// Group queries by their input-table sets.
+	// Group queries by their input-table sets, preserving first-appearance
+	// order so the output is deterministic.
 	type entry struct {
 		idx  int
 		node plan.Node
 	}
 	groups := map[string][]entry{}
+	var groupOrder []string
 	skipped := 0
 	for i, sql := range sqls {
 		n, err := spes.BuildPlan(cat, sql)
@@ -100,35 +109,63 @@ func main() {
 		})
 		sort.Strings(tbls)
 		key := strings.Join(dedupe(tbls), ",")
+		if _, ok := groups[key]; !ok {
+			groupOrder = append(groupOrder, key)
+		}
 		groups[key] = append(groups[key], entry{idx: i, node: n})
 	}
 
-	compared, equivalent := 0, 0
+	// Collect candidate pairs (same table set, distinct text) up to the cap;
+	// textual duplicates overlap trivially without a verification.
+	type candidate struct{ a, b int }
+	var cands []candidate
+	var pairs []engine.PlanPair
 	overlapping := map[int]bool{}
-	for _, es := range groups {
-		for i := 0; i < len(es) && compared < *maxPairs; i++ {
-			for j := i + 1; j < len(es) && compared < *maxPairs; j++ {
+	for _, key := range groupOrder {
+		es := groups[key]
+		for i := 0; i < len(es); i++ {
+			for j := i + 1; j < len(es); j++ {
 				if sqls[es[i].idx] == sqls[es[j].idx] {
-					// Textual duplicates overlap trivially.
 					overlapping[es[i].idx] = true
 					overlapping[es[j].idx] = true
 					continue
 				}
-				compared++
-				res := spes.VerifyPlans(es[i].node, es[j].node, spes.Options{})
-				if res.Verdict == spes.Equivalent {
-					equivalent++
-					overlapping[es[i].idx] = true
-					overlapping[es[j].idx] = true
-					fmt.Printf("EQUIVALENT:\n  [%d] %s\n  [%d] %s\n",
-						es[i].idx+1, truncate(sqls[es[i].idx]), es[j].idx+1, truncate(sqls[es[j].idx]))
+				if len(pairs) >= *maxPairs {
+					continue
 				}
+				cands = append(cands, candidate{es[i].idx, es[j].idx})
+				pairs = append(pairs, engine.PlanPair{Q1: es[i].node, Q2: es[j].node})
 			}
 		}
 	}
+
+	results, bs := engine.VerifyPlanBatch(pairs, engine.Options{
+		Workers: *workers,
+		Timeout: *timeout,
+	})
+
+	equivalent := 0
+	for i, r := range results {
+		if r.Verdict != engine.Equivalent {
+			continue
+		}
+		equivalent++
+		a, b := cands[i].a, cands[i].b
+		overlapping[a] = true
+		overlapping[b] = true
+		fmt.Printf("EQUIVALENT:\n  [%d] %s\n  [%d] %s\n",
+			a+1, truncate(sqls[a]), b+1, truncate(sqls[b]))
+	}
 	fmt.Printf("\n%d queries (%d unparsable), %d pairs verified, %d equivalent pairs, %d overlapping queries (%.0f%%)\n",
-		len(sqls), skipped, compared, equivalent, len(overlapping),
+		len(sqls), skipped, len(pairs), equivalent, len(overlapping),
 		100*float64(len(overlapping))/float64(max(1, len(sqls))))
+	if *stats {
+		fmt.Printf("engine: workers=%d wall=%s %.1f pairs/s; deduped=%d timeouts=%d; obligation cache %.0f%% hit (%d/%d); norm memo %d/%d\n",
+			bs.Workers, bs.Wall.Round(time.Millisecond), bs.PairsPerSec(),
+			bs.Deduped, bs.Timeouts,
+			100*bs.ObligationHitRate(), bs.ObligationHits, bs.ObligationHits+bs.ObligationMisses,
+			bs.NormHits, bs.NormHits+bs.NormMisses)
+	}
 }
 
 func dedupe(ss []string) []string {

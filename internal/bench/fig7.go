@@ -2,11 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"spes/internal/corpus"
 	"spes/internal/plan"
+	"spes/internal/schema"
 )
 
 // Fig7 is the query-complexity comparison of Figure 7: the distribution of
@@ -19,47 +22,77 @@ type Fig7 struct {
 	BucketWidth int
 }
 
-// RunFigure7 measures both corpora.
+// RunFigure7 measures both corpora sequentially.
 func RunFigure7(pairs []corpus.Pair, w *corpus.Workload) Fig7 {
+	return RunFigure7Workers(pairs, w, 1)
+}
+
+// RunFigure7Workers is RunFigure7 with plan building fanned across workers
+// (<= 0 means GOMAXPROCS); each worker owns a plan builder and the
+// histograms merge deterministically.
+func RunFigure7Workers(pairs []corpus.Pair, w *corpus.Workload, workers int) Fig7 {
 	out := Fig7{
 		CalciteHist: map[int]int{},
 		ProdHist:    map[int]int{},
 		BucketWidth: 10,
 	}
-	cb := plan.NewBuilder(corpus.Catalog())
-	total, n := 0, 0
+	var calcite []string
 	for _, p := range pairs {
-		for _, sql := range []string{p.SQL1, p.SQL2} {
-			node, err := cb.BuildSQL(sql)
-			if err != nil {
-				continue
-			}
-			c := plan.CountNodes(node)
-			total += c
-			n++
-			out.CalciteHist[bucket(c, out.BucketWidth)]++
-		}
+		calcite = append(calcite, p.SQL1, p.SQL2)
 	}
-	if n > 0 {
-		out.CalciteMean = float64(total) / float64(n)
-	}
-
-	wb := plan.NewBuilder(w.Catalog)
-	total, n = 0, 0
+	var prod []string
 	for _, q := range w.Queries {
-		node, err := wb.BuildSQL(q.SQL)
-		if err != nil {
+		prod = append(prod, q.SQL)
+	}
+	out.CalciteMean = countComplexity(corpus.Catalog(), calcite, workers, out.BucketWidth, out.CalciteHist)
+	out.ProdMean = countComplexity(w.Catalog, prod, workers, out.BucketWidth, out.ProdHist)
+	return out
+}
+
+// countComplexity builds every query on a worker pool and accumulates the
+// plan-node-count histogram, returning the mean (unbuildable queries are
+// skipped, as in the sequential path).
+func countComplexity(cat *schema.Catalog, sqls []string, workers, width int, hist map[int]int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sqls) {
+		workers = len(sqls)
+	}
+	counts := make([]int, len(sqls)) // 0 = unbuildable
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := plan.NewBuilder(cat)
+			for i := range idx {
+				if node, err := b.BuildSQL(sqls[i]); err == nil {
+					counts[i] = plan.CountNodes(node)
+				}
+			}
+		}()
+	}
+	for i := range sqls {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	total, n := 0, 0
+	for _, c := range counts {
+		if c == 0 {
 			continue
 		}
-		c := plan.CountNodes(node)
 		total += c
 		n++
-		out.ProdHist[bucket(c, out.BucketWidth)]++
+		hist[bucket(c, width)]++
 	}
-	if n > 0 {
-		out.ProdMean = float64(total) / float64(n)
+	if n == 0 {
+		return 0
 	}
-	return out
+	return float64(total) / float64(n)
 }
 
 func bucket(v, width int) int { return (v / width) * width }

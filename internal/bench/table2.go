@@ -7,10 +7,9 @@ import (
 	"time"
 
 	"spes/internal/corpus"
+	"spes/internal/engine"
 	"spes/internal/equitas"
-	"spes/internal/normalize"
 	"spes/internal/plan"
-	"spes/internal/verify"
 )
 
 // Table2Row aggregates one production query set (§7.3).
@@ -27,16 +26,76 @@ type Table2Row struct {
 	EQUITASTime     time.Duration
 }
 
+// workloadPair is one Table 2 candidate comparison.
+type workloadPair struct{ a, b corpus.WorkloadQuery }
+
+// candidatePairs returns one set's comparison pairs: within clusters, plus
+// one cross-cluster representative pair per (tableset, cluster) adjacency.
+// Textually identical recurrences dedupe up front (trivially equal; the
+// frequency column accounts for them).
+func candidatePairs(qs []corpus.WorkloadQuery) []workloadPair {
+	var pairs []workloadPair
+	byCluster := map[int][]corpus.WorkloadQuery{}
+	var clusterOrder []int
+	for _, q := range qs {
+		if _, ok := byCluster[q.Cluster]; !ok {
+			clusterOrder = append(clusterOrder, q.Cluster)
+		}
+		byCluster[q.Cluster] = append(byCluster[q.Cluster], q)
+	}
+	repByTables := map[string][]corpus.WorkloadQuery{}
+	var tableOrder []string
+	for _, c := range clusterOrder {
+		members := byCluster[c]
+		uniq := members[:0:0]
+		seenSQL := map[string]bool{}
+		for _, m := range members {
+			if !seenSQL[m.SQL] {
+				seenSQL[m.SQL] = true
+				uniq = append(uniq, m)
+			}
+		}
+		for i := 0; i < len(uniq); i++ {
+			for j := i + 1; j < len(uniq); j++ {
+				pairs = append(pairs, workloadPair{uniq[i], uniq[j]})
+			}
+		}
+		key := members[0].TableKey()
+		if _, ok := repByTables[key]; !ok {
+			tableOrder = append(tableOrder, key)
+		}
+		repByTables[key] = append(repByTables[key], members[0])
+	}
+	for _, key := range tableOrder {
+		reps := repByTables[key]
+		for i := 0; i+1 < len(reps) && i < 40; i += 2 {
+			pairs = append(pairs, workloadPair{reps[i], reps[i+1]})
+		}
+	}
+	return pairs
+}
+
 // RunTable2 executes the overlap-detection study on the synthetic
-// production workload. Following the paper's protocol, only queries over
-// the same input tables are compared, and pairs differing only in predicate
-// parameters are skipped — here realized by comparing queries within a
-// generation cluster (same parameters, different pipeline shapes) plus
-// representatives across clusters on the same table set.
+// production workload, sequentially. Following the paper's protocol, only
+// queries over the same input tables are compared, and pairs differing
+// only in predicate parameters are skipped — here realized by comparing
+// queries within a generation cluster (same parameters, different pipeline
+// shapes) plus representatives across clusters on the same table set.
 func RunTable2(w *corpus.Workload) []Table2Row {
+	return RunTable2Workers(w, 1)
+}
+
+// RunTable2Workers is RunTable2 with the SPES/EQUITAS pair checks fanned
+// across an engine worker pool (workers <= 0 means GOMAXPROCS). The SPES
+// side runs through the engine's memoized-normalization + obligation-cache
+// path, so parallel runs are also per-pair cheaper; verdict columns are
+// identical at any worker count, and the time columns report summed
+// per-pair check time (CPU time, not wall time).
+func RunTable2Workers(w *corpus.Workload, workers int) []Table2Row {
 	b := plan.NewBuilder(w.Catalog)
 	var rows []Table2Row
 	totals := Table2Row{Set: "Total"}
+	sh := engine.NewShared(engine.Options{Workers: workers})
 
 	for set := 0; set < 3; set++ {
 		qs := []corpus.WorkloadQuery{}
@@ -47,7 +106,7 @@ func RunTable2(w *corpus.Workload) []Table2Row {
 		}
 		row := Table2Row{Set: fmt.Sprintf("Set %d", set+1), Queries: len(qs)}
 
-		// Build plans once.
+		// Build plans once (read-only afterwards, so workers share them).
 		plans := make(map[int]plan.Node, len(qs))
 		for _, q := range qs {
 			n, err := b.BuildSQL(q.SQL)
@@ -66,72 +125,51 @@ func RunTable2(w *corpus.Workload) []Table2Row {
 			}
 		}
 
-		// Candidate pairs: within clusters, plus one cross-cluster
-		// representative pair per (tableset, cluster) adjacency.
-		type pair struct{ a, b corpus.WorkloadQuery }
-		var pairs []pair
-		byCluster := map[int][]corpus.WorkloadQuery{}
-		for _, q := range qs {
-			byCluster[q.Cluster] = append(byCluster[q.Cluster], q)
-		}
-		repByTables := map[string][]corpus.WorkloadQuery{}
-		for _, members := range byCluster {
-			// Textually identical recurrences dedupe up front (trivially
-			// equal; the frequency column accounts for them).
-			uniq := members[:0:0]
-			seenSQL := map[string]bool{}
-			for _, m := range members {
-				if !seenSQL[m.SQL] {
-					seenSQL[m.SQL] = true
-					uniq = append(uniq, m)
-				}
-			}
-			for i := 0; i < len(uniq); i++ {
-				for j := i + 1; j < len(uniq); j++ {
-					pairs = append(pairs, pair{uniq[i], uniq[j]})
-				}
-			}
-			key := members[0].TableKey()
-			repByTables[key] = append(repByTables[key], members[0])
-		}
-		for _, reps := range repByTables {
-			for i := 0; i+1 < len(reps) && i < 40; i += 2 {
-				pairs = append(pairs, pair{reps[i], reps[i+1]})
-			}
-		}
+		pairs := candidatePairs(qs)
 		row.ComparedPairs = len(pairs)
 
-		overlapSPES := map[int]bool{}
-		overlapEQ := map[int]bool{}
-		nzOpts := normalize.Options{}
-		for _, p := range pairs {
+		// Fan the pair checks across the pool; each index writes only its
+		// own outcome slot, and the reduction below runs in index order so
+		// the rows are deterministic at any worker count.
+		type outcome struct {
+			spesOK, eqOK       bool
+			spesTime, eqTime   time.Duration
+		}
+		outcomes := make([]outcome, len(pairs))
+		sh.ForEach(nil, len(pairs), func(wk *engine.Worker, i int) {
+			p := pairs[i]
 			q1, ok1 := plans[p.a.ID]
 			q2, ok2 := plans[p.b.ID]
 			if !ok1 || !ok2 {
-				continue
-			}
-			spesCheck := func(a, b plan.Node) bool {
-				nz := normalize.New(nzOpts)
-				return verify.New().VerifyPlans(nz.Normalize(a), nz.Normalize(b))
+				return
 			}
 			eqCheck := func(a, b plan.Node) bool {
 				return equitas.New().VerifyPlans(a, b)
 			}
 			start := time.Now()
-			spesOK := spesCheck(q1, q2)
+			spesOK := wk.Proved(q1, q2)
 			if !spesOK {
 				// Paper protocol (§7.3): when whole queries do not match,
 				// check their constituent sub-queries over the same tables.
-				spesOK = subqueriesOverlap(q1, q2, spesCheck)
+				spesOK = subqueriesOverlap(q1, q2, wk.Proved)
 			}
-			row.SPESTime += time.Since(start)
+			outcomes[i].spesTime = time.Since(start)
 			start = time.Now()
 			eqOK := eqCheck(q1, q2)
 			if !eqOK {
 				eqOK = subqueriesOverlap(q1, q2, eqCheck)
 			}
-			row.EQUITASTime += time.Since(start)
-			if spesOK {
+			outcomes[i].eqTime = time.Since(start)
+			outcomes[i].spesOK, outcomes[i].eqOK = spesOK, eqOK
+		})
+
+		overlapSPES := map[int]bool{}
+		overlapEQ := map[int]bool{}
+		for i, p := range pairs {
+			o := outcomes[i]
+			row.SPESTime += o.spesTime
+			row.EQUITASTime += o.eqTime
+			if o.spesOK {
 				row.EquivalentPairs++
 				overlapSPES[p.a.ID] = true
 				overlapSPES[p.b.ID] = true
@@ -139,18 +177,22 @@ func RunTable2(w *corpus.Workload) []Table2Row {
 					row.JoinAggPairs++
 				}
 			}
-			if eqOK {
+			if o.eqOK {
 				overlapEQ[p.a.ID] = true
 				overlapEQ[p.b.ID] = true
 			}
 		}
-		// Identical duplicate texts also overlap (counted, not verified).
-		for _, members := range byCluster {
-			seen := map[string][]int{}
-			for _, q := range members {
-				seen[q.SQL] = append(seen[q.SQL], q.ID)
+		// Identical duplicate texts also overlap (counted, not verified);
+		// the per-cluster grouping mirrors the candidate-pair scope.
+		seen := map[int]map[string][]int{}
+		for _, q := range qs {
+			if seen[q.Cluster] == nil {
+				seen[q.Cluster] = map[string][]int{}
 			}
-			for _, ids := range seen {
+			seen[q.Cluster][q.SQL] = append(seen[q.Cluster][q.SQL], q.ID)
+		}
+		for _, bySQL := range seen {
+			for _, ids := range bySQL {
 				if len(ids) > 1 {
 					for _, id := range ids {
 						overlapSPES[id] = true

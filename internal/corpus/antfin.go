@@ -107,9 +107,14 @@ func ProductionWorkload(seed int64, scale float64) *Workload {
 			inst := fam(r)
 			members := append([]member{{sql: inst.base}}, inst.variants...)
 			// Hot queries recur verbatim (the "highest query frequency"
-			// column of Table 2).
+			// column of Table 2 — the paper reports recurrence in the
+			// hundreds, so a rare viral tier rides above the common hot
+			// tier).
 			repeats := 1
-			if r.Intn(40) == 0 {
+			switch heat := r.Intn(1200); {
+			case heat < 12: // ~1/100 clusters: viral dashboards
+				repeats = 12 + r.Intn(12)
+			case heat < 42: // ~1/40 clusters: hot queries
 				repeats = 2 + r.Intn(6)
 			}
 			pad := padDepth(r)

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewObligationCache(3)
+	c.Store("a", true)
+	c.Store("b", false)
+	c.Store("c", true)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+
+	// "a" is the oldest; storing "d" must evict it.
+	c.Store("d", true)
+	if c.Len() != 3 {
+		t.Fatalf("Len after eviction = %d, want 3", c.Len())
+	}
+	if _, ok := c.Lookup("a"); ok {
+		t.Error("'a' should have been evicted as least recently used")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Errorf("%q should still be cached", k)
+		}
+	}
+}
+
+func TestCacheRecencyRefresh(t *testing.T) {
+	c := NewObligationCache(2)
+	c.Store("a", true)
+	c.Store("b", false)
+
+	// Touch "a": now "b" is least recently used.
+	if v, ok := c.Lookup("a"); !ok || !v {
+		t.Fatalf("Lookup(a) = %v,%v; want true,true", v, ok)
+	}
+	c.Store("c", true)
+	if _, ok := c.Lookup("b"); ok {
+		t.Error("'b' should have been evicted after 'a' was refreshed")
+	}
+	if _, ok := c.Lookup("a"); !ok {
+		t.Error("'a' was refreshed and must survive the eviction")
+	}
+}
+
+func TestCacheValuesAndCounters(t *testing.T) {
+	c := NewObligationCache(0) // 0 -> DefaultCacheSize
+	c.Store("valid", true)
+	c.Store("invalid", false)
+	if v, ok := c.Lookup("valid"); !ok || !v {
+		t.Errorf("Lookup(valid) = %v,%v", v, ok)
+	}
+	if v, ok := c.Lookup("invalid"); !ok || v {
+		t.Errorf("Lookup(invalid) = %v,%v", v, ok)
+	}
+	c.Lookup("absent")
+	hits, misses := c.Counters()
+	if hits != 2 || misses != 1 {
+		t.Errorf("counters = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+// TestCacheTinyBoundUnderConcurrency hammers a CacheSize=2 cache from many
+// goroutines; the bound must hold and no operation may race (run under
+// -race).
+func TestCacheTinyBoundUnderConcurrency(t *testing.T) {
+	c := NewObligationCache(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%7)
+				c.Store(key, i%2 == 0)
+				c.Lookup(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 2 {
+		t.Errorf("Len = %d exceeds the bound 2", c.Len())
+	}
+}

@@ -1,0 +1,571 @@
+// Package engine is the parallel batch-verification engine: it fans a
+// slice of query pairs across a bounded worker pool and layers three
+// memoizations over the sequential verifier so workload-scale runs (§7.3
+// of the paper: thousands of production pairs) short-circuit repeated
+// work:
+//
+//   - a normalization memo keyed by structural plan fingerprint, so a
+//     query appearing in many pairs is normalized once;
+//   - two-level pair dedupe — by raw pair before normalization (verbatim
+//     recurrence costs one serialization) and by normalized pair after
+//     (textually different pairs that normalize identically) — so
+//     structurally identical pairs are verified once and share the
+//     verdict;
+//   - a bounded LRU obligation cache keyed by the canonical serialization
+//     of each solver obligation, so identical validity questions across
+//     pairs are answered once.
+//
+// Every fingerprint-indexed table confirms identity against the full
+// canonical serialization before reusing an entry, so a 64-bit hash
+// collision can never substitute a different plan or obligation; and only
+// definite solver verdicts are cached, so caching and parallelism never
+// change a soundness-critical answer (the determinism tests pin this).
+//
+// Each worker owns its mutable state — a plan builder, a reused
+// normalizer (whose predicate-satisfiability cache warms over the batch),
+// and a fresh Verifier per pair — per verify.Verifier's concurrency
+// contract; the only shared structures are the three concurrency-safe
+// memo tables above.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"spes/internal/normalize"
+	"spes/internal/plan"
+	"spes/internal/schema"
+	"spes/internal/verify"
+)
+
+// Verdict mirrors the root package's verdict (same values, so the public
+// API converts by integer cast; spes's tests pin the correspondence).
+type Verdict int
+
+const (
+	// NotProved means equivalence could not be established.
+	NotProved Verdict = iota
+	// Equivalent means the queries are fully equivalent under bag
+	// semantics.
+	Equivalent
+	// Unsupported means a query uses SQL outside the supported subset.
+	Unsupported
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case Unsupported:
+		return "unsupported"
+	}
+	return "not-proved"
+}
+
+// Pair is one SQL query pair of a batch.
+type Pair struct {
+	ID   string
+	SQL1 string
+	SQL2 string
+}
+
+// PlanPair is one already-built pair of a batch.
+type PlanPair struct {
+	ID string
+	Q1 plan.Node
+	Q2 plan.Node
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds each pair's wall-clock verification time; a
+	// pathological pair degrades to a not-proved timeout instead of
+	// stalling the batch. 0 means no deadline.
+	Timeout time.Duration
+	// CacheSize bounds the obligation cache (0 = DefaultCacheSize,
+	// < 0 disables the obligation cache only).
+	CacheSize int
+	// DisableCaching turns off all three memo layers (obligation cache,
+	// normalization memo, pair dedupe) — the engine then does exactly the
+	// sequential per-pair work, just fanned out. Used by the determinism
+	// tests and the speedup baseline.
+	DisableCaching bool
+	// DisableNormalization verifies raw plans (the paper's ablation).
+	DisableNormalization bool
+	// NormalizeOptions tunes individual rules when normalization is on.
+	NormalizeOptions normalize.Options
+	// MaxCandidates caps VeriVec's bijection search per vector pair
+	// (0 = verifier default).
+	MaxCandidates int
+}
+
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is one pair's outcome.
+type Result struct {
+	ID       string
+	Verdict  Verdict
+	Cardinal bool
+	Reason   string
+	Stats    verify.Stats
+	// Elapsed is this pair's wall time inside its worker (normalize +
+	// verify, or the wait for the deduped leader).
+	Elapsed time.Duration
+	// Deduped marks a verdict shared from a structurally identical pair
+	// verified elsewhere in the batch (Stats are zero: no work was done).
+	Deduped bool
+	// TimedOut marks a pair whose solver hit the per-pair deadline; its
+	// NotProved verdict may be a timeout rather than a genuine failure.
+	TimedOut bool
+	// Fingerprint is the structural hash of the normalized pair (0 when
+	// the plans failed to build or when caching — and with it the
+	// fingerprinting path — is disabled).
+	Fingerprint uint64
+}
+
+// BatchStats aggregates a batch run.
+type BatchStats struct {
+	Pairs   int
+	Workers int
+	Wall    time.Duration
+
+	// Verdict counts.
+	Equivalent  int
+	NotProved   int
+	Unsupported int
+
+	Deduped  int
+	Timeouts int
+
+	NormHits   int64
+	NormMisses int64
+
+	ObligationHits   int64
+	ObligationMisses int64
+
+	SolverQueries int
+}
+
+// PairsPerSec returns batch throughput.
+func (s BatchStats) PairsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Pairs) / s.Wall.Seconds()
+}
+
+// ObligationHitRate returns the obligation-cache hit fraction in [0,1].
+func (s BatchStats) ObligationHitRate() float64 {
+	total := s.ObligationHits + s.ObligationMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ObligationHits) / float64(total)
+}
+
+// normMemo memoizes normalization results. The fingerprint picks the
+// bucket; the canonical plan serialization confirms identity, so a hash
+// collision can never substitute a different plan.
+type normMemo struct {
+	mu     sync.Mutex
+	m      map[uint64][]normEntry
+	hits   int64
+	misses int64
+}
+
+type normEntry struct {
+	key  string
+	node plan.Node
+}
+
+func (m *normMemo) lookup(fp uint64, key string) (plan.Node, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.m[fp] {
+		if e.key == key {
+			m.hits++
+			return e.node, true
+		}
+	}
+	m.misses++
+	return nil, false
+}
+
+func (m *normMemo) store(fp uint64, key string, n plan.Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.m[fp] {
+		if e.key == key {
+			return // another worker won the race; results are structurally equal
+		}
+	}
+	m.m[fp] = append(m.m[fp], normEntry{key: key, node: n})
+}
+
+func (m *normMemo) counters() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// dedupeMap coordinates pair dedupe: exactly one claimant per canonical
+// pair key becomes the leader and verifies; followers wait on the entry
+// and copy the verdict. Fingerprint-bucketed with full-key confirmation,
+// like normMemo.
+type dedupeMap struct {
+	mu sync.Mutex
+	m  map[uint64][]*dedupeEntry
+}
+
+type dedupeEntry struct {
+	key  string
+	done chan struct{}
+	res  Result // verdict fields only; set by the leader before close(done)
+}
+
+// claim returns the pair's entry and whether the caller is its leader.
+func (d *dedupeMap) claim(fp uint64, key string) (*dedupeEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range d.m[fp] {
+		if e.key == key {
+			return e, false
+		}
+	}
+	e := &dedupeEntry{key: key, done: make(chan struct{})}
+	d.m[fp] = append(d.m[fp], e)
+	return e, true
+}
+
+// Shared is the batch-scoped state behind a worker pool: options plus the
+// concurrency-safe memo layers. One Shared per batch; workers are created
+// per goroutine with NewWorker.
+type Shared struct {
+	opts     Options
+	cache    *ObligationCache // nil when disabled
+	norm     *normMemo        // nil when disabled
+	rawDedup *dedupeMap       // nil when disabled; keyed by the raw pair
+	dedup    *dedupeMap       // nil when disabled; keyed by the normalized pair
+
+	// keyMu/keys memoize canonical serializations by node pointer: callers
+	// that verify one plan in many pairs (hot queries, shared builds) pass
+	// the same immutable Node, so its tree is serialized once per batch.
+	// Distinct pointers to equal trees merely miss — correctness only needs
+	// pointer identity to imply key identity, which immutability gives.
+	keyMu sync.Mutex
+	keys  map[plan.Node]string
+
+	// sat is the cross-worker predicate-satisfiability cache handed to
+	// every worker's Normalizer (nil when caching is disabled).
+	sat *satTable
+}
+
+// satTable implements normalize.SatCache with a mutex-guarded map; the
+// relation it caches is deterministic, so last-write-wins races are
+// writes of equal values.
+type satTable struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func (t *satTable) Lookup(key string) (sat, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sat, ok = t.m[key]
+	return sat, ok
+}
+
+func (t *satTable) Store(key string, sat bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[key] = sat
+}
+
+// NewShared builds batch state from options.
+func NewShared(opts Options) *Shared {
+	s := &Shared{opts: opts}
+	if !opts.DisableCaching {
+		if opts.CacheSize >= 0 {
+			s.cache = NewObligationCache(opts.CacheSize)
+		}
+		s.norm = &normMemo{m: make(map[uint64][]normEntry)}
+		s.rawDedup = &dedupeMap{m: make(map[uint64][]*dedupeEntry)}
+		s.dedup = &dedupeMap{m: make(map[uint64][]*dedupeEntry)}
+		s.keys = make(map[plan.Node]string)
+		s.sat = &satTable{m: make(map[string]bool)}
+	}
+	return s
+}
+
+// keyOf returns plan.Key(n), memoized by node pointer.
+func (s *Shared) keyOf(n plan.Node) string {
+	s.keyMu.Lock()
+	k, ok := s.keys[n]
+	s.keyMu.Unlock()
+	if ok {
+		return k
+	}
+	k = plan.Key(n)
+	s.keyMu.Lock()
+	s.keys[n] = k
+	s.keyMu.Unlock()
+	return k
+}
+
+// CacheCounters returns the obligation cache's lifetime hit/miss counts
+// (zero when the cache is disabled).
+func (s *Shared) CacheCounters() (hits, misses int64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Counters()
+}
+
+// ForEach fans indices [0, n) across the worker pool. Each goroutine gets
+// its own Worker (cat may be nil when fn only uses plan-level entry
+// points); fn must write results into caller-owned, per-index storage.
+// Returns the wall time of the fan-out.
+func (s *Shared) ForEach(cat *schema.Catalog, n int, fn func(w *Worker, i int)) time.Duration {
+	workers := s.opts.workerCount()
+	if workers > n && n > 0 {
+		workers = n
+	}
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := s.NewWorker(cat)
+			for i := range idx {
+				fn(w, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return time.Since(start)
+}
+
+// Worker is the per-goroutine state of a batch: a plan builder, a reused
+// normalizer, and a handle on the shared memo layers. A Worker must not be
+// shared across goroutines.
+type Worker struct {
+	shared  *Shared
+	builder *plan.Builder
+	nz      *normalize.Normalizer
+
+	// verifiersBuilt counts fresh Verifiers constructed by this worker;
+	// the engine tests assert one per verified (non-deduped) pair,
+	// enforcing verify.Verifier's ownership contract.
+	verifiersBuilt int
+}
+
+// NewWorker returns a worker bound to this batch's shared state. cat may
+// be nil when only plan-level entry points are used.
+func (s *Shared) NewWorker(cat *schema.Catalog) *Worker {
+	w := &Worker{shared: s, nz: normalize.New(s.opts.NormalizeOptions)}
+	if s.sat != nil {
+		w.nz.SetSatCache(s.sat)
+	}
+	if cat != nil {
+		w.builder = plan.NewBuilder(cat)
+	}
+	return w
+}
+
+// VerifiersBuilt returns how many fresh Verifiers this worker constructed.
+func (w *Worker) VerifiersBuilt() int { return w.verifiersBuilt }
+
+// normalizePlan applies normalization through the shared memo. key is the
+// plan's canonical serialization, already computed by the caller (the raw
+// dedupe layer needs it too, so the tree is serialized exactly once).
+func (w *Worker) normalizePlan(q plan.Node, key string) plan.Node {
+	if w.shared.opts.DisableNormalization {
+		return q
+	}
+	if w.shared.norm == nil {
+		return w.nz.Normalize(q)
+	}
+	fp := plan.HashKey(key)
+	if n, ok := w.shared.norm.lookup(fp, key); ok {
+		return n
+	}
+	n := w.nz.Normalize(q)
+	w.shared.norm.store(fp, key, n)
+	return n
+}
+
+// check runs one verification with a fresh Verifier, applying the batch's
+// deadline and obligation cache.
+func (w *Worker) check(q1, q2 plan.Node) Result {
+	cfg := verify.Config{MaxCandidates: w.shared.opts.MaxCandidates}
+	if w.shared.cache != nil {
+		cfg.Cache = w.shared.cache
+	}
+	if w.shared.opts.Timeout > 0 {
+		cfg.Deadline = time.Now().Add(w.shared.opts.Timeout)
+	}
+	v := verify.NewWithConfig(cfg)
+	w.verifiersBuilt++
+	out := v.Check(q1, q2)
+	r := Result{Verdict: NotProved, Cardinal: out.Cardinal, Stats: v.Stats()}
+	if out.Full {
+		r.Verdict = Equivalent
+	}
+	if v.TimedOut() {
+		r.TimedOut = true
+		if r.Verdict == NotProved {
+			r.Reason = "timeout"
+		}
+	}
+	return r
+}
+
+// VerifyPlans verifies one already-built pair through the full engine
+// path: raw-pair dedupe, memoized normalization, normalized-pair dedupe,
+// cached solving.
+//
+// Dedupe runs at two levels. The raw level fires before normalization, so
+// a verbatim-recurring pair (the hot queries of §7.3's workloads) costs
+// one serialization and a wait; the normalized level additionally catches
+// textually different pairs that normalize to the same form. The wait
+// graph is acyclic — raw followers wait on a raw leader, a raw leader
+// waits at most on a normalized leader, normalized leaders never wait —
+// so no worker count can deadlock, and with one worker every claimed
+// entry was already completed earlier in the loop.
+func (w *Worker) VerifyPlans(id string, q1, q2 plan.Node) Result {
+	start := time.Now()
+	if w.shared.dedup == nil {
+		r := w.check(w.normalizePlan(q1, ""), w.normalizePlan(q2, ""))
+		r.ID, r.Elapsed = id, time.Since(start)
+		return r
+	}
+
+	k1, k2 := w.shared.keyOf(q1), w.shared.keyOf(q2)
+	rawKey := k1 + "\x00" + k2
+	rawE, rawLeader := w.shared.rawDedup.claim(plan.HashKey(rawKey), rawKey)
+	if !rawLeader {
+		<-rawE.done
+		return followerResult(rawE.res, id, start)
+	}
+
+	n1 := w.normalizePlan(q1, k1)
+	n2 := w.normalizePlan(q2, k2)
+	fp := plan.PairFingerprint(n1, n2)
+
+	e, leader := w.shared.dedup.claim(fp, plan.PairKey(n1, n2))
+	if !leader {
+		<-e.done
+		r := followerResult(e.res, id, start)
+		rawE.res = e.res
+		close(rawE.done)
+		return r
+	}
+	r := w.check(n1, n2)
+	r.Fingerprint = fp
+	e.res = r
+	close(e.done)
+	rawE.res = r
+	close(rawE.done)
+	r.ID, r.Elapsed = id, time.Since(start)
+	return r
+}
+
+// followerResult adapts a dedupe leader's published result to the waiting
+// pair: same verdict, own identity, no per-pair solver work.
+func followerResult(res Result, id string, start time.Time) Result {
+	r := res
+	r.ID, r.Elapsed = id, time.Since(start)
+	r.Deduped = true
+	r.Stats = verify.Stats{} // no work happened for this pair
+	return r
+}
+
+// Proved is the boolean convenience used by the benchmark harness's
+// overlap checks.
+func (w *Worker) Proved(q1, q2 plan.Node) bool {
+	return w.VerifyPlans("", q1, q2).Verdict == Equivalent
+}
+
+// VerifyPair parses, builds, and verifies one SQL pair.
+func (w *Worker) VerifyPair(p Pair) Result {
+	q1, err := w.builder.BuildSQL(p.SQL1)
+	if err != nil {
+		return buildErrorResult(p.ID, err)
+	}
+	q2, err := w.builder.BuildSQL(p.SQL2)
+	if err != nil {
+		return buildErrorResult(p.ID, err)
+	}
+	return w.VerifyPlans(p.ID, q1, q2)
+}
+
+func buildErrorResult(id string, err error) Result {
+	if plan.Unsupported(err) {
+		return Result{ID: id, Verdict: Unsupported, Reason: err.Error()}
+	}
+	return Result{ID: id, Verdict: NotProved, Reason: "build: " + err.Error()}
+}
+
+// VerifyBatch verifies a slice of SQL pairs against one catalog and
+// returns per-pair results (index-aligned with pairs) plus aggregate
+// statistics.
+func VerifyBatch(cat *schema.Catalog, pairs []Pair, opts Options) ([]Result, BatchStats) {
+	s := NewShared(opts)
+	results := make([]Result, len(pairs))
+	wall := s.ForEach(cat, len(pairs), func(w *Worker, i int) {
+		results[i] = w.VerifyPair(pairs[i])
+	})
+	return results, s.aggregate(results, wall)
+}
+
+// VerifyPlanBatch is VerifyBatch over already-built plans.
+func VerifyPlanBatch(pairs []PlanPair, opts Options) ([]Result, BatchStats) {
+	s := NewShared(opts)
+	results := make([]Result, len(pairs))
+	wall := s.ForEach(nil, len(pairs), func(w *Worker, i int) {
+		p := pairs[i]
+		results[i] = w.VerifyPlans(p.ID, p.Q1, p.Q2)
+	})
+	return results, s.aggregate(results, wall)
+}
+
+func (s *Shared) aggregate(results []Result, wall time.Duration) BatchStats {
+	st := BatchStats{Pairs: len(results), Workers: s.opts.workerCount(), Wall: wall}
+	for _, r := range results {
+		switch r.Verdict {
+		case Equivalent:
+			st.Equivalent++
+		case Unsupported:
+			st.Unsupported++
+		default:
+			st.NotProved++
+		}
+		if r.Deduped {
+			st.Deduped++
+		}
+		if r.TimedOut {
+			st.Timeouts++
+		}
+		st.SolverQueries += r.Stats.SolverQueries
+		st.ObligationHits += int64(r.Stats.ObligationHits)
+		st.ObligationMisses += int64(r.Stats.ObligationMiss)
+	}
+	if s.norm != nil {
+		st.NormHits, st.NormMisses = s.norm.counters()
+	}
+	return st
+}

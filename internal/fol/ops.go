@@ -7,8 +7,12 @@ import (
 )
 
 var (
-	termTrue  = &Term{Kind: KTrue, Sort: SortBool}
-	termFalse = &Term{Kind: KFalse, Sort: SortBool}
+	// The boolean singletons are shared by every goroutine in the process,
+	// so their lazily-memoized canonical keys are pre-computed here: a
+	// first Key() call from two goroutines at once would otherwise race on
+	// the key field.
+	termTrue  = &Term{Kind: KTrue, Sort: SortBool, key: "true"}
+	termFalse = &Term{Kind: KFalse, Sort: SortBool, key: "false"}
 	ratZero   = new(big.Rat)
 	ratOne    = big.NewRat(1, 1)
 )

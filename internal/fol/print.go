@@ -15,12 +15,24 @@ func (t *Term) String() string {
 
 // Key returns the canonical form of t, memoized on first use. Terms are
 // immutable, so memoization is safe; callers must not mutate terms after
-// construction.
+// construction. The lazy write to the key field means Key must only be
+// called on terms owned by a single goroutine (plus the pre-keyed
+// True/False singletons); for terms that may be shared across goroutines
+// use Canonical instead.
 func (t *Term) Key() string {
 	if t.key == "" {
 		t.key = t.String()
 	}
 	return t.key
+}
+
+// Canonical returns the canonical serialization of t without touching the
+// memoized key. Two terms serialize identically iff they are structurally
+// equal, so the result is a sound cache key for solver obligations. Unlike
+// Key, Canonical neither reads nor writes term state and is therefore safe
+// to call on terms shared across goroutines.
+func Canonical(t *Term) string {
+	return t.String()
 }
 
 func (t *Term) write(b *strings.Builder) {

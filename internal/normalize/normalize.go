@@ -36,6 +36,16 @@ func (o Options) maxPasses() int {
 	return 12
 }
 
+// SatCache is an optional second-level predicate-satisfiability cache
+// shared across Normalizers (see SetSatCache). Implementations must be
+// safe for concurrent use. The cached relation — canonical predicate key
+// to satisfiability — is deterministic, so sharing never changes a
+// normalization result, only skips recomputing it.
+type SatCache interface {
+	Lookup(key string) (sat, ok bool)
+	Store(key string, sat bool)
+}
+
 // Normalizer rewrites plans. Safe to reuse across plans; not concurrent.
 type Normalizer struct {
 	opts   Options
@@ -43,6 +53,10 @@ type Normalizer struct {
 	enc    *symbolic.Encoder
 	// satCache memoizes predicate satisfiability by canonical form.
 	satCache map[string]bool
+	// shared is an optional cross-Normalizer satisfiability cache; the
+	// local map stays in front of it so repeat lookups on this Normalizer
+	// never pay the shared cache's synchronization.
+	shared SatCache
 }
 
 // New returns a Normalizer.
@@ -54,6 +68,10 @@ func New(opts Options) *Normalizer {
 		satCache: make(map[string]bool),
 	}
 }
+
+// SetSatCache attaches a shared predicate-satisfiability cache behind the
+// local one (batch engines give every worker's Normalizer the same cache).
+func (nz *Normalizer) SetSatCache(c SatCache) { nz.shared = c }
 
 // Normalize rewrites n to a fixpoint of the rule set. Subquery plans nested
 // inside expressions (EXISTS, scalar subqueries) are normalized too, so
@@ -260,23 +278,36 @@ func (nz *Normalizer) rewriteSPJ(s *plan.SPJ) plan.Node {
 // the SPJ returns no rows on any database (so `pk IS NULL` filters reduce
 // to Empty too).
 func (nz *Normalizer) predSatisfiable(s *plan.SPJ) bool {
-	in := nz.enc.Gen.FreshTuple("nz", s.InputArity())
-	off := 0
+	// Build the cache key first: the fresh symbolic tuple is only needed on
+	// a miss, and this path is hot enough that allocating it up front
+	// dominated cache-hit lookups.
 	var nnTag []byte
 	for _, input := range s.Inputs {
 		for i := 0; i < input.Arity(); i++ {
 			if notNullColumn(input, i) {
-				in[off+i].Null = fol.False()
 				nnTag = append(nnTag, '1')
 			} else {
 				nnTag = append(nnTag, '0')
 			}
 		}
-		off += input.Arity()
 	}
 	key := "spj:" + string(nnTag) + ":" + s.Pred.String()
 	if v, ok := nz.satCache[key]; ok {
 		return v
+	}
+	if nz.shared != nil {
+		if v, ok := nz.shared.Lookup(key); ok {
+			nz.satCache[key] = v
+			return v
+		}
+	}
+	// nnTag holds one byte per input column in flat tuple order, so index i
+	// addresses in[i] directly.
+	in := nz.enc.Gen.FreshTuple("nz", s.InputArity())
+	for i := range nnTag {
+		if nnTag[i] == '1' {
+			in[i].Null = fol.False()
+		}
 	}
 	p, err := nz.enc.Pred(s.Pred, in)
 	assigns := nz.enc.TakeAssigns()
@@ -286,6 +317,9 @@ func (nz *Normalizer) predSatisfiable(s *plan.SPJ) bool {
 		sat = res != smt.Unsat
 	}
 	nz.satCache[key] = sat
+	if nz.shared != nil {
+		nz.shared.Store(key, sat)
+	}
 	return sat
 }
 

@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"bufio"
+	"hash/fnv"
+)
+
+// Structural plan fingerprints for the batch-verification engine: a cheap
+// 64-bit hash that equal plan trees share and distinct trees almost never
+// do. Fingerprints index memo tables (normalization results, pair dedupe);
+// because 64 bits cannot guarantee uniqueness, every fingerprint-keyed
+// table must confirm identity against the full canonical serialization
+// (Key/PairKey) before reusing an entry — soundness never rests on hash
+// uniqueness.
+//
+// Fingerprint and Key are pure functions of the tree: they mutate nothing
+// and keep no memoized state, so they are safe to call concurrently on
+// shared plans.
+
+// Fingerprint returns a 64-bit structural hash of a plan tree. Two trees
+// hash identically iff they are structurally equal, up to 64-bit
+// collisions: column names are excluded (they are not semantically
+// significant), exactly as in Format.
+func Fingerprint(n Node) uint64 {
+	h := fnv.New64a()
+	w := bufio.NewWriter(h)
+	format(n, w)
+	w.Flush()
+	return h.Sum64()
+}
+
+// Key returns the canonical serialization of a plan: the collision-free
+// companion of Fingerprint (identical to Format, named for its cache-key
+// role).
+func Key(n Node) string { return Format(n) }
+
+// PairFingerprint hashes an ordered pair of plans into one fingerprint.
+func PairFingerprint(a, b Node) uint64 {
+	h := fnv.New64a()
+	w := bufio.NewWriter(h)
+	format(a, w)
+	w.WriteByte(0) // separator: pair boundaries cannot shift
+	format(b, w)
+	w.Flush()
+	return h.Sum64()
+}
+
+// PairKey returns the collision-free canonical serialization of an ordered
+// pair of plans.
+func PairKey(a, b Node) string {
+	return Format(a) + "\x00" + Format(b)
+}
+
+// HashKey hashes an already-computed canonical key (from Key, PairKey, or
+// their concatenation) to the fingerprint it corresponds to:
+// HashKey(Key(n)) == Fingerprint(n) and HashKey(PairKey(a, b)) ==
+// PairFingerprint(a, b). Callers that need both the key and the
+// fingerprint serialize the tree once and hash the string, instead of
+// walking the tree twice.
+func HashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

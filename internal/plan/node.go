@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"spes/internal/schema"
@@ -228,7 +229,15 @@ func Format(n Node) string {
 	return b.String()
 }
 
-func format(n Node, b *strings.Builder) {
+// canonWriter is the sink format writes to: a strings.Builder for Format,
+// a hasher for Fingerprint.
+type canonWriter interface {
+	io.Writer
+	WriteString(string) (int, error)
+	WriteByte(byte) error
+}
+
+func format(n Node, b canonWriter) {
 	switch v := n.(type) {
 	case *Table:
 		fmt.Fprintf(b, "table(%s)", v.Meta.Name)

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"fmt"
+	"time"
 
 	"spes/internal/fol"
 	"spes/internal/sat"
@@ -32,15 +33,24 @@ func (r Result) String() string {
 	return "unknown"
 }
 
-// Stats accumulates solver counters across queries.
+// Stats accumulates solver counters across queries. Stats holds only value
+// fields, so a plain struct copy is a consistent snapshot; use Snapshot to
+// make the copy explicit. Like the Solver itself, the counters are owned by
+// one goroutine — snapshot from the owning goroutine before handing the
+// numbers to another.
 type Stats struct {
 	Queries      int
 	ModelRounds  int   // propositional models examined across queries
 	TheoryConfls int   // theory conflicts (blocking clauses learned)
 	Atoms        int   // theory atoms across queries
 	MaxRoundsHit int   // queries that exhausted the model budget
+	DeadlineHit  int   // checks aborted by the wall-clock deadline
 	CoreChecks   int64 // theory checks spent minimizing cores
 }
+
+// Snapshot returns a copy of the counters, safe to retain after the solver
+// moves on to further queries.
+func (s Stats) Snapshot() Stats { return s }
 
 // Solver checks satisfiability and validity of quantifier-free fol formulas.
 // A Solver is not safe for concurrent use; each goroutine should own one.
@@ -53,6 +63,12 @@ type Solver struct {
 	MaxSATConflicts int64
 	// TheoryBudget bounds equality-propagation rounds per theory check.
 	TheoryBudget int
+	// Deadline, when non-zero, aborts CheckSat with Unknown once the
+	// wall clock passes it. The check sits in the model-round loop, so a
+	// pathological query degrades to Unknown (sound: Unknown never proves
+	// anything) instead of stalling the caller. Set it before each query;
+	// the zero value disables the deadline.
+	Deadline time.Time
 
 	Stats Stats
 
@@ -84,6 +100,9 @@ func (s *Solver) CheckSat(f *fol.Term) Result {
 	cases := splitCases(nnf(f, false), 64)
 	sawUnknown := false
 	for _, c := range cases {
+		if s.expired() {
+			return Unknown
+		}
 		switch s.checkOne(c) {
 		case Sat:
 			return Sat
@@ -194,9 +213,22 @@ func (s *Solver) checkOne(f *fol.Term) Result {
 	return s.run(in)
 }
 
+// expired reports whether the wall-clock deadline has passed, counting
+// each abort in Stats.DeadlineHit.
+func (s *Solver) expired() bool {
+	if s.Deadline.IsZero() || time.Now().Before(s.Deadline) {
+		return false
+	}
+	s.Stats.DeadlineHit++
+	return true
+}
+
 // run drives the lazy DPLL(T) loop on an encoded instance.
 func (s *Solver) run(in *instance) Result {
 	for round := 0; round < s.MaxModelRounds; round++ {
+		if s.expired() {
+			return Unknown
+		}
 		s.Stats.ModelRounds++
 		switch in.sat.Solve() {
 		case sat.Unsat:

@@ -13,6 +13,7 @@ package verify
 
 import (
 	"fmt"
+	"time"
 
 	"spes/internal/fol"
 	"spes/internal/plan"
@@ -28,11 +29,55 @@ type Stats struct {
 	ModelRounds     int   // propositional models the solver examined
 	TheoryConflicts int   // theory conflicts (blocking clauses learned)
 	CoreChecks      int64 // theory checks spent minimizing cores
+	ObligationHits  int   // validity obligations answered from the cache
+	ObligationMiss  int   // validity obligations sent to the solver
+}
+
+// ObligationCache memoizes validity outcomes across Verifiers, keyed by the
+// canonical serialization (fol.Canonical) of the obligation term.
+//
+// Soundness contract: implementations only store what Store gives them, and
+// Verifiers only Store definite solver verdicts — a cached true was an
+// Unsat refutation of the negated obligation, a cached false a concrete
+// countermodel. Unknown (budget- or deadline-exhausted) results are never
+// cached, so caching cannot make an answer depend on batch history or wall
+// time. Implementations must be safe for concurrent use; Verifiers on
+// different goroutines may share one cache.
+type ObligationCache interface {
+	// Lookup returns the cached validity of the obligation and whether it
+	// was present.
+	Lookup(key string) (valid, ok bool)
+	// Store records a definite validity outcome.
+	Store(key string, valid bool)
+}
+
+// Config tunes a Verifier beyond the New defaults.
+type Config struct {
+	// MaxCandidates caps the bijections VeriVec tries per vector pair
+	// (0 means the default of 64).
+	MaxCandidates int
+	// Deadline, when non-zero, bounds the wall-clock time of the
+	// verification: the solver aborts with Unknown once it passes, so the
+	// pair degrades to "not proved" instead of stalling (sound: Unknown
+	// never proves anything).
+	Deadline time.Time
+	// Cache, when non-nil, memoizes definite validity outcomes across
+	// Verifiers.
+	Cache ObligationCache
 }
 
 // Verifier checks full equivalence of plan pairs. One Verifier per pair is
 // the intended use (fresh symbolic namespace); reuse is safe but
-// accumulates state. Not safe for concurrent use.
+// accumulates state.
+//
+// Concurrency contract: a Verifier and its embedded solver are NOT safe
+// for concurrent use, and nothing in the struct synchronizes access — each
+// goroutine must construct its own Verifier (internal/engine's workers
+// build a fresh one per pair; its tests and `go test -race` enforce this).
+// Sharing inputs is fine: a Verifier only reads the plan trees it is
+// given, so the same plan may be verified by many goroutines at once. A
+// Config.Cache is the one sanctioned shared component; implementations are
+// required to be concurrency-safe.
 type Verifier struct {
 	// MaxCandidates caps the bijections VeriVec tries per vector pair.
 	MaxCandidates int
@@ -40,28 +85,50 @@ type Verifier struct {
 	solver *smt.Solver
 	gen    *symbolic.Gen
 	enc    *symbolic.Encoder
+	cache  ObligationCache
 	stats  Stats
 }
 
 // New returns a Verifier with a fresh solver and symbol namespace.
 func New() *Verifier {
+	return NewWithConfig(Config{})
+}
+
+// NewWithConfig returns a Verifier configured for batch use: candidate
+// budget, wall-clock deadline, and a shared obligation cache.
+func NewWithConfig(cfg Config) *Verifier {
 	g := symbolic.NewGen()
+	s := smt.New()
+	s.Deadline = cfg.Deadline
+	mc := cfg.MaxCandidates
+	if mc <= 0 {
+		mc = 64
+	}
 	return &Verifier{
-		MaxCandidates: 64,
-		solver:        smt.New(),
+		MaxCandidates: mc,
+		solver:        s,
 		gen:           g,
 		enc:           symbolic.NewEncoder(g),
+		cache:         cfg.Cache,
 	}
 }
 
 // Stats returns counters accumulated so far.
 func (v *Verifier) Stats() Stats {
 	s := v.stats
-	s.SolverQueries = v.solver.Stats.Queries
-	s.ModelRounds = v.solver.Stats.ModelRounds
-	s.TheoryConflicts = v.solver.Stats.TheoryConfls
-	s.CoreChecks = v.solver.Stats.CoreChecks
+	ss := v.solver.Stats.Snapshot()
+	s.SolverQueries = ss.Queries
+	s.ModelRounds = ss.ModelRounds
+	s.TheoryConflicts = ss.TheoryConfls
+	s.CoreChecks = ss.CoreChecks
 	return s
+}
+
+// TimedOut reports whether any solver call was aborted by the configured
+// deadline; when it returns true, a "not proved" outcome may be a timeout
+// rather than a genuine failure to prove.
+func (v *Verifier) TimedOut() bool {
+	return v.solver.Stats.DeadlineHit > 0
 }
 
 // Outcome reports both of the paper's equivalence notions: Cardinal is
@@ -94,8 +161,27 @@ func (v *Verifier) Check(q1, q2 plan.Node) Outcome {
 	return out
 }
 
+// valid reports whether f holds in every model, consulting the shared
+// obligation cache when one is configured. Only definite solver verdicts
+// enter the cache: Unsat of ¬f (obligation valid) and Sat of ¬f (a concrete
+// countermodel). Unknown — budget or deadline exhaustion — maps to false
+// for this call but is never cached, so a cache hit is always
+// deterministic and independent of when or where the entry was computed.
 func (v *Verifier) valid(f *fol.Term) bool {
-	return v.solver.Valid(f)
+	if v.cache == nil {
+		return v.solver.Valid(f)
+	}
+	key := fol.Canonical(f)
+	if val, ok := v.cache.Lookup(key); ok {
+		v.stats.ObligationHits++
+		return val
+	}
+	v.stats.ObligationMiss++
+	res := v.solver.CheckSat(fol.Not(f))
+	if res != smt.Unknown {
+		v.cache.Store(key, res == smt.Unsat)
+	}
+	return res == smt.Unsat
 }
 
 // veriCard is Alg. 1: dispatch on category, with type-alignment coercions
@@ -495,6 +581,10 @@ func (v *Verifier) veriVec(e1, e2 []plan.Node, try func(perm []int, qpsrs []*sym
 
 // String renders verification statistics.
 func (s Stats) String() string {
-	return fmt.Sprintf("vericard=%d candidates=%d solver-queries=%d model-rounds=%d conflicts=%d core-checks=%d",
+	out := fmt.Sprintf("vericard=%d candidates=%d solver-queries=%d model-rounds=%d conflicts=%d core-checks=%d",
 		s.VeriCardCalls, s.Candidates, s.SolverQueries, s.ModelRounds, s.TheoryConflicts, s.CoreChecks)
+	if s.ObligationHits > 0 || s.ObligationMiss > 0 {
+		out += fmt.Sprintf(" cache-hits=%d cache-misses=%d", s.ObligationHits, s.ObligationMiss)
+	}
+	return out
 }

@@ -23,6 +23,9 @@
 package spes
 
 import (
+	"time"
+
+	"spes/internal/engine"
 	"spes/internal/normalize"
 	"spes/internal/plan"
 	"spes/internal/schema"
@@ -153,6 +156,61 @@ func VerifyPlans(q1, q2 plan.Node, opts Options) Result {
 		res.Verdict = Equivalent
 	}
 	return res
+}
+
+// BatchPair is one SQL pair of a VerifyBatch call.
+type BatchPair = engine.Pair
+
+// BatchOptions configures VerifyBatch: worker count, per-pair timeout,
+// cache sizing, and the same normalization switches as Options.
+type BatchOptions = engine.Options
+
+// BatchStats aggregates a VerifyBatch run: wall time, verdict counts,
+// dedupe and cache hit/miss counters, throughput.
+type BatchStats = engine.BatchStats
+
+// BatchResult is one pair's outcome from VerifyBatch.
+type BatchResult struct {
+	// ID echoes the pair's ID.
+	ID string
+	// Verdict, Cardinal, Reason, and Stats mean what they do in Result.
+	Verdict  Verdict
+	Cardinal bool
+	Reason   string
+	Stats    verify.Stats
+	// Elapsed is the pair's wall time inside its worker.
+	Elapsed time.Duration
+	// Deduped marks a verdict shared from a structurally identical pair in
+	// the same batch.
+	Deduped bool
+	// TimedOut marks a pair whose solver hit the per-pair deadline: its
+	// NotProved may be a timeout rather than a genuine failure to prove.
+	TimedOut bool
+}
+
+// VerifyBatch verifies many pairs at once on a bounded worker pool
+// (default GOMAXPROCS) with memoized normalization, structural pair
+// dedupe, and a shared obligation cache — the batch analogue of Verify.
+// Results are index-aligned with pairs. Caching and parallelism never
+// change a verdict: only definite solver outcomes are reused, so a batch
+// returns exactly the verdicts sequential Verify calls would (timeouts
+// aside, which only ever turn Equivalent into NotProved).
+func VerifyBatch(cat *Catalog, pairs []BatchPair, opts BatchOptions) ([]BatchResult, BatchStats) {
+	rs, stats := engine.VerifyBatch(cat, pairs, opts)
+	out := make([]BatchResult, len(rs))
+	for i, r := range rs {
+		out[i] = BatchResult{
+			ID:       r.ID,
+			Verdict:  Verdict(r.Verdict), // engine.Verdict mirrors Verdict by value
+			Cardinal: r.Cardinal,
+			Reason:   r.Reason,
+			Stats:    r.Stats,
+			Elapsed:  r.Elapsed,
+			Deduped:  r.Deduped,
+			TimedOut: r.TimedOut,
+		}
+	}
+	return out, stats
 }
 
 // BuildPlan parses and lowers one query; exported for tools that inspect or

@@ -2,6 +2,8 @@ package spes
 
 import (
 	"testing"
+
+	"spes/internal/engine"
 )
 
 const testDDL = `
@@ -165,5 +167,69 @@ func TestCardinalVsFull(t *testing.T) {
 	}
 	if res.Verdict != Equivalent || !res.Cardinal {
 		t.Error("full equivalence must imply cardinal equivalence")
+	}
+}
+
+func TestVerifyBatch(t *testing.T) {
+	cat := testCat(t)
+	pairs := []BatchPair{
+		{ID: "eq", SQL1: "SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 10",
+			SQL2: "SELECT DEPT_ID FROM EMP WHERE DEPT_ID + 5 > 15"},
+		{ID: "ne", SQL1: "SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 10",
+			SQL2: "SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 11"},
+		{ID: "eq-again", SQL1: "SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 10",
+			SQL2: "SELECT DEPT_ID FROM EMP WHERE DEPT_ID + 5 > 15"},
+		{ID: "unsup", SQL1: "SELECT CAST(SALARY AS FLOAT) FROM EMP",
+			SQL2: "SELECT DEPT_ID FROM EMP"},
+	}
+	results, stats := VerifyBatch(cat, pairs, BatchOptions{Workers: 2})
+	if len(results) != len(pairs) {
+		t.Fatalf("got %d results for %d pairs", len(results), len(pairs))
+	}
+	for i, r := range results {
+		if r.ID != pairs[i].ID {
+			t.Errorf("result %d: ID %q, want %q (index alignment)", i, r.ID, pairs[i].ID)
+		}
+		// Every batch verdict must equal the sequential Verify verdict.
+		seq, err := Verify(cat, pairs[i].SQL1, pairs[i].SQL2)
+		if err != nil {
+			continue // build errors surface as reasons in the batch path
+		}
+		if r.Verdict != seq.Verdict {
+			t.Errorf("pair %s: batch verdict %v, sequential %v", r.ID, r.Verdict, seq.Verdict)
+		}
+	}
+	if results[0].Verdict != Equivalent {
+		t.Errorf("pair eq: %v (%s)", results[0].Verdict, results[0].Reason)
+	}
+	if results[3].Verdict != Unsupported {
+		t.Errorf("pair unsup: %v, want unsupported", results[3].Verdict)
+	}
+	if stats.Pairs != 4 || stats.Equivalent < 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Deduped == 0 {
+		t.Error("eq-again duplicates eq and should dedupe")
+	}
+}
+
+// TestVerdictMirrorsEngine pins the integer correspondence VerifyBatch's
+// cast relies on: spes.Verdict and engine.Verdict share values.
+func TestVerdictMirrorsEngine(t *testing.T) {
+	cases := []struct {
+		pub Verdict
+		eng engine.Verdict
+	}{
+		{NotProved, engine.NotProved},
+		{Equivalent, engine.Equivalent},
+		{Unsupported, engine.Unsupported},
+	}
+	for _, c := range cases {
+		if int(c.pub) != int(c.eng) {
+			t.Errorf("spes.%v = %d but engine.%v = %d", c.pub, int(c.pub), c.eng, int(c.eng))
+		}
+		if c.pub.String() != c.eng.String() {
+			t.Errorf("String drift: %q vs %q", c.pub.String(), c.eng.String())
+		}
 	}
 }
