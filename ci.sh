@@ -2,8 +2,51 @@
 # Repo verification gate: vet, build, and the full test suite under the
 # race detector (the engine's determinism and worker-ownership tests run
 # with 8 concurrent workers, so -race exercises the batch engine's
-# sharing for real).
+# sharing for real), then an end-to-end smoke test of spes-serve: boot on
+# an ephemeral port, verify a known-equivalent Calcite pair over HTTP,
+# scrape /metrics, and drain with SIGINT.
 set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# --- spes-serve smoke test -------------------------------------------------
+tmp=$(mktemp -d)
+trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/spes-serve" ./cmd/spes-serve
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# The first log line is "spes-serve: listening on 127.0.0.1:PORT".
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/serve.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"'
+
+# A FilterMerge rewrite the prover must prove equivalent.
+curl -sf -X POST "http://$ADDR/v1/verify" -d '{
+  "sql1": "SELECT * FROM (SELECT * FROM EMP WHERE DEPT_ID < 9) T WHERE SALARY > 5",
+  "sql2": "SELECT * FROM EMP WHERE DEPT_ID < 9 AND SALARY > 5"
+}' >"$tmp/verify.json"
+grep -q '"verdict": "equivalent"' "$tmp/verify.json"
+
+# Bad SQL must be a structured 400, never a verdict.
+code=$(curl -s -o "$tmp/bad.json" -w '%{http_code}' -X POST "http://$ADDR/v1/verify" \
+    -d '{"sql1": "SELEC 1", "sql2": "SELECT SALARY FROM EMP"}')
+[ "$code" = 400 ]
+grep -q '"code": "bad_query"' "$tmp/bad.json"
+
+# /metrics must expose nonzero request and verdict series.
+curl -sf "http://$ADDR/metrics" >"$tmp/metrics.txt"
+grep -q 'spes_requests_total{endpoint="verify",code="200"} 1' "$tmp/metrics.txt"
+grep -q 'spes_verdicts_total{verdict="equivalent"} 1' "$tmp/metrics.txt"
+grep -q 'spes_engine_pairs_total 1' "$tmp/metrics.txt"
+
+# SIGINT must drain gracefully (exit 0, drain banner in the log).
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/serve.log"

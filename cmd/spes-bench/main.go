@@ -8,13 +8,16 @@
 //	spes-bench -table 2 -scale 0.1  # production-workload overlap (Table 2)
 //	spes-bench -figure 7 -scale 0.1 # complexity distribution (Figure 7)
 //	spes-bench -batch -parallel 8   # engine throughput study vs sequential
+//	spes-bench -serve               # spes-serve loadgen (req/s, p50/p99)
 //	spes-bench -all                 # everything
 //
 // -parallel N fans Table 2, Figure 7, and the batch study across N engine
 // workers (0 = GOMAXPROCS, 1 = the sequential paper path). With -json, the
 // batch study also writes its report to the BENCH_batch.json artifact
 // (pairs/sec, speedup vs sequential, cache hit rate) so the perf
-// trajectory is tracked across PRs.
+// trajectory is tracked across PRs; likewise -serve writes
+// BENCH_serve.json (req/s and latency percentiles through the HTTP
+// service at 1 and GOMAXPROCS clients).
 package main
 
 import (
@@ -40,6 +43,9 @@ func main() {
 		batch    = flag.Bool("batch", false, "run the batch-engine throughput study")
 		batchOut = flag.String("batch-out", "BENCH_batch.json", "with -batch -json: artifact path for the batch report")
 		timeout  = flag.Duration("timeout", 0, "with -batch: per-pair verification deadline (0 = none)")
+		serve    = flag.Bool("serve", false, "run the spes-serve HTTP loadgen study")
+		serveN   = flag.Int("serve-requests", 500, "with -serve: requests per client-count round")
+		serveOut = flag.String("serve-out", "BENCH_serve.json", "with -serve -json: artifact path for the loadgen report")
 	)
 	flag.Parse()
 
@@ -96,8 +102,22 @@ func main() {
 			fmt.Print(bench.RenderBatch(rep))
 		}
 	}
+	if *all || *serve {
+		ranSomething = true
+		rep := bench.RunServe(*serveN)
+		if *asJSON {
+			out["serve"] = rep
+			if err := writeArtifact(*serveOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "spes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *serveOut)
+		} else {
+			fmt.Print(bench.RenderServe(rep))
+		}
+	}
 	if !ranSomething {
-		fmt.Fprintln(os.Stderr, "spes-bench: nothing selected; use -table 1, -table 2, -figure 7, -batch, or -all")
+		fmt.Fprintln(os.Stderr, "spes-bench: nothing selected; use -table 1, -table 2, -figure 7, -batch, -serve, or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -111,7 +131,7 @@ func main() {
 	}
 }
 
-func writeArtifact(path string, rep bench.BatchReport) error {
+func writeArtifact(path string, rep interface{}) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

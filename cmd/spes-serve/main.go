@@ -1,0 +1,127 @@
+// Command spes-serve runs the SPES prover as a long-lived HTTP/JSON
+// verification service. One persistent engine backs every request, so the
+// normalization memo and obligation cache warm up over the server's
+// lifetime; admission control sheds overload with 503 and in-flight
+// coalescing collapses concurrent identical requests into one proof.
+//
+// Usage:
+//
+//	spes-serve -schema schema.sql [-addr :8080]
+//	spes-serve -corpus calcite -addr 127.0.0.1:0
+//
+// Endpoints:
+//
+//	POST /v1/verify        {"sql1": ..., "sql2": ..., "timeout_ms": ...}
+//	POST /v1/verify/batch  {"pairs": [{"id","sql1","sql2"}, ...]}
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGINT/SIGTERM starts a graceful drain: in-flight verifications get
+// -shutdown-grace to finish, then remaining solver work is cancelled
+// (degrading those verdicts to not-proved — never a wrong answer).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"spes"
+	"spes/internal/corpus"
+	"spes/internal/schema"
+	"spes/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		schemaPath  = flag.String("schema", "", "path to CREATE TABLE statements")
+		corpusName  = flag.String("corpus", "", `built-in schema to serve instead of -schema ("calcite")`)
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-verification wall-clock ceiling")
+		maxInFlight = flag.Int("max-inflight", runtime.GOMAXPROCS(0), "concurrently executing requests")
+		maxQueue    = flag.Int("max-queue", 0, "requests queued beyond max-inflight before shedding 503s (default 4x max-inflight)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "batch verification fan-out")
+		cacheSize   = flag.Int("cache-size", 0, "obligation cache entries (0 = engine default)")
+		grace       = flag.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight work is cancelled")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "spes-serve: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	cat, err := loadCatalog(*schemaPath, *corpusName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	srv := server.New(server.Config{
+		Catalog:       cat,
+		VerifyTimeout: *timeout,
+		MaxInFlight:   *maxInFlight,
+		MaxQueue:      *maxQueue,
+		BatchWorkers:  *workers,
+		CacheSize:     *cacheSize,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	// Printed after the bind so scripts using port 0 can read the real
+	// address off the first line.
+	fmt.Printf("spes-serve: listening on %s\n", l.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			fail("serve: %v", err)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("spes-serve: %v; draining (grace %v)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fail("shutdown: %v", err)
+		}
+		<-errCh // Serve returns nil after Shutdown
+		st := srv.Engine().Stats()
+		fmt.Printf("spes-serve: drained; lifetime pairs=%d equivalent=%d cache_hit_rate=%.2f\n",
+			st.Pairs, st.Equivalent, st.ObligationHitRate())
+	}
+}
+
+// loadCatalog resolves exactly one of -schema / -corpus.
+func loadCatalog(schemaPath, corpusName string) (*schema.Catalog, error) {
+	switch {
+	case schemaPath != "" && corpusName != "":
+		return nil, fmt.Errorf("give either -schema or -corpus, not both")
+	case schemaPath != "":
+		ddl, err := os.ReadFile(schemaPath)
+		if err != nil {
+			return nil, fmt.Errorf("reading schema: %w", err)
+		}
+		cat, err := spes.ParseCatalog(string(ddl))
+		if err != nil {
+			return nil, fmt.Errorf("parsing schema: %w", err)
+		}
+		return cat, nil
+	case corpusName == "calcite":
+		return corpus.Catalog(), nil
+	case corpusName != "":
+		return nil, fmt.Errorf("unknown corpus %q (have: calcite)", corpusName)
+	}
+	return nil, fmt.Errorf("one of -schema or -corpus is required")
+}

@@ -5,12 +5,16 @@
 //
 //	spes -schema schema.sql -q1 "SELECT ..." -q2 "SELECT ..."
 //	spes -schema schema.sql -f1 query1.sql -f2 query2.sql [-explain] [-no-normalize]
+//	spes -schema schema.sql -q1 ... -q2 ... -json
 //
 // Exit status: 0 when equivalence is proved, 1 when not proved, 2 on
-// unsupported features or usage errors.
+// unsupported features or usage errors. -json prints one machine-readable
+// object on stdout (same shape for every outcome) instead of prose; the
+// exit status is unchanged, so scripts can use either.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +34,7 @@ func main() {
 		explain     = flag.Bool("explain", false, "print the normalized plans")
 		noNormalize = flag.Bool("no-normalize", false, "disable the normalization rules (ablation)")
 		verbose     = flag.Bool("v", false, "print verification statistics")
+		jsonOut     = flag.Bool("json", false, "print the result as a JSON object")
 	)
 	flag.Parse()
 
@@ -90,12 +95,30 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("%s\n", res.Verdict)
-	if res.Reason != "" {
-		fmt.Printf("reason: %s\n", res.Reason)
-	}
-	if *verbose {
-		fmt.Printf("time: %v\nstats: %v\n", elapsed, res.Stats)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Verdict   string      `json:"verdict"`
+			Cardinal  bool        `json:"cardinal"`
+			Reason    string      `json:"reason,omitempty"`
+			ElapsedMS float64     `json:"elapsed_ms"`
+			Stats     interface{} `json:"stats,omitempty"`
+		}{
+			Verdict:   res.Verdict.String(),
+			Cardinal:  res.Cardinal,
+			Reason:    res.Reason,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			Stats:     res.Stats,
+		})
+	} else {
+		fmt.Printf("%s\n", res.Verdict)
+		if res.Reason != "" {
+			fmt.Printf("reason: %s\n", res.Reason)
+		}
+		if *verbose {
+			fmt.Printf("time: %v\nstats: %v\n", elapsed, res.Stats)
+		}
 	}
 	switch res.Verdict {
 	case spes.Equivalent:

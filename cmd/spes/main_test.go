@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -77,6 +78,62 @@ func TestCLIVerdictsAndExitCodes(t *testing.T) {
 			}
 			if !strings.Contains(string(out), c.stdout) {
 				t.Errorf("output missing %q:\n%s", c.stdout, out)
+			}
+		})
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	schema := writeSchema(t)
+
+	cases := []struct {
+		name     string
+		q1, q2   string
+		exitCode int
+		verdict  string
+	}{
+		{
+			"equivalent", "SELECT DEPT_ID FROM EMP WHERE DEPT_ID > 10",
+			"SELECT DEPT_ID FROM EMP WHERE DEPT_ID + 5 > 15",
+			0, "equivalent",
+		},
+		{
+			"not-proved", "SELECT DEPT_ID FROM EMP WHERE SALARY > 5",
+			"SELECT DEPT_ID FROM EMP WHERE SALARY > 6",
+			1, "not-proved",
+		},
+		{
+			"unsupported", "SELECT CAST(SALARY AS FLOAT) FROM EMP",
+			"SELECT CAST(SALARY AS FLOAT) FROM EMP",
+			2, "unsupported",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(bin, "-schema", schema, "-q1", c.q1, "-q2", c.q2, "-json")
+			out, err := cmd.Output()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if code != c.exitCode {
+				t.Errorf("exit code = %d, want %d\noutput:\n%s", code, c.exitCode, out)
+			}
+			var res struct {
+				Verdict   string  `json:"verdict"`
+				ElapsedMS float64 `json:"elapsed_ms"`
+			}
+			if err := json.Unmarshal(out, &res); err != nil {
+				t.Fatalf("stdout is not a JSON object: %v\n%s", err, out)
+			}
+			if res.Verdict != c.verdict {
+				t.Errorf("verdict = %q, want %q", res.Verdict, c.verdict)
 			}
 		})
 	}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spes/internal/corpus"
+	"spes/internal/plan"
+	"spes/internal/server"
+)
+
+// ServeReport is the spes-serve loadgen study emitted as the
+// BENCH_serve.json artifact: closed-loop request throughput and latency
+// through the whole HTTP/JSON service (admission control, coalescing,
+// persistent engine), at one client and at GOMAXPROCS clients, over the
+// Calcite pair corpus.
+type ServeReport struct {
+	Pairs    int          `json:"pairs"`
+	Requests int          `json:"requests_per_round"`
+	Rounds   []ServeRound `json:"rounds"`
+}
+
+// ServeRound is one client-count's measurement.
+type ServeRound struct {
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	WallMS    float64 `json:"wall_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	Coalesced int     `json:"coalesced"`
+	Errors    int     `json:"errors"`
+
+	Verdicts map[string]int `json:"verdicts"`
+}
+
+// RunServe measures the service end to end: each round boots a fresh
+// server (cold caches, so rounds are comparable) on an ephemeral port and
+// drives `requests` POST /v1/verify calls over real HTTP from the given
+// number of closed-loop clients, cycling through the Calcite corpus.
+func RunServe(requests int) ServeReport {
+	pairs := buildablePairs()
+	rep := ServeReport{Pairs: len(pairs), Requests: requests}
+	clientCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if clientCounts[1] == 1 {
+		clientCounts = clientCounts[:1]
+	}
+	for _, clients := range clientCounts {
+		rep.Rounds = append(rep.Rounds, runServeRound(pairs, requests, clients))
+	}
+	return rep
+}
+
+// buildablePairs drops Calcite pairs the plan builder rejects outright
+// (e.g. window functions): those come back as instant 400s and would skew
+// the latency percentiles toward the error path instead of verification.
+func buildablePairs() []corpus.Pair {
+	cat := corpus.Catalog()
+	b := plan.NewBuilder(cat)
+	var out []corpus.Pair
+	for _, p := range corpus.CalcitePairs() {
+		if _, err := b.BuildSQL(p.SQL1); err != nil && !plan.Unsupported(err) {
+			continue
+		}
+		if _, err := b.BuildSQL(p.SQL2); err != nil && !plan.Unsupported(err) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func runServeRound(pairs []corpus.Pair, requests, clients int) ServeRound {
+	s := server.New(server.Config{
+		Catalog:     corpus.Catalog(),
+		MaxInFlight: clients, // loadgen is closed-loop; never shed
+		MaxQueue:    clients,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type sample struct {
+		latency   time.Duration
+		verdict   string
+		coalesced bool
+		err       bool
+	}
+	samples := make([]sample, requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				p := pairs[i%len(pairs)]
+				body, _ := json.Marshal(server.VerifyRequest{ID: p.ID, SQL1: p.SQL1, SQL2: p.SQL2})
+				t0 := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+				samples[i].latency = time.Since(t0)
+				if err != nil {
+					samples[i].err = true
+					continue
+				}
+				var vr server.VerifyResponse
+				if resp.StatusCode != http.StatusOK {
+					samples[i].err = true
+				} else if json.NewDecoder(resp.Body).Decode(&vr) == nil {
+					samples[i].verdict = vr.Verdict
+					samples[i].coalesced = vr.Coalesced
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	round := ServeRound{
+		Clients:   clients,
+		Requests:  requests,
+		WallMS:    ms(wall),
+		ReqPerSec: perSec(requests, wall),
+		Verdicts:  map[string]int{},
+	}
+	lats := make([]time.Duration, 0, requests)
+	for _, sm := range samples {
+		lats = append(lats, sm.latency)
+		switch {
+		case sm.err:
+			round.Errors++
+		default:
+			round.Verdicts[sm.verdict]++
+			if sm.coalesced {
+				round.Coalesced++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	round.P50MS = ms(percentile(lats, 0.50))
+	round.P99MS = ms(percentile(lats, 0.99))
+	return round
+}
+
+// percentile reads the q-th quantile from ascending latencies
+// (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RenderServe formats the loadgen study for the terminal.
+func RenderServe(r ServeReport) string {
+	var b strings.Builder
+	b.WriteString("spes-serve closed-loop load (POST /v1/verify over the Calcite corpus)\n\n")
+	fmt.Fprintf(&b, "corpus pairs=%d, requests per round=%d\n", r.Pairs, r.Requests)
+	for _, rd := range r.Rounds {
+		fmt.Fprintf(&b, "clients=%-2d  %8.1f req/s  p50 %7.2f ms  p99 %7.2f ms  coalesced=%d errors=%d verdicts=%v\n",
+			rd.Clients, rd.ReqPerSec, rd.P50MS, rd.P99MS, rd.Coalesced, rd.Errors, rd.Verdicts)
+	}
+	return b.String()
+}

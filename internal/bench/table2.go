@@ -132,8 +132,8 @@ func RunTable2Workers(w *corpus.Workload, workers int) []Table2Row {
 		// own outcome slot, and the reduction below runs in index order so
 		// the rows are deterministic at any worker count.
 		type outcome struct {
-			spesOK, eqOK       bool
-			spesTime, eqTime   time.Duration
+			spesOK, eqOK     bool
+			spesTime, eqTime time.Duration
 		}
 		outcomes := make([]outcome, len(pairs))
 		sh.ForEach(nil, len(pairs), func(wk *engine.Worker, i int) {

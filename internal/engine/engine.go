@@ -29,8 +29,10 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spes/internal/normalize"
@@ -125,6 +127,11 @@ type Result struct {
 	// TimedOut marks a pair whose solver hit the per-pair deadline; its
 	// NotProved verdict may be a timeout rather than a genuine failure.
 	TimedOut bool
+	// Cancelled marks a pair whose verification was aborted by context
+	// cancellation (client disconnect, server drain). Like TimedOut it can
+	// only degrade a verdict toward NotProved, never fabricate one: a
+	// cancelled solver call returns Unknown, which proves nothing.
+	Cancelled bool
 	// Fingerprint is the structural hash of the normalized pair (0 when
 	// the plans failed to build or when caching — and with it the
 	// fingerprinting path — is disabled).
@@ -142,8 +149,9 @@ type BatchStats struct {
 	NotProved   int
 	Unsupported int
 
-	Deduped  int
-	Timeouts int
+	Deduped   int
+	Timeouts  int
+	Cancelled int
 
 	NormHits   int64
 	NormMisses int64
@@ -171,12 +179,19 @@ func (s BatchStats) ObligationHitRate() float64 {
 	return float64(s.ObligationHits) / float64(total)
 }
 
+// normMemoMax bounds the normalization memo: when the entry count reaches
+// it the memo resets wholesale (generation eviction). Batches rarely come
+// near it, but a long-running server engine would otherwise grow without
+// bound as distinct queries stream past.
+const normMemoMax = 1 << 15
+
 // normMemo memoizes normalization results. The fingerprint picks the
 // bucket; the canonical plan serialization confirms identity, so a hash
 // collision can never substitute a different plan.
 type normMemo struct {
 	mu     sync.Mutex
 	m      map[uint64][]normEntry
+	count  int
 	hits   int64
 	misses int64
 }
@@ -207,7 +222,12 @@ func (m *normMemo) store(fp uint64, key string, n plan.Node) {
 			return // another worker won the race; results are structurally equal
 		}
 	}
+	if m.count >= normMemoMax {
+		m.m = make(map[uint64][]normEntry)
+		m.count = 0
+	}
 	m.m[fp] = append(m.m[fp], normEntry{key: key, node: n})
+	m.count++
 }
 
 func (m *normMemo) counters() (hits, misses int64) {
@@ -245,15 +265,25 @@ func (d *dedupeMap) claim(fp uint64, key string) (*dedupeEntry, bool) {
 	return e, true
 }
 
-// Shared is the batch-scoped state behind a worker pool: options plus the
-// concurrency-safe memo layers. One Shared per batch; workers are created
-// per goroutine with NewWorker.
+// Shared is the state behind a worker pool: options plus the
+// concurrency-safe memo layers. Batch entry points build one Shared per
+// batch; a long-running Engine keeps one alive across requests. Workers
+// are created per goroutine with NewWorker.
 type Shared struct {
 	opts     Options
 	cache    *ObligationCache // nil when disabled
 	norm     *normMemo        // nil when disabled
-	rawDedup *dedupeMap       // nil when disabled; keyed by the raw pair
-	dedup    *dedupeMap       // nil when disabled; keyed by the normalized pair
+	rawDedup *dedupeMap       // nil when disabled or persistent; keyed by the raw pair
+	dedup    *dedupeMap       // nil when disabled or persistent; keyed by the normalized pair
+
+	// parent, when non-nil, receives a copy of every recorded result: a
+	// batch overlay (Engine.VerifyBatch) counts its work into the
+	// long-lived engine's totals as well as its own.
+	parent *Shared
+
+	// ctr accumulates live counters on the hot path (atomics, so Snapshot
+	// never sees a torn read even while workers are mid-batch).
+	ctr counters
 
 	// keyMu/keys memoize canonical serializations by node pointer: callers
 	// that verify one plan in many pairs (hot queries, shared builds) pass
@@ -267,6 +297,10 @@ type Shared struct {
 	// every worker's Normalizer (nil when caching is disabled).
 	sat *satTable
 }
+
+// satTableMax bounds the predicate-satisfiability cache the same way
+// normMemoMax bounds the normalization memo.
+const satTableMax = 1 << 16
 
 // satTable implements normalize.SatCache with a mutex-guarded map; the
 // relation it caches is deterministic, so last-write-wins races are
@@ -286,7 +320,99 @@ func (t *satTable) Lookup(key string) (sat, ok bool) {
 func (t *satTable) Store(key string, sat bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if len(t.m) >= satTableMax {
+		t.m = make(map[string]bool)
+	}
 	t.m[key] = sat
+}
+
+// counters is the always-on atomic counter block behind Snapshot.
+type counters struct {
+	pairs, equivalent, notProved, unsupported atomic.Int64
+	deduped, timeouts, cancelled              atomic.Int64
+	solverQueries                             atomic.Int64
+}
+
+// record folds one completed result into the live counters (and the
+// parent's, for batch overlays). Every pair outcome — verified, deduped,
+// cancelled, or failed to build — is recorded exactly once.
+func (s *Shared) record(r Result) {
+	s.ctr.pairs.Add(1)
+	switch r.Verdict {
+	case Equivalent:
+		s.ctr.equivalent.Add(1)
+	case Unsupported:
+		s.ctr.unsupported.Add(1)
+	default:
+		s.ctr.notProved.Add(1)
+	}
+	if r.Deduped {
+		s.ctr.deduped.Add(1)
+	}
+	if r.TimedOut {
+		s.ctr.timeouts.Add(1)
+	}
+	if r.Cancelled {
+		s.ctr.cancelled.Add(1)
+	}
+	s.ctr.solverQueries.Add(int64(r.Stats.SolverQueries))
+	if s.parent != nil {
+		s.parent.record(r)
+	}
+}
+
+// StatsSnapshot is a consistent point-in-time view of an engine's
+// counters, safe to take from any goroutine while verifications are in
+// flight: every field is read from an atomic or under the owning mutex, so
+// `-race` sees no torn reads. The memo counters (norm, obligation) are
+// lifetime counts of the underlying tables.
+type StatsSnapshot struct {
+	Pairs       int64 `json:"pairs"`
+	Equivalent  int64 `json:"equivalent"`
+	NotProved   int64 `json:"not_proved"`
+	Unsupported int64 `json:"unsupported"`
+	Deduped     int64 `json:"deduped"`
+	Timeouts    int64 `json:"timeouts"`
+	Cancelled   int64 `json:"cancelled"`
+
+	SolverQueries int64 `json:"solver_queries"`
+
+	NormHits         int64 `json:"norm_hits"`
+	NormMisses       int64 `json:"norm_misses"`
+	ObligationHits   int64 `json:"obligation_hits"`
+	ObligationMisses int64 `json:"obligation_misses"`
+}
+
+// ObligationHitRate returns the obligation-cache hit fraction in [0,1].
+func (s StatsSnapshot) ObligationHitRate() float64 {
+	total := s.ObligationHits + s.ObligationMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ObligationHits) / float64(total)
+}
+
+// Snapshot returns the current counters. Concurrency-safe; the batch
+// entry points also use it, so BatchStats and a live Snapshot can never
+// disagree about what the hot path counted.
+func (s *Shared) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Pairs:         s.ctr.pairs.Load(),
+		Equivalent:    s.ctr.equivalent.Load(),
+		NotProved:     s.ctr.notProved.Load(),
+		Unsupported:   s.ctr.unsupported.Load(),
+		Deduped:       s.ctr.deduped.Load(),
+		Timeouts:      s.ctr.timeouts.Load(),
+		Cancelled:     s.ctr.cancelled.Load(),
+		SolverQueries: s.ctr.solverQueries.Load(),
+	}
+	if s.norm != nil {
+		snap.NormHits, snap.NormMisses = s.norm.counters()
+	}
+	if s.cache != nil {
+		snap.ObligationHits, snap.ObligationMisses = s.cache.Counters()
+	}
+	return snap
 }
 
 // NewShared builds batch state from options.
@@ -305,8 +431,14 @@ func NewShared(opts Options) *Shared {
 	return s
 }
 
-// keyOf returns plan.Key(n), memoized by node pointer.
+// keyOf returns plan.Key(n), memoized by node pointer when the keys map is
+// enabled. A persistent engine runs with keys == nil — request plans are
+// freshly built and never share pointers, so the memo would be a pure leak
+// there — and just serializes.
 func (s *Shared) keyOf(n plan.Node) string {
+	if s.keys == nil {
+		return plan.Key(n)
+	}
 	s.keyMu.Lock()
 	k, ok := s.keys[n]
 	s.keyMu.Unlock()
@@ -334,6 +466,15 @@ func (s *Shared) CacheCounters() (hits, misses int64) {
 // points); fn must write results into caller-owned, per-index storage.
 // Returns the wall time of the fan-out.
 func (s *Shared) ForEach(cat *schema.Catalog, n int, fn func(w *Worker, i int)) time.Duration {
+	return s.ForEachContext(context.Background(), cat, n, fn)
+}
+
+// ForEachContext is ForEach under a context. Cancellation does not skip
+// indices — every fn call still runs, so result slices stay fully
+// populated — but the ctx-aware worker entry points return a cancelled
+// Result immediately, so a cancelled fan-out drains in O(n) cheap calls
+// rather than n verifications.
+func (s *Shared) ForEachContext(ctx context.Context, cat *schema.Catalog, n int, fn func(w *Worker, i int)) time.Duration {
 	workers := s.opts.workerCount()
 	if workers > n && n > 0 {
 		workers = n
@@ -409,14 +550,20 @@ func (w *Worker) normalizePlan(q plan.Node, key string) plan.Node {
 }
 
 // check runs one verification with a fresh Verifier, applying the batch's
-// deadline and obligation cache.
-func (w *Worker) check(q1, q2 plan.Node) Result {
+// deadline, the caller's context, and the obligation cache.
+func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 	cfg := verify.Config{MaxCandidates: w.shared.opts.MaxCandidates}
 	if w.shared.cache != nil {
 		cfg.Cache = w.shared.cache
 	}
 	if w.shared.opts.Timeout > 0 {
 		cfg.Deadline = time.Now().Add(w.shared.opts.Timeout)
+	}
+	if ctx != nil && ctx != context.Background() {
+		cfg.Ctx = ctx
+		if dl, ok := ctx.Deadline(); ok && (cfg.Deadline.IsZero() || dl.Before(cfg.Deadline)) {
+			cfg.Deadline = dl
+		}
 	}
 	v := verify.NewWithConfig(cfg)
 	w.verifiersBuilt++
@@ -429,6 +576,12 @@ func (w *Worker) check(q1, q2 plan.Node) Result {
 		r.TimedOut = true
 		if r.Verdict == NotProved {
 			r.Reason = "timeout"
+		}
+	}
+	if v.Cancelled() {
+		r.Cancelled = true
+		if r.Verdict == NotProved && r.Reason == "" {
+			r.Reason = "cancelled"
 		}
 	}
 	return r
@@ -447,19 +600,52 @@ func (w *Worker) check(q1, q2 plan.Node) Result {
 // so no worker count can deadlock, and with one worker every claimed
 // entry was already completed earlier in the loop.
 func (w *Worker) VerifyPlans(id string, q1, q2 plan.Node) Result {
+	return w.VerifyPlansContext(context.Background(), id, q1, q2)
+}
+
+// VerifyPlansContext is VerifyPlans under a context: cancellation aborts
+// the solver mid-proof (the pair degrades to NotProved/cancelled, never a
+// wrong verdict), and a context already cancelled on entry skips the work
+// entirely.
+func (w *Worker) VerifyPlansContext(ctx context.Context, id string, q1, q2 plan.Node) Result {
 	start := time.Now()
-	if w.shared.dedup == nil {
-		r := w.check(w.normalizePlan(q1, ""), w.normalizePlan(q2, ""))
+	if ctx != nil && ctx.Err() != nil {
+		r := Result{ID: id, Verdict: NotProved, Reason: "cancelled", Cancelled: true}
+		w.shared.record(r)
+		return r
+	}
+	if w.shared.norm == nil && w.shared.dedup == nil {
+		// Caching disabled: exactly the sequential per-pair work, fanned out.
+		r := w.check(ctx, w.normalizePlan(q1, ""), w.normalizePlan(q2, ""))
 		r.ID, r.Elapsed = id, time.Since(start)
+		w.shared.record(r)
 		return r
 	}
 
 	k1, k2 := w.shared.keyOf(q1), w.shared.keyOf(q2)
+	if w.shared.dedup == nil {
+		// Persistent engine: memoized normalization and the obligation
+		// cache carry across requests, but no pair-dedupe table — an entry
+		// per pair ever seen would grow without bound and pin indefinite
+		// (timeout/cancel) verdicts forever. In-flight coalescing is the
+		// server's job, and definite cross-request reuse comes from the
+		// obligation cache, which makes re-verification cheap.
+		n1 := w.normalizePlan(q1, k1)
+		n2 := w.normalizePlan(q2, k2)
+		r := w.check(ctx, n1, n2)
+		r.Fingerprint = plan.PairFingerprint(n1, n2)
+		r.ID, r.Elapsed = id, time.Since(start)
+		w.shared.record(r)
+		return r
+	}
+
 	rawKey := k1 + "\x00" + k2
 	rawE, rawLeader := w.shared.rawDedup.claim(plan.HashKey(rawKey), rawKey)
 	if !rawLeader {
 		<-rawE.done
-		return followerResult(rawE.res, id, start)
+		r := followerResult(rawE.res, id, start)
+		w.shared.record(r)
+		return r
 	}
 
 	n1 := w.normalizePlan(q1, k1)
@@ -472,15 +658,17 @@ func (w *Worker) VerifyPlans(id string, q1, q2 plan.Node) Result {
 		r := followerResult(e.res, id, start)
 		rawE.res = e.res
 		close(rawE.done)
+		w.shared.record(r)
 		return r
 	}
-	r := w.check(n1, n2)
+	r := w.check(ctx, n1, n2)
 	r.Fingerprint = fp
 	e.res = r
 	close(e.done)
 	rawE.res = r
 	close(rawE.done)
 	r.ID, r.Elapsed = id, time.Since(start)
+	w.shared.record(r)
 	return r
 }
 
@@ -502,15 +690,24 @@ func (w *Worker) Proved(q1, q2 plan.Node) bool {
 
 // VerifyPair parses, builds, and verifies one SQL pair.
 func (w *Worker) VerifyPair(p Pair) Result {
+	return w.VerifyPairContext(context.Background(), p)
+}
+
+// VerifyPairContext is VerifyPair under a context.
+func (w *Worker) VerifyPairContext(ctx context.Context, p Pair) Result {
 	q1, err := w.builder.BuildSQL(p.SQL1)
 	if err != nil {
-		return buildErrorResult(p.ID, err)
+		r := buildErrorResult(p.ID, err)
+		w.shared.record(r)
+		return r
 	}
 	q2, err := w.builder.BuildSQL(p.SQL2)
 	if err != nil {
-		return buildErrorResult(p.ID, err)
+		r := buildErrorResult(p.ID, err)
+		w.shared.record(r)
+		return r
 	}
-	return w.VerifyPlans(p.ID, q1, q2)
+	return w.VerifyPlansContext(ctx, p.ID, q1, q2)
 }
 
 func buildErrorResult(id string, err error) Result {
@@ -524,48 +721,58 @@ func buildErrorResult(id string, err error) Result {
 // returns per-pair results (index-aligned with pairs) plus aggregate
 // statistics.
 func VerifyBatch(cat *schema.Catalog, pairs []Pair, opts Options) ([]Result, BatchStats) {
+	return VerifyBatchContext(context.Background(), cat, pairs, opts)
+}
+
+// VerifyBatchContext is VerifyBatch under a context: cancelling it aborts
+// in-flight solving and degrades the remaining pairs to
+// NotProved/cancelled (results stay index-aligned and fully populated).
+func VerifyBatchContext(ctx context.Context, cat *schema.Catalog, pairs []Pair, opts Options) ([]Result, BatchStats) {
 	s := NewShared(opts)
 	results := make([]Result, len(pairs))
-	wall := s.ForEach(cat, len(pairs), func(w *Worker, i int) {
-		results[i] = w.VerifyPair(pairs[i])
+	wall := s.ForEachContext(ctx, cat, len(pairs), func(w *Worker, i int) {
+		results[i] = w.VerifyPairContext(ctx, pairs[i])
 	})
-	return results, s.aggregate(results, wall)
+	return results, s.aggregate(wall)
 }
 
 // VerifyPlanBatch is VerifyBatch over already-built plans.
 func VerifyPlanBatch(pairs []PlanPair, opts Options) ([]Result, BatchStats) {
-	s := NewShared(opts)
-	results := make([]Result, len(pairs))
-	wall := s.ForEach(nil, len(pairs), func(w *Worker, i int) {
-		p := pairs[i]
-		results[i] = w.VerifyPlans(p.ID, p.Q1, p.Q2)
-	})
-	return results, s.aggregate(results, wall)
+	return VerifyPlanBatchContext(context.Background(), pairs, opts)
 }
 
-func (s *Shared) aggregate(results []Result, wall time.Duration) BatchStats {
-	st := BatchStats{Pairs: len(results), Workers: s.opts.workerCount(), Wall: wall}
-	for _, r := range results {
-		switch r.Verdict {
-		case Equivalent:
-			st.Equivalent++
-		case Unsupported:
-			st.Unsupported++
-		default:
-			st.NotProved++
-		}
-		if r.Deduped {
-			st.Deduped++
-		}
-		if r.TimedOut {
-			st.Timeouts++
-		}
-		st.SolverQueries += r.Stats.SolverQueries
-		st.ObligationHits += int64(r.Stats.ObligationHits)
-		st.ObligationMisses += int64(r.Stats.ObligationMiss)
+// VerifyPlanBatchContext is VerifyPlanBatch under a context.
+func VerifyPlanBatchContext(ctx context.Context, pairs []PlanPair, opts Options) ([]Result, BatchStats) {
+	s := NewShared(opts)
+	results := make([]Result, len(pairs))
+	wall := s.ForEachContext(ctx, nil, len(pairs), func(w *Worker, i int) {
+		p := pairs[i]
+		results[i] = w.VerifyPlansContext(ctx, p.ID, p.Q1, p.Q2)
+	})
+	return results, s.aggregate(wall)
+}
+
+// aggregate folds the live Snapshot into BatchStats. Because every worker
+// entry point records through the same atomic counters Snapshot reads,
+// BatchStats is by construction consistent with what Stats()/Snapshot()
+// reported while the batch ran — there is no second, unsynchronized
+// tally to disagree with.
+func (s *Shared) aggregate(wall time.Duration) BatchStats {
+	snap := s.Snapshot()
+	return BatchStats{
+		Pairs:            int(snap.Pairs),
+		Workers:          s.opts.workerCount(),
+		Wall:             wall,
+		Equivalent:       int(snap.Equivalent),
+		NotProved:        int(snap.NotProved),
+		Unsupported:      int(snap.Unsupported),
+		Deduped:          int(snap.Deduped),
+		Timeouts:         int(snap.Timeouts),
+		Cancelled:        int(snap.Cancelled),
+		NormHits:         snap.NormHits,
+		NormMisses:       snap.NormMisses,
+		ObligationHits:   snap.ObligationHits,
+		ObligationMisses: snap.ObligationMisses,
+		SolverQueries:    int(snap.SolverQueries),
 	}
-	if s.norm != nil {
-		st.NormHits, st.NormMisses = s.norm.counters()
-	}
-	return st
 }

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverload is returned by acquire when both the in-flight slots and the
+// wait queue are full; the handler maps it to 503 + Retry-After. Shedding
+// at admission keeps the answer cheap and — critically — verdict-safe: an
+// overloaded server says "come back", it never rushes or truncates a
+// verification into a wrong answer.
+var errOverload = errors.New("server overloaded")
+
+// limiter is the admission controller: a semaphore of in-flight slots
+// plus a bounded count of waiters. Requests beyond slots+queue are shed
+// immediately.
+type limiter struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newLimiter(maxInFlight, maxQueue int) *limiter {
+	return &limiter{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire takes an in-flight slot, queueing up to maxQueue waiters.
+// Returns errOverload when the queue is full, or the context error when
+// the caller gives up first.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return errOverload
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot taken by acquire.
+func (l *limiter) release() { <-l.slots }
+
+// inFlight returns the number of held slots.
+func (l *limiter) inFlight() int { return len(l.slots) }
+
+// depth returns the number of queued waiters.
+func (l *limiter) depth() int64 { return l.queued.Load() }

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"spes/internal/engine"
+)
+
+// coalescer deduplicates identical verifications that are in flight at
+// the same time: concurrent requests for the same plan pair share one
+// engine verification instead of racing N copies of the same proof.
+//
+// Keying follows the engine's two-step discipline: the 64-bit pair
+// fingerprint picks the bucket, and the full canonical pair key confirms
+// identity, so a hash collision can never hand a request another pair's
+// verdict.
+//
+// Entries live only while the leader runs — they are removed before the
+// waiters wake — so nothing is ever cached at this layer. That is
+// deliberate: an indefinite verdict (timeout, cancellation) held in a
+// cache would keep answering "not proved" long after the engine could
+// prove the pair. Definite cross-request reuse belongs to the engine's
+// obligation cache, which stores only definite solver outcomes. Waiters
+// that were already sharing a leader do receive the leader's timeout
+// verdict (sound: a timeout only ever degrades Equivalent to NotProved),
+// but a leader aborted by cancellation signals its waiters to retry
+// rather than propagate a verdict that exists only because some other
+// client hung up.
+type coalescer struct {
+	mu sync.Mutex
+	m  map[uint64][]*flight
+	// waiters counts followers currently blocked on a leader (tests use it
+	// to know every concurrent request has joined a flight).
+	waiters atomic.Int64
+}
+
+type flight struct {
+	key  string
+	done chan struct{}
+	// set by the leader before close(done):
+	res   engine.Result
+	retry bool // leader was cancelled; its verdict reflects someone else's abort
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{m: make(map[uint64][]*flight)}
+}
+
+// do executes fn once per concurrent identical (fp, key): the first caller
+// becomes the leader and runs it, the rest wait and share the result.
+// coalesced reports whether this caller was a follower. The wait respects
+// ctx; fn itself must carry its own context (the leader's verification
+// must not die just because one waiter hung up).
+func (c *coalescer) do(ctx context.Context, fp uint64, key string, fn func() engine.Result) (res engine.Result, coalesced bool, err error) {
+	for {
+		c.mu.Lock()
+		var f *flight
+		for _, e := range c.m[fp] {
+			if e.key == key {
+				f = e
+				break
+			}
+		}
+		if f != nil {
+			c.waiters.Add(1)
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				c.waiters.Add(-1)
+				if f.retry {
+					continue // leader aborted by cancellation; take the lead ourselves
+				}
+				return f.res, true, nil
+			case <-ctx.Done():
+				c.waiters.Add(-1)
+				return engine.Result{}, true, ctx.Err()
+			}
+		}
+		f = &flight{key: key, done: make(chan struct{})}
+		c.m[fp] = append(c.m[fp], f)
+		c.mu.Unlock()
+
+		res = fn()
+		f.res = res
+		f.retry = res.Cancelled
+		c.remove(fp, f)
+		close(f.done)
+		return res, false, nil
+	}
+}
+
+func (c *coalescer) remove(fp uint64, f *flight) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bucket := c.m[fp]
+	for i, e := range bucket {
+		if e == f {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(c.m, fp)
+	} else {
+		c.m[fp] = bucket
+	}
+}
+
+// inFlight returns the number of distinct verifications currently being
+// led through the coalescer (for tests and debugging).
+func (c *coalescer) inFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.m {
+		n += len(b)
+	}
+	return n
+}

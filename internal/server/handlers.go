@@ -1,0 +1,306 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"spes/internal/engine"
+	"spes/internal/plan"
+	"spes/internal/verify"
+)
+
+// VerifyRequest is the body of POST /v1/verify.
+type VerifyRequest struct {
+	ID   string `json:"id,omitempty"`
+	SQL1 string `json:"sql1"`
+	SQL2 string `json:"sql2"`
+	// TimeoutMS tightens (never extends) the server's verification
+	// timeout for this request.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// VerifyResponse is the body of a successful POST /v1/verify.
+type VerifyResponse struct {
+	ID        string     `json:"id,omitempty"`
+	Verdict   string     `json:"verdict"`
+	Cardinal  bool       `json:"cardinal"`
+	Reason    string     `json:"reason,omitempty"`
+	TimedOut  bool       `json:"timed_out,omitempty"`
+	Cancelled bool       `json:"cancelled,omitempty"`
+	Coalesced bool       `json:"coalesced,omitempty"`
+	Deduped   bool       `json:"deduped,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Stats     *StatsJSON `json:"stats,omitempty"`
+}
+
+// StatsJSON mirrors verify.Stats for the wire.
+type StatsJSON struct {
+	SolverQueries  int `json:"solver_queries"`
+	VeriCardCalls  int `json:"vericard_calls"`
+	Candidates     int `json:"candidates"`
+	ModelRounds    int `json:"model_rounds"`
+	ObligationHits int `json:"obligation_hits"`
+	ObligationMiss int `json:"obligation_misses"`
+}
+
+func statsJSON(st verify.Stats) *StatsJSON {
+	return &StatsJSON{
+		SolverQueries:  st.SolverQueries,
+		VeriCardCalls:  st.VeriCardCalls,
+		Candidates:     st.Candidates,
+		ModelRounds:    st.ModelRounds,
+		ObligationHits: st.ObligationHits,
+		ObligationMiss: st.ObligationMiss,
+	}
+}
+
+// BatchRequest is the body of POST /v1/verify/batch.
+type BatchRequest struct {
+	Pairs []BatchPairJSON `json:"pairs"`
+	// TimeoutMS bounds the whole batch (tightens the server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers overrides the server's batch fan-out (capped by it).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchPairJSON is one pair of a batch request.
+type BatchPairJSON struct {
+	ID   string `json:"id,omitempty"`
+	SQL1 string `json:"sql1"`
+	SQL2 string `json:"sql2"`
+}
+
+// BatchResponse is the body of a successful POST /v1/verify/batch.
+type BatchResponse struct {
+	Results []VerifyResponse `json:"results"`
+	Stats   BatchStatsJSON   `json:"stats"`
+}
+
+// BatchStatsJSON summarizes a batch request.
+type BatchStatsJSON struct {
+	Pairs            int     `json:"pairs"`
+	Workers          int     `json:"workers"`
+	WallMS           float64 `json:"wall_ms"`
+	PairsPerSec      float64 `json:"pairs_per_sec"`
+	Equivalent       int     `json:"equivalent"`
+	NotProved        int     `json:"not_proved"`
+	Unsupported      int     `json:"unsupported"`
+	Deduped          int     `json:"deduped"`
+	Timeouts         int     `json:"timeouts"`
+	Cancelled        int     `json:"cancelled"`
+	ObligationHits   int64   `json:"obligation_hits"`
+	ObligationMisses int64   `json:"obligation_misses"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries a stable machine-readable code plus a human message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: message}})
+}
+
+// verifyCtx derives the context a verification runs under: bounded by the
+// server's lifetime (so drains can abort solving) and by the effective
+// timeout — the request's timeout_ms when given and tighter than the
+// server ceiling, the ceiling otherwise. Deliberately NOT derived from
+// the request context: a coalesced leader's work must survive its own
+// client hanging up, because waiters share the result and the obligation
+// cache keeps the proof's pieces either way.
+func (s *Server) verifyCtx(timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.VerifyTimeout
+	if timeoutMS > 0 {
+		if req := time.Duration(timeoutMS) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return context.WithTimeout(s.baseCtx, d)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return
+	}
+	if req.SQL1 == "" || req.SQL2 == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "both sql1 and sql2 are required")
+		return
+	}
+
+	start := time.Now()
+	q1, q2, errResp := s.buildPair(req.SQL1, req.SQL2)
+	if errResp != nil {
+		if errResp.status != 0 {
+			writeError(w, errResp.status, errResp.code, errResp.message)
+			return
+		}
+		// Unsupported SQL is a verdict, not a client error: the queries
+		// are well-formed, the prover just declines them.
+		s.verdicts.Inc("unsupported")
+		writeJSON(w, http.StatusOK, VerifyResponse{
+			ID:        req.ID,
+			Verdict:   engine.Unsupported.String(),
+			Reason:    errResp.message,
+			ElapsedMS: msSince(start),
+		})
+		return
+	}
+
+	// Coalescing key: fingerprint bucket, canonical raw-pair key confirm —
+	// the same two-step discipline as the engine's memo tables.
+	k1, k2 := plan.Key(q1), plan.Key(q2)
+	rawKey := k1 + "\x00" + k2
+	fp := plan.HashKey(rawKey)
+
+	res, coalesced, err := s.coal.do(r.Context(), fp, rawKey, func() engine.Result {
+		vctx, cancel := s.verifyCtx(req.TimeoutMS)
+		defer cancel()
+		return s.verifyPlans(vctx, req.ID, q1, q2)
+	})
+	if err != nil {
+		// This waiter's client gave up; the leader (if any) runs on.
+		writeError(w, http.StatusServiceUnavailable, "cancelled",
+			"request cancelled while awaiting a coalesced verification")
+		return
+	}
+	if coalesced {
+		s.coalescedCt.Inc()
+	}
+	verdict := res.Verdict.String()
+	s.verdicts.Inc(verdict)
+	writeJSON(w, http.StatusOK, VerifyResponse{
+		ID:        req.ID,
+		Verdict:   verdict,
+		Cardinal:  res.Cardinal,
+		Reason:    res.Reason,
+		TimedOut:  res.TimedOut,
+		Cancelled: res.Cancelled,
+		Coalesced: coalesced,
+		ElapsedMS: msSince(start),
+		Stats:     statsJSON(res.Stats),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "pairs must be non-empty")
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatchPairs {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("batch of %d pairs exceeds the limit of %d", len(req.Pairs), s.cfg.MaxBatchPairs))
+		return
+	}
+	pairs := make([]engine.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p.SQL1 == "" || p.SQL2 == "" {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("pair %d: both sql1 and sql2 are required", i))
+			return
+		}
+		pairs[i] = engine.Pair{ID: p.ID, SQL1: p.SQL1, SQL2: p.SQL2}
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.BatchWorkers {
+		workers = s.cfg.BatchWorkers
+	}
+
+	vctx, cancel := s.verifyCtx(req.TimeoutMS)
+	defer cancel()
+	results, stats := s.eng.VerifyBatch(vctx, pairs, workers)
+
+	resp := BatchResponse{
+		Results: make([]VerifyResponse, len(results)),
+		Stats: BatchStatsJSON{
+			Pairs:            stats.Pairs,
+			Workers:          stats.Workers,
+			WallMS:           ms(stats.Wall),
+			PairsPerSec:      stats.PairsPerSec(),
+			Equivalent:       stats.Equivalent,
+			NotProved:        stats.NotProved,
+			Unsupported:      stats.Unsupported,
+			Deduped:          stats.Deduped,
+			Timeouts:         stats.Timeouts,
+			Cancelled:        stats.Cancelled,
+			ObligationHits:   stats.ObligationHits,
+			ObligationMisses: stats.ObligationMisses,
+		},
+	}
+	for i, res := range results {
+		verdict := res.Verdict.String()
+		s.verdicts.Inc(verdict)
+		resp.Results[i] = VerifyResponse{
+			ID:        res.ID,
+			Verdict:   verdict,
+			Cardinal:  res.Cardinal,
+			Reason:    res.Reason,
+			TimedOut:  res.TimedOut,
+			Cancelled: res.Cancelled,
+			Deduped:   res.Deduped,
+			ElapsedMS: ms(res.Elapsed),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildErr distinguishes a client error (status != 0) from unsupported
+// SQL (status == 0: report as a verdict).
+type buildErr struct {
+	status  int
+	code    string
+	message string
+}
+
+// buildPair lowers both queries, classifying failures: unsupported SQL is
+// a verdict (the prover's supported subset is a feature boundary, not a
+// client mistake), anything else — parse errors, unknown tables or
+// columns — is a 400.
+func (s *Server) buildPair(sql1, sql2 string) (q1, q2 plan.Node, be *buildErr) {
+	q1, err := s.eng.BuildSQL(sql1)
+	if err != nil {
+		return nil, nil, classifyBuildErr("sql1", err)
+	}
+	q2, err = s.eng.BuildSQL(sql2)
+	if err != nil {
+		return nil, nil, classifyBuildErr("sql2", err)
+	}
+	return q1, q2, nil
+}
+
+func classifyBuildErr(which string, err error) *buildErr {
+	if plan.Unsupported(err) {
+		return &buildErr{status: 0, message: which + ": " + err.Error()}
+	}
+	return &buildErr{
+		status:  http.StatusBadRequest,
+		code:    "bad_query",
+		message: which + ": " + err.Error(),
+	}
+}
+
+func ms(d time.Duration) float64  { return float64(d) / float64(time.Millisecond) }
+func msSince(t time.Time) float64 { return ms(time.Since(t)) }

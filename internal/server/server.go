@@ -1,0 +1,335 @@
+// Package server is spes-serve's HTTP/JSON verification service: a thin,
+// stdlib-only network layer over one long-lived engine.Engine, so the
+// normalization memo, predicate-satisfiability cache, and obligation LRU
+// persist — and compound — across requests.
+//
+// Endpoints:
+//
+//	POST /v1/verify        one pair    {"sql1": ..., "sql2": ...}
+//	POST /v1/verify/batch  many pairs  {"pairs": [{"id","sql1","sql2"}, ...]}
+//	GET  /healthz          liveness (503 while draining)
+//	GET  /metrics          Prometheus text format
+//
+// Three service-level mechanisms wrap the engine:
+//
+//   - admission control: a bounded in-flight semaphore plus a bounded wait
+//     queue; excess load is shed with 503 + Retry-After at the door, so
+//     overload degrades availability, never verdict quality;
+//   - in-flight coalescing: concurrent identical pairs (keyed by plan
+//     fingerprint, confirmed by the canonical pair key) share one
+//     verification — see coalescer for why nothing is cached there;
+//   - cancellation: each verification runs under a context bounded by the
+//     per-request timeout and the server's lifetime, plumbed down to the
+//     SMT model-round loop, so dropped deadlines and drains stop burning
+//     solver time. Cancellation only ever degrades a verdict to
+//     NotProved.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"spes/internal/engine"
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+// Config tunes the service. The zero value of any field selects the
+// documented default; Catalog is required.
+type Config struct {
+	// Catalog is the schema all queries are verified against.
+	Catalog *schema.Catalog
+	// VerifyTimeout caps each verification's wall time (default 30s).
+	// A request's timeout_ms can tighten but never exceed it.
+	VerifyTimeout time.Duration
+	// MaxInFlight bounds concurrently-executing requests (default
+	// GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond it
+	// requests are shed with 503 (default 4×MaxInFlight).
+	MaxQueue int
+	// BatchWorkers is the default fan-out of /v1/verify/batch (default
+	// GOMAXPROCS).
+	BatchWorkers int
+	// MaxBatchPairs bounds the pairs accepted in one batch request
+	// (default 1024).
+	MaxBatchPairs int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// CacheSize is the engine's obligation-cache bound
+	// (0 = engine.DefaultCacheSize).
+	CacheSize int
+	// RetryAfter is the hint sent with 503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.VerifyTimeout <= 0 {
+		c.VerifyTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatchPairs <= 0 {
+		c.MaxBatchPairs = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the verification service. Create with New, serve with Serve
+// or ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	eng  *engine.Engine
+	lim  *limiter
+	coal *coalescer
+
+	reg         *Registry
+	reqTotal    *CounterVec
+	verdicts    *CounterVec
+	latency     *Histogram
+	rejected    *CounterVec
+	coalescedCt *Counter
+
+	// verifyPlans is the engine call behind /v1/verify; tests substitute
+	// it to observe and gate verifications without a real proof.
+	verifyPlans func(ctx context.Context, id string, q1, q2 plan.Node) engine.Result
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	draining   atomic.Bool
+	start      time.Time
+
+	httpSrv *http.Server
+}
+
+// New builds a Server over a fresh persistent engine.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.Catalog == nil {
+		panic("server: Config.Catalog is required")
+	}
+	eng := engine.NewEngine(cfg.Catalog, engine.Options{
+		Workers:   cfg.BatchWorkers,
+		CacheSize: cfg.CacheSize,
+	})
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		eng:        eng,
+		lim:        newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		coal:       newCoalescer(),
+		reg:        NewRegistry(),
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+		start:      time.Now(),
+	}
+	s.verifyPlans = eng.VerifyPlans
+	s.registerMetrics()
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Engine exposes the underlying persistent engine (stats, warmup).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.reqTotal = r.NewCounterVec("spes_requests_total",
+		"HTTP requests by endpoint and status code.", "endpoint", "code")
+	s.verdicts = r.NewCounterVec("spes_verdicts_total",
+		"Verification verdicts returned, including batch pairs.", "verdict")
+	s.latency = r.NewHistogram("spes_request_seconds",
+		"End-to-end request latency in seconds.", DefaultLatencyBuckets)
+	s.rejected = r.NewCounterVec("spes_rejected_total",
+		"Requests shed by admission control.", "reason")
+	s.coalescedCt = r.NewCounter("spes_coalesced_total",
+		"Requests that shared another in-flight verification.")
+	r.NewGaugeFunc("spes_in_flight",
+		"Requests currently holding an execution slot.",
+		func() float64 { return float64(s.lim.inFlight()) })
+	r.NewGaugeFunc("spes_queue_depth",
+		"Requests queued for an execution slot.",
+		func() float64 { return float64(s.lim.depth()) })
+	r.NewGaugeFunc("spes_up_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// Engine counters are owned by the engine's snapshot-consistent Stats;
+	// /metrics reads them at scrape time.
+	stat := func(get func(engine.StatsSnapshot) int64) func() float64 {
+		return func() float64 { return float64(get(s.eng.Stats())) }
+	}
+	r.NewCounterFunc("spes_engine_pairs_total",
+		"Pairs verified by the engine (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.Pairs }))
+	r.NewCounterFunc("spes_engine_equivalent_total",
+		"Pairs proved equivalent (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.Equivalent }))
+	r.NewCounterFunc("spes_engine_not_proved_total",
+		"Pairs not proved (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.NotProved }))
+	r.NewCounterFunc("spes_engine_unsupported_total",
+		"Pairs using unsupported SQL (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.Unsupported }))
+	r.NewCounterFunc("spes_engine_timeouts_total",
+		"Pairs degraded by the verification deadline (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.Timeouts }))
+	r.NewCounterFunc("spes_engine_cancelled_total",
+		"Pairs aborted by context cancellation (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.Cancelled }))
+	r.NewCounterFunc("spes_engine_solver_queries_total",
+		"SMT queries issued (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.SolverQueries }))
+	r.NewCounterFunc("spes_engine_norm_memo_hits_total",
+		"Normalization memo hits (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.NormHits }))
+	r.NewCounterFunc("spes_engine_norm_memo_misses_total",
+		"Normalization memo misses (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.NormMisses }))
+	r.NewCounterFunc("spes_engine_obligation_cache_hits_total",
+		"Obligation cache hits (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.ObligationHits }))
+	r.NewCounterFunc("spes_engine_obligation_cache_misses_total",
+		"Obligation cache misses (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.ObligationMisses }))
+	r.NewGaugeFunc("spes_engine_obligation_cache_hit_rate",
+		"Obligation cache hit fraction in [0,1] (lifetime).",
+		func() float64 { return s.eng.Stats().ObligationHitRate() })
+}
+
+// Handler returns the service's HTTP handler (also useful under
+// httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", s.instrument("verify", s.handleVerify))
+	mux.HandleFunc("/v1/verify/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr (supports ":0"; see Addr for the bound
+// port via the returned listener pattern in cmd/spes-serve) and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully drains the server: new connections are refused,
+// /healthz flips to 503, and in-flight requests get until ctx expires to
+// finish. If the grace period runs out, the base context is cancelled,
+// which aborts the remaining solver work (each pair degrades to
+// NotProved/cancelled — never a wrong verdict) so the drain still
+// completes promptly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan error, 1)
+	go func() { done <- s.httpSrv.Shutdown(context.Background()) }()
+	select {
+	case err := <-done:
+		s.cancelBase()
+		return err
+	case <-ctx.Done():
+		s.cancelBase()
+		return <-done
+	}
+}
+
+// instrument wraps a handler with admission control and metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Method != http.MethodPost {
+			s.reqTotal.Inc(endpoint, "405")
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+			return
+		}
+		if err := s.lim.acquire(r.Context()); err != nil {
+			if err == errOverload {
+				s.rejected.Inc("overload")
+				s.reqTotal.Inc(endpoint, "503")
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				writeError(w, http.StatusServiceUnavailable, "overloaded",
+					"server at capacity; retry later")
+			} else {
+				s.rejected.Inc("cancelled")
+				s.reqTotal.Inc(endpoint, "499")
+				// Client went away while queued; 503 is the closest
+				// standard status (nobody is listening anyway).
+				writeError(w, http.StatusServiceUnavailable, "cancelled",
+					"request cancelled while queued")
+			}
+			return
+		}
+		defer s.lim.release()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(sw, r)
+		s.reqTotal.Inc(endpoint, strconv.Itoa(sw.code))
+		s.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusWriter records the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"pairs":     s.eng.Stats().Pairs,
+		"in_flight": s.lim.inFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.Render(w)
+}

@@ -1,0 +1,528 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spes"
+	"spes/internal/corpus"
+	"spes/internal/engine"
+	"spes/internal/plan"
+)
+
+const (
+	eqSQL1 = "SELECT * FROM (SELECT * FROM EMP WHERE DEPT_ID < 9) T WHERE SALARY > 5"
+	eqSQL2 = "SELECT * FROM EMP WHERE DEPT_ID < 9 AND SALARY > 5"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Catalog == nil {
+		cfg.Catalog = corpus.Catalog()
+	}
+	return New(cfg)
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doReq(h, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b)))
+}
+
+func doReq(h http.Handler, r *http.Request) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+func TestVerifyHandlerTable(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	cases := []struct {
+		name       string
+		body       any
+		raw        string // used instead of body when non-empty
+		wantStatus int
+		wantCode   string // error code for non-200
+		wantVerd   string // verdict for 200
+	}{
+		{
+			name:       "equivalent",
+			body:       VerifyRequest{SQL1: eqSQL1, SQL2: eqSQL2},
+			wantStatus: 200, wantVerd: "equivalent",
+		},
+		{
+			name:       "not proved",
+			body:       VerifyRequest{SQL1: "SELECT SALARY FROM EMP WHERE SALARY > 5", SQL2: "SELECT SALARY FROM EMP WHERE SALARY > 6"},
+			wantStatus: 200, wantVerd: "not-proved",
+		},
+		{
+			name:       "unsupported feature is a verdict",
+			body:       VerifyRequest{SQL1: "SELECT CAST(SALARY AS FLOAT) FROM EMP", SQL2: "SELECT CAST(SALARY AS FLOAT) FROM EMP"},
+			wantStatus: 200, wantVerd: "unsupported",
+		},
+		{
+			name:       "bad SQL",
+			body:       VerifyRequest{SQL1: "SELEC SALARY FROM EMP", SQL2: "SELECT SALARY FROM EMP"},
+			wantStatus: 400, wantCode: "bad_query",
+		},
+		{
+			name:       "unknown table",
+			body:       VerifyRequest{SQL1: "SELECT X FROM NO_SUCH_TABLE", SQL2: "SELECT SALARY FROM EMP"},
+			wantStatus: 400, wantCode: "bad_query",
+		},
+		{
+			name:       "missing sql2",
+			body:       VerifyRequest{SQL1: "SELECT SALARY FROM EMP"},
+			wantStatus: 400, wantCode: "bad_request",
+		},
+		{
+			name:       "malformed JSON",
+			raw:        "{not json",
+			wantStatus: 400, wantCode: "bad_request",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var w *httptest.ResponseRecorder
+			if c.raw != "" {
+				w = doReq(h, httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(c.raw)))
+			} else {
+				w = postJSON(t, h, "/v1/verify", c.body)
+			}
+			if w.Code != c.wantStatus {
+				t.Fatalf("status = %d, want %d; body %s", w.Code, c.wantStatus, w.Body.String())
+			}
+			if c.wantStatus == 200 {
+				resp := decode[VerifyResponse](t, w)
+				if resp.Verdict != c.wantVerd {
+					t.Errorf("verdict = %q, want %q", resp.Verdict, c.wantVerd)
+				}
+			} else {
+				resp := decode[ErrorResponse](t, w)
+				if resp.Error.Code != c.wantCode {
+					t.Errorf("error code = %q, want %q; body %s", resp.Error.Code, c.wantCode, w.Body.String())
+				}
+				if resp.Error.Message == "" {
+					t.Errorf("error message empty")
+				}
+			}
+		})
+	}
+
+	t.Run("GET is rejected", func(t *testing.T) {
+		w := doReq(h, httptest.NewRequest(http.MethodGet, "/v1/verify", nil))
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("status = %d, want 405", w.Code)
+		}
+	})
+}
+
+func TestBatchHandler(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchPairs: 4})
+	h := s.Handler()
+
+	t.Run("mixed batch", func(t *testing.T) {
+		w := postJSON(t, h, "/v1/verify/batch", BatchRequest{Pairs: []BatchPairJSON{
+			{ID: "a", SQL1: eqSQL1, SQL2: eqSQL2},
+			{ID: "b", SQL1: eqSQL1, SQL2: eqSQL2}, // dedupe target
+			{ID: "c", SQL1: "SELECT SALARY FROM EMP WHERE SALARY > 5", SQL2: "SELECT SALARY FROM EMP WHERE SALARY > 6"},
+		}})
+		if w.Code != 200 {
+			t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+		}
+		resp := decode[BatchResponse](t, w)
+		if len(resp.Results) != 3 {
+			t.Fatalf("got %d results, want 3", len(resp.Results))
+		}
+		if resp.Results[0].Verdict != "equivalent" || resp.Results[1].Verdict != "equivalent" {
+			t.Errorf("verdicts: %+v", resp.Results)
+		}
+		if resp.Results[2].Verdict != "not-proved" {
+			t.Errorf("pair c verdict = %q", resp.Results[2].Verdict)
+		}
+		if resp.Stats.Deduped != 1 {
+			t.Errorf("deduped = %d, want 1 (pairs a and b are identical)", resp.Stats.Deduped)
+		}
+		if resp.Results[0].ID != "a" || resp.Results[2].ID != "c" {
+			t.Errorf("results not index-aligned: %+v", resp.Results)
+		}
+	})
+
+	t.Run("too large", func(t *testing.T) {
+		pairs := make([]BatchPairJSON, 5)
+		for i := range pairs {
+			pairs[i] = BatchPairJSON{SQL1: eqSQL1, SQL2: eqSQL2}
+		}
+		w := postJSON(t, h, "/v1/verify/batch", BatchRequest{Pairs: pairs})
+		if w.Code != 400 {
+			t.Fatalf("status = %d, want 400", w.Code)
+		}
+		if resp := decode[ErrorResponse](t, w); resp.Error.Code != "batch_too_large" {
+			t.Errorf("code = %q", resp.Error.Code)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		w := postJSON(t, h, "/v1/verify/batch", BatchRequest{})
+		if w.Code != 400 {
+			t.Fatalf("status = %d, want 400", w.Code)
+		}
+	})
+}
+
+// gateHook returns a verify hook that signals arrival, blocks until
+// released (or ctx death), and counts invocations.
+type gateHook struct {
+	mu      sync.Mutex
+	calls   int
+	started chan struct{} // one tick per invocation
+	release chan struct{}
+}
+
+func newGateHook() *gateHook {
+	return &gateHook{started: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gateHook) fn(ctx context.Context, id string, q1, q2 plan.Node) engine.Result {
+	g.mu.Lock()
+	g.calls++
+	g.mu.Unlock()
+	g.started <- struct{}{}
+	select {
+	case <-g.release:
+		return engine.Result{ID: id, Verdict: engine.Equivalent, Cardinal: true}
+	case <-ctx.Done():
+		return engine.Result{ID: id, Verdict: engine.NotProved, Reason: "cancelled", Cancelled: true}
+	}
+}
+
+func (g *gateHook) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calls
+}
+
+func TestCoalescingSharesOneVerification(t *testing.T) {
+	const n = 8
+	s := newTestServer(t, Config{MaxInFlight: n, MaxQueue: n})
+	gate := newGateHook()
+	s.verifyPlans = gate.fn
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	responses := make([]VerifyResponse, n)
+	statuses := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postJSON(t, h, "/v1/verify", VerifyRequest{ID: fmt.Sprint(i), SQL1: eqSQL1, SQL2: eqSQL2})
+			statuses[i] = w.Code
+			if w.Code == 200 {
+				responses[i] = decode[VerifyResponse](t, w)
+			}
+		}(i)
+	}
+
+	// Wait for the leader to reach the engine, then for every other
+	// request to join its flight, then let the verification finish.
+	<-gate.started
+	deadline := time.Now().Add(5 * time.Second)
+	for s.coal.waiters.Load() != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers joined the flight", s.coal.waiters.Load(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+
+	if got := gate.count(); got != 1 {
+		t.Fatalf("engine verifications = %d, want exactly 1 for %d concurrent identical requests", got, n)
+	}
+	coalesced := 0
+	for i := range responses {
+		if statuses[i] != 200 {
+			t.Fatalf("request %d: status %d", i, statuses[i])
+		}
+		if responses[i].Verdict != "equivalent" {
+			t.Errorf("request %d: verdict %q", i, responses[i].Verdict)
+		}
+		if responses[i].Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != n-1 {
+		t.Errorf("coalesced responses = %d, want %d", coalesced, n-1)
+	}
+	if got := s.coalescedCt.Value(); got != n-1 {
+		t.Errorf("spes_coalesced_total = %d, want %d", got, n-1)
+	}
+	if s.coal.inFlight() != 0 {
+		t.Errorf("coalescer retained %d flights after completion (must cache nothing)", s.coal.inFlight())
+	}
+}
+
+func TestAdmissionControlShedsWith503(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1})
+	gate := newGateHook()
+	s.verifyPlans = gate.fn
+	h := s.Handler()
+
+	// First request occupies the only slot (distinct SQL per request so
+	// coalescing stays out of the picture).
+	var wg sync.WaitGroup
+	launch := func(id int, sql string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postJSON(t, h, "/v1/verify", VerifyRequest{SQL1: sql, SQL2: sql})
+		}()
+	}
+	launch(0, "SELECT SALARY FROM EMP WHERE SALARY > 1")
+	<-gate.started
+
+	// Second request queues.
+	launch(1, "SELECT SALARY FROM EMP WHERE SALARY > 2")
+	deadline := time.Now().Add(5 * time.Second)
+	for s.lim.depth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request must be shed immediately with 503 + Retry-After.
+	w := postJSON(t, h, "/v1/verify", VerifyRequest{SQL1: "SELECT SALARY FROM EMP WHERE SALARY > 3", SQL2: "SELECT SALARY FROM EMP WHERE SALARY > 3"})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Errorf("503 without Retry-After header")
+	}
+	if resp := decode[ErrorResponse](t, w); resp.Error.Code != "overloaded" {
+		t.Errorf("error code = %q, want overloaded", resp.Error.Code)
+	}
+
+	close(gate.release)
+	wg.Wait()
+	if got := s.rejected.With("overload").Load(); got != 1 {
+		t.Errorf("spes_rejected_total{reason=overload} = %d, want 1", got)
+	}
+}
+
+// startServer serves s on an ephemeral port through the server's own
+// http.Server (Shutdown must drain these connections, which an
+// httptest.Server would hide).
+func startServer(t *testing.T, s *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	return "http://" + l.Addr().String()
+}
+
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 2})
+	gate := newGateHook()
+	s.verifyPlans = gate.fn
+	base := startServer(t, s)
+
+	// Park one request inside the engine.
+	type result struct {
+		status int
+		body   []byte
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		body := `{"sql1": ` + jsonStr(eqSQL1) + `, "sql2": ` + jsonStr(eqSQL2) + `}`
+		resp, err := http.Post(base+"/v1/verify", "application/json", strings.NewReader(body))
+		if err != nil {
+			resCh <- result{status: -1}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: b}
+	}()
+	<-gate.started
+
+	// Begin the drain; it must not complete while the request is in
+	// flight, and healthz must flip to draining.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.draining.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a request was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the verification: the parked request must complete with its
+	// real verdict, and then the drain finishes.
+	close(gate.release)
+	r := <-resCh
+	if r.status != 200 {
+		t.Fatalf("drained request: status %d, body %s", r.status, r.body)
+	}
+	var resp VerifyResponse
+	if err := json.Unmarshal(r.body, &resp); err != nil || resp.Verdict != "equivalent" {
+		t.Fatalf("drained request verdict: %s (err %v)", r.body, err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestShutdownGraceExpiryCancelsWork(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 2})
+	gate := newGateHook() // never released: only ctx death can finish it
+	s.verifyPlans = gate.fn
+	base := startServer(t, s)
+
+	resCh := make(chan *http.Response, 1)
+	go func() {
+		body := `{"sql1": ` + jsonStr(eqSQL1) + `, "sql2": ` + jsonStr(eqSQL2) + `}`
+		resp, err := http.Post(base+"/v1/verify", "application/json", strings.NewReader(body))
+		if err != nil {
+			resCh <- nil
+			return
+		}
+		resCh <- resp
+	}()
+	<-gate.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	resp := <-resCh
+	if resp == nil {
+		t.Fatal("request failed outright")
+	}
+	defer resp.Body.Close()
+	var vr VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict == "equivalent" {
+		t.Fatalf("cancelled verification produced Equivalent: %+v", vr)
+	}
+	if !vr.Cancelled {
+		t.Errorf("response not marked cancelled: %+v", vr)
+	}
+}
+
+func jsonStr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	if w := doReq(h, httptest.NewRequest(http.MethodGet, "/healthz", nil)); w.Code != 200 {
+		t.Errorf("healthz = %d", w.Code)
+	}
+
+	// Generate some traffic: one proved pair (twice, to hit the cache),
+	// one client error, one shed is not needed here.
+	postJSON(t, h, "/v1/verify", VerifyRequest{SQL1: eqSQL1, SQL2: eqSQL2})
+	postJSON(t, h, "/v1/verify", VerifyRequest{SQL1: eqSQL1, SQL2: eqSQL2})
+	postJSON(t, h, "/v1/verify", VerifyRequest{SQL1: "SELEC", SQL2: "SELEC"})
+
+	w := doReq(h, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`spes_requests_total{endpoint="verify",code="200"} 2`,
+		`spes_requests_total{endpoint="verify",code="400"} 1`,
+		`spes_verdicts_total{verdict="equivalent"} 2`,
+		"spes_request_seconds_bucket",
+		"spes_request_seconds_count 3",
+		"spes_engine_pairs_total 2",
+		"spes_engine_obligation_cache_hits_total",
+		"spes_engine_obligation_cache_hit_rate",
+		"spes_in_flight 0",
+		"spes_queue_depth 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+
+	// The cache-hit series must be nonzero after the repeat verification.
+	if strings.Contains(body, "spes_engine_obligation_cache_hits_total 0\n") {
+		t.Errorf("obligation cache hits still zero after a repeat verification:\n%s", body)
+	}
+}
+
+// TestServerVerdictsMatchLibrary is the verdict-neutrality acceptance
+// check: the server path (persistent engine, coalescing plumbing, JSON
+// layer) returns exactly the verdict spes.Verify returns, across the
+// whole Calcite corpus.
+func TestServerVerdictsMatchLibrary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verifies the whole corpus twice")
+	}
+	cat := corpus.Catalog()
+	s := newTestServer(t, Config{Catalog: cat})
+	h := s.Handler()
+	for _, p := range corpus.CalcitePairs() {
+		want, err := spes.Verify(cat, p.SQL1, p.SQL2)
+		w := postJSON(t, h, "/v1/verify", VerifyRequest{ID: p.ID, SQL1: p.SQL1, SQL2: p.SQL2})
+		if err != nil {
+			// The library rejects the pair outright (e.g. a parse error the
+			// builder does not classify as unsupported); the server must
+			// agree by refusing it as a client error, never by inventing a
+			// verdict.
+			if w.Code != 400 {
+				t.Errorf("%s: library errors (%v) but server returned %d: %s", p.ID, err, w.Code, w.Body.String())
+			}
+			continue
+		}
+		if w.Code != 200 {
+			t.Fatalf("%s: status %d: %s", p.ID, w.Code, w.Body.String())
+		}
+		resp := decode[VerifyResponse](t, w)
+		if resp.Verdict != want.Verdict.String() {
+			t.Errorf("%s: server verdict %q != library verdict %q", p.ID, resp.Verdict, want.Verdict)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,6 +46,7 @@ type Stats struct {
 	Atoms        int   // theory atoms across queries
 	MaxRoundsHit int   // queries that exhausted the model budget
 	DeadlineHit  int   // checks aborted by the wall-clock deadline
+	CancelHit    int   // checks aborted by context cancellation
 	CoreChecks   int64 // theory checks spent minimizing cores
 }
 
@@ -69,6 +71,13 @@ type Solver struct {
 	// anything) instead of stalling the caller. Set it before each query;
 	// the zero value disables the deadline.
 	Deadline time.Time
+	// Ctx, when non-nil, aborts CheckSat with Unknown once the context is
+	// cancelled. It is polled in the same model-round loop as Deadline and
+	// carries the same soundness guarantee: cancellation can only degrade a
+	// verdict to Unknown, never invent one. The server plumbs per-request
+	// contexts here so a dropped client or a draining shutdown stops
+	// burning solver time.
+	Ctx context.Context
 
 	Stats Stats
 
@@ -213,9 +222,14 @@ func (s *Solver) checkOne(f *fol.Term) Result {
 	return s.run(in)
 }
 
-// expired reports whether the wall-clock deadline has passed, counting
-// each abort in Stats.DeadlineHit.
+// expired reports whether the wall-clock deadline has passed or the
+// context has been cancelled, counting each abort in Stats.DeadlineHit or
+// Stats.CancelHit.
 func (s *Solver) expired() bool {
+	if s.Ctx != nil && s.Ctx.Err() != nil {
+		s.Stats.CancelHit++
+		return true
+	}
 	if s.Deadline.IsZero() || time.Now().Before(s.Deadline) {
 		return false
 	}

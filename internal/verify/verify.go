@@ -12,6 +12,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,6 +62,11 @@ type Config struct {
 	// pair degrades to "not proved" instead of stalling (sound: Unknown
 	// never proves anything).
 	Deadline time.Time
+	// Ctx, when non-nil, cancels the verification: the solver aborts with
+	// Unknown once the context is done, so a cancelled pair degrades to
+	// "not proved" exactly like a deadline (never a wrong verdict). Used
+	// by the server to abort work for disconnected clients and drains.
+	Ctx context.Context
 	// Cache, when non-nil, memoizes definite validity outcomes across
 	// Verifiers.
 	Cache ObligationCache
@@ -100,6 +106,7 @@ func NewWithConfig(cfg Config) *Verifier {
 	g := symbolic.NewGen()
 	s := smt.New()
 	s.Deadline = cfg.Deadline
+	s.Ctx = cfg.Ctx
 	mc := cfg.MaxCandidates
 	if mc <= 0 {
 		mc = 64
@@ -129,6 +136,13 @@ func (v *Verifier) Stats() Stats {
 // rather than a genuine failure to prove.
 func (v *Verifier) TimedOut() bool {
 	return v.solver.Stats.DeadlineHit > 0
+}
+
+// Cancelled reports whether any solver call was aborted by context
+// cancellation; like TimedOut, a "not proved" outcome then reflects the
+// abort, not a genuine failure to prove.
+func (v *Verifier) Cancelled() bool {
+	return v.solver.Stats.CancelHit > 0
 }
 
 // Outcome reports both of the paper's equivalence notions: Cardinal is

@@ -23,6 +23,7 @@
 package spes
 
 import (
+	"context"
 	"time"
 
 	"spes/internal/engine"
@@ -186,6 +187,9 @@ type BatchResult struct {
 	// TimedOut marks a pair whose solver hit the per-pair deadline: its
 	// NotProved may be a timeout rather than a genuine failure to prove.
 	TimedOut bool
+	// Cancelled marks a pair aborted by context cancellation; like a
+	// timeout it can only degrade a verdict to NotProved, never invent one.
+	Cancelled bool
 }
 
 // VerifyBatch verifies many pairs at once on a bounded worker pool
@@ -196,18 +200,28 @@ type BatchResult struct {
 // returns exactly the verdicts sequential Verify calls would (timeouts
 // aside, which only ever turn Equivalent into NotProved).
 func VerifyBatch(cat *Catalog, pairs []BatchPair, opts BatchOptions) ([]BatchResult, BatchStats) {
-	rs, stats := engine.VerifyBatch(cat, pairs, opts)
+	return VerifyBatchContext(context.Background(), cat, pairs, opts)
+}
+
+// VerifyBatchContext is VerifyBatch under a context: cancelling ctx aborts
+// in-flight solver work and degrades the affected pairs to NotProved with
+// Cancelled set — never a wrong verdict — while keeping results
+// index-aligned and fully populated. This is the entry point spes-serve
+// uses to honor request deadlines and graceful drains.
+func VerifyBatchContext(ctx context.Context, cat *Catalog, pairs []BatchPair, opts BatchOptions) ([]BatchResult, BatchStats) {
+	rs, stats := engine.VerifyBatchContext(ctx, cat, pairs, opts)
 	out := make([]BatchResult, len(rs))
 	for i, r := range rs {
 		out[i] = BatchResult{
-			ID:       r.ID,
-			Verdict:  Verdict(r.Verdict), // engine.Verdict mirrors Verdict by value
-			Cardinal: r.Cardinal,
-			Reason:   r.Reason,
-			Stats:    r.Stats,
-			Elapsed:  r.Elapsed,
-			Deduped:  r.Deduped,
-			TimedOut: r.TimedOut,
+			ID:        r.ID,
+			Verdict:   Verdict(r.Verdict), // engine.Verdict mirrors Verdict by value
+			Cardinal:  r.Cardinal,
+			Reason:    r.Reason,
+			Stats:     r.Stats,
+			Elapsed:   r.Elapsed,
+			Deduped:   r.Deduped,
+			TimedOut:  r.TimedOut,
+			Cancelled: r.Cancelled,
 		}
 	}
 	return out, stats
