@@ -50,3 +50,44 @@ grep -q 'spes_engine_pairs_total 1' "$tmp/metrics.txt"
 kill -INT $SERVE_PID
 wait $SERVE_PID
 grep -q 'spes-serve: drained' "$tmp/serve.log"
+
+# --- chaos smoke test ------------------------------------------------------
+# Boot the server with deterministic faults armed at every site and hammer
+# it: the process must survive every injected panic/delay/cancel, answer
+# only protocol-clean statuses, report recovered panics on /metrics, and
+# still drain on SIGINT. (The in-depth chaos suite — soundness
+# re-execution, goroutine-leak checks — runs in `go test -race` above as
+# TestChaosAllSites; this stage proves the -faults flag end to end.)
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 \
+    -faults "seed=7,rate=200,delay=1ms" >"$tmp/chaos.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/chaos.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+grep -q 'FAULT INJECTION ARMED' "$tmp/chaos.log"
+
+i=0
+while [ $i -lt 40 ]; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/verify" -d '{
+      "sql1": "SELECT * FROM (SELECT * FROM EMP WHERE DEPT_ID < 9) T WHERE SALARY > 5",
+      "sql2": "SELECT * FROM EMP WHERE DEPT_ID < 9 AND SALARY > 5"
+    }')
+    case "$code" in
+        200|500|503) ;;
+        *) echo "chaos smoke: unexpected status $code"; exit 1 ;;
+    esac
+    i=$((i + 1))
+done
+kill -0 $SERVE_PID   # still alive after 40 fault-riddled requests
+
+curl -sf "http://$ADDR/metrics" >"$tmp/chaos-metrics.txt"
+grep -q 'spes_panics_recovered_total' "$tmp/chaos-metrics.txt"
+grep -q 'spes_watchdog_aborts_total' "$tmp/chaos-metrics.txt"
+! grep -q '^spes_panics_recovered_total 0$' "$tmp/chaos-metrics.txt"
+
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/chaos.log"

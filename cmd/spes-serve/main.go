@@ -34,6 +34,7 @@ import (
 
 	"spes"
 	"spes/internal/corpus"
+	"spes/internal/fault"
 	"spes/internal/schema"
 	"spes/internal/server"
 )
@@ -49,6 +50,8 @@ func main() {
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "batch verification fan-out")
 		cacheSize   = flag.Int("cache-size", 0, "obligation cache entries (0 = engine default)")
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight work is cancelled")
+		wdGrace     = flag.Duration("watchdog-grace", 0, "extra time past its deadline a stuck verification may hold a worker before the watchdog abandons it (0 = engine default)")
+		faults      = flag.String("faults", "", `chaos-testing fault spec, e.g. "seed=7,rate=25,sites=normalize|smt-model-round,kinds=panic|delay" (also read from SPES_FAULTS; never enable in production)`)
 	)
 	flag.Parse()
 
@@ -62,6 +65,16 @@ func main() {
 		fail("%v", err)
 	}
 
+	if spec := *faults; spec != "" || os.Getenv("SPES_FAULTS") != "" {
+		if spec == "" {
+			spec = os.Getenv("SPES_FAULTS")
+		}
+		if err := fault.EnableSpec(spec); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("spes-serve: FAULT INJECTION ARMED (%s)\n", fault.Describe())
+	}
+
 	srv := server.New(server.Config{
 		Catalog:       cat,
 		VerifyTimeout: *timeout,
@@ -69,6 +82,7 @@ func main() {
 		MaxQueue:      *maxQueue,
 		BatchWorkers:  *workers,
 		CacheSize:     *cacheSize,
+		WatchdogGrace: *wdGrace,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -98,8 +112,8 @@ func main() {
 		}
 		<-errCh // Serve returns nil after Shutdown
 		st := srv.Engine().Stats()
-		fmt.Printf("spes-serve: drained; lifetime pairs=%d equivalent=%d cache_hit_rate=%.2f\n",
-			st.Pairs, st.Equivalent, st.ObligationHitRate())
+		fmt.Printf("spes-serve: drained; lifetime pairs=%d equivalent=%d cache_hit_rate=%.2f panics_recovered=%d watchdog_aborts=%d\n",
+			st.Pairs, st.Equivalent, st.ObligationHitRate(), st.Panics, st.WatchdogAborts)
 	}
 }
 

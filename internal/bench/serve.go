@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,7 @@ type ServeRound struct {
 	P99MS     float64 `json:"p99_ms"`
 	Coalesced int     `json:"coalesced"`
 	Errors    int     `json:"errors"`
+	Retries   int     `json:"retries"`
 
 	Verdicts map[string]int `json:"verdicts"`
 }
@@ -93,6 +96,7 @@ func runServeRound(pairs []corpus.Pair, requests, clients int) ServeRound {
 		verdict   string
 		coalesced bool
 		err       bool
+		retries   int
 	}
 	samples := make([]sample, requests)
 	var next atomic.Int64
@@ -110,8 +114,9 @@ func runServeRound(pairs []corpus.Pair, requests, clients int) ServeRound {
 				p := pairs[i%len(pairs)]
 				body, _ := json.Marshal(server.VerifyRequest{ID: p.ID, SQL1: p.SQL1, SQL2: p.SQL2})
 				t0 := time.Now()
-				resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+				resp, retries, err := postWithRetry(ts.URL+"/v1/verify", body, maxShedRetries)
 				samples[i].latency = time.Since(t0)
+				samples[i].retries = retries
 				if err != nil {
 					samples[i].err = true
 					continue
@@ -140,6 +145,7 @@ func runServeRound(pairs []corpus.Pair, requests, clients int) ServeRound {
 	lats := make([]time.Duration, 0, requests)
 	for _, sm := range samples {
 		lats = append(lats, sm.latency)
+		round.Retries += sm.retries
 		switch {
 		case sm.err:
 			round.Errors++
@@ -154,6 +160,49 @@ func runServeRound(pairs []corpus.Pair, requests, clients int) ServeRound {
 	round.P50MS = ms(percentile(lats, 0.50))
 	round.P99MS = ms(percentile(lats, 0.99))
 	return round
+}
+
+// maxShedRetries bounds how many 503s one logical request will ride out
+// before reporting the shed as an error.
+const maxShedRetries = 3
+
+// postWithRetry POSTs body, retrying on 503 with backoff: the server's
+// Retry-After hint (capped, so a bench run cannot stall on a long hint)
+// doubled per attempt. Any other status — including other errors — is
+// returned to the caller as-is. It reports how many retries were spent.
+func postWithRetry(url string, body []byte, maxRetries int) (*http.Response, int, error) {
+	retries := 0
+	for {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, retries, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || retries >= maxRetries {
+			return resp, retries, nil
+		}
+		wait := retryAfterHint(resp) << retries
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(wait)
+		retries++
+	}
+}
+
+// retryAfterHint reads the server's Retry-After seconds, clamped to
+// [10ms, 250ms] — the loadgen honors the signal's presence, not its full
+// magnitude, or a single shed would dominate the round's wall clock.
+func retryAfterHint(resp *http.Response) time.Duration {
+	const floor, ceil = 10 * time.Millisecond, 250 * time.Millisecond
+	d := floor
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			d = time.Duration(n) * time.Second
+		}
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
 }
 
 // percentile reads the q-th quantile from ascending latencies
@@ -178,8 +227,8 @@ func RenderServe(r ServeReport) string {
 	b.WriteString("spes-serve closed-loop load (POST /v1/verify over the Calcite corpus)\n\n")
 	fmt.Fprintf(&b, "corpus pairs=%d, requests per round=%d\n", r.Pairs, r.Requests)
 	for _, rd := range r.Rounds {
-		fmt.Fprintf(&b, "clients=%-2d  %8.1f req/s  p50 %7.2f ms  p99 %7.2f ms  coalesced=%d errors=%d verdicts=%v\n",
-			rd.Clients, rd.ReqPerSec, rd.P50MS, rd.P99MS, rd.Coalesced, rd.Errors, rd.Verdicts)
+		fmt.Fprintf(&b, "clients=%-2d  %8.1f req/s  p50 %7.2f ms  p99 %7.2f ms  coalesced=%d errors=%d retries=%d verdicts=%v\n",
+			rd.Clients, rd.ReqPerSec, rd.P50MS, rd.P99MS, rd.Coalesced, rd.Errors, rd.Retries, rd.Verdicts)
 	}
 	return b.String()
 }

@@ -30,11 +30,13 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"spes/internal/fault"
 	"spes/internal/normalize"
 	"spes/internal/plan"
 	"spes/internal/schema"
@@ -90,6 +92,12 @@ type Options struct {
 	// CacheSize bounds the obligation cache (0 = DefaultCacheSize,
 	// < 0 disables the obligation cache only).
 	CacheSize int
+	// WatchdogGrace is how long past its deadline a verification may keep
+	// its worker before the watchdog cancels the solver and abandons the
+	// wait (0 = DefaultWatchdogGrace). The watchdog only arms when the
+	// pair has a deadline, so purely library use without timeouts pays
+	// nothing.
+	WatchdogGrace time.Duration
 	// DisableCaching turns off all three memo layers (obligation cache,
 	// normalization memo, pair dedupe) — the engine then does exactly the
 	// sequential per-pair work, just fanned out. Used by the determinism
@@ -132,6 +140,18 @@ type Result struct {
 	// only degrade a verdict toward NotProved, never fabricate one: a
 	// cancelled solver call returns Unknown, which proves nothing.
 	Cancelled bool
+	// Panicked marks a pair whose verification panicked and was recovered
+	// into this NotProved internal-error verdict. The panic never proves
+	// anything, so recovery can only weaken the verdict.
+	Panicked bool
+	// WatchdogAbort marks a pair abandoned by the per-verification
+	// watchdog: the solver stayed stuck past deadline-plus-grace, its
+	// context was cancelled, and the worker stopped waiting. NotProved,
+	// like every other abort.
+	WatchdogAbort bool
+	// Stack carries a truncated goroutine stack when Panicked is set, for
+	// operators diagnosing the fault (never interpreted by the pipeline).
+	Stack string
 	// Fingerprint is the structural hash of the normalized pair (0 when
 	// the plans failed to build or when caching — and with it the
 	// fingerprinting path — is disabled).
@@ -149,9 +169,11 @@ type BatchStats struct {
 	NotProved   int
 	Unsupported int
 
-	Deduped   int
-	Timeouts  int
-	Cancelled int
+	Deduped        int
+	Timeouts       int
+	Cancelled      int
+	Panics         int
+	WatchdogAborts int
 
 	NormHits   int64
 	NormMisses int64
@@ -330,6 +352,7 @@ func (t *satTable) Store(key string, sat bool) {
 type counters struct {
 	pairs, equivalent, notProved, unsupported atomic.Int64
 	deduped, timeouts, cancelled              atomic.Int64
+	panics, watchdogAborts                    atomic.Int64
 	solverQueries                             atomic.Int64
 }
 
@@ -355,6 +378,12 @@ func (s *Shared) record(r Result) {
 	if r.Cancelled {
 		s.ctr.cancelled.Add(1)
 	}
+	if r.Panicked {
+		s.ctr.panics.Add(1)
+	}
+	if r.WatchdogAbort {
+		s.ctr.watchdogAborts.Add(1)
+	}
 	s.ctr.solverQueries.Add(int64(r.Stats.SolverQueries))
 	if s.parent != nil {
 		s.parent.record(r)
@@ -374,6 +403,13 @@ type StatsSnapshot struct {
 	Deduped     int64 `json:"deduped"`
 	Timeouts    int64 `json:"timeouts"`
 	Cancelled   int64 `json:"cancelled"`
+
+	// Panics counts verifications that panicked and were recovered into
+	// NotProved internal-error verdicts; WatchdogAborts counts
+	// verifications abandoned past deadline-plus-grace. Both are
+	// robustness events: the process survived, the verdicts degraded.
+	Panics         int64 `json:"panics"`
+	WatchdogAborts int64 `json:"watchdog_aborts"`
 
 	SolverQueries int64 `json:"solver_queries"`
 
@@ -401,10 +437,12 @@ func (s *Shared) Snapshot() StatsSnapshot {
 		Equivalent:    s.ctr.equivalent.Load(),
 		NotProved:     s.ctr.notProved.Load(),
 		Unsupported:   s.ctr.unsupported.Load(),
-		Deduped:       s.ctr.deduped.Load(),
-		Timeouts:      s.ctr.timeouts.Load(),
-		Cancelled:     s.ctr.cancelled.Load(),
-		SolverQueries: s.ctr.solverQueries.Load(),
+		Deduped:        s.ctr.deduped.Load(),
+		Timeouts:       s.ctr.timeouts.Load(),
+		Cancelled:      s.ctr.cancelled.Load(),
+		Panics:         s.ctr.panics.Load(),
+		WatchdogAborts: s.ctr.watchdogAborts.Load(),
+		SolverQueries:  s.ctr.solverQueries.Load(),
 	}
 	if s.norm != nil {
 		snap.NormHits, snap.NormMisses = s.norm.counters()
@@ -474,6 +512,14 @@ func (s *Shared) ForEach(cat *schema.Catalog, n int, fn func(w *Worker, i int)) 
 // populated — but the ctx-aware worker entry points return a cancelled
 // Result immediately, so a cancelled fan-out drains in O(n) cheap calls
 // rather than n verifications.
+//
+// Panic isolation: each index runs under a recover() guard, so a fault
+// that escapes the per-pair recovery inside the worker entry points
+// (e.g. a worker-spawn failure, or a panic in fn's own bookkeeping)
+// costs that one index — its result slot keeps its zero value, which is
+// NotProved — instead of killing the goroutine and deadlocking the
+// index feed. Workers are constructed lazily so a spawn panic is
+// retried on the next index rather than poisoning the whole lane.
 func (s *Shared) ForEachContext(ctx context.Context, cat *schema.Catalog, n int, fn func(w *Worker, i int)) time.Duration {
 	workers := s.opts.workerCount()
 	if workers > n && n > 0 {
@@ -486,9 +532,23 @@ func (s *Shared) ForEachContext(ctx context.Context, cat *schema.Catalog, n int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := s.NewWorker(cat)
+			var w *Worker
 			for i := range idx {
-				fn(w, i)
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							// Recovered outside the per-pair layer: the
+							// slot stays zero (NotProved); record the
+							// degraded outcome so the counters still see
+							// every pair.
+							s.record(PanicResult("", p))
+						}
+					}()
+					if w == nil {
+						w = s.NewWorker(cat)
+					}
+					fn(w, i)
+				}()
 			}
 		}()
 	}
@@ -517,6 +577,7 @@ type Worker struct {
 // NewWorker returns a worker bound to this batch's shared state. cat may
 // be nil when only plan-level entry points are used.
 func (s *Shared) NewWorker(cat *schema.Catalog) *Worker {
+	fault.Inject(fault.WorkerSpawn)
 	w := &Worker{shared: s, nz: normalize.New(s.opts.NormalizeOptions)}
 	if s.sat != nil {
 		w.nz.SetSatCache(s.sat)
@@ -534,6 +595,7 @@ func (w *Worker) VerifiersBuilt() int { return w.verifiersBuilt }
 // plan's canonical serialization, already computed by the caller (the raw
 // dedupe layer needs it too, so the tree is serialized exactly once).
 func (w *Worker) normalizePlan(q plan.Node, key string) plan.Node {
+	fault.Inject(fault.Normalize) // cancel outcome: nothing to cancel here
 	if w.shared.opts.DisableNormalization {
 		return q
 	}
@@ -549,8 +611,14 @@ func (w *Worker) normalizePlan(q plan.Node, key string) plan.Node {
 	return n
 }
 
+// DefaultWatchdogGrace is how long past its deadline a verification may
+// keep its worker before the watchdog abandons it.
+const DefaultWatchdogGrace = 2 * time.Second
+
 // check runs one verification with a fresh Verifier, applying the batch's
-// deadline, the caller's context, and the obligation cache.
+// deadline, the caller's context, and the obligation cache. When the pair
+// has a deadline, the verification runs under a watchdog (checkWatchdog)
+// so a solver stuck past deadline-plus-grace cannot pin the worker.
 func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 	cfg := verify.Config{MaxCandidates: w.shared.opts.MaxCandidates}
 	if w.shared.cache != nil {
@@ -565,8 +633,17 @@ func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 			cfg.Deadline = dl
 		}
 	}
-	v := verify.NewWithConfig(cfg)
 	w.verifiersBuilt++
+	if cfg.Deadline.IsZero() {
+		return runCheck(cfg, q1, q2)
+	}
+	return w.checkWatchdog(cfg, q1, q2)
+}
+
+// runCheck is the direct verification behind check. Callers guarantee
+// panic recovery (protect, leadPair, or checkWatchdog's goroutine).
+func runCheck(cfg verify.Config, q1, q2 plan.Node) Result {
+	v := verify.NewWithConfig(cfg)
 	out := v.Check(q1, q2)
 	r := Result{Verdict: NotProved, Cardinal: out.Cardinal, Stats: v.Stats()}
 	if out.Full {
@@ -585,6 +662,90 @@ func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 		}
 	}
 	return r
+}
+
+// checkWatchdog runs the verification on a helper goroutine and waits at
+// most until deadline-plus-grace. The solver polls its deadline and
+// context in the model-round loop (and the CDCL conflict loop), so a
+// well-behaved slow pair returns a timeout verdict on its own; the
+// watchdog exists for the pathological remainder — work stuck between
+// poll points. When it fires, the solver's context is cancelled and the
+// wait abandoned: the request gets NotProved/watchdog_abort now, and the
+// stuck goroutine exits at its next cancellation poll (its eventual
+// result is discarded — necessarily NotProved, since an aborted solver
+// only ever answers Unknown).
+func (w *Worker) checkWatchdog(cfg verify.Config, q1, q2 plan.Node) Result {
+	grace := w.shared.opts.WatchdogGrace
+	if grace <= 0 {
+		grace = DefaultWatchdogGrace
+	}
+	base := cfg.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	wctx, cancel := context.WithCancel(base)
+	defer cancel()
+	cfg.Ctx = wctx
+
+	resCh := make(chan Result, 1) // buffered: an abandoned sender never leaks
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				resCh <- PanicResult("", p)
+			}
+		}()
+		resCh <- runCheck(cfg, q1, q2)
+	}()
+	timer := time.NewTimer(time.Until(cfg.Deadline) + grace)
+	defer timer.Stop()
+	select {
+	case r := <-resCh:
+		return r
+	case <-timer.C:
+		cancel()
+		return Result{Verdict: NotProved, Reason: "watchdog_abort", WatchdogAbort: true}
+	}
+}
+
+// PanicResult converts a recovered panic value into the sound degraded
+// verdict: NotProved with an internal-error reason and a truncated stack.
+// A nil p (runtime.Goexit unwinding through the recovery point) degrades
+// the same way. The verdict can only ever be weaker than what a healthy
+// run would have produced — a panic proves nothing.
+func PanicResult(id string, p any) Result {
+	msg := "goroutine exited"
+	if p != nil {
+		msg = fmt.Sprint(p)
+	}
+	return Result{
+		ID:       id,
+		Verdict:  NotProved,
+		Reason:   "internal_error: " + msg,
+		Panicked: true,
+		Stack:    truncatedStack(),
+	}
+}
+
+// maxStackBytes bounds the stack carried by a panic verdict; enough for
+// the fault's frames, small enough to log and ship in stats.
+const maxStackBytes = 4 << 10
+
+func truncatedStack() string {
+	buf := make([]byte, maxStackBytes)
+	n := runtime.Stack(buf, false)
+	return string(buf[:n])
+}
+
+// protect runs fn, converting an escaping panic into a NotProved
+// internal-error result, so one poisoned pair can never take down a
+// worker pool or a server request.
+func protect(fn func() Result) (r Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = PanicResult("", p)
+		}
+	}()
+	return fn()
 }
 
 // VerifyPlans verifies one already-built pair through the full engine
@@ -616,7 +777,9 @@ func (w *Worker) VerifyPlansContext(ctx context.Context, id string, q1, q2 plan.
 	}
 	if w.shared.norm == nil && w.shared.dedup == nil {
 		// Caching disabled: exactly the sequential per-pair work, fanned out.
-		r := w.check(ctx, w.normalizePlan(q1, ""), w.normalizePlan(q2, ""))
+		r := protect(func() Result {
+			return w.check(ctx, w.normalizePlan(q1, ""), w.normalizePlan(q2, ""))
+		})
 		r.ID, r.Elapsed = id, time.Since(start)
 		w.shared.record(r)
 		return r
@@ -630,10 +793,13 @@ func (w *Worker) VerifyPlansContext(ctx context.Context, id string, q1, q2 plan.
 		// (timeout/cancel) verdicts forever. In-flight coalescing is the
 		// server's job, and definite cross-request reuse comes from the
 		// obligation cache, which makes re-verification cheap.
-		n1 := w.normalizePlan(q1, k1)
-		n2 := w.normalizePlan(q2, k2)
-		r := w.check(ctx, n1, n2)
-		r.Fingerprint = plan.PairFingerprint(n1, n2)
+		r := protect(func() Result {
+			n1 := w.normalizePlan(q1, k1)
+			n2 := w.normalizePlan(q2, k2)
+			r := w.check(ctx, n1, n2)
+			r.Fingerprint = plan.PairFingerprint(n1, n2)
+			return r
+		})
 		r.ID, r.Elapsed = id, time.Since(start)
 		w.shared.record(r)
 		return r
@@ -648,6 +814,44 @@ func (w *Worker) VerifyPlansContext(ctx context.Context, id string, q1, q2 plan.
 		return r
 	}
 
+	res, follower := w.leadPair(ctx, q1, q2, k1, k2, rawE)
+	var r Result
+	if follower {
+		r = followerResult(res, id, start)
+	} else {
+		r = res
+		r.ID, r.Elapsed = id, time.Since(start)
+	}
+	w.shared.record(r)
+	return r
+}
+
+// leadPair is the raw-dedupe leader's work: normalize, claim (or wait on)
+// the normalized-pair flight, verify, and publish. Publication of every
+// claimed entry is deferred, so a panic anywhere inside — normalization,
+// the dedupe claim, verification — still publishes a NotProved
+// internal-error verdict and closes the done channels. Without the defer,
+// a panicking leader would strand every raw and normalized follower on a
+// channel that never closes.
+func (w *Worker) leadPair(ctx context.Context, q1, q2 plan.Node, k1, k2 string, rawE *dedupeEntry) (res Result, follower bool) {
+	var (
+		normE    *dedupeEntry
+		ledNorm  bool
+		finished bool
+	)
+	defer func() {
+		if !finished {
+			res = PanicResult("", recover())
+			follower = false
+		}
+		if ledNorm {
+			normE.res = res
+			close(normE.done)
+		}
+		rawE.res = res
+		close(rawE.done)
+	}()
+
 	n1 := w.normalizePlan(q1, k1)
 	n2 := w.normalizePlan(q2, k2)
 	fp := plan.PairFingerprint(n1, n2)
@@ -655,30 +859,28 @@ func (w *Worker) VerifyPlansContext(ctx context.Context, id string, q1, q2 plan.
 	e, leader := w.shared.dedup.claim(fp, plan.PairKey(n1, n2))
 	if !leader {
 		<-e.done
-		r := followerResult(e.res, id, start)
-		rawE.res = e.res
-		close(rawE.done)
-		w.shared.record(r)
-		return r
+		res, follower, finished = e.res, true, true
+		return
 	}
+	normE, ledNorm = e, true
 	r := w.check(ctx, n1, n2)
 	r.Fingerprint = fp
-	e.res = r
-	close(e.done)
-	rawE.res = r
-	close(rawE.done)
-	r.ID, r.Elapsed = id, time.Since(start)
-	w.shared.record(r)
-	return r
+	res, finished = r, true
+	return
 }
 
 // followerResult adapts a dedupe leader's published result to the waiting
-// pair: same verdict, own identity, no per-pair solver work.
+// pair: same verdict, own identity, no per-pair solver work. Panic
+// bookkeeping stays with the leader — the follower shares the degraded
+// verdict but did not itself panic, so counting it again would inflate
+// the recovered-panics metric.
 func followerResult(res Result, id string, start time.Time) Result {
 	r := res
 	r.ID, r.Elapsed = id, time.Since(start)
 	r.Deduped = true
 	r.Stats = verify.Stats{} // no work happened for this pair
+	r.Panicked, r.Stack = false, ""
+	r.WatchdogAbort = false
 	return r
 }
 
@@ -769,6 +971,8 @@ func (s *Shared) aggregate(wall time.Duration) BatchStats {
 		Deduped:          int(snap.Deduped),
 		Timeouts:         int(snap.Timeouts),
 		Cancelled:        int(snap.Cancelled),
+		Panics:           int(snap.Panics),
+		WatchdogAborts:   int(snap.WatchdogAborts),
 		NormHits:         snap.NormHits,
 		NormMisses:       snap.NormMisses,
 		ObligationHits:   snap.ObligationHits,

@@ -51,14 +51,31 @@ func (e *Engine) BuildSQL(sql string) (plan.Node, error) {
 
 // VerifyPlans verifies one already-built pair with the engine's
 // persistent caches. Cancellation degrades the pair to NotProved, never a
-// wrong verdict.
-func (e *Engine) VerifyPlans(ctx context.Context, id string, q1, q2 plan.Node) Result {
+// wrong verdict. Panics anywhere in the request — including worker
+// construction, which runs before the per-pair recovery inside
+// VerifyPlansContext — are recovered into a NotProved internal-error
+// verdict: a long-lived engine serves many tenants, so one poisoned
+// request must degrade, never die.
+func (e *Engine) VerifyPlans(ctx context.Context, id string, q1, q2 plan.Node) (r Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = PanicResult(id, p)
+			e.shared.record(r)
+		}
+	}()
 	w := e.shared.NewWorker(e.cat)
 	return w.VerifyPlansContext(ctx, id, q1, q2)
 }
 
-// VerifyPair parses, builds, and verifies one SQL pair.
-func (e *Engine) VerifyPair(ctx context.Context, p Pair) Result {
+// VerifyPair parses, builds, and verifies one SQL pair, with the same
+// panic isolation as VerifyPlans.
+func (e *Engine) VerifyPair(ctx context.Context, p Pair) (r Result) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			r = PanicResult(p.ID, pv)
+			e.shared.record(r)
+		}
+	}()
 	w := e.shared.NewWorker(e.cat)
 	return w.VerifyPairContext(ctx, p)
 }

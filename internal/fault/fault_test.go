@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	for i := 0; i < 1000; i++ {
+		for _, s := range Sites() {
+			if Inject(s) != None {
+				t.Fatalf("disabled Inject(%s) fired", s)
+			}
+		}
+	}
+	if Snapshot() != nil {
+		t.Fatal("Snapshot non-nil while disabled")
+	}
+}
+
+// drive runs n evaluations at site and returns the observed schedule:
+// which sequence numbers panicked, cancelled, or just returned.
+func drive(t *testing.T, site Site, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					if _, ok := p.(*Error); !ok {
+						t.Fatalf("panic value %T, want *Error", p)
+					}
+					out = append(out, "panic")
+				}
+			}()
+			switch Inject(site) {
+			case Cancel:
+				out = append(out, "cancel")
+			default:
+				out = append(out, "none")
+			}
+		}()
+	}
+	return out
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, PerMille: 300, Delay: time.Microsecond}
+	if err := Enable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	a := drive(t, SMTModelRound, 500)
+	if err := Enable(cfg); err != nil { // re-arm: counters reset, same seed
+		t.Fatal(err)
+	}
+	b := drive(t, SMTModelRound, 500)
+	Disable()
+
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+		if a[i] != "none" {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("rate 300/1000 over 500 evaluations fired nothing")
+	}
+	// A different seed must give a different schedule.
+	cfg.Seed = 43
+	if err := Enable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	c := drive(t, SMTModelRound, 500)
+	Disable()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestSiteFiltering(t *testing.T) {
+	if err := Enable(Config{Seed: 1, PerMille: 1000, Sites: []Site{Normalize}, Kinds: []Kind{KindCancel}}); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	if got := Inject(VeriSPJ); got != None {
+		t.Fatalf("unarmed site fired: %v", got)
+	}
+	if got := Inject(Normalize); got != Cancel {
+		t.Fatalf("armed cancel-only site returned %v", got)
+	}
+	if Fired(Normalize) != 1 || Fired(VeriSPJ) != 0 {
+		t.Fatalf("fired counts: normalize=%d veri-spj=%d", Fired(Normalize), Fired(VeriSPJ))
+	}
+	snap := Snapshot()
+	if snap[Normalize]["cancel"] != 1 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+}
+
+func TestEnableRejectsBadConfig(t *testing.T) {
+	if err := Enable(Config{Sites: []Site{"no-such-site"}}); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := Enable(Config{PerMille: 2000}); err == nil {
+		t.Error("rate 2000 accepted")
+	}
+	if err := Enable(Config{Kinds: []Kind{Kind(99)}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	Disable()
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,rate=25,delay=2ms,sites=normalize|smt-model-round,kinds=panic|delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.PerMille != 25 || cfg.Delay != 2*time.Millisecond {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if len(cfg.Sites) != 2 || cfg.Sites[0] != Normalize || cfg.Sites[1] != SMTModelRound {
+		t.Fatalf("sites = %v", cfg.Sites)
+	}
+	if len(cfg.Kinds) != 2 || cfg.Kinds[0] != KindPanic || cfg.Kinds[1] != KindDelay {
+		t.Fatalf("kinds = %v", cfg.Kinds)
+	}
+	if _, err := ParseSpec("rate=abc"); err == nil {
+		t.Error("bad rate accepted")
+	}
+	if _, err := ParseSpec("kinds=explode"); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, err := ParseSpec("nonsense"); err == nil {
+		t.Error("field without '=' accepted")
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg.PerMille != 10 {
+		t.Errorf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+}

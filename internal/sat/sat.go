@@ -104,7 +104,16 @@ type Solver struct {
 	// MaxConflicts bounds a single Solve call; 0 means no bound. When the
 	// bound trips, Solve returns Unknown.
 	MaxConflicts int64
+	// Stop, when non-nil, is polled periodically in the conflict loop (every
+	// stopPollMask+1 conflicts, so cheap closures stay off the hot path); a
+	// true return aborts Solve with Unknown. The SMT layer wires deadline
+	// and context checks here so a long CDCL search inside one model round
+	// cannot outlive its budget.
+	Stop func() bool
 }
+
+// stopPollMask throttles Stop polling to every 256th conflict.
+const stopPollMask = 255
 
 // New returns an empty solver.
 func New() *Solver {
@@ -409,6 +418,10 @@ func (s *Solver) Solve() Status {
 			s.varInc /= 0.95
 			s.claInc /= 0.999
 			if s.MaxConflicts > 0 && s.numConf-startConf > s.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.Stop != nil && s.numConf&stopPollMask == 0 && s.Stop() {
 				s.cancelUntil(0)
 				return Unknown
 			}

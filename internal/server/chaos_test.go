@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spes/internal/corpus"
+	"spes/internal/datagen"
+	"spes/internal/exec"
+	"spes/internal/fault"
+)
+
+// TestChaosAllSites is the acceptance harness for the robustness layer:
+// the full server stack (instrument → admission → coalescer → persistent
+// engine → verifier → SMT) is hammered with deterministic faults —
+// panics, delays, and cancellations — armed at every registered site,
+// across several seeds, under concurrent load. It asserts the crash-safe
+// contract end to end:
+//
+//   - no process crash (a single escaped panic fails the whole binary);
+//   - every site actually fired at least once across the run;
+//   - responses are only ever 200 (possibly degraded) or 5xx (shed/500) —
+//     a fault never corrupts the protocol;
+//   - a response marked panicked/watchdog-aborted/cancelled is never
+//     "equivalent" (recovery only weakens verdicts);
+//   - every "equivalent" verdict observed UNDER FAULTS is re-checked
+//     differentially through internal/exec on random databases — faults
+//     must not be able to manufacture an unsound proof;
+//   - no flights leak in the coalescer and no goroutines leak overall.
+//
+// Determinism: each round's fault schedule is a pure function of its
+// seed, so a failure replays exactly by re-running the test.
+func TestChaosAllSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed chaos run")
+	}
+	base := runtime.NumGoroutine()
+	cat := corpus.Catalog()
+	s := newTestServer(t, Config{
+		Catalog:       cat,
+		MaxInFlight:   8,
+		MaxQueue:      64,
+		VerifyTimeout: 5 * time.Second,
+	})
+	h := s.Handler()
+
+	// A small pool with repeats, so coalescing and the obligation cache
+	// both see action while faults fire.
+	pool := corpus.CalcitePairs()
+	if len(pool) > 12 {
+		pool = pool[:12]
+	}
+
+	fired := map[fault.Site]uint64{}
+	var mu sync.Mutex
+	equivalent := map[string][2]string{} // pair key -> SQL, for the differential re-check
+
+	const requestsPerSeed = 48
+	for seed := uint64(1); seed <= 6; seed++ {
+		if err := fault.Enable(fault.Config{
+			Seed:     seed,
+			PerMille: 150,
+			Delay:    2 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < requestsPerSeed; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := pool[i%len(pool)]
+				body, err := json.Marshal(VerifyRequest{ID: p.ID, SQL1: p.SQL1, SQL2: p.SQL2})
+				if err != nil {
+					t.Errorf("marshal: %v", err)
+					return
+				}
+				w := doReq(h, httptest.NewRequest(http.MethodPost, "/v1/verify", bytes.NewReader(body)))
+				switch {
+				case w.Code == 200:
+					var resp VerifyResponse
+					if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+						t.Errorf("seed %d: bad 200 body %q: %v", seed, w.Body.String(), err)
+						return
+					}
+					degraded := resp.Panicked || resp.Aborted || resp.Cancelled || resp.TimedOut
+					if degraded && resp.Verdict == "equivalent" {
+						t.Errorf("seed %d pair %s: degraded response claims equivalence: %+v", seed, p.ID, resp)
+					}
+					if resp.Verdict == "equivalent" {
+						mu.Lock()
+						equivalent[p.SQL1+"\x00"+p.SQL2] = [2]string{p.SQL1, p.SQL2}
+						mu.Unlock()
+					}
+				case w.Code >= 500:
+					// Shed (503) or recovered handler panic (500): degraded
+					// availability is the designed failure mode.
+				default:
+					t.Errorf("seed %d pair %s: unexpected status %d: %s", seed, p.ID, w.Code, w.Body.String())
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, site := range fault.Sites() {
+			fired[site] += fault.Fired(site)
+		}
+		fault.Disable()
+
+		if got := s.coal.inFlight(); got != 0 {
+			t.Fatalf("seed %d: %d coalescer flights leaked", seed, got)
+		}
+	}
+
+	for _, site := range fault.Sites() {
+		if fired[site] == 0 {
+			t.Errorf("site %s never fired across the whole chaos run", site)
+		}
+	}
+
+	// Differential soundness: every equivalence claimed while faults were
+	// flying must hold on concrete data under bag semantics.
+	if len(equivalent) == 0 {
+		t.Fatal("sanity: chaos run proved nothing equivalent; the load was not exercising the prover")
+	}
+	r := rand.New(rand.NewSource(41))
+	for _, sqls := range equivalent {
+		q1, err1 := s.eng.BuildSQL(sqls[0])
+		q2, err2 := s.eng.BuildSQL(sqls[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("re-building a proved pair failed: %v / %v", err1, err2)
+		}
+		for i := 0; i < 4; i++ {
+			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
+			r1, err := exec.Run(db, q1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := exec.Run(db, q2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exec.BagEqual(r1, r2) {
+				t.Fatalf("SOUNDNESS VIOLATION under faults: proved equivalent but bags differ\nq1: %s\nq2: %s", sqls[0], sqls[1])
+			}
+		}
+	}
+
+	// The whole stack must wind down clean: no abandoned watchdog waiters,
+	// no stuck limiter slots, no orphaned solver goroutines.
+	settleGoroutines(t, base, 5*time.Second)
+
+	// Panic recovery is not hypothetical robustness — with panics armed at
+	// every site for six seeds, some must have fired and been recovered.
+	m := doReq(h, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := m.Body.String()
+	if strings.Contains(body, "spes_panics_recovered_total 0\n") {
+		t.Errorf("no panics recovered across the chaos run:\n%s", grepMetric(body, "spes_panics"))
+	}
+	if !strings.Contains(body, "spes_watchdog_aborts_total") {
+		t.Errorf("metrics missing spes_watchdog_aborts_total:\n%s", grepMetric(body, "watchdog"))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"spes/internal/engine"
+	"spes/internal/fault"
 )
 
 // coalescer deduplicates identical verifications that are in flight at
@@ -34,6 +35,11 @@ type coalescer struct {
 	// waiters counts followers currently blocked on a leader (tests use it
 	// to know every concurrent request has joined a flight).
 	waiters atomic.Int64
+	// onPanic, when set, is called once per panic recovered in lead. The
+	// engine recovers (and counts) its own panics before they reach fn's
+	// return, so anything arriving here escaped from the glue between the
+	// handler and the engine; the server wires its panic counter in.
+	onPanic func()
 }
 
 type flight struct {
@@ -82,13 +88,37 @@ func (c *coalescer) do(ctx context.Context, fp uint64, key string, fn func() eng
 		c.m[fp] = append(c.m[fp], f)
 		c.mu.Unlock()
 
-		res = fn()
+		return c.lead(fp, f, fn), false, nil
+	}
+}
+
+// lead runs fn as the leader of flight f. Completion — publishing the
+// result, removing the flight, waking the waiters — is deferred, so a
+// panicking fn can no longer leak the flight and strand every waiter on a
+// channel that never closes (the pre-fix bug: remove/close ran inline
+// after fn, and a panic skipped straight past them). A cancelled or
+// panicked leader publishes retry, so waiters re-claim the pair instead
+// of inheriting a verdict that exists only because of someone else's
+// abort; the leader's own caller gets the recovered panic as a
+// NotProved/internal_error verdict.
+func (c *coalescer) lead(fp uint64, f *flight, fn func() engine.Result) (res engine.Result) {
+	finished := false
+	defer func() {
+		if !finished {
+			res = engine.PanicResult("", recover())
+			if c.onPanic != nil {
+				c.onPanic()
+			}
+		}
 		f.res = res
-		f.retry = res.Cancelled
+		f.retry = res.Cancelled || res.Panicked
 		c.remove(fp, f)
 		close(f.done)
-		return res, false, nil
-	}
+	}()
+	fault.Inject(fault.CoalesceLeader) // cancel outcome: ignored; cancellation flows through fn's ctx
+	res = fn()
+	finished = true
+	return res
 }
 
 func (c *coalescer) remove(fp uint64, f *flight) {

@@ -32,6 +32,8 @@ type VerifyResponse struct {
 	Cancelled bool       `json:"cancelled,omitempty"`
 	Coalesced bool       `json:"coalesced,omitempty"`
 	Deduped   bool       `json:"deduped,omitempty"`
+	Panicked  bool       `json:"panicked,omitempty"`
+	Aborted   bool       `json:"watchdog_abort,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
 	Stats     *StatsJSON `json:"stats,omitempty"`
 }
@@ -91,6 +93,8 @@ type BatchStatsJSON struct {
 	Deduped          int     `json:"deduped"`
 	Timeouts         int     `json:"timeouts"`
 	Cancelled        int     `json:"cancelled"`
+	Panics           int     `json:"panics,omitempty"`
+	WatchdogAborts   int     `json:"watchdog_aborts,omitempty"`
 	ObligationHits   int64   `json:"obligation_hits"`
 	ObligationMisses int64   `json:"obligation_misses"`
 }
@@ -195,6 +199,8 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		TimedOut:  res.TimedOut,
 		Cancelled: res.Cancelled,
 		Coalesced: coalesced,
+		Panicked:  res.Panicked,
+		Aborted:   res.WatchdogAbort,
 		ElapsedMS: msSince(start),
 		Stats:     statsJSON(res.Stats),
 	})
@@ -246,6 +252,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Deduped:          stats.Deduped,
 			Timeouts:         stats.Timeouts,
 			Cancelled:        stats.Cancelled,
+			Panics:           stats.Panics,
+			WatchdogAborts:   stats.WatchdogAborts,
 			ObligationHits:   stats.ObligationHits,
 			ObligationMisses: stats.ObligationMisses,
 		},
@@ -261,6 +269,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			TimedOut:  res.TimedOut,
 			Cancelled: res.Cancelled,
 			Deduped:   res.Deduped,
+			Panicked:  res.Panicked,
+			Aborted:   res.WatchdogAbort,
 			ElapsedMS: ms(res.Elapsed),
 		}
 	}

@@ -66,6 +66,10 @@ type Config struct {
 	CacheSize int
 	// RetryAfter is the hint sent with 503 responses (default 1s).
 	RetryAfter time.Duration
+	// WatchdogGrace is how long past its deadline a verification may stay
+	// stuck before the engine's watchdog cancels it and abandons the wait
+	// (0 = engine.DefaultWatchdogGrace).
+	WatchdogGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +111,10 @@ type Server struct {
 	latency     *Histogram
 	rejected    *CounterVec
 	coalescedCt *Counter
+	// srvPanics counts panics that escaped a handler and were recovered by
+	// instrument (engine-level panics are recovered lower down and counted
+	// in the engine's stats; /metrics sums both).
+	srvPanics atomic.Int64
 
 	// verifyPlans is the engine call behind /v1/verify; tests substitute
 	// it to observe and gate verifications without a real proof.
@@ -127,8 +135,9 @@ func New(cfg Config) *Server {
 		panic("server: Config.Catalog is required")
 	}
 	eng := engine.NewEngine(cfg.Catalog, engine.Options{
-		Workers:   cfg.BatchWorkers,
-		CacheSize: cfg.CacheSize,
+		Workers:       cfg.BatchWorkers,
+		CacheSize:     cfg.CacheSize,
+		WatchdogGrace: cfg.WatchdogGrace,
 	})
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -142,6 +151,7 @@ func New(cfg Config) *Server {
 		start:      time.Now(),
 	}
 	s.verifyPlans = eng.VerifyPlans
+	s.coal.onPanic = func() { s.srvPanics.Add(1) }
 	s.registerMetrics()
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -216,6 +226,12 @@ func (s *Server) registerMetrics() {
 	r.NewGaugeFunc("spes_engine_obligation_cache_hit_rate",
 		"Obligation cache hit fraction in [0,1] (lifetime).",
 		func() float64 { return s.eng.Stats().ObligationHitRate() })
+	r.NewCounterFunc("spes_panics_recovered_total",
+		"Panics recovered into degraded verdicts or HTTP 500s instead of crashing the process (lifetime).",
+		func() float64 { return float64(s.eng.Stats().Panics + s.srvPanics.Load()) })
+	r.NewCounterFunc("spes_watchdog_aborts_total",
+		"Verifications abandoned by the watchdog after running past deadline-plus-grace (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.WatchdogAborts }))
 }
 
 // Handler returns the service's HTTP handler (also useful under
@@ -282,15 +298,16 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			if err == errOverload {
 				s.rejected.Inc("overload")
 				s.reqTotal.Inc(endpoint, "503")
-				w.Header().Set("Retry-After",
-					strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 				writeError(w, http.StatusServiceUnavailable, "overloaded",
 					"server at capacity; retry later")
 			} else {
+				// Client went away while queued; 503 is the closest standard
+				// status (nobody is listening anyway), and metrics must agree
+				// with the wire — the reason label already distinguishes
+				// cancellation from overload.
 				s.rejected.Inc("cancelled")
-				s.reqTotal.Inc(endpoint, "499")
-				// Client went away while queued; 503 is the closest
-				// standard status (nobody is listening anyway).
+				s.reqTotal.Inc(endpoint, "503")
 				writeError(w, http.StatusServiceUnavailable, "cancelled",
 					"request cancelled while queued")
 			}
@@ -298,22 +315,54 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		defer s.lim.release()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			// Last-resort panic isolation: verification panics are recovered
+			// into NotProved verdicts far below, so anything arriving here is
+			// a handler bug — answer this request with a 500 (if it hasn't
+			// written yet) and keep serving everyone else.
+			if p := recover(); p != nil {
+				s.srvPanics.Add(1)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal_error",
+						"panic recovered; this request failed, the server did not")
+				}
+			}
+			s.reqTotal.Inc(endpoint, strconv.Itoa(sw.code))
+			s.latency.Observe(time.Since(start).Seconds())
+		}()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		h(sw, r)
-		s.reqTotal.Inc(endpoint, strconv.Itoa(sw.code))
-		s.latency.Observe(time.Since(start).Seconds())
 	}
 }
 
-// statusWriter records the status code for metrics.
+// retryAfterSecs renders cfg.RetryAfter as whole seconds for the
+// Retry-After header, never below 1 — "Retry-After: 0" tells well-behaved
+// clients to hammer an already-overloaded server.
+func (s *Server) retryAfterSecs() int {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// statusWriter records the status code for metrics, and whether anything
+// was written (so panic recovery knows if a 500 can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

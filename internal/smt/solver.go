@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"spes/internal/fault"
 	"spes/internal/fol"
 	"spes/internal/sat"
 )
@@ -215,6 +216,7 @@ func (s *Solver) checkOne(f *fol.Term) Result {
 	}
 	in := newInstance()
 	in.sat.MaxConflicts = s.MaxSATConflicts
+	in.sat.Stop = s.aborted
 	root := in.encode(f)
 	in.sat.AddClause(root)
 	in.addTrichotomy()
@@ -237,10 +239,25 @@ func (s *Solver) expired() bool {
 	return true
 }
 
+// aborted is expired without the stats attribution. It is polled from the
+// CDCL conflict loop (sat.Solver.Stop), where counting every poll would
+// inflate the abort counters; run attributes the abort once, after Solve
+// returns Unknown.
+func (s *Solver) aborted() bool {
+	if s.Ctx != nil && s.Ctx.Err() != nil {
+		return true
+	}
+	return !s.Deadline.IsZero() && !time.Now().Before(s.Deadline)
+}
+
 // run drives the lazy DPLL(T) loop on an encoded instance.
 func (s *Solver) run(in *instance) Result {
 	for round := 0; round < s.MaxModelRounds; round++ {
 		if s.expired() {
+			return Unknown
+		}
+		if fault.Inject(fault.SMTModelRound) == fault.Cancel {
+			s.Stats.CancelHit++
 			return Unknown
 		}
 		s.Stats.ModelRounds++
@@ -248,6 +265,9 @@ func (s *Solver) run(in *instance) Result {
 		case sat.Unsat:
 			return Unsat
 		case sat.Unknown:
+			// Unknown is either the conflict budget or a Stop-triggered
+			// abort; attribute deadline/cancellation to the right counter.
+			s.expired()
 			return Unknown
 		}
 		lits := in.modelLits()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"spes/internal/fault"
 	"spes/internal/fol"
 	"spes/internal/plan"
 	"spes/internal/smt"
@@ -287,6 +288,7 @@ func (v *Verifier) veriTable(t1, t2 *plan.Table) *symbolic.QPSR {
 
 // veriSPJ is Alg. 3.
 func (v *Verifier) veriSPJ(s1, s2 *plan.SPJ) *symbolic.QPSR {
+	fault.Inject(fault.VeriSPJ) // cancel outcome: ignored, ctx is polled in the solver
 	var result *symbolic.QPSR
 	v.veriVec(s1.Inputs, s2.Inputs, func(perm []int, qpsrs []*symbolic.QPSR) bool {
 		// Compose: the symbolic join row of s1 concatenates the Cols1 sides
