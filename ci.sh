@@ -6,9 +6,24 @@
 # an ephemeral port, verify a known-equivalent Calcite pair over HTTP,
 # scrape /metrics, and drain with SIGINT.
 set -eux
+
+# Term-construction lint: fol.Term values must be built through the fol
+# package's constructors (which route through the owning interner), never
+# as raw composite literals — a raw literal would silently produce a
+# legacy tree node with no ID and break every ID-keyed map downstream.
+if grep -rn '&fol\.Term{' --include='*.go' --exclude-dir=fol .; then
+    echo "ci: raw &fol.Term{...} composite literal outside internal/fol" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race ./...
+
+# The differential verdict-parity suite (interned vs legacy term
+# construction) is part of the -race run above; run it by name as well so
+# a test-filtering change can never silently drop it.
+go test -race -run 'TestDifferentialVerdictParity|TestPipelineFuzzDifferential' ./internal/verify/ .
 
 # --- spes-serve smoke test -------------------------------------------------
 tmp=$(mktemp -d)

@@ -43,6 +43,8 @@ func main() {
 		batch    = flag.Bool("batch", false, "run the batch-engine throughput study")
 		batchOut = flag.String("batch-out", "BENCH_batch.json", "with -batch -json: artifact path for the batch report")
 		timeout  = flag.Duration("timeout", 0, "with -batch: per-pair verification deadline (0 = none)")
+		ir       = flag.Bool("ir", false, "run the term-IR allocation study (interned vs legacy batch path)")
+		irOut    = flag.String("ir-out", "BENCH_ir.json", "with -ir -json: artifact path for the IR report")
 		serve    = flag.Bool("serve", false, "run the spes-serve HTTP loadgen study")
 		serveN   = flag.Int("serve-requests", 500, "with -serve: requests per client-count round")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "with -serve -json: artifact path for the loadgen report")
@@ -100,6 +102,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *batchOut)
 		} else {
 			fmt.Print(bench.RenderBatch(rep))
+		}
+	}
+	if *all || *ir {
+		ranSomething = true
+		w := corpus.ProductionWorkload(*seed, *scale)
+		rep := bench.RunIR(w, *parallel)
+		if *asJSON {
+			out["ir"] = rep
+			if err := writeArtifact(*irOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "spes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *irOut)
+		} else {
+			fmt.Print(bench.RenderIR(rep))
 		}
 	}
 	if *all || *serve {

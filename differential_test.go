@@ -1,0 +1,56 @@
+package spes
+
+import (
+	"math/rand"
+	"testing"
+
+	"spes/internal/normalize"
+	"spes/internal/verify"
+)
+
+// TestPipelineFuzzDifferential replays the whole-pipeline fuzz
+// distribution (same generator and seed as TestPipelineFuzz) through both
+// term-construction modes: the default shared-interner path and the legacy
+// tree-allocated path. Hash-consing is a representation change only, so
+// the Outcomes must match exactly on every pair — including the unproved
+// ones, where divergence would hint that interning perturbed the solver's
+// search rather than its answers.
+func TestPipelineFuzzDifferential(t *testing.T) {
+	cat, err := ParseCatalog(fuzzDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(314159))
+	g := &fuzzGen{r: r}
+	iterations := 60
+	if testing.Short() {
+		iterations = 15
+	}
+	nz := normalize.New(normalize.Options{})
+	for iter := 0; iter < iterations; iter++ {
+		sql1 := g.query(2)
+		sql2 := g.query(2)
+		q1, err := BuildPlan(cat, sql1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := BuildPlan(cat, sql2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n1, n2 := nz.Normalize(q1), nz.Normalize(q2)
+
+		interned := verify.NewWithConfig(verify.Config{}).Check(n1, n2)
+		legacy := verify.NewWithConfig(verify.Config{DisableInterning: true}).Check(n1, n2)
+		if interned != legacy {
+			t.Fatalf("verdict divergence between construction modes\n%s\n%s\ninterned: %+v\nlegacy:   %+v",
+				sql1, sql2, interned, legacy)
+		}
+
+		// Self-pairs must be proved in both modes, not merely agree.
+		self := verify.NewWithConfig(verify.Config{DisableInterning: true}).Check(n1, n1)
+		if !self.Full {
+			t.Fatalf("legacy path failed to prove self-equivalence: %s", sql1)
+		}
+	}
+}

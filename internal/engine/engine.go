@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"spes/internal/fault"
+	"spes/internal/fol"
 	"spes/internal/normalize"
 	"spes/internal/plan"
 	"spes/internal/schema"
@@ -110,6 +111,11 @@ type Options struct {
 	// MaxCandidates caps VeriVec's bijection search per vector pair
 	// (0 = verifier default).
 	MaxCandidates int
+	// DisableInterning builds all solver terms through the legacy
+	// tree-allocating constructors instead of the shared hash-consing
+	// interner. Verdicts are identical either way; the switch feeds the
+	// differential parity suite and the allocation benchmarks' baseline.
+	DisableInterning bool
 }
 
 func (o Options) workerCount() int {
@@ -182,6 +188,10 @@ type BatchStats struct {
 	ObligationMisses int64
 
 	SolverQueries int
+
+	// TermNodes is the size of the shared hash-consed term DAG when the
+	// batch finished (0 when interning is disabled).
+	TermNodes int64
 }
 
 // PairsPerSec returns batch throughput.
@@ -318,6 +328,13 @@ type Shared struct {
 	// sat is the cross-worker predicate-satisfiability cache handed to
 	// every worker's Normalizer (nil when caching is disabled).
 	sat *satTable
+
+	// in is the term interner every worker's Verifier builds through (nil
+	// when interning is disabled). Sharing it across workers means each
+	// distinct term is allocated once per batch — or once per engine
+	// lifetime for the persistent form — and obligation-cache keys derive
+	// from its IDs in O(1).
+	in *fol.Interner
 }
 
 // satTableMax bounds the predicate-satisfiability cache the same way
@@ -413,6 +430,11 @@ type StatsSnapshot struct {
 
 	SolverQueries int64 `json:"solver_queries"`
 
+	// TermNodes is the size of the shared term DAG (distinct interned
+	// nodes). For a persistent engine this is the number the process's
+	// term memory is bounded by; 0 when interning is disabled.
+	TermNodes int64 `json:"term_nodes"`
+
 	NormHits         int64 `json:"norm_hits"`
 	NormMisses       int64 `json:"norm_misses"`
 	ObligationHits   int64 `json:"obligation_hits"`
@@ -433,10 +455,10 @@ func (s StatsSnapshot) ObligationHitRate() float64 {
 // disagree about what the hot path counted.
 func (s *Shared) Snapshot() StatsSnapshot {
 	snap := StatsSnapshot{
-		Pairs:         s.ctr.pairs.Load(),
-		Equivalent:    s.ctr.equivalent.Load(),
-		NotProved:     s.ctr.notProved.Load(),
-		Unsupported:   s.ctr.unsupported.Load(),
+		Pairs:          s.ctr.pairs.Load(),
+		Equivalent:     s.ctr.equivalent.Load(),
+		NotProved:      s.ctr.notProved.Load(),
+		Unsupported:    s.ctr.unsupported.Load(),
 		Deduped:        s.ctr.deduped.Load(),
 		Timeouts:       s.ctr.timeouts.Load(),
 		Cancelled:      s.ctr.cancelled.Load(),
@@ -450,12 +472,16 @@ func (s *Shared) Snapshot() StatsSnapshot {
 	if s.cache != nil {
 		snap.ObligationHits, snap.ObligationMisses = s.cache.Counters()
 	}
+	snap.TermNodes = int64(s.in.Len())
 	return snap
 }
 
 // NewShared builds batch state from options.
 func NewShared(opts Options) *Shared {
 	s := &Shared{opts: opts}
+	if !opts.DisableInterning {
+		s.in = fol.NewInterner()
+	}
 	if !opts.DisableCaching {
 		if opts.CacheSize >= 0 {
 			s.cache = NewObligationCache(opts.CacheSize)
@@ -620,7 +646,11 @@ const DefaultWatchdogGrace = 2 * time.Second
 // has a deadline, the verification runs under a watchdog (checkWatchdog)
 // so a solver stuck past deadline-plus-grace cannot pin the worker.
 func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
-	cfg := verify.Config{MaxCandidates: w.shared.opts.MaxCandidates}
+	cfg := verify.Config{
+		MaxCandidates:    w.shared.opts.MaxCandidates,
+		Interner:         w.shared.in,
+		DisableInterning: w.shared.opts.DisableInterning,
+	}
 	if w.shared.cache != nil {
 		cfg.Cache = w.shared.cache
 	}
@@ -978,5 +1008,6 @@ func (s *Shared) aggregate(wall time.Duration) BatchStats {
 		ObligationHits:   snap.ObligationHits,
 		ObligationMisses: snap.ObligationMisses,
 		SolverQueries:    int(snap.SolverQueries),
+		TermNodes:        snap.TermNodes,
 	}
 }

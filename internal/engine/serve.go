@@ -112,7 +112,7 @@ func (e *Engine) Stats() StatsSnapshot { return e.shared.Snapshot() }
 // persistent state: same memo tables, fresh dedupe tables and counters.
 func (e *Engine) batchOverlay(workers int) *Shared {
 	s := e.shared
-	o := &Shared{opts: s.opts, parent: s}
+	o := &Shared{opts: s.opts, parent: s, in: s.in}
 	if workers > 0 {
 		o.opts.Workers = workers
 	}

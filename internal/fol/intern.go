@@ -1,0 +1,289 @@
+package fol
+
+import (
+	"math/big"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Interner hash-conses terms: within one interner, structurally equal terms
+// are the same pointer, carry the same dense uint32 ID, and share one
+// eagerly computed canonical key. Downstream layers exploit this three ways:
+//
+//   - identity is a pointer (or ID) comparison instead of a tree walk or a
+//     canonical-string compare;
+//   - maps key on uint32 IDs instead of serialized strings, and formulas
+//     traverse as DAGs (visit-once per ID) instead of trees;
+//   - the lazy Key() race disappears for interned terms, because the key is
+//     written before the node is published.
+//
+// Interners propagate by "infection": the package-level smart constructors
+// (And, Eq, Add, ...) intern their result whenever any argument is interned,
+// so code that builds formulas from interned leaves never has to thread an
+// interner handle explicitly. Leaves come from the Interner's own
+// constructors (Var, Num, App, ...), each of which also accepts a nil
+// receiver and then falls back to the legacy tree-allocating constructor —
+// one code path serves both modes.
+//
+// The boolean singletons True/False are universal: they hold the reserved
+// IDs 0 and 1 in every interner and may mix freely with any interner's
+// terms.
+//
+// Interning only merges structurally identical terms, so it cannot change
+// the meaning of a formula; the differential tests in internal/verify assert
+// verdict parity between interned and legacy construction.
+//
+// All methods are safe for concurrent use; an engine's workers share one
+// interner so the term DAG (and every downstream cache keyed on its IDs) is
+// shared across the whole batch.
+type Interner struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*Term
+	n       uint32
+	tag     uint64
+}
+
+// internerTags hands out process-unique tags. Tags (not interner pointer
+// addresses, which the allocator can reuse) make cache keys derived from
+// term IDs collision-free across interner lifetimes.
+var internerTags atomic.Uint64
+
+// NewInterner returns an empty interner pre-seeded with the universal
+// boolean singletons at IDs 0 and 1.
+func NewInterner() *Interner {
+	in := &Interner{
+		buckets: make(map[uint64][]*Term, 64),
+		n:       2, // IDs 0 and 1 are reserved for the singletons
+		tag:     internerTags.Add(1),
+	}
+	in.buckets[termTrue.hash] = []*Term{termTrue}
+	in.buckets[termFalse.hash] = []*Term{termFalse}
+	return in
+}
+
+// Tag returns a process-unique identifier for this interner. Combined with
+// a term ID it forms a compact cache key that can never alias a key minted
+// by a different interner (unlike the interner's address, which the garbage
+// collector may reuse).
+func (in *Interner) Tag() uint64 { return in.tag }
+
+// Len returns the number of distinct term nodes interned, including the two
+// singletons. It is also the exclusive upper bound of issued IDs, so
+// ID-indexed visit-once slices can be sized with it.
+func (in *Interner) Len() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return int(in.n)
+}
+
+// Intern returns this interner's canonical node for t, interning the whole
+// subtree as needed. Terms already owned by this interner return in O(1).
+// Legacy terms and terms owned by a different interner are hash-consed
+// structurally (the originals are never mutated, so shared inputs stay
+// race-free). A nil interner returns t unchanged, preserving legacy
+// semantics.
+func (in *Interner) Intern(t *Term) *Term {
+	if in == nil {
+		return t
+	}
+	return in.intern(t, false)
+}
+
+// intern is the hash-consing core. owned reports that t was freshly built by
+// a constructor in this package and is unreachable by any other goroutine,
+// so on a miss the node can be adopted in place instead of copied.
+func (in *Interner) intern(t *Term, owned bool) *Term {
+	if t == nil || t.in == in || t == termTrue || t == termFalse {
+		return t
+	}
+	args := t.Args
+	var copied []*Term
+	for i, a := range args {
+		ia := in.intern(a, false)
+		if ia != a && copied == nil {
+			copied = make([]*Term, len(args))
+			copy(copied, args)
+		}
+		if copied != nil {
+			copied[i] = ia
+		}
+	}
+	if copied != nil {
+		args = copied
+	}
+	h := hashNode(t.Kind, t.Sort, t.Name, t.Rat, args)
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range in.buckets[h] {
+		if c.Kind != t.Kind || c.Sort != t.Sort || c.Name != t.Name || len(c.Args) != len(args) {
+			continue
+		}
+		if t.Kind == KNum && c.Rat.Cmp(t.Rat) != 0 {
+			continue
+		}
+		same := true
+		for i := range args {
+			if c.Args[i] != args[i] { // children interned: pointer identity
+				same = false
+				break
+			}
+		}
+		if same {
+			return c
+		}
+	}
+	nt := t
+	if !owned || copied != nil {
+		nt = &Term{Kind: t.Kind, Sort: t.Sort, Name: t.Name, Rat: t.Rat, Args: args}
+	}
+	nt.in = in
+	nt.id = in.n
+	nt.hash = h
+	// Eager canonical key: children are already keyed, so this is one
+	// concatenation per node, and the key is published before the node —
+	// interned terms never race on lazy memoization.
+	var b strings.Builder
+	nt.writeMemo(&b)
+	nt.key = b.String()
+	in.n++
+	in.buckets[h] = append(in.buckets[h], nt)
+	return nt
+}
+
+// adopt hash-conses a node freshly built by a smart constructor. It is the
+// nil-tolerant infection entry point: a nil receiver (no argument was
+// interned) returns the node unchanged as a legacy term.
+func (in *Interner) adopt(t *Term) *Term {
+	if in == nil {
+		return t
+	}
+	return in.intern(t, true)
+}
+
+// ownerOf returns the interner that should own a term built over args: the
+// first interned argument's interner, or nil when every argument is legacy.
+func ownerOf(args []*Term) *Interner {
+	for _, a := range args {
+		if a != nil && a.in != nil {
+			return a.in
+		}
+	}
+	return nil
+}
+
+func ownerOf2(a, b *Term) *Interner {
+	if a != nil && a.in != nil {
+		return a.in
+	}
+	if b != nil && b.in != nil {
+		return b.in
+	}
+	return nil
+}
+
+// --- leaf constructors (nil receiver = legacy fallback) --------------------
+
+// True returns the universal boolean constant true (ID 0).
+func (in *Interner) True() *Term { return termTrue }
+
+// False returns the universal boolean constant false (ID 1).
+func (in *Interner) False() *Term { return termFalse }
+
+// Bool returns the universal boolean constant for v.
+func (in *Interner) Bool(v bool) *Term { return Bool(v) }
+
+// Var returns the interned variable of the given sort.
+func (in *Interner) Var(name string, s Sort) *Term {
+	if in == nil {
+		return Var(name, s)
+	}
+	return in.intern(&Term{Kind: KVar, Sort: s, Name: name}, true)
+}
+
+// NumVar returns the interned numeric variable named name.
+func (in *Interner) NumVar(name string) *Term { return in.Var(name, SortNum) }
+
+// BoolVar returns the interned boolean variable named name.
+func (in *Interner) BoolVar(name string) *Term { return in.Var(name, SortBool) }
+
+// Num returns the interned numeric constant with value r (copied).
+func (in *Interner) Num(r *big.Rat) *Term {
+	if in == nil {
+		return Num(r)
+	}
+	return in.intern(&Term{Kind: KNum, Sort: SortNum, Rat: new(big.Rat).Set(r)}, true)
+}
+
+// Int returns the interned numeric constant with integer value v.
+func (in *Interner) Int(v int64) *Term {
+	if in == nil {
+		return Int(v)
+	}
+	return in.intern(&Term{Kind: KNum, Sort: SortNum, Rat: big.NewRat(v, 1)}, true)
+}
+
+// App returns the interned uninterpreted application. Unlike the composite
+// smart constructors, App must be called on the interner explicitly when all
+// args are legacy or absent (a zero-argument application has nothing to
+// infect from).
+func (in *Interner) App(name string, s Sort, args ...*Term) *Term {
+	if in == nil {
+		return App(name, s, args...)
+	}
+	return in.intern(&Term{Kind: KApp, Sort: s, Name: name, Args: args}, true)
+}
+
+// --- structural hashing ----------------------------------------------------
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashNode(k Kind, s Sort, name string, rat *big.Rat, args []*Term) uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(k)) * fnvPrime64
+	h = (h ^ uint64(s)) * fnvPrime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime64
+	}
+	if rat != nil {
+		h = hashInt(h, rat.Num())
+		h = hashInt(h, rat.Denom())
+	}
+	for _, a := range args {
+		// Children are interned before the parent is hashed, so a.hash is
+		// their structural hash; mixing it keeps hashNode O(len(args)).
+		x := a.hash
+		for i := 0; i < 8; i++ {
+			h = (h ^ (x & 0xff)) * fnvPrime64
+			x >>= 8
+		}
+	}
+	return h
+}
+
+func hashInt(h uint64, z *big.Int) uint64 {
+	if z.Sign() < 0 {
+		h = (h ^ 1) * fnvPrime64
+	}
+	for _, w := range z.Bits() {
+		x := uint64(w)
+		for i := 0; i < 8; i++ {
+			h = (h ^ (x & 0xff)) * fnvPrime64
+			x >>= 8
+		}
+	}
+	return h
+}
+
+func init() {
+	termTrue.hash = hashNode(KTrue, SortBool, "", nil, nil)
+	termFalse.hash = hashNode(KFalse, SortBool, "", nil, nil)
+	termFalse.id = 1
+}

@@ -1,0 +1,195 @@
+package fol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildSample builds one moderately shaped formula through the package
+// constructors, with leaves from in (nil = legacy).
+func buildSample(in *Interner, i int) *Term {
+	x := in.NumVar("x")
+	y := in.NumVar(fmt.Sprintf("y%d", i%7))
+	f := in.App("f", SortNum, x, y)
+	p := in.BoolVar("p")
+	return And(
+		Or(p, Lt(Add(x, Mul(Int(2), y)), f)),
+		Eq(Add(x, y), Add(y, x)),
+		Implies(Le(x, y), Le(Neg(y), Neg(x))),
+		Eq(Ite(p, x, y), f),
+	)
+}
+
+func TestInternPointerIdentity(t *testing.T) {
+	in := NewInterner()
+	a := buildSample(in, 3)
+	b := buildSample(in, 3)
+	if a != b {
+		t.Fatalf("structurally equal interned terms are different pointers:\n%s\n%s", a, b)
+	}
+	if !a.Interned() || a.ID() < 2 {
+		t.Fatalf("root not interned or carries a reserved ID: interned=%v id=%d", a.Interned(), a.ID())
+	}
+	// Every subterm is interned in the same DAG, and IDs identify nodes.
+	byID := make(map[uint32]*Term)
+	Walk(a, func(u *Term) bool {
+		if !u.Interned() {
+			t.Fatalf("uninterned subterm %s under interned root", u)
+		}
+		if prev, ok := byID[u.ID()]; ok && prev != u {
+			t.Fatalf("ID %d names two distinct nodes %s and %s", u.ID(), prev, u)
+		}
+		byID[u.ID()] = u
+		return true
+	})
+	if in.Len() < len(byID) {
+		t.Fatalf("interner Len %d < %d distinct IDs observed", in.Len(), len(byID))
+	}
+}
+
+func TestInternSingletons(t *testing.T) {
+	in := NewInterner()
+	if in.True() != True() || in.False() != False() {
+		t.Fatal("interner singletons differ from package singletons")
+	}
+	if True().ID() != 0 || False().ID() != 1 {
+		t.Fatalf("singleton IDs: true=%d false=%d, want 0 and 1", True().ID(), False().ID())
+	}
+	// Interning a structural copy of a singleton yields the singleton.
+	if got := in.Intern(&Term{Kind: KTrue, Sort: SortBool}); got != True() {
+		t.Fatalf("interned copy of true is %p, want the singleton", got)
+	}
+	if in2 := NewInterner(); in2.Tag() == in.Tag() {
+		t.Fatal("two interners share a tag")
+	}
+}
+
+func TestInternLegacyParity(t *testing.T) {
+	// The same construction through an interner and through the legacy
+	// tree path must produce byte-identical canonical forms: constructors
+	// sort by canonical key, never by ID, precisely so that interning
+	// cannot change a formula's shape.
+	in := NewInterner()
+	for i := 0; i < 7; i++ {
+		a := buildSample(in, i)
+		b := buildSample(nil, i)
+		if b.Interned() {
+			t.Fatal("legacy build produced an interned term")
+		}
+		if Canonical(a) != Canonical(b) {
+			t.Fatalf("canonical forms diverge:\ninterned %s\nlegacy   %s", Canonical(a), Canonical(b))
+		}
+		if !a.Equal(b) {
+			t.Fatal("Equal rejects structurally equal interned/legacy pair")
+		}
+	}
+}
+
+func TestInternAdoptsLegacySubtrees(t *testing.T) {
+	in := NewInterner()
+	legacy := buildSample(nil, 2)
+	interned := in.Intern(legacy)
+	if legacy.Interned() {
+		t.Fatal("Intern mutated a shared legacy term")
+	}
+	if interned == legacy || !interned.Interned() {
+		t.Fatal("Intern returned the legacy node")
+	}
+	if interned != buildSample(in, 2) {
+		t.Fatal("interned copy of a legacy tree is not the canonical node")
+	}
+	// A second intern of the same structure is a pure lookup.
+	n := in.Len()
+	if in.Intern(buildSample(nil, 2)) != interned || in.Len() != n {
+		t.Fatal("re-interning an existing structure grew the DAG")
+	}
+}
+
+func TestInternMixedInterners(t *testing.T) {
+	inA, inB := NewInterner(), NewInterner()
+	a := buildSample(inA, 1)
+	b := inB.Intern(a)
+	if b == a {
+		t.Fatal("intern across interners returned the foreign node")
+	}
+	if Canonical(a) != Canonical(b) {
+		t.Fatal("cross-interner intern changed the canonical form")
+	}
+	// Infection from mixed arguments picks one interner and rebuilds the
+	// foreign argument into it, so the result's DAG is self-consistent.
+	mixed := And(a, Not(b))
+	Walk(mixed, func(u *Term) bool {
+		if !u.Interned() {
+			t.Fatalf("uninterned node %s in mixed-interner formula", u)
+		}
+		return true
+	})
+}
+
+// TestKeyRaceInterned is the -race regression for the lazy Term.key
+// memoization: many goroutines hammer Key() on one shared non-singleton
+// term. For interned terms the key is published at intern time, before any
+// goroutine can hold the pointer, so this must be race-free.
+func TestKeyRaceInterned(t *testing.T) {
+	in := NewInterner()
+	shared := buildSample(in, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if shared.Key() == "" {
+					t.Error("empty key on interned term")
+					return
+				}
+				if Canonical(shared) != shared.Key() {
+					t.Error("Canonical and Key diverge")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEqualFastPathSameInterner(t *testing.T) {
+	in := NewInterner()
+	x, y := in.NumVar("x"), in.NumVar("y")
+	if x.Equal(y) {
+		t.Fatal("distinct interned terms compare equal")
+	}
+	if !x.Equal(in.NumVar("x")) {
+		t.Fatal("interned term not equal to itself")
+	}
+}
+
+func BenchmarkIntern(b *testing.B) {
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := NewInterner()
+			buildSample(in, i%7)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		// Steady state: every node already interned, so each build is
+		// hash-cons lookups only.
+		in := NewInterner()
+		for i := 0; i < 7; i++ {
+			buildSample(in, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buildSample(in, i%7)
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildSample(nil, i%7)
+		}
+	})
+}

@@ -53,6 +53,7 @@ func Int(v int64) *Term {
 // Add returns the sum of ts as a normalized linear combination: nested sums
 // flatten, constants fold, and like terms combine (so x - x folds to 0).
 func Add(ts ...*Term) *Term {
+	owner := ownerOf(ts)
 	acc := new(big.Rat)
 	coeffs := make(map[string]*big.Rat)
 	terms := make(map[string]*Term)
@@ -98,23 +99,23 @@ func Add(ts ...*Term) *Term {
 		case c.Cmp(ratOne) == 0:
 			args = append(args, terms[key])
 		default:
-			args = append(args, Mul(Num(c), terms[key]))
+			args = append(args, Mul(owner.Num(c), terms[key]))
 		}
 	}
 	if acc.Sign() != 0 || len(args) == 0 {
-		args = append(args, Num(acc))
+		args = append(args, owner.Num(acc))
 	}
 	if len(args) == 1 {
 		return args[0]
 	}
-	return &Term{Kind: KAdd, Sort: SortNum, Args: args}
+	return owner.adopt(&Term{Kind: KAdd, Sort: SortNum, Args: args})
 }
 
 // Neg returns the numeric negation of t.
 func Neg(t *Term) *Term {
 	switch t.Kind {
 	case KNum:
-		return Num(new(big.Rat).Neg(t.Rat))
+		return t.in.Num(new(big.Rat).Neg(t.Rat))
 	case KNeg:
 		return t.Args[0]
 	case KAdd:
@@ -124,7 +125,7 @@ func Neg(t *Term) *Term {
 		}
 		return Add(args...)
 	}
-	return &Term{Kind: KNeg, Sort: SortNum, Args: []*Term{t}}
+	return t.in.adopt(&Term{Kind: KNeg, Sort: SortNum, Args: []*Term{t}})
 }
 
 // Sub returns a - b.
@@ -134,6 +135,7 @@ func Sub(a, b *Term) *Term { return Add(a, Neg(b)) }
 // of two or more non-constant factors are non-linear; the SMT layer treats
 // them as uninterpreted.
 func Mul(ts ...*Term) *Term {
+	owner := ownerOf(ts)
 	args := make([]*Term, 0, len(ts))
 	acc := new(big.Rat).Set(ratOne)
 	for _, t := range ts {
@@ -153,19 +155,19 @@ func Mul(ts ...*Term) *Term {
 		}
 	}
 	if acc.Sign() == 0 {
-		return Int(0)
+		return owner.Int(0)
 	}
 	if len(args) == 0 {
-		return Num(acc)
+		return owner.Num(acc)
 	}
 	SortTerms(args) // canonical: x*y and y*x build identical terms
 	if acc.Cmp(ratOne) != 0 {
-		args = append([]*Term{Num(acc)}, args...)
+		args = append([]*Term{owner.Num(acc)}, args...)
 	}
 	if len(args) == 1 {
 		return args[0]
 	}
-	return &Term{Kind: KMul, Sort: SortNum, Args: args}
+	return owner.adopt(&Term{Kind: KMul, Sort: SortNum, Args: args})
 }
 
 // Div returns a / b. Division by a non-zero constant folds into
@@ -175,7 +177,7 @@ func Div(a, b *Term) *Term {
 	if b.Kind == KNum && b.Rat.Sign() != 0 {
 		return Mul(a, Num(new(big.Rat).Inv(b.Rat)))
 	}
-	return &Term{Kind: KDiv, Sort: SortNum, Args: []*Term{a, b}}
+	return ownerOf2(a, b).adopt(&Term{Kind: KDiv, Sort: SortNum, Args: []*Term{a, b}})
 }
 
 // Eq returns the numeric equality a = b, with constant folding and canonical
@@ -190,7 +192,7 @@ func Eq(a, b *Term) *Term {
 	if a.Key() > b.Key() {
 		a, b = b, a
 	}
-	return &Term{Kind: KEq, Sort: SortBool, Args: []*Term{a, b}}
+	return ownerOf2(a, b).adopt(&Term{Kind: KEq, Sort: SortBool, Args: []*Term{a, b}})
 }
 
 // Le returns a <= b with constant folding.
@@ -201,7 +203,7 @@ func Le(a, b *Term) *Term {
 	if a.Equal(b) {
 		return True()
 	}
-	return &Term{Kind: KLe, Sort: SortBool, Args: []*Term{a, b}}
+	return ownerOf2(a, b).adopt(&Term{Kind: KLe, Sort: SortBool, Args: []*Term{a, b}})
 }
 
 // Lt returns a < b with constant folding.
@@ -212,7 +214,7 @@ func Lt(a, b *Term) *Term {
 	if a.Equal(b) {
 		return False()
 	}
-	return &Term{Kind: KLt, Sort: SortBool, Args: []*Term{a, b}}
+	return ownerOf2(a, b).adopt(&Term{Kind: KLt, Sort: SortBool, Args: []*Term{a, b}})
 }
 
 // Ge returns a >= b.
@@ -237,7 +239,7 @@ func Not(t *Term) *Term {
 	case KLt:
 		return Le(t.Args[1], t.Args[0])
 	}
-	return &Term{Kind: KNot, Sort: SortBool, Args: []*Term{t}}
+	return t.in.adopt(&Term{Kind: KNot, Sort: SortBool, Args: []*Term{t}})
 }
 
 // And returns the conjunction of ts, flattening, deduplicating, and detecting
@@ -249,6 +251,7 @@ func And(ts ...*Term) *Term { return nary(KAnd, ts) }
 func Or(ts ...*Term) *Term { return nary(KOr, ts) }
 
 func nary(k Kind, ts []*Term) *Term {
+	owner := ownerOf(ts)
 	unit, zero := termTrue, termFalse
 	if k == KOr {
 		unit, zero = termFalse, termTrue
@@ -293,7 +296,7 @@ func nary(k Kind, ts []*Term) *Term {
 	case 1:
 		return args[0]
 	}
-	return &Term{Kind: k, Sort: SortBool, Args: args}
+	return owner.adopt(&Term{Kind: k, Sort: SortBool, Args: args})
 }
 
 // Implies returns a => b, represented as ¬a ∨ b.
@@ -319,7 +322,7 @@ func Iff(a, b *Term) *Term {
 	if a.Key() > b.Key() {
 		a, b = b, a
 	}
-	return &Term{Kind: KIff, Sort: SortBool, Args: []*Term{a, b}}
+	return ownerOf2(a, b).adopt(&Term{Kind: KIff, Sort: SortBool, Args: []*Term{a, b}})
 }
 
 // Ite returns if-then-else. Boolean-sorted ITEs expand into connectives;
@@ -340,13 +343,20 @@ func Ite(cond, then, els *Term) *Term {
 	if then.Sort == SortBool {
 		return Or(And(cond, then), And(Not(cond), els))
 	}
-	return &Term{Kind: KIte, Sort: SortNum, Args: []*Term{cond, then, els}}
+	owner := ownerOf2(cond, then)
+	if owner == nil {
+		owner = els.in
+	}
+	return owner.adopt(&Term{Kind: KIte, Sort: SortNum, Args: []*Term{cond, then, els}})
 }
 
 // App returns an uninterpreted function application with the given result
-// sort. A zero-argument application is an uninterpreted constant.
+// sort. A zero-argument application is an uninterpreted constant. Like all
+// composite constructors, App interns its result when any argument is
+// interned; a zero-argument application has nothing to infect from, so
+// interned code paths call Interner.App instead.
 func App(name string, s Sort, args ...*Term) *Term {
-	return &Term{Kind: KApp, Sort: s, Name: name, Args: args}
+	return ownerOf(args).adopt(&Term{Kind: KApp, Sort: s, Name: name, Args: args})
 }
 
 // TupleEq returns the conjunction of element-wise equalities between two

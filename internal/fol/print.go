@@ -13,29 +13,62 @@ func (t *Term) String() string {
 	return b.String()
 }
 
-// Key returns the canonical form of t, memoized on first use. Terms are
-// immutable, so memoization is safe; callers must not mutate terms after
-// construction. The lazy write to the key field means Key must only be
-// called on terms owned by a single goroutine (plus the pre-keyed
-// True/False singletons); for terms that may be shared across goroutines
-// use Canonical instead.
+// Key returns the canonical form of t. Interned terms carry their key
+// eagerly from intern time, so for them Key is a race-free field read no
+// matter how many goroutines share the term. Legacy terms memoize on first
+// use: they are immutable, so memoization is safe, but the lazy write means
+// Key must only be called on legacy terms owned by a single goroutine (plus
+// the pre-keyed True/False singletons); for legacy terms shared across
+// goroutines use Canonical instead.
 func (t *Term) Key() string {
 	if t.key == "" {
-		t.key = t.String()
+		var b strings.Builder
+		t.writeMemo(&b)
+		t.key = b.String()
 	}
 	return t.key
 }
 
 // Canonical returns the canonical serialization of t without touching the
-// memoized key. Two terms serialize identically iff they are structurally
-// equal, so the result is a sound cache key for solver obligations. Unlike
-// Key, Canonical neither reads nor writes term state and is therefore safe
+// lazily memoized key of legacy terms. Two terms serialize identically iff
+// they are structurally equal, so the result is a sound cache key for
+// solver obligations. Unlike Key, Canonical never writes term state and
+// only reads keys that were published eagerly at intern time, so it is safe
 // to call on terms shared across goroutines.
 func Canonical(t *Term) string {
-	return t.String()
+	var b strings.Builder
+	t.writeCanonical(&b)
+	return b.String()
 }
 
-func (t *Term) write(b *strings.Builder) {
+// writeMemo renders t, short-circuiting through memoized keys. Building a
+// parent key is then one concatenation of child keys rather than a full
+// subtree walk, which is what makes eager keys at intern time cheap. Only
+// safe where reading t.key is safe: interned terms, or legacy terms owned
+// by the calling goroutine.
+func (t *Term) writeMemo(b *strings.Builder) {
+	if t.key != "" {
+		b.WriteString(t.key)
+		return
+	}
+	t.write1(b, (*Term).writeMemo)
+}
+
+// writeCanonical renders t reading only eagerly published keys (interned
+// terms), never a legacy term's lazily memoized field.
+func (t *Term) writeCanonical(b *strings.Builder) {
+	if t.in != nil || t == termTrue || t == termFalse {
+		b.WriteString(t.key)
+		return
+	}
+	t.write1(b, (*Term).writeCanonical)
+}
+
+func (t *Term) write(b *strings.Builder) { t.write1(b, (*Term).write) }
+
+// write1 renders one node, recursing through rec so callers choose how
+// children are rendered (pure re-walk, or short-circuit through keys).
+func (t *Term) write1(b *strings.Builder, rec func(*Term, *strings.Builder)) {
 	switch t.Kind {
 	case KVar:
 		b.WriteString(t.Name)
@@ -50,7 +83,7 @@ func (t *Term) write(b *strings.Builder) {
 		b.WriteString("@" + t.Name)
 		for _, a := range t.Args {
 			b.WriteByte(' ')
-			a.write(b)
+			rec(a, b)
 		}
 		b.WriteByte(')')
 	default:
@@ -58,7 +91,7 @@ func (t *Term) write(b *strings.Builder) {
 		b.WriteString(t.Kind.String())
 		for _, a := range t.Args {
 			b.WriteByte(' ')
-			a.write(b)
+			rec(a, b)
 		}
 		b.WriteByte(')')
 	}

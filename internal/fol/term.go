@@ -91,8 +91,32 @@ type Term struct {
 	Rat  *big.Rat // numeric constant value
 	Args []*Term
 
-	key string // memoized canonical form; computed lazily
+	key  string    // memoized canonical form; eager for interned terms, lazy otherwise
+	in   *Interner // owning interner, nil for legacy (tree-allocated) terms
+	id   uint32    // dense per-interner node ID; 0/1 are the boolean singletons
+	hash uint64    // structural hash, computed at intern time
 }
+
+// ID returns the term's dense interner-scoped node ID. IDs are only
+// meaningful for interned terms (see Interner): within one interner,
+// structural equality, pointer identity, and ID equality coincide. The
+// boolean singletons carry the fixed IDs 0 (true) and 1 (false) in every
+// interner. For legacy terms ID returns 0 and must not be used as a key.
+func (t *Term) ID() uint32 { return t.id }
+
+// Hash returns the term's structural hash, computed once at intern time.
+// It is 0 for legacy terms (other than the pre-hashed singletons).
+func (t *Term) Hash() uint64 { return t.hash }
+
+// Interned reports whether t is owned by an interner (or is one of the
+// universal boolean singletons, which act as members of every interner).
+func (t *Term) Interned() bool {
+	return t.in != nil || t == termTrue || t == termFalse
+}
+
+// Owner returns the interner that owns t, or nil for legacy terms and for
+// the universal singletons (which belong to every interner at once).
+func (t *Term) Owner() *Interner { return t.in }
 
 // IsConst reports whether t is a constant (numeric or boolean).
 func (t *Term) IsConst() bool {
@@ -118,6 +142,11 @@ func (t *Term) Equal(u *Term) bool {
 		return true
 	}
 	if t == nil || u == nil {
+		return false
+	}
+	if t.in != nil && t.in == u.in {
+		// Hash-consed by the same interner: structural equality is pointer
+		// identity, and the pointers differ.
 		return false
 	}
 	if t.Kind != u.Kind || t.Sort != u.Sort || t.Name != u.Name || len(t.Args) != len(u.Args) {

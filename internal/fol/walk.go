@@ -59,12 +59,14 @@ func Subst(t *Term, m map[string]*Term) *Term {
 }
 
 // RenameVars returns t with every variable renamed through fn, together with
-// hitting the smart constructors again.
+// hitting the smart constructors again. Renamed variables stay in the
+// original's interner, so a rename of an interned formula yields a fully
+// interned formula.
 func RenameVars(t *Term, fn func(name string) string) *Term {
 	return rebuild(t, func(u *Term) (*Term, bool) {
 		if u.Kind == KVar {
 			if n := fn(u.Name); n != u.Name {
-				return Var(n, u.Sort), true
+				return u.in.Var(n, u.Sort), true
 			}
 		}
 		return nil, false
@@ -120,7 +122,7 @@ func rebuild(t *Term, leaf func(*Term) (*Term, bool)) *Term {
 	case KApp:
 		return App(t.Name, t.Sort, args...)
 	}
-	return &Term{Kind: t.Kind, Sort: t.Sort, Name: t.Name, Rat: t.Rat, Args: args}
+	return ownerOf(args).adopt(&Term{Kind: t.Kind, Sort: t.Sort, Name: t.Name, Rat: t.Rat, Args: args})
 }
 
 // Size returns the number of nodes in t.

@@ -226,6 +226,9 @@ func (s *Server) registerMetrics() {
 	r.NewGaugeFunc("spes_engine_obligation_cache_hit_rate",
 		"Obligation cache hit fraction in [0,1] (lifetime).",
 		func() float64 { return s.eng.Stats().ObligationHitRate() })
+	r.NewGaugeFunc("spes_engine_term_nodes",
+		"Distinct term nodes in the engine's shared hash-consed DAG; the engine's term memory is proportional to this.",
+		stat(func(st engine.StatsSnapshot) int64 { return st.TermNodes }))
 	r.NewCounterFunc("spes_panics_recovered_total",
 		"Panics recovered into degraded verdicts or HTTP 500s instead of crashing the process (lifetime).",
 		func() float64 { return float64(s.eng.Stats().Panics + s.srvPanics.Load()) })

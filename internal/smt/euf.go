@@ -1,9 +1,8 @@
 package smt
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"spes/internal/fol"
 )
@@ -13,8 +12,15 @@ import (
 // entails x+1 = y+1, f(x) = f(y), ...), which is sound for conflict
 // detection. Numeric and boolean constants carry distinct interpretations:
 // merging two classes holding different constants is a conflict.
+//
+// Node identity keys on interned term IDs: the solver path hands the engine
+// terms already interned in the solver's interner, so registration is a
+// uint32 map hit; legacy terms (direct unit-test use) are adopted into a
+// lazily created private interner, which preserves the old key-string
+// semantics at the cost of one structural intern per term.
 type euf struct {
-	ids      map[string]int // term key -> node
+	in       *fol.Interner
+	ids      map[uint32]int // term ID -> node
 	terms    []*fol.Term    // node -> term
 	parent   []int          // union-find
 	size     []int
@@ -27,8 +33,13 @@ type euf struct {
 	conflict bool
 }
 
-func newEUF() *euf {
-	return &euf{ids: make(map[string]int), sigs: make(map[string]int)}
+func newEUF() *euf { return newEUFIn(nil) }
+
+// newEUFIn binds the engine to an interner so that already-interned terms
+// register without re-interning; nil defers to a private interner created
+// on first use.
+func newEUFIn(in *fol.Interner) *euf {
+	return &euf{in: in, ids: make(map[uint32]int), sigs: make(map[string]int)}
 }
 
 // funcSymbol maps a term's head to an uninterpreted function symbol, or ""
@@ -62,10 +73,15 @@ func constTag(t *fol.Term) string {
 	return ""
 }
 
-// node interns t (and its subterms) and returns its node id.
+// node registers t (and its subterms) and returns its node id.
 func (e *euf) node(t *fol.Term) int {
-	key := t.Key()
-	if id, ok := e.ids[key]; ok {
+	if e.in == nil {
+		if e.in = t.Owner(); e.in == nil {
+			e.in = fol.NewInterner()
+		}
+	}
+	t = e.in.Intern(t)
+	if id, ok := e.ids[t.ID()]; ok {
 		return id
 	}
 	sym := funcSymbol(t)
@@ -77,7 +93,7 @@ func (e *euf) node(t *fol.Term) int {
 		}
 	}
 	id := len(e.terms)
-	e.ids[key] = id
+	e.ids[t.ID()] = id
 	e.terms = append(e.terms, t)
 	e.parent = append(e.parent, id)
 	e.size = append(e.size, 1)
@@ -114,12 +130,13 @@ func (e *euf) signature(app int) string {
 		// y*x are congruent regardless of canonical argument order.
 		sort.Ints(roots)
 	}
-	var b strings.Builder
-	b.WriteString(sym)
+	buf := make([]byte, 0, len(sym)+8*len(roots))
+	buf = append(buf, sym...)
 	for _, r := range roots {
-		fmt.Fprintf(&b, " %d", r)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(r), 10)
 	}
-	return b.String()
+	return string(buf)
 }
 
 // insertSig records app's current signature; if another application already
@@ -199,11 +216,20 @@ func (e *euf) checkDiseqs() {
 }
 
 // equal reports whether the two terms are currently in the same class (both
-// must have been interned already for a meaningful answer).
+// must have been registered already for a meaningful answer).
 func (e *euf) equal(t1, t2 *fol.Term) bool {
-	a, ok1 := e.ids[t1.Key()]
-	b, ok2 := e.ids[t2.Key()]
+	a, ok1 := e.lookup(t1)
+	b, ok2 := e.lookup(t2)
 	return ok1 && ok2 && e.find(a) == e.find(b)
+}
+
+// lookup returns the node id for t without registering it.
+func (e *euf) lookup(t *fol.Term) (int, bool) {
+	if e.in == nil {
+		return 0, false
+	}
+	id, ok := e.ids[e.in.Intern(t).ID()]
+	return id, ok
 }
 
 // classes returns the node ids grouped by class root, deterministically

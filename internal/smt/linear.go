@@ -7,25 +7,27 @@ import (
 )
 
 // linForm is a linear combination Σ coeffs[k]·vars[k] + konst, where each
-// key k identifies an "opaque" term the arithmetic theory treats as a
-// variable: a plain numeric variable, an uninterpreted application, a
-// non-linear product, or a symbolic division.
+// key k is the interned term ID of an "opaque" term the arithmetic theory
+// treats as a variable: a plain numeric variable, an uninterpreted
+// application, a non-linear product, or a symbolic division. All terms in
+// one linForm must share an interner (theoryCheckExplain interns its
+// literals up front), or IDs would not identify terms.
 type linForm struct {
-	coeffs map[string]*big.Rat
-	opaque map[string]*fol.Term // key -> opaque term
+	coeffs map[uint32]*big.Rat
+	opaque map[uint32]*fol.Term // term ID -> opaque term
 	konst  *big.Rat
 }
 
 func newLinForm() *linForm {
 	return &linForm{
-		coeffs: make(map[string]*big.Rat),
-		opaque: make(map[string]*fol.Term),
+		coeffs: make(map[uint32]*big.Rat),
+		opaque: make(map[uint32]*fol.Term),
 		konst:  new(big.Rat),
 	}
 }
 
 func (l *linForm) addTerm(t *fol.Term, c *big.Rat) {
-	key := t.Key()
+	key := t.ID()
 	if cur, ok := l.coeffs[key]; ok {
 		cur.Add(cur, c)
 		if cur.Sign() == 0 {

@@ -205,7 +205,7 @@ func TestConflictExplanationsSound(t *testing.T) {
 		{atom: fol.Le(x, fol.Int(100)), pos: true}, // irrelevant
 		{atom: fol.Le(y, fol.Int(100)), pos: true}, // irrelevant
 	}
-	ok, certain, expl := theoryCheckExplain(lits, 50)
+	ok, certain, expl := theoryCheckExplain(lits, 50, nil)
 	if ok || !certain {
 		t.Fatalf("cycle should be inconsistent (ok=%v certain=%v)", ok, certain)
 	}
@@ -216,7 +216,7 @@ func TestConflictExplanationsSound(t *testing.T) {
 	for _, i := range expl {
 		sub = append(sub, lits[i])
 	}
-	subOK, subCertain := theoryCheck(sub, 50)
+	subOK, subCertain := theoryCheck(sub, 50, nil)
 	if subOK || !subCertain {
 		t.Errorf("explanation %v is not an inconsistent subset", expl)
 	}

@@ -79,10 +79,30 @@ type Solver struct {
 	// contexts here so a dropped client or a draining shutdown stops
 	// burning solver time.
 	Ctx context.Context
+	// Interner hash-conses every formula the solver touches. CheckSat
+	// interns its input on entry, so the whole pipeline (ITE lifting, NNF,
+	// case splitting, CNF encoding, congruence closure, simplex) operates
+	// on one shared DAG and keys its maps on dense term IDs instead of
+	// canonical strings. Callers that already build through an interner
+	// (the verify layer) should set this to the same interner so entry
+	// interning is a pointer check; when nil, CheckSat creates a private
+	// one on first use. Interning preserves formula structure exactly, so
+	// verdicts are independent of which interner terms arrive in.
+	Interner *fol.Interner
+	// NoTheoryCache disables the ID-keyed theory-translation cache (see
+	// theoryCache), making every theory check re-derive its linear forms
+	// from scratch. The legacy construction mode (verify's
+	// DisableInterning) sets this to reproduce the pre-interning
+	// pipeline's behavior end to end; it is also the honest baseline for
+	// the allocation benchmarks. Caching cannot change verdicts — the
+	// cached value is a pure function of the two terms — so this is a
+	// performance switch, not a semantics switch.
+	NoTheoryCache bool
 
 	Stats Stats
 
 	iteCounter int
+	tc         *theoryCache
 }
 
 // New returns a solver with defaults suitable for SPES workloads.
@@ -100,6 +120,10 @@ func (s *Solver) CheckSat(f *fol.Term) Result {
 		panic(fmt.Sprintf("smt: CheckSat on non-boolean term %v", f))
 	}
 	s.Stats.Queries++
+	if s.Interner == nil {
+		s.Interner = fol.NewInterner()
+	}
+	f = s.Interner.Intern(f)
 	f = s.liftIte(f)
 
 	// Case-split top-level disjunctions: SPES's obligations conjoin large
@@ -214,6 +238,15 @@ func (s *Solver) checkOne(f *fol.Term) Result {
 	case fol.KFalse:
 		return Unsat
 	}
+	// CheckSat interns on entry, making this a pointer check; it matters
+	// only for callers (tests) that drive checkOne directly.
+	if s.Interner == nil {
+		s.Interner = fol.NewInterner()
+	}
+	f = s.Interner.Intern(f)
+	if !s.NoTheoryCache && (s.tc == nil || s.tc.in != s.Interner) {
+		s.tc = newTheoryCache(s.Interner)
+	}
 	in := newInstance()
 	in.sat.MaxConflicts = s.MaxSATConflicts
 	in.sat.Stop = s.aborted
@@ -282,7 +315,7 @@ func (s *Solver) run(in *instance) Result {
 		var conflictComp []theoryLit
 		var expl []int
 		for _, comp := range comps {
-			ok, certain, e := theoryCheckExplain(comp, s.TheoryBudget)
+			ok, certain, e := theoryCheckExplain(comp, s.TheoryBudget, s.tc)
 			if !certain {
 				uncertain = true
 				break
@@ -309,7 +342,7 @@ func (s *Solver) run(in *instance) Result {
 				trial[i] = conflictComp[idx]
 			}
 			s.Stats.CoreChecks++
-			if ok, certain := theoryCheck(trial, s.TheoryBudget); certain && !ok {
+			if ok, certain := theoryCheck(trial, s.TheoryBudget, s.tc); certain && !ok {
 				start = trial
 			}
 		}
@@ -336,7 +369,11 @@ func components(lits []theoryLit) [][]theoryLit {
 	}
 	owner := make(map[string]int)
 	for i, l := range lits {
-		for _, v := range fol.Vars(l.atom) {
+		vars := l.vars
+		if vars == nil {
+			vars = fol.Vars(l.atom)
+		}
+		for _, v := range vars {
 			if j, ok := owner[v.Name]; ok {
 				parent[find(i)] = find(j)
 			} else {
@@ -367,7 +404,7 @@ func (s *Solver) minimizeCore(lits []theoryLit) []theoryLit {
 	core := append([]theoryLit(nil), lits...)
 	inconsistent := func(trial []theoryLit) bool {
 		s.Stats.CoreChecks++
-		consistent, certain := theoryCheck(trial, s.TheoryBudget)
+		consistent, certain := theoryCheck(trial, s.TheoryBudget, s.tc)
 		return certain && !consistent
 	}
 	for chunk := len(core) / 2; chunk >= 1; chunk /= 2 {
@@ -393,10 +430,13 @@ func (s *Solver) Valid(f *fol.Term) bool {
 }
 
 // liftIte removes numeric if-then-else terms by introducing fresh variables
-// with defining constraints, producing an equisatisfiable formula.
+// with defining constraints, producing an equisatisfiable formula. The
+// input is interned, so the memo of replaced ITE nodes keys on pointers:
+// structurally equal occurrences are the same node and share one fresh
+// variable.
 func (s *Solver) liftIte(f *fol.Term) *fol.Term {
 	var defs []*fol.Term
-	memo := make(map[string]*fol.Term)
+	memo := make(map[*fol.Term]*fol.Term)
 	var rec func(t *fol.Term) *fol.Term
 	rec = func(t *fol.Term) *fol.Term {
 		if len(t.Args) == 0 {
@@ -415,17 +455,16 @@ func (s *Solver) liftIte(f *fol.Term) *fol.Term {
 			cur = rebuildWith(t, args)
 		}
 		if cur.Kind == fol.KIte && cur.Sort == fol.SortNum {
-			key := cur.Key()
-			if v, ok := memo[key]; ok {
+			if v, ok := memo[cur]; ok {
 				return v
 			}
 			s.iteCounter++
-			v := fol.NumVar(fmt.Sprintf("$ite%d", s.iteCounter))
+			v := s.Interner.NumVar(fmt.Sprintf("$ite%d", s.iteCounter))
 			c, then, els := cur.Args[0], cur.Args[1], cur.Args[2]
 			defs = append(defs,
 				fol.Implies(c, fol.Eq(v, then)),
 				fol.Implies(fol.Not(c), fol.Eq(v, els)))
-			memo[key] = v
+			memo[cur] = v
 			return v
 		}
 		return cur
@@ -468,5 +507,7 @@ func rebuildWith(t *fol.Term, args []*fol.Term) *fol.Term {
 	case fol.KApp:
 		return fol.App(t.Name, t.Sort, args...)
 	}
-	return &fol.Term{Kind: t.Kind, Sort: t.Sort, Name: t.Name, Rat: t.Rat, Args: args}
+	// Every kind with arguments is enumerated above; leaves never reach
+	// rebuildWith (callers only rebuild when len(Args) > 0).
+	panic(fmt.Sprintf("smt: rebuildWith on unexpected kind %v", t.Kind))
 }

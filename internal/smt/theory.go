@@ -12,6 +12,7 @@ import (
 type theoryLit struct {
 	atom *fol.Term
 	pos  bool
+	vars []*fol.Term // cached fol.Vars(atom); nil means compute on demand
 }
 
 type linOp uint8
@@ -28,6 +29,43 @@ type linCon struct {
 	lit  int // index of the originating literal; -1 for propagated equalities
 }
 
+// theoryCache memoizes ID-keyed per-term theory translations that stay
+// valid for the lifetime of one interner. A solver's model loop re-checks
+// heavily overlapping literal sets — every model round, every conflict
+// explanation, and every core-minimization trial re-translates the same
+// atoms — so the linear form of a term difference, a pure function of the
+// two (immutable) terms, is worth computing once per solver instead of
+// once per check. The cache is only consulted for terms interned in its
+// interner, where the ID pair identifies the pair of terms exactly.
+//
+// Cached linForms are shared across checks and must be treated as
+// immutable; buildSimplex, formToRow, and the propagation loop only read
+// them (the simplex copies coefficients before mutating).
+type theoryCache struct {
+	in    *fol.Interner
+	diffs map[uint64]*linForm
+}
+
+func newTheoryCache(in *fol.Interner) *theoryCache {
+	return &theoryCache{in: in, diffs: make(map[uint64]*linForm)}
+}
+
+// diff returns linearize(a) − linearize(b), memoized when the cache is
+// live. A nil receiver (legacy mode, or atoms from a foreign interner)
+// computes it fresh, exactly as the pre-interning pipeline did.
+func (tc *theoryCache) diff(a, b *fol.Term) *linForm {
+	if tc == nil {
+		return diff(a, b)
+	}
+	k := uint64(a.ID())<<32 | uint64(b.ID())
+	if f, ok := tc.diffs[k]; ok {
+		return f
+	}
+	f := diff(a, b)
+	tc.diffs[k] = f
+	return f
+}
+
 // theoryCheck decides whether a conjunction of theory literals is consistent
 // in the combination of linear rational arithmetic and uninterpreted
 // functions. It runs congruence closure and simplex to a shared fixpoint,
@@ -37,16 +75,29 @@ type linCon struct {
 // The returned certain flag is false when the propagation budget was
 // exhausted before a verdict; callers must then treat the overall result as
 // unknown.
-func theoryCheck(lits []theoryLit, budget int) (consistent, certain bool) {
-	consistent, certain, _ = theoryCheckExplain(lits, budget)
+func theoryCheck(lits []theoryLit, budget int, tc *theoryCache) (consistent, certain bool) {
+	consistent, certain, _ = theoryCheckExplain(lits, budget, tc)
 	return consistent, certain
 }
 
 // theoryCheckExplain additionally returns, when available, the indices of
 // the literals involved in an arithmetic conflict (a small starting point
 // for core minimization). A nil explanation means "unknown subset".
-func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool, expl []int) {
-	e := newEUF()
+func theoryCheckExplain(lits []theoryLit, budget int, tc *theoryCache) (consistent, certain bool, expl []int) {
+	// Every map downstream (congruence nodes, linear-form coefficients,
+	// the simplex variable index) keys on interned term IDs, so all atoms
+	// must live in one interner. On the solver path they already share the
+	// solver's interner and interning here is a pointer check; legacy
+	// callers (unit tests) get a private interner and their atoms are
+	// adopted structurally.
+	in := litsInterner(lits)
+	if tc != nil && tc.in != in {
+		// Atoms from a different interner than the cache was built for:
+		// their IDs would alias. Never happens on the solver path (the
+		// solver interns everything it touches); drop the cache.
+		tc = nil
+	}
+	e := newEUFIn(in)
 	trueNode := fol.True()
 	falseNode := fol.False()
 	e.node(trueNode)
@@ -56,13 +107,13 @@ func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool,
 	var boolVars []theoryLit
 
 	for idx, l := range lits {
-		a := l.atom
+		a := in.Intern(l.atom)
 		switch a.Kind {
 		case fol.KEq:
 			lhs, rhs := a.Args[0], a.Args[1]
 			if l.pos {
 				e.assertEq(lhs, rhs)
-				cons = append(cons, linCon{form: diff(lhs, rhs), op: opEq, lit: idx})
+				cons = append(cons, linCon{form: tc.diff(lhs, rhs), op: opEq, lit: idx})
 			} else {
 				e.assertDiseq(lhs, rhs)
 				// The arithmetic side of a disequality is enforced by the
@@ -73,17 +124,17 @@ func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool,
 			e.node(a.Args[0])
 			e.node(a.Args[1])
 			if l.pos {
-				cons = append(cons, linCon{form: diff(a.Args[0], a.Args[1]), op: opLe, lit: idx})
+				cons = append(cons, linCon{form: tc.diff(a.Args[0], a.Args[1]), op: opLe, lit: idx})
 			} else {
-				cons = append(cons, linCon{form: diff(a.Args[1], a.Args[0]), op: opLt, lit: idx})
+				cons = append(cons, linCon{form: tc.diff(a.Args[1], a.Args[0]), op: opLt, lit: idx})
 			}
 		case fol.KLt:
 			e.node(a.Args[0])
 			e.node(a.Args[1])
 			if l.pos {
-				cons = append(cons, linCon{form: diff(a.Args[0], a.Args[1]), op: opLt, lit: idx})
+				cons = append(cons, linCon{form: tc.diff(a.Args[0], a.Args[1]), op: opLt, lit: idx})
 			} else {
-				cons = append(cons, linCon{form: diff(a.Args[1], a.Args[0]), op: opLe, lit: idx})
+				cons = append(cons, linCon{form: tc.diff(a.Args[1], a.Args[0]), op: opLe, lit: idx})
 			}
 		case fol.KApp: // boolean application
 			e.node(a)
@@ -93,7 +144,7 @@ func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool,
 				e.assertEq(a, falseNode)
 			}
 		case fol.KVar: // plain boolean variable
-			boolVars = append(boolVars, l)
+			boolVars = append(boolVars, theoryLit{atom: a, pos: l.pos})
 		}
 		if e.conflict {
 			return false, true, nil
@@ -102,7 +153,7 @@ func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool,
 	// Boolean variables matter to the theories only if they occur inside
 	// registered terms (e.g., as application arguments).
 	for _, l := range boolVars {
-		if _, ok := e.ids[l.atom.Key()]; ok {
+		if _, ok := e.lookup(l.atom); ok {
 			if l.pos {
 				e.assertEq(l.atom, trueNode)
 			} else {
@@ -159,7 +210,7 @@ func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool,
 					continue
 				}
 				emitted[key] = true
-				cons = append(cons, linCon{form: diff(e.term(first), e.term(other)), op: opEq, lit: -1})
+				cons = append(cons, linCon{form: tc.diff(e.term(first), e.term(other)), op: opEq, lit: -1})
 				changed = true
 			}
 			_ = root
@@ -169,7 +220,7 @@ func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool,
 		// whose equality would fire new congruences.
 		for _, p := range e.argPairs() {
 			t1, t2 := e.term(p[0]), e.term(p[1])
-			d := diff(t1, t2)
+			d := tc.diff(t1, t2)
 			if d.isConst() {
 				if d.konst.Sign() == 0 {
 					e.assertEq(t1, t2)
@@ -205,6 +256,18 @@ func theoryCheckExplain(lits []theoryLit, budget int) (consistent, certain bool,
 	return true, false, nil // budget exhausted; caller must treat as unknown
 }
 
+// litsInterner returns the interner the literals' atoms live in: the first
+// owned atom's interner, or a fresh private one when every atom is legacy
+// (or a universal singleton).
+func litsInterner(lits []theoryLit) *fol.Interner {
+	for _, l := range lits {
+		if o := l.atom.Owner(); o != nil {
+			return o
+		}
+	}
+	return fol.NewInterner()
+}
+
 // explain maps a simplex conflict explanation (constraint tags) back to
 // literal indices. nil when any contributing constraint lacks an
 // originating literal (propagated equalities).
@@ -233,23 +296,30 @@ func explain(sx *simplex, cons []linCon) []int {
 // buildSimplex constructs a simplex instance from the accumulated linear
 // constraints. It returns feasible=false when a ground constraint is already
 // violated.
-func buildSimplex(cons []linCon) (sx *simplex, varIdx map[string]int, feasible bool) {
+func buildSimplex(cons []linCon) (sx *simplex, varIdx map[uint32]int, feasible bool) {
 	sx = newSimplex()
-	varIdx = make(map[string]int)
-	// Deterministic variable ordering.
-	var keys []string
-	seen := make(map[string]bool)
+	varIdx = make(map[uint32]int)
+	// Deterministic variable ordering: sort by the opaque terms' canonical
+	// keys, not their IDs — IDs depend on interning order, which varies
+	// when concurrent workers share one interner, and the simplex pivot
+	// order (hence which explanation a conflict yields) must not.
+	type varEnt struct {
+		id uint32
+		t  *fol.Term
+	}
+	var ents []varEnt
+	seen := make(map[uint32]bool)
 	for _, c := range cons {
-		for k := range c.form.coeffs {
-			if !seen[k] {
-				seen[k] = true
-				keys = append(keys, k)
+		for id, t := range c.form.opaque {
+			if !seen[id] {
+				seen[id] = true
+				ents = append(ents, varEnt{id, t})
 			}
 		}
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		varIdx[k] = sx.newVar()
+	sort.Slice(ents, func(i, j int) bool { return ents[i].t.Key() < ents[j].t.Key() })
+	for _, e := range ents {
+		varIdx[e.id] = sx.newVar()
 	}
 	for tag, c := range cons {
 		if c.form.isConst() {
@@ -318,7 +388,7 @@ func applyBound(sx *simplex, x int, b *big.Rat, op linOp, flip bool, why int) bo
 
 // formToRow converts a linear form to simplex row indices. ok=false if the
 // form mentions a variable outside the arithmetic vocabulary.
-func formToRow(f *linForm, varIdx map[string]int) (map[int]*big.Rat, *big.Rat, bool) {
+func formToRow(f *linForm, varIdx map[uint32]int) (map[int]*big.Rat, *big.Rat, bool) {
 	row := make(map[int]*big.Rat, len(f.coeffs))
 	for k, c := range f.coeffs {
 		x, ok := varIdx[k]

@@ -8,21 +8,25 @@ import (
 )
 
 // instance is the per-query propositional encoding state: the CDCL solver,
-// the atom vocabulary, and the Tseitin gate cache.
+// the atom vocabulary, and the Tseitin gate cache. Formulas arrive interned
+// (CheckSat interns on entry), so atoms and gates key on dense term IDs —
+// a map lookup is a uint32 hash, never a canonical-string walk — and
+// structurally equal sub-formulas share gates by pointer identity.
 type instance struct {
-	sat     *sat.Solver
-	atomVar map[string]int // atom key -> SAT variable
-	atoms   []*fol.Term    // ordered atom vocabulary
-	gates   map[string]sat.Lit
-	trueLit sat.Lit
-	hasTrue bool
+	sat      *sat.Solver
+	atomVar  map[uint32]int // atom ID -> SAT variable
+	atoms    []*fol.Term    // ordered atom vocabulary
+	atomVars [][]*fol.Term  // per-atom fol.Vars, cached once at registration
+	gates    map[uint32]sat.Lit
+	trueLit  sat.Lit
+	hasTrue  bool
 }
 
 func newInstance() *instance {
 	return &instance{
 		sat:     sat.New(),
-		atomVar: make(map[string]int),
-		gates:   make(map[string]sat.Lit),
+		atomVar: make(map[uint32]int),
+		gates:   make(map[uint32]sat.Lit),
 	}
 }
 
@@ -37,15 +41,22 @@ func (in *instance) constTrue() sat.Lit {
 	return in.trueLit
 }
 
-// atomLit interns a theory atom and returns its literal.
+// atomLit registers a theory atom and returns its literal. Atoms must be
+// interned: the vocabulary keys on term IDs.
 func (in *instance) atomLit(t *fol.Term) sat.Lit {
-	key := t.Key()
-	if v, ok := in.atomVar[key]; ok {
+	if v, ok := in.atomVar[t.ID()]; ok {
 		return sat.MkLit(v, false)
 	}
+	if !t.Interned() {
+		panic(fmt.Sprintf("smt: uninterned atom %v reached the encoder", t))
+	}
 	v := in.sat.NewVar()
-	in.atomVar[key] = v
+	in.atomVar[t.ID()] = v
 	in.atoms = append(in.atoms, t)
+	// Cache the atom's variables now: the model-round loop partitions
+	// literals into variable-connected components every round, and
+	// re-walking each atom's tree there dominated hot profiles.
+	in.atomVars = append(in.atomVars, fol.Vars(t))
 	return sat.MkLit(v, false)
 }
 
@@ -63,7 +74,7 @@ func (in *instance) encode(t *fol.Term) sat.Lit {
 		return in.atomLit(t)
 	}
 
-	key := t.Key()
+	key := t.ID()
 	if g, ok := in.gates[key]; ok {
 		return g
 	}
@@ -134,9 +145,9 @@ func (in *instance) addTrichotomy() {
 // modelLits extracts the theory literals implied by the current SAT model.
 func (in *instance) modelLits() []theoryLit {
 	out := make([]theoryLit, 0, len(in.atoms))
-	for _, t := range in.atoms {
-		v := in.atomVar[t.Key()]
-		out = append(out, theoryLit{atom: t, pos: in.sat.Value(v)})
+	for i, t := range in.atoms {
+		v := in.atomVar[t.ID()]
+		out = append(out, theoryLit{atom: t, pos: in.sat.Value(v), vars: in.atomVars[i]})
 	}
 	return out
 }

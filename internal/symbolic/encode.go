@@ -2,7 +2,7 @@ package symbolic
 
 import (
 	"fmt"
-	"hash/fnv"
+	"math/big"
 
 	"spes/internal/fol"
 	"spes/internal/plan"
@@ -30,6 +30,19 @@ func (e *Encoder) TakeAssigns() *fol.Term {
 
 func (e *Encoder) addAssign(t *fol.Term) { e.assigns = append(e.assigns, t) }
 
+// app, intc, and numc build leaves through the generator's interner (or the
+// legacy constructors when the generator is uninterned). Composite terms
+// inherit interning from their arguments, but leaves — in particular
+// zero-argument applications — have nothing to infect from, so the encoder
+// must mint them here.
+func (e *Encoder) app(name string, s fol.Sort, args ...*fol.Term) *fol.Term {
+	return e.Gen.in.App(name, s, args...)
+}
+
+func (e *Encoder) intc(v int64) *fol.Term { return e.Gen.in.Int(v) }
+
+func (e *Encoder) numc(r *big.Rat) *fol.Term { return e.Gen.in.Num(r) }
+
 // Expr encodes a scalar expression over the symbolic input tuple
 // (ConstExpr). Boolean-valued expressions in value position encode as 0/1.
 func (e *Encoder) Expr(x plan.Expr, in Tuple) (Col, error) {
@@ -52,7 +65,7 @@ func (e *Encoder) Expr(x plan.Expr, in Tuple) (Col, error) {
 			if err != nil {
 				return Col{}, err
 			}
-			return Col{Val: fol.Ite(p.Val, fol.Int(1), fol.Int(0)), Null: p.Null}, nil
+			return Col{Val: fol.Ite(p.Val, e.intc(1), e.intc(0)), Null: p.Null}, nil
 		}
 		l, err := e.Expr(v.L, in)
 		if err != nil {
@@ -73,7 +86,7 @@ func (e *Encoder) Expr(x plan.Expr, in Tuple) (Col, error) {
 		case plan.OpDiv:
 			return Col{Val: fol.Div(l.Val, r.Val), Null: null}, nil
 		case plan.OpMod:
-			return Col{Val: fol.App("sql$mod", fol.SortNum, l.Val, r.Val), Null: null}, nil
+			return Col{Val: e.app("sql$mod", fol.SortNum, l.Val, r.Val), Null: null}, nil
 		}
 		return Col{}, fmt.Errorf("symbolic: unknown arithmetic operator %v", v.Op)
 
@@ -89,7 +102,7 @@ func (e *Encoder) Expr(x plan.Expr, in Tuple) (Col, error) {
 		if err != nil {
 			return Col{}, err
 		}
-		return Col{Val: fol.Ite(p.Val, fol.Int(1), fol.Int(0)), Null: p.Null}, nil
+		return Col{Val: fol.Ite(p.Val, e.intc(1), e.intc(0)), Null: p.Null}, nil
 
 	case *plan.Case:
 		return e.caseExpr(v, in)
@@ -101,8 +114,8 @@ func (e *Encoder) Expr(x plan.Expr, in Tuple) (Col, error) {
 		}
 		all := append(append([]*fol.Term{}, args...), nulls...)
 		return Col{
-			Val:  fol.App("fn$"+v.Name, fol.SortNum, all...),
-			Null: fol.App("fn$"+v.Name+"$null", fol.SortBool, all...),
+			Val:  e.app("fn$"+v.Name, fol.SortNum, all...),
+			Null: e.app("fn$"+v.Name+"$null", fol.SortBool, all...),
 		}, nil
 
 	case *plan.ScalarSub:
@@ -111,8 +124,8 @@ func (e *Encoder) Expr(x plan.Expr, in Tuple) (Col, error) {
 			return Col{}, err
 		}
 		return Col{
-			Val:  fol.App("scalar$"+name, fol.SortNum, argCols...),
-			Null: fol.App("scalar$"+name+"$null", fol.SortBool, argCols...),
+			Val:  e.app("scalar$"+name, fol.SortNum, argCols...),
+			Null: e.app("scalar$"+name+"$null", fol.SortBool, argCols...),
 		}, nil
 	}
 	return Col{}, fmt.Errorf("symbolic: cannot encode expression %T", x)
@@ -120,20 +133,20 @@ func (e *Encoder) Expr(x plan.Expr, in Tuple) (Col, error) {
 
 func (e *Encoder) constant(d plan.Datum) Col {
 	if d.Null {
-		return Col{Val: fol.Int(0), Null: fol.True()}
+		return Col{Val: e.intc(0), Null: fol.True()}
 	}
 	switch d.Kind {
 	case plan.KNum:
-		return Col{Val: fol.Num(d.Num), Null: fol.False()}
+		return Col{Val: e.numc(d.Num), Null: fol.False()}
 	case plan.KStr:
 		return Col{Val: e.Gen.InternString(d.Str), Null: fol.False()}
 	case plan.KBool:
 		if d.Bool {
-			return Col{Val: fol.Int(1), Null: fol.False()}
+			return Col{Val: e.intc(1), Null: fol.False()}
 		}
-		return Col{Val: fol.Int(0), Null: fol.False()}
+		return Col{Val: e.intc(0), Null: fol.False()}
 	}
-	return Col{Val: fol.Int(0), Null: fol.True()}
+	return Col{Val: e.intc(0), Null: fol.True()}
 }
 
 // caseExpr lowers CASE through a fresh column constrained by ASSIGN clauses,
@@ -244,8 +257,8 @@ func (e *Encoder) Pred(x plan.Expr, in Tuple) (Pred3, error) {
 		}
 		all := append(append([]*fol.Term{}, args...), nulls...)
 		return Pred3{
-			Val:  fol.App("pfn$"+v.Name, fol.SortBool, all...),
-			Null: fol.App("pfn$"+v.Name+"$null", fol.SortBool, all...),
+			Val:  e.app("pfn$"+v.Name, fol.SortBool, all...),
+			Null: e.app("pfn$"+v.Name+"$null", fol.SortBool, all...),
 		}, nil
 
 	case *plan.Exists:
@@ -253,7 +266,7 @@ func (e *Encoder) Pred(x plan.Expr, in Tuple) (Pred3, error) {
 		if err != nil {
 			return Pred3{}, err
 		}
-		val := fol.App("exists$"+name, fol.SortBool, argCols...)
+		val := e.app("exists$"+name, fol.SortBool, argCols...)
 		if v.Negate {
 			val = fol.Not(val)
 		}
@@ -265,7 +278,7 @@ func (e *Encoder) Pred(x plan.Expr, in Tuple) (Pred3, error) {
 		if err != nil {
 			return Pred3{}, err
 		}
-		return Pred3{Val: fol.Eq(c.Val, fol.Int(1)), Null: c.Null}, nil
+		return Pred3{Val: fol.Eq(c.Val, e.intc(1)), Null: c.Null}, nil
 	}
 	return Pred3{}, fmt.Errorf("symbolic: cannot encode predicate %T", x)
 }
@@ -310,9 +323,7 @@ func (e *Encoder) subqueryArgs(sub plan.Node, in Tuple) (string, []*fol.Term, er
 	sub = StripExistsProjections(plan.CanonNode(sub))
 	refs := CollectOuterRefs(sub, 1)
 	canon := RenumberOuterRefs(sub, 1, refs)
-	h := fnv.New64a()
-	h.Write([]byte(plan.Format(canon)))
-	name := fmt.Sprintf("%x", h.Sum64())
+	name := fmt.Sprintf("%x", plan.Fingerprint(canon))
 	var args []*fol.Term
 	for _, idx := range refs {
 		if idx >= len(in) {

@@ -102,20 +102,37 @@ func TruePred() Pred3 { return Pred3{Val: fol.True(), Null: fol.False()} }
 // Gen is shared across both queries of a verification session so that equal
 // string literals map to equal numeric constants, with interning values
 // chosen to preserve lexicographic order (string comparisons stay sound).
+//
+// A Gen optionally carries a term interner (NewGenIn). The generator's
+// leaves are then hash-consed, and because the fol smart constructors
+// propagate interning from any argument, every formula the encoder builds
+// over those leaves lands in the same shared DAG — no other layer has to
+// thread the interner explicitly. With a nil interner the generator
+// produces legacy tree-allocated terms, byte-identical in canonical form.
 type Gen struct {
 	n       int
 	strings map[string]*big.Rat
+	in      *fol.Interner
 }
 
-// NewGen returns an empty generator.
+// NewGen returns an empty generator producing legacy (uninterned) terms.
 func NewGen() *Gen { return &Gen{strings: make(map[string]*big.Rat)} }
+
+// NewGenIn returns an empty generator whose terms are hash-consed by in
+// (nil behaves like NewGen).
+func NewGenIn(in *fol.Interner) *Gen {
+	return &Gen{strings: make(map[string]*big.Rat), in: in}
+}
+
+// Interner returns the generator's interner, nil for legacy generators.
+func (g *Gen) Interner() *fol.Interner { return g.in }
 
 // FreshCol allocates a fresh symbolic column.
 func (g *Gen) FreshCol(prefix string) Col {
 	g.n++
 	return Col{
-		Val:  fol.NumVar(fmt.Sprintf("%s_v%d", prefix, g.n)),
-		Null: fol.BoolVar(fmt.Sprintf("%s_n%d", prefix, g.n)),
+		Val:  g.in.NumVar(fmt.Sprintf("%s_v%d", prefix, g.n)),
+		Null: g.in.BoolVar(fmt.Sprintf("%s_n%d", prefix, g.n)),
 	}
 }
 
@@ -131,7 +148,7 @@ func (g *Gen) FreshTuple(prefix string, n int) Tuple {
 // FreshNum allocates a fresh numeric variable.
 func (g *Gen) FreshNum(prefix string) *fol.Term {
 	g.n++
-	return fol.NumVar(fmt.Sprintf("%s_x%d", prefix, g.n))
+	return g.in.NumVar(fmt.Sprintf("%s_x%d", prefix, g.n))
 }
 
 // InternString returns a numeric constant for a string literal. Distinct
@@ -139,7 +156,7 @@ func (g *Gen) FreshNum(prefix string) *fol.Term {
 // order, so <, <=, and = on interned strings behave correctly.
 func (g *Gen) InternString(s string) *fol.Term {
 	if r, ok := g.strings[s]; ok {
-		return fol.Num(r)
+		return g.in.Num(r)
 	}
 	// Place s relative to the already interned strings.
 	keys := make([]string, 0, len(g.strings))
@@ -161,7 +178,7 @@ func (g *Gen) InternString(s string) *fol.Term {
 		val = sum.Quo(sum, big.NewRat(2, 1))
 	}
 	g.strings[s] = val
-	return fol.Num(val)
+	return g.in.Num(val)
 }
 
 // QPSR is the Query Pair Symbolic Representation (§5.2): a symbolic
