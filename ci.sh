@@ -16,6 +16,17 @@ if grep -rn '&fol\.Term{' --include='*.go' --exclude-dir=fol .; then
     exit 1
 fi
 
+# Solver-construction lint: inside internal/verify, a bare solver must
+# only ever be built in verify.go (the Verifier's constructor wires the
+# interner, stats, and session table around it); any other non-test file
+# calling smt.New() would mint a solver that bypasses the incremental
+# session plumbing.
+if grep -rn 'smt\.New()' internal/verify --include='*.go' \
+    --exclude='*_test.go' | grep -v '^internal/verify/verify\.go:'; then
+    echo "ci: smt.New() outside verify.go in internal/verify" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race ./...
@@ -24,6 +35,12 @@ go test -race ./...
 # construction) is part of the -race run above; run it by name as well so
 # a test-filtering change can never silently drop it.
 go test -race -run 'TestDifferentialVerdictParity|TestPipelineFuzzDifferential' ./internal/verify/ .
+
+# Incremental-solving parity: sessions vs one-shot solving must agree on
+# every verdict over the randomized and pipeline-fuzz distributions, and
+# mid-session aborts must degrade soundly. Also part of the -race run
+# above; pinned by name for the same reason.
+go test -race -run 'TestIncrementalVerdictParity|TestPipelineFuzzIncrementalParity|TestSessionAbortDegradesSoundly' ./internal/verify/ .
 
 # --- spes-serve smoke test -------------------------------------------------
 tmp=$(mktemp -d)

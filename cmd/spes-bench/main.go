@@ -8,6 +8,7 @@
 //	spes-bench -table 2 -scale 0.1  # production-workload overlap (Table 2)
 //	spes-bench -figure 7 -scale 0.1 # complexity distribution (Figure 7)
 //	spes-bench -batch -parallel 8   # engine throughput study vs sequential
+//	spes-bench -incremental         # incremental sessions vs one-shot solving
 //	spes-bench -serve               # spes-serve loadgen (req/s, p50/p99)
 //	spes-bench -all                 # everything
 //
@@ -45,6 +46,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "with -batch: per-pair verification deadline (0 = none)")
 		ir       = flag.Bool("ir", false, "run the term-IR allocation study (interned vs legacy batch path)")
 		irOut    = flag.String("ir-out", "BENCH_ir.json", "with -ir -json: artifact path for the IR report")
+		incr     = flag.Bool("incremental", false, "run the incremental-solving study (sessions vs one-shot batch path)")
+		incrOut  = flag.String("incremental-out", "BENCH_incremental.json", "with -incremental -json: artifact path for the incremental report")
 		serve    = flag.Bool("serve", false, "run the spes-serve HTTP loadgen study")
 		serveN   = flag.Int("serve-requests", 500, "with -serve: requests per client-count round")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "with -serve -json: artifact path for the loadgen report")
@@ -117,6 +120,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *irOut)
 		} else {
 			fmt.Print(bench.RenderIR(rep))
+		}
+	}
+	if *all || *incr {
+		ranSomething = true
+		rep := bench.RunIncremental(*seed, 40, *parallel)
+		if *asJSON {
+			out["incremental"] = rep
+			if err := writeArtifact(*incrOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "spes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *incrOut)
+		} else {
+			fmt.Print(bench.RenderIncremental(rep))
 		}
 	}
 	if *all || *serve {

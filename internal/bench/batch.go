@@ -33,6 +33,8 @@ type BatchReport struct {
 	NormMisses       int64   `json:"norm_misses"`
 	Deduped          int     `json:"deduped"`
 	Timeouts         int     `json:"timeouts"`
+	SolverSessions   int     `json:"solver_sessions"`
+	PrefixReuse      int     `json:"prefix_reuse"`
 
 	Verdicts map[string]int `json:"verdicts"`
 }
@@ -127,6 +129,8 @@ func RunBatch(w *corpus.Workload, workers int, timeout time.Duration) BatchRepor
 		NormMisses:            stats.NormMisses,
 		Deduped:               stats.Deduped,
 		Timeouts:              stats.Timeouts,
+		SolverSessions:        stats.SolverSessions,
+		PrefixReuse:           stats.PrefixReuse,
 		Verdicts:              map[string]int{},
 	}
 	if stats.Wall > 0 {
@@ -156,6 +160,8 @@ func RenderBatch(r BatchReport) string {
 		100*r.CacheHitRate, r.ObligationHits, r.ObligationMisses)
 	fmt.Fprintf(&b, "normalization memo: %d hit / %d miss; deduped pairs: %d; timeouts: %d\n",
 		r.NormHits, r.NormMisses, r.Deduped, r.Timeouts)
+	fmt.Fprintf(&b, "solver sessions: %d opened, %d suffix checks reused a pushed prefix\n",
+		r.SolverSessions, r.PrefixReuse)
 	fmt.Fprintf(&b, "verdicts: %v\n", r.Verdicts)
 	return b.String()
 }

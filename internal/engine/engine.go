@@ -116,6 +116,11 @@ type Options struct {
 	// interner. Verdicts are identical either way; the switch feeds the
 	// differential parity suite and the allocation benchmarks' baseline.
 	DisableInterning bool
+	// DisableIncremental makes every verifier solve obligations with
+	// one-shot solver calls instead of prefix-sharing incremental sessions.
+	// Verdicts are identical either way; the switch feeds the incremental
+	// parity suite and the incremental benchmark's baseline.
+	DisableIncremental bool
 }
 
 func (o Options) workerCount() int {
@@ -188,6 +193,13 @@ type BatchStats struct {
 	ObligationMisses int64
 
 	SolverQueries int
+
+	// SolverSessions counts incremental sessions opened; PrefixReuse counts
+	// obligation checks that reused an already-encoded session prefix;
+	// ModelRounds counts propositional models examined across the batch.
+	SolverSessions int
+	PrefixReuse    int
+	ModelRounds    int
 
 	// TermNodes is the size of the shared hash-consed term DAG when the
 	// batch finished (0 when interning is disabled).
@@ -371,6 +383,7 @@ type counters struct {
 	deduped, timeouts, cancelled              atomic.Int64
 	panics, watchdogAborts                    atomic.Int64
 	solverQueries                             atomic.Int64
+	solverSessions, prefixReuse, modelRounds  atomic.Int64
 }
 
 // record folds one completed result into the live counters (and the
@@ -402,6 +415,9 @@ func (s *Shared) record(r Result) {
 		s.ctr.watchdogAborts.Add(1)
 	}
 	s.ctr.solverQueries.Add(int64(r.Stats.SolverQueries))
+	s.ctr.solverSessions.Add(int64(r.Stats.SolverSessions))
+	s.ctr.prefixReuse.Add(int64(r.Stats.PrefixReuse))
+	s.ctr.modelRounds.Add(int64(r.Stats.ModelRounds))
 	if s.parent != nil {
 		s.parent.record(r)
 	}
@@ -429,6 +445,15 @@ type StatsSnapshot struct {
 	WatchdogAborts int64 `json:"watchdog_aborts"`
 
 	SolverQueries int64 `json:"solver_queries"`
+
+	// SolverSessions counts incremental sessions opened across all
+	// verifications; PrefixReuse counts obligation checks that reused an
+	// already-encoded session prefix instead of re-encoding it;
+	// ModelRounds counts propositional models the solvers examined — the
+	// work the incremental path exists to cut.
+	SolverSessions int64 `json:"solver_sessions"`
+	PrefixReuse    int64 `json:"prefix_reuse"`
+	ModelRounds    int64 `json:"model_rounds"`
 
 	// TermNodes is the size of the shared term DAG (distinct interned
 	// nodes). For a persistent engine this is the number the process's
@@ -465,6 +490,9 @@ func (s *Shared) Snapshot() StatsSnapshot {
 		Panics:         s.ctr.panics.Load(),
 		WatchdogAborts: s.ctr.watchdogAborts.Load(),
 		SolverQueries:  s.ctr.solverQueries.Load(),
+		SolverSessions: s.ctr.solverSessions.Load(),
+		PrefixReuse:    s.ctr.prefixReuse.Load(),
+		ModelRounds:    s.ctr.modelRounds.Load(),
 	}
 	if s.norm != nil {
 		snap.NormHits, snap.NormMisses = s.norm.counters()
@@ -647,9 +675,10 @@ const DefaultWatchdogGrace = 2 * time.Second
 // so a solver stuck past deadline-plus-grace cannot pin the worker.
 func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 	cfg := verify.Config{
-		MaxCandidates:    w.shared.opts.MaxCandidates,
-		Interner:         w.shared.in,
-		DisableInterning: w.shared.opts.DisableInterning,
+		MaxCandidates:      w.shared.opts.MaxCandidates,
+		Interner:           w.shared.in,
+		DisableInterning:   w.shared.opts.DisableInterning,
+		DisableIncremental: w.shared.opts.DisableIncremental,
 	}
 	if w.shared.cache != nil {
 		cfg.Cache = w.shared.cache
@@ -1008,6 +1037,9 @@ func (s *Shared) aggregate(wall time.Duration) BatchStats {
 		ObligationHits:   snap.ObligationHits,
 		ObligationMisses: snap.ObligationMisses,
 		SolverQueries:    int(snap.SolverQueries),
+		SolverSessions:   int(snap.SolverSessions),
+		PrefixReuse:      int(snap.PrefixReuse),
+		ModelRounds:      int(snap.ModelRounds),
 		TermNodes:        snap.TermNodes,
 	}
 }

@@ -48,11 +48,15 @@ const (
 	// WorkerSpawn fires when the engine constructs a per-goroutine
 	// worker.
 	WorkerSpawn Site = "worker-spawn"
+	// SMTPushPop fires in an incremental solver session between the pushed
+	// prefix and a suffix check — the window where an abort must leave the
+	// session unusable for that query yet leak nothing into the next pair.
+	SMTPushPop Site = "smt-push-pop"
 )
 
 // Sites returns every registered site, in stable order.
 func Sites() []Site {
-	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn}
+	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop}
 }
 
 // Kind is the species of an injected fault.

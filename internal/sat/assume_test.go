@@ -1,0 +1,177 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveUnderAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	c := s.NewVar()
+	s.AddClause(nlit(a), lit(b))
+	s.AddClause(nlit(b), lit(c))
+
+	if got := s.Solve(lit(a)); got != Sat {
+		t.Fatalf("Solve(a) = %v, want sat", got)
+	}
+	if !s.Value(a) || !s.Value(b) || !s.Value(c) {
+		t.Errorf("assumption a should force b and c: a=%v b=%v c=%v",
+			s.Value(a), s.Value(b), s.Value(c))
+	}
+	// The assumption must not persist: ¬a is satisfiable afterwards.
+	if got := s.Solve(nlit(a)); got != Sat {
+		t.Fatalf("Solve(~a) = %v, want sat", got)
+	}
+	if s.Value(a) {
+		t.Error("a should be false under assumption ~a")
+	}
+}
+
+func TestFailedAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(nlit(a), nlit(b)) // ¬a ∨ ¬b
+
+	if got := s.Solve(lit(a), lit(b)); got != Unsat {
+		t.Fatalf("Solve(a, b) = %v, want unsat", got)
+	}
+	failed := s.FailedAssumptions()
+	if len(failed) == 0 {
+		t.Fatal("FailedAssumptions is empty after an assumption failure")
+	}
+	seen := map[Lit]bool{}
+	for _, l := range failed {
+		if l != lit(a) && l != lit(b) {
+			t.Errorf("failed assumption %v is not among the assumptions", l)
+		}
+		seen[l] = true
+	}
+	// The reported subset must itself be inconsistent with the clause set:
+	// here that requires both assumptions.
+	if !seen[lit(a)] || !seen[lit(b)] {
+		t.Errorf("failed set %v should contain both a and b", failed)
+	}
+	// The problem itself stays satisfiable.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() after assumption failure = %v, want sat", got)
+	}
+}
+
+func TestContradictoryAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.NewVar()
+	if got := s.Solve(lit(a), nlit(a)); got != Unsat {
+		t.Fatalf("Solve(a, ~a) = %v, want unsat", got)
+	}
+	if len(s.FailedAssumptions()) == 0 {
+		t.Error("contradictory assumptions should yield a failed set")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want sat", got)
+	}
+}
+
+func TestAssumptionFalseAtTopLevel(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(nlit(a)) // unit: a is false at level 0
+	if got := s.Solve(lit(a)); got != Unsat {
+		t.Fatalf("Solve(a) = %v, want unsat", got)
+	}
+	failed := s.FailedAssumptions()
+	if len(failed) != 1 || failed[0] != lit(a) {
+		t.Errorf("failed = %v, want [a]", failed)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want sat", got)
+	}
+}
+
+// TestIncrementalClauseAddition interleaves clause addition, assumption
+// solves, and plain solves, checking the solver stays consistent and keeps
+// the watch lists usable throughout.
+func TestIncrementalClauseAddition(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	c := s.NewVar()
+	s.AddClause(lit(a), lit(b), lit(c))
+	if got := s.Solve(nlit(a), nlit(b)); got != Sat {
+		t.Fatalf("Solve(~a, ~b) = %v, want sat", got)
+	}
+	if !s.Value(c) {
+		t.Error("c must be true under ~a, ~b")
+	}
+	s.AddClause(nlit(c))
+	if got := s.Solve(nlit(a), nlit(b)); got != Unsat {
+		t.Fatalf("Solve(~a, ~b) after ¬c = %v, want unsat", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want sat", got)
+	}
+	s.AddClause(nlit(a))
+	s.AddClause(nlit(b))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve() = %v, want unsat", got)
+	}
+	// Genuine unsatisfiability: no failed-assumption set.
+	if s.FailedAssumptions() != nil {
+		t.Errorf("FailedAssumptions = %v on a top-level unsat problem", s.FailedAssumptions())
+	}
+}
+
+// TestAssumptionsAgainstOneShot cross-checks assumption-based solving
+// against re-encoding the assumptions as unit clauses in a fresh solver, on
+// random 3-SAT instances near the phase-transition density.
+func TestAssumptionsAgainstOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nVars, nClauses = 18, 76
+	for iter := 0; iter < 40; iter++ {
+		var clauses [][]Lit
+		for i := 0; i < nClauses; i++ {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, cl)
+		}
+		inc := New()
+		for v := 0; v < nVars; v++ {
+			inc.NewVar()
+		}
+		for _, cl := range clauses {
+			inc.AddClause(cl...)
+		}
+		// Several assumption sets against the same incremental solver, so
+		// learned clauses from earlier calls are live for later ones.
+		for trial := 0; trial < 4; trial++ {
+			var assumps []Lit
+			for v := 0; v < 3; v++ {
+				assumps = append(assumps, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+			ref := New()
+			for v := 0; v < nVars; v++ {
+				ref.NewVar()
+			}
+			ok := true
+			for _, cl := range clauses {
+				ok = ref.AddClause(cl...) && ok
+			}
+			for _, l := range assumps {
+				ok = ref.AddClause(l) && ok
+			}
+			want := Unsat
+			if ok {
+				want = ref.Solve()
+			}
+			if got := inc.Solve(assumps...); got != want {
+				t.Fatalf("iter %d trial %d: incremental %v, one-shot %v (assumps %v)",
+					iter, trial, got, want, assumps)
+			}
+		}
+	}
+}

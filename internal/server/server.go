@@ -211,6 +211,12 @@ func (s *Server) registerMetrics() {
 	r.NewCounterFunc("spes_engine_solver_queries_total",
 		"SMT queries issued (lifetime).",
 		stat(func(st engine.StatsSnapshot) int64 { return st.SolverQueries }))
+	r.NewCounterFunc("spes_solver_sessions_total",
+		"Incremental solver sessions opened (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.SolverSessions }))
+	r.NewCounterFunc("spes_solver_prefix_reuse_total",
+		"Obligation checks that reused an already-encoded session prefix (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.PrefixReuse }))
 	r.NewCounterFunc("spes_engine_norm_memo_hits_total",
 		"Normalization memo hits (lifetime).",
 		stat(func(st engine.StatsSnapshot) int64 { return st.NormHits }))

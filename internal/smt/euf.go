@@ -31,6 +31,67 @@ type euf struct {
 	sigs     map[string]int
 	diseqs   [][2]int
 	conflict bool
+
+	// Trail-based undo for incremental sessions: between mark and undo every
+	// state mutation (merges, signature inserts, disequalities) is recorded
+	// and can be rolled back exactly, so one engine serves many theory checks
+	// over a growing but stable registration base. Registration itself
+	// (node + registration-time congruence merges) is model-independent and
+	// never recorded: it stays valid for the lifetime of the instance.
+	recording bool
+	trail     []eufRec
+}
+
+type eufRec struct {
+	kind        uint8
+	a, b        int // merge: absorbed root, surviving root
+	prevSize    int
+	prevUsesLen int
+	prevConst   string
+	movedUses   []int
+	sigKey      string
+}
+
+const (
+	recMerge uint8 = iota
+	recSig
+	recDiseq
+)
+
+// eufMark is a point the engine can roll back to with undo.
+type eufMark struct {
+	trailLen int
+	conflict bool
+}
+
+// mark snapshots the assertion state and starts recording mutations.
+func (e *euf) mark() eufMark {
+	m := eufMark{trailLen: len(e.trail), conflict: e.conflict}
+	e.recording = true
+	return m
+}
+
+// undo rolls the engine back to m, reversing recorded mutations newest
+// first, and stops recording.
+func (e *euf) undo(m eufMark) {
+	for i := len(e.trail) - 1; i >= m.trailLen; i-- {
+		r := e.trail[i]
+		switch r.kind {
+		case recMerge:
+			e.parent[r.a] = r.a
+			e.size[r.b] = r.prevSize
+			e.constVal[r.b] = r.prevConst
+			e.uses[r.b] = e.uses[r.b][:r.prevUsesLen]
+			e.uses[r.a] = r.movedUses
+		case recSig:
+			delete(e.sigs, r.sigKey)
+		case recDiseq:
+			e.diseqs = e.diseqs[:len(e.diseqs)-1]
+		}
+	}
+	e.trail = e.trail[:m.trailLen]
+	e.conflict = m.conflict
+	e.recording = false
 }
 
 func newEUF() *euf { return newEUFIn(nil) }
@@ -111,9 +172,12 @@ func (e *euf) node(t *fol.Term) int {
 	return id
 }
 
+// find walks to the class root without path compression: compressed parent
+// pointers could bypass an undone merge, so trail-based undo requires the
+// parent forest to change only through recorded merges. Union by size keeps
+// the walk logarithmic.
 func (e *euf) find(a int) int {
 	for e.parent[a] != a {
-		e.parent[a] = e.parent[e.parent[a]]
 		a = e.parent[a]
 	}
 	return a
@@ -147,6 +211,9 @@ func (e *euf) insertSig(app int) {
 		e.mergeNodes(app, other)
 		return
 	}
+	if e.recording {
+		e.trail = append(e.trail, eufRec{kind: recSig, sigKey: s})
+	}
 	e.sigs[s] = app
 }
 
@@ -165,6 +232,9 @@ func (e *euf) assertDiseq(t1, t2 *fol.Term) {
 		return
 	}
 	a, b := e.node(t1), e.node(t2)
+	if e.recording {
+		e.trail = append(e.trail, eufRec{kind: recDiseq})
+	}
 	e.diseqs = append(e.diseqs, [2]int{a, b})
 	e.checkDiseqs()
 }
@@ -186,13 +256,24 @@ func (e *euf) mergeNodes(a, b int) {
 		e.conflict = true
 		return
 	}
+	moved := e.uses[ra]
+	if e.recording {
+		e.trail = append(e.trail, eufRec{
+			kind:        recMerge,
+			a:           ra,
+			b:           rb,
+			prevSize:    e.size[rb],
+			prevUsesLen: len(e.uses[rb]),
+			prevConst:   cb,
+			movedUses:   moved,
+		})
+	}
 	e.parent[ra] = rb
 	e.size[rb] += e.size[ra]
 	if cb == "" {
 		e.constVal[rb] = ca
 	}
 	// Congruence: re-signature every application using the absorbed class.
-	moved := e.uses[ra]
 	e.uses[ra] = nil
 	e.uses[rb] = append(e.uses[rb], moved...)
 	for _, app := range moved {

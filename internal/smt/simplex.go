@@ -310,40 +310,6 @@ func (s *simplex) pivot(b, j int) {
 	}
 }
 
-// clone deep-copies the solver state.
-func (s *simplex) clone() *simplex {
-	c := &simplex{
-		n:        s.n,
-		lower:    make([]*delta, s.n),
-		upper:    make([]*delta, s.n),
-		lowerWhy: append([]int(nil), s.lowerWhy...),
-		upperWhy: append([]int(nil), s.upperWhy...),
-		rows:     make(map[int]map[int]*big.Rat, len(s.rows)),
-		isBasic:  append([]bool(nil), s.isBasic...),
-		beta:     make([]delta, s.n),
-		inited:   s.inited,
-	}
-	for i := 0; i < s.n; i++ {
-		if s.lower[i] != nil {
-			b := s.lower[i].clone()
-			c.lower[i] = &b
-		}
-		if s.upper[i] != nil {
-			b := s.upper[i].clone()
-			c.upper[i] = &b
-		}
-		c.beta[i] = s.beta[i].clone()
-	}
-	for b, row := range s.rows {
-		nr := make(map[int]*big.Rat, len(row))
-		for x, v := range row {
-			nr[x] = new(big.Rat).Set(v)
-		}
-		c.rows[b] = nr
-	}
-	return c
-}
-
 // value returns the current assignment of x (valid after a successful
 // check).
 func (s *simplex) value(x int) delta { return s.beta[x] }
@@ -351,22 +317,90 @@ func (s *simplex) value(x int) delta { return s.beta[x] }
 // probeZero reports whether Σ row + konst = 0 is entailed by the asserted
 // constraints, established by checking that both a strictly negative and a
 // strictly positive value are infeasible. It requires a prior successful
-// check and does not disturb the receiver.
+// check and restores all observable state (bounds, assignment, conflict
+// explanation) before returning — the probe runs in place instead of on a
+// deep clone, saving two tableau copies per probe. The tableau basis may
+// end up pivoted differently, which is unobservable: feasibility and
+// variable values are basis-independent, and the probe slack is pivoted
+// back out before return.
 func (s *simplex) probeZero(row map[int]*big.Rat, konst *big.Rat) bool {
+	savedWhy := s.conflictWhy
+	d := s.defineSlack(row)
+	s.beta[d] = s.rowValue(s.rows[d])
+	// Bounds are replaced, never mutated in place, and delta arithmetic is
+	// functional, so shallow snapshots restore the pre-probe state exactly.
+	savedLower := append([]*delta(nil), s.lower...)
+	savedUpper := append([]*delta(nil), s.upper...)
+	savedLowerWhy := append([]int(nil), s.lowerWhy...)
+	savedUpperWhy := append([]int(nil), s.upperWhy...)
+	savedBeta := append([]delta(nil), s.beta...)
+	bound := new(big.Rat).Neg(konst) // Σ row ⋈ -konst
+	entailed := true
 	for _, dir := range []int64{-1, 1} {
-		c := s.clone()
-		d := c.defineSlack(row)
-		c.beta[d] = c.rowValue(c.rows[d])
-		bound := new(big.Rat).Neg(konst) // Σ row ⋈ -konst
+		// The slack must be basic when its probe bound is asserted: check()
+		// only repairs out-of-bounds basic variables, so a bound on a
+		// non-basic d (pivoted out by the previous direction) would be
+		// silently ignored.
+		if !s.isBasic[d] {
+			s.pivotIn(d)
+		}
 		ok := true
 		if dir < 0 {
-			ok = c.assertUpper(d, dStrict(bound, -1), -1) // Σ row + konst < 0
+			ok = s.assertUpper(d, dStrict(bound, -1), -1) // Σ row + konst < 0
 		} else {
-			ok = c.assertLower(d, dStrict(bound, 1), -1) // Σ row + konst > 0
+			ok = s.assertLower(d, dStrict(bound, 1), -1) // Σ row + konst > 0
 		}
-		if ok && c.check() {
-			return false
+		if ok && s.check() {
+			entailed = false
+		}
+		copy(s.lower, savedLower)
+		copy(s.upper, savedUpper)
+		copy(s.lowerWhy, savedLowerWhy)
+		copy(s.upperWhy, savedUpperWhy)
+		copy(s.beta, savedBeta)
+		if !entailed {
+			break
 		}
 	}
-	return true
+	s.popVar(d)
+	s.conflictWhy = savedWhy
+	return entailed
+}
+
+// pivotIn makes d basic again by pivoting it into the smallest-index row
+// that mentions it. The tableau always has one: d is determined by the
+// system it was defined into, and pivoting preserves the solution set.
+func (s *simplex) pivotIn(d int) {
+	best := -1
+	for b, row := range s.rows {
+		if c, ok := row[d]; ok && c.Sign() != 0 && (best == -1 || b < best) {
+			best = b
+		}
+	}
+	if best == -1 {
+		panic("simplex: pivotIn on a variable absent from the tableau")
+	}
+	s.pivot(best, d)
+}
+
+// popVar removes the most recently allocated variable d from the tableau.
+// If d became non-basic through pivoting, it is first pivoted back into the
+// basis (substituting it out of every other row), then its defining row is
+// dropped — a projection that leaves an equivalent system over the
+// remaining variables.
+func (s *simplex) popVar(d int) {
+	if d != s.n-1 {
+		panic("simplex: popVar on non-top variable")
+	}
+	if !s.isBasic[d] {
+		s.pivotIn(d)
+	}
+	delete(s.rows, d)
+	s.n--
+	s.lower = s.lower[:s.n]
+	s.upper = s.upper[:s.n]
+	s.lowerWhy = s.lowerWhy[:s.n]
+	s.upperWhy = s.upperWhy[:s.n]
+	s.isBasic = s.isBasic[:s.n]
+	s.beta = s.beta[:s.n]
 }

@@ -41,14 +41,18 @@ func (r Result) String() string {
 // one goroutine — snapshot from the owning goroutine before handing the
 // numbers to another.
 type Stats struct {
-	Queries      int
-	ModelRounds  int   // propositional models examined across queries
-	TheoryConfls int   // theory conflicts (blocking clauses learned)
-	Atoms        int   // theory atoms across queries
-	MaxRoundsHit int   // queries that exhausted the model budget
-	DeadlineHit  int   // checks aborted by the wall-clock deadline
-	CancelHit    int   // checks aborted by context cancellation
-	CoreChecks   int64 // theory checks spent minimizing cores
+	Queries       int
+	ModelRounds   int   // propositional models examined across queries
+	TheoryConfls  int   // theory conflicts (blocking clauses learned)
+	Atoms         int   // theory atoms across queries
+	MaxRoundsHit  int   // queries that exhausted the model budget
+	DeadlineHit   int   // checks aborted by the wall-clock deadline
+	CancelHit     int   // checks aborted by context cancellation
+	CoreChecks    int64 // theory checks spent minimizing cores
+	Sessions      int   // incremental sessions opened (one per one-shot CheckSat)
+	PrefixEncodes int   // prefix cases encoded by Session.Push
+	SuffixChecks  int   // CheckSatUnder calls answered across sessions
+	PrefixReuse   int   // suffix checks that reused an already-encoded prefix
 }
 
 // Snapshot returns a copy of the counters, safe to retain after the solver
@@ -103,6 +107,13 @@ type Solver struct {
 
 	iteCounter int
 	tc         *theoryCache
+
+	// Coarse-tick cache for aborted: the wall clock is consulted only every
+	// abortPollEvery-th poll, and a tripped deadline latches until the
+	// deadline itself changes.
+	abortTick     int
+	abortExpired  bool
+	abortDeadline time.Time
 }
 
 // New returns a solver with defaults suitable for SPES workloads.
@@ -114,40 +125,24 @@ func New() *Solver {
 	}
 }
 
-// CheckSat decides satisfiability of f, which must be boolean-sorted.
+// CheckSat decides satisfiability of f, which must be boolean-sorted. It is
+// a thin wrapper over a single-use incremental session — pushing f as the
+// prefix and checking it under the trivial suffix — so one-shot and
+// incremental solving share exactly one solve path.
 func (s *Solver) CheckSat(f *fol.Term) Result {
-	if f.Sort != fol.SortBool {
-		panic(fmt.Sprintf("smt: CheckSat on non-boolean term %v", f))
-	}
-	s.Stats.Queries++
+	se := s.NewSession()
+	se.Push(f)
+	return se.CheckSatUnder(fol.True())
+}
+
+// ensureSetup lazily creates the interner and the ID-keyed theory cache.
+func (s *Solver) ensureSetup() {
 	if s.Interner == nil {
 		s.Interner = fol.NewInterner()
 	}
-	f = s.Interner.Intern(f)
-	f = s.liftIte(f)
-
-	// Case-split top-level disjunctions: SPES's obligations conjoin large
-	// ORs (union-branch ASSIGN constraints); solving each branch
-	// combination as a nearly-conjunctive problem avoids enumerating the
-	// cross product of spurious propositional models. Negation normal form
-	// first, so negated implications expose their conjunctive structure.
-	cases := splitCases(nnf(f, false), 64)
-	sawUnknown := false
-	for _, c := range cases {
-		if s.expired() {
-			return Unknown
-		}
-		switch s.checkOne(c) {
-		case Sat:
-			return Sat
-		case Unknown:
-			sawUnknown = true
-		}
+	if !s.NoTheoryCache && (s.tc == nil || s.tc.in != s.Interner) {
+		s.tc = newTheoryCache(s.Interner)
 	}
-	if sawUnknown {
-		return Unknown
-	}
-	return Unsat
 }
 
 // nnf pushes negations through the boolean connectives (De Morgan),
@@ -230,7 +225,8 @@ func replaceConjunct(f, old, repl *fol.Term) *fol.Term {
 	return fol.And(args...)
 }
 
-// checkOne solves a single case.
+// checkOne solves a single already-lifted case one-shot, on the same
+// instance machinery the session path uses.
 func (s *Solver) checkOne(f *fol.Term) Result {
 	switch f.Kind {
 	case fol.KTrue:
@@ -238,23 +234,28 @@ func (s *Solver) checkOne(f *fol.Term) Result {
 	case fol.KFalse:
 		return Unsat
 	}
-	// CheckSat interns on entry, making this a pointer check; it matters
+	// Sessions intern on entry, making this a pointer check; it matters
 	// only for callers (tests) that drive checkOne directly.
-	if s.Interner == nil {
-		s.Interner = fol.NewInterner()
-	}
+	s.ensureSetup()
 	f = s.Interner.Intern(f)
-	if !s.NoTheoryCache && (s.tc == nil || s.tc.in != s.Interner) {
-		s.tc = newTheoryCache(s.Interner)
-	}
+	return s.run(s.newCaseInstance(f))
+}
+
+// newCaseInstance builds the per-case solver state: a CDCL instance wired
+// to the solver's budgets and abort hook, a persistent congruence engine,
+// and — unless the case is the trivial ⊤ — the encoded root constraint
+// with its trichotomy clauses.
+func (s *Solver) newCaseInstance(c *fol.Term) *instance {
 	in := newInstance()
 	in.sat.MaxConflicts = s.MaxSATConflicts
 	in.sat.Stop = s.aborted
-	root := in.encode(f)
-	in.sat.AddClause(root)
-	in.addTrichotomy()
-	s.Stats.Atoms += len(in.atoms)
-	return s.run(in)
+	in.theory = newEUFIn(s.Interner)
+	if c.Kind != fol.KTrue {
+		in.sat.AddClause(in.encode(c))
+		in.addTrichotomy()
+		s.Stats.Atoms += len(in.atoms)
+	}
+	return in
 }
 
 // expired reports whether the wall-clock deadline has passed or the
@@ -272,19 +273,52 @@ func (s *Solver) expired() bool {
 	return true
 }
 
+// abortPollEvery throttles the wall-clock read in aborted: the clock is
+// consulted on the first poll after a deadline change and then every Nth
+// poll. Combined with the CDCL loop's own 256-conflict Stop throttle, the
+// syscall-backed time.Now runs once per ~4096 conflicts instead of once per
+// 256, while context cancellation (a cheap channel check) is still seen on
+// every poll.
+const abortPollEvery = 16
+
 // aborted is expired without the stats attribution. It is polled from the
 // CDCL conflict loop (sat.Solver.Stop), where counting every poll would
 // inflate the abort counters; run attributes the abort once, after Solve
-// returns Unknown.
+// returns Unknown. A tripped deadline latches until the deadline changes,
+// so post-expiry polls never touch the clock again.
 func (s *Solver) aborted() bool {
 	if s.Ctx != nil && s.Ctx.Err() != nil {
 		return true
 	}
-	return !s.Deadline.IsZero() && !time.Now().Before(s.Deadline)
+	if s.Deadline.IsZero() {
+		return false
+	}
+	if !s.Deadline.Equal(s.abortDeadline) {
+		s.abortDeadline = s.Deadline
+		s.abortExpired = false
+		s.abortTick = abortPollEvery - 1
+	}
+	if s.abortExpired {
+		return true
+	}
+	s.abortTick++
+	if s.abortTick < abortPollEvery {
+		return false
+	}
+	s.abortTick = 0
+	if !time.Now().Before(s.Deadline) {
+		s.abortExpired = true
+		return true
+	}
+	return false
 }
 
-// run drives the lazy DPLL(T) loop on an encoded instance.
-func (s *Solver) run(in *instance) Result {
+// run drives the lazy DPLL(T) loop on an encoded instance, solving under
+// the given assumption literals (session suffix guards). Everything learned
+// along the way — CDCL learned clauses, theory blocking clauses — is a
+// consequence of the clause database plus theory-valid lemmas, never of the
+// assumptions, so it soundly persists into later runs on the same instance.
+func (s *Solver) run(in *instance, assumps ...sat.Lit) Result {
 	for round := 0; round < s.MaxModelRounds; round++ {
 		if s.expired() {
 			return Unknown
@@ -293,8 +327,7 @@ func (s *Solver) run(in *instance) Result {
 			s.Stats.CancelHit++
 			return Unknown
 		}
-		s.Stats.ModelRounds++
-		switch in.sat.Solve() {
+		switch in.sat.Solve(assumps...) {
 		case sat.Unsat:
 			return Unsat
 		case sat.Unknown:
@@ -303,6 +336,10 @@ func (s *Solver) run(in *instance) Result {
 			s.expired()
 			return Unknown
 		}
+		// Counted here, not at the solve call: ModelRounds is the number of
+		// propositional models the theory layer examined, so a solve refuted
+		// inside the SAT core (no model ever produced) costs zero rounds.
+		s.Stats.ModelRounds++
 		lits := in.modelLits()
 		// Theory reasoning never crosses disjoint variable sets (both
 		// theories are over shared variables only), so the model's
@@ -315,7 +352,7 @@ func (s *Solver) run(in *instance) Result {
 		var conflictComp []theoryLit
 		var expl []int
 		for _, comp := range comps {
-			ok, certain, e := theoryCheckExplain(comp, s.TheoryBudget, s.tc)
+			ok, certain, e := theoryCheckExplainOn(in.theory, comp, s.TheoryBudget, s.tc)
 			if !certain {
 				uncertain = true
 				break
@@ -342,12 +379,13 @@ func (s *Solver) run(in *instance) Result {
 				trial[i] = conflictComp[idx]
 			}
 			s.Stats.CoreChecks++
-			if ok, certain := theoryCheck(trial, s.TheoryBudget, s.tc); certain && !ok {
+			if ok, certain := theoryCheckOn(in.theory, trial, s.TheoryBudget, s.tc); certain && !ok {
 				start = trial
 			}
 		}
-		core := s.minimizeCore(start)
+		core := s.minimizeCore(in.theory, start)
 		in.block(core)
+		in.store.record(core)
 	}
 	s.Stats.MaxRoundsHit++
 	return Unknown
@@ -400,11 +438,11 @@ func components(lits []theoryLit) [][]theoryLit {
 // minimizeCore shrinks an inconsistent literal set with chunked deletion
 // (try dropping halves, then quarters, ... then singles), yielding strong
 // blocking clauses in O(k·log n) theory checks for a core of size k.
-func (s *Solver) minimizeCore(lits []theoryLit) []theoryLit {
+func (s *Solver) minimizeCore(e *euf, lits []theoryLit) []theoryLit {
 	core := append([]theoryLit(nil), lits...)
 	inconsistent := func(trial []theoryLit) bool {
 		s.Stats.CoreChecks++
-		consistent, certain := theoryCheck(trial, s.TheoryBudget, s.tc)
+		consistent, certain := theoryCheckOn(e, trial, s.TheoryBudget, s.tc)
 		return certain && !consistent
 	}
 	for chunk := len(core) / 2; chunk >= 1; chunk /= 2 {
@@ -430,13 +468,25 @@ func (s *Solver) Valid(f *fol.Term) bool {
 }
 
 // liftIte removes numeric if-then-else terms by introducing fresh variables
-// with defining constraints, producing an equisatisfiable formula. The
-// input is interned, so the memo of replaced ITE nodes keys on pointers:
-// structurally equal occurrences are the same node and share one fresh
-// variable.
+// with defining constraints, producing an equisatisfiable formula with the
+// defining constraints conjoined on top.
 func (s *Solver) liftIte(f *fol.Term) *fol.Term {
+	g, defs := s.liftIteInto(make(map[*fol.Term]*fol.Term), f)
+	if len(defs) == 0 {
+		return g
+	}
+	return fol.And(append([]*fol.Term{g}, defs...)...)
+}
+
+// liftIteInto is liftIte against a caller-owned memo, returning the defining
+// constraints introduced by this call separately. The input is interned, so
+// the memo of replaced ITE nodes keys on pointers: structurally equal
+// occurrences are the same node and share one fresh variable. A session
+// passes the same memo for its prefix and every suffix, so an ITE already
+// lifted (and defined) by an earlier formula is reused without re-emitting
+// its definitions.
+func (s *Solver) liftIteInto(memo map[*fol.Term]*fol.Term, f *fol.Term) (*fol.Term, []*fol.Term) {
 	var defs []*fol.Term
-	memo := make(map[*fol.Term]*fol.Term)
 	var rec func(t *fol.Term) *fol.Term
 	rec = func(t *fol.Term) *fol.Term {
 		if len(t.Args) == 0 {
@@ -469,11 +519,7 @@ func (s *Solver) liftIte(f *fol.Term) *fol.Term {
 		}
 		return cur
 	}
-	g := rec(f)
-	if len(defs) == 0 {
-		return g
-	}
-	return fol.And(append([]*fol.Term{g}, defs...)...)
+	return rec(f), defs
 }
 
 // rebuildWith reconstructs a term with new arguments through the smart

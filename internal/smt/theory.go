@@ -80,10 +80,30 @@ func theoryCheck(lits []theoryLit, budget int, tc *theoryCache) (consistent, cer
 	return consistent, certain
 }
 
+// theoryCheckOn is theoryCheck against a persistent congruence engine (see
+// theoryCheckExplainOn).
+func theoryCheckOn(e *euf, lits []theoryLit, budget int, tc *theoryCache) (consistent, certain bool) {
+	consistent, certain, _ = theoryCheckExplainOn(e, lits, budget, tc)
+	return consistent, certain
+}
+
 // theoryCheckExplain additionally returns, when available, the indices of
 // the literals involved in an arithmetic conflict (a small starting point
 // for core minimization). A nil explanation means "unknown subset".
 func theoryCheckExplain(lits []theoryLit, budget int, tc *theoryCache) (consistent, certain bool, expl []int) {
+	return theoryCheckExplainOn(nil, lits, budget, tc)
+}
+
+// theoryCheckExplainOn runs the combined EUF+simplex check on a persistent
+// congruence engine. Term registration (including registration-time
+// congruence merges, which are model-independent and therefore globally
+// valid) accumulates in e across calls; everything the asserted literals
+// add — merges, signature inserts, disequalities — is recorded on a trail
+// and rolled back before returning, so e always ends a call in its
+// registration-only base state. A nil engine (or one bound to a different
+// interner than the literals) falls back to a private engine per call,
+// reproducing the non-incremental behavior exactly.
+func theoryCheckExplainOn(e *euf, lits []theoryLit, budget int, tc *theoryCache) (consistent, certain bool, expl []int) {
 	// Every map downstream (congruence nodes, linear-form coefficients,
 	// the simplex variable index) keys on interned term IDs, so all atoms
 	// must live in one interner. On the solver path they already share the
@@ -97,11 +117,28 @@ func theoryCheckExplain(lits []theoryLit, budget int, tc *theoryCache) (consiste
 		// solver interns everything it touches); drop the cache.
 		tc = nil
 	}
-	e := newEUFIn(in)
+	if e == nil || e.in != in {
+		e = newEUFIn(in)
+	}
 	trueNode := fol.True()
 	falseNode := fol.False()
 	e.node(trueNode)
 	e.node(falseNode)
+	// Registration pass, before the undo mark: node registration must stay
+	// out of the recorded trail (it is permanent), and signatures computed
+	// during registration must not observe assertion-time merges.
+	for _, l := range lits {
+		a := in.Intern(l.atom)
+		switch a.Kind {
+		case fol.KEq, fol.KLe, fol.KLt:
+			e.node(a.Args[0])
+			e.node(a.Args[1])
+		case fol.KApp:
+			e.node(a)
+		}
+	}
+	m := e.mark()
+	defer e.undo(m)
 
 	var cons []linCon
 	var boolVars []theoryLit

@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"spes/internal/fault"
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+// TestSessionAbortDegradesSoundly aborts incremental sessions mid-stream
+// (cancel faults at the smt-push-pop site, the entry of every suffix check)
+// and holds the verifier to the degradation contract: an aborted check may
+// cost a proof but never mint one — inequivalent pairs stay unproved under
+// any fault schedule — and no session state may leak across checks: the
+// same Verifier, faults disarmed, must immediately prove again on the
+// sessions the aborts left behind.
+func TestSessionAbortDegradesSoundly(t *testing.T) {
+	tbl := &schema.Table{Name: "t", Columns: []schema.Column{{Name: "a", Type: schema.Int, NotNull: true}}}
+	const k = 4
+	inputs := make([]plan.Node, k)
+	for i := range inputs {
+		inputs[i] = &plan.Table{Meta: tbl}
+	}
+	chain := func(order []int) plan.Expr {
+		var p plan.Expr
+		for i := 0; i+1 < len(order); i++ {
+			cmp := &plan.Bin{Op: plan.OpLt, L: &plan.ColRef{Index: order[i]}, R: &plan.ColRef{Index: order[i+1]}}
+			if p == nil {
+				p = cmp
+			} else {
+				p = &plan.Bin{Op: plan.OpAnd, L: p, R: cmp}
+			}
+		}
+		return p
+	}
+	proj := func(order []int) []plan.NamedExpr {
+		out := make([]plan.NamedExpr, k)
+		for i := range out {
+			out[i] = plan.NamedExpr{Name: fmt.Sprintf("c%d", i), E: &plan.ColRef{Index: order[i]}}
+		}
+		return out
+	}
+	identity := []int{0, 1, 2, 3}
+	perm := []int{2, 0, 3, 1} // rank 17 of 24: a long wrong-candidate stream
+	q1 := &plan.SPJ{Inputs: inputs, Pred: chain(identity), Proj: proj(identity)}
+	q2 := &plan.SPJ{Inputs: inputs, Pred: chain(perm), Proj: proj(perm)}
+	// Predicate relabeled but projection not: a different multiset of rows.
+	broken := &plan.SPJ{Inputs: inputs, Pred: chain(perm), Proj: proj(identity)}
+
+	if out := NewWithConfig(Config{}).Check(q1, q2); !out.Full {
+		t.Fatalf("fault-free baseline failed to prove the permuted pair: %+v", out)
+	}
+	if out := NewWithConfig(Config{}).Check(q1, broken); out.Full {
+		t.Fatalf("fault-free baseline proved the broken pair: %+v", out)
+	}
+
+	var totalFired uint64
+	for seed := uint64(1); seed <= 8; seed++ {
+		if err := fault.Enable(fault.Config{
+			Seed:     seed,
+			PerMille: 400,
+			Sites:    []fault.Site{fault.SMTPushPop},
+			Kinds:    []fault.Kind{fault.KindCancel},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		v := NewWithConfig(Config{})
+		outEq := v.Check(q1, q2)
+		outBroken := v.Check(q1, broken)
+		totalFired += fault.Fired(fault.SMTPushPop)
+		fault.Disable()
+
+		// Soundness under aborts: an aborted suffix check returns Unknown,
+		// which can only remove proofs, never add them.
+		if outBroken.Full {
+			t.Fatalf("seed %d: aborted sessions proved the broken pair: %+v", seed, outBroken)
+		}
+		_ = outEq // proved or degraded to unproved; both are sound
+
+		// No session-state leak: the same verifier keeps its session table
+		// (aborted sessions included) and must prove cleanly on top of it.
+		if out := v.Check(q1, q2); !out.Full {
+			t.Fatalf("seed %d: clean re-check on post-abort sessions failed: %+v", seed, out)
+		}
+		if out := v.Check(q1, broken); out.Full {
+			t.Fatalf("seed %d: clean re-check on post-abort sessions proved the broken pair: %+v", seed, out)
+		}
+	}
+	if totalFired == 0 {
+		t.Fatal("the smt-push-pop site never fired; the test exercised nothing")
+	}
+}

@@ -34,6 +34,10 @@ type Stats struct {
 	CoreChecks      int64 // theory checks spent minimizing cores
 	ObligationHits  int   // validity obligations answered from the cache
 	ObligationMiss  int   // validity obligations sent to the solver
+	SolverSessions  int   // incremental solver sessions opened
+	PrefixEncodes   int   // prefix cases encoded by session pushes
+	SuffixChecks    int   // obligations answered inside a session
+	PrefixReuse     int   // suffix checks that reused an encoded prefix
 }
 
 // ObligationCache memoizes validity outcomes across Verifiers. Keys are
@@ -91,6 +95,12 @@ type Config struct {
 	// suite asserts it); the switch exists for that comparison and as an
 	// escape hatch.
 	DisableInterning bool
+	// DisableIncremental solves every obligation with a fresh one-shot
+	// CheckSat instead of reusing assumption-guarded solver sessions per
+	// shared prefix. Verdicts are identical either way (the incremental
+	// parity suite asserts it); the switch exists for that comparison, for
+	// the incremental benchmark baseline, and as an escape hatch.
+	DisableIncremental bool
 }
 
 // Verifier checks full equivalence of plan pairs. One Verifier per pair is
@@ -109,12 +119,19 @@ type Verifier struct {
 	// MaxCandidates caps the bijections VeriVec tries per vector pair.
 	MaxCandidates int
 
-	solver *smt.Solver
-	gen    *symbolic.Gen
-	enc    *symbolic.Encoder
-	cache  ObligationCache
-	in     *fol.Interner
-	stats  Stats
+	solver      *smt.Solver
+	gen         *symbolic.Gen
+	enc         *symbolic.Encoder
+	cache       ObligationCache
+	in          *fol.Interner
+	stats       Stats
+	incremental bool
+	// sessions maps an obligation prefix (interned, so pointer identity is
+	// structural identity) to the live solver session holding its encoding.
+	// VeriVec candidate loops and the agg-matching search hit the same
+	// prefix over and over; the session lets each later obligation encode
+	// only its suffix.
+	sessions map[*fol.Term]*smt.Session
 }
 
 // New returns a Verifier with a fresh solver and symbol namespace.
@@ -149,6 +166,7 @@ func NewWithConfig(cfg Config) *Verifier {
 		enc:           symbolic.NewEncoder(g),
 		cache:         cfg.Cache,
 		in:            in,
+		incremental:   !cfg.DisableIncremental,
 	}
 }
 
@@ -160,6 +178,10 @@ func (v *Verifier) Stats() Stats {
 	s.ModelRounds = ss.ModelRounds
 	s.TheoryConflicts = ss.TheoryConfls
 	s.CoreChecks = ss.CoreChecks
+	s.SolverSessions = ss.Sessions
+	s.PrefixEncodes = ss.PrefixEncodes
+	s.SuffixChecks = ss.SuffixChecks
+	s.PrefixReuse = ss.PrefixReuse
 	return s
 }
 
@@ -201,33 +223,82 @@ func (v *Verifier) Check(q1, q2 plan.Node) Outcome {
 		return Outcome{}
 	}
 	out := Outcome{Cardinal: true}
-	if q1.Arity() == q2.Arity() && v.valid(qpsr.FullEquivalenceObligation()) {
+	// Split the full-equivalence obligation (Lemma 1) into its COND ∧ ASSIGN
+	// prefix and identity-map suffix so it can share a solver session with
+	// other obligations over the same QPSR context; the length guard mirrors
+	// FullEquivalenceObligation's ⊥ case.
+	if q1.Arity() == q2.Arity() && len(qpsr.Cols1) == len(qpsr.Cols2) &&
+		v.validUnder(fol.And(qpsr.Cond, qpsr.Assign), symbolic.IdentityEq(qpsr.Cols1, qpsr.Cols2)) {
 		out.Full = true
 	}
 	return out
 }
 
-// valid reports whether f holds in every model, consulting the shared
-// obligation cache when one is configured. Only definite solver verdicts
-// enter the cache: Unsat of ¬f (obligation valid) and Sat of ¬f (a concrete
-// countermodel). Unknown — budget or deadline exhaustion — maps to false
-// for this call but is never cached, so a cache hit is always
-// deterministic and independent of when or where the entry was computed.
-func (v *Verifier) valid(f *fol.Term) bool {
+// validUnder reports whether prefix → suffix holds in every model,
+// consulting the shared obligation cache when one is configured. Only
+// definite solver verdicts enter the cache: Unsat of the negated
+// implication (obligation valid) and Sat (a concrete countermodel).
+// Unknown — budget or deadline exhaustion — maps to false for this call
+// but is never cached, so a cache hit is always deterministic and
+// independent of when or where the entry was computed.
+//
+// The prefix/suffix split is what makes obligations incremental: every
+// call site factors out the part of its implication shared with sibling
+// obligations (a candidate bijection's COND ∧ ASSIGN, an Agg's group
+// context) so that they all solve inside one session, re-encoding only
+// the suffix. The cache is consulted before the solver either way, so a
+// hit never opens or touches a session.
+func (v *Verifier) validUnder(prefix, suffix *fol.Term) bool {
 	if v.cache == nil {
-		return v.solver.Valid(f)
+		return v.solveObligation(prefix, suffix) == smt.Unsat
 	}
-	key := v.obligationKey(f)
+	key := v.obligationKey(fol.Implies(prefix, suffix))
 	if val, ok := v.cache.Lookup(key); ok {
 		v.stats.ObligationHits++
 		return val
 	}
 	v.stats.ObligationMiss++
-	res := v.solver.CheckSat(fol.Not(f))
+	res := v.solveObligation(prefix, suffix)
 	if res != smt.Unknown {
 		v.cache.Store(key, res == smt.Unsat)
 	}
 	return res == smt.Unsat
+}
+
+// solveObligation decides prefix → suffix with the solver: incrementally,
+// by checking ¬suffix under the prefix's session (¬(A→B) ≡ A ∧ ¬B), or as
+// a one-shot check of the negated implication when incremental solving is
+// disabled. Both paths answer the exact same question; the parity suite
+// holds them to it.
+func (v *Verifier) solveObligation(prefix, suffix *fol.Term) smt.Result {
+	if !v.incremental {
+		return v.solver.CheckSat(fol.Not(fol.Implies(prefix, suffix)))
+	}
+	if v.in != nil {
+		prefix = v.in.Intern(prefix)
+	}
+	return v.sessionFor(prefix).CheckSatUnder(fol.Not(suffix))
+}
+
+// maxLiveSessions bounds the session table. VeriVec candidate loops reuse
+// a handful of prefixes heavily; a run that somehow produces more distinct
+// prefixes than this is not getting reuse anyway, so the table resets
+// wholesale rather than growing without bound for the Verifier's lifetime.
+const maxLiveSessions = 32
+
+// sessionFor returns the live session holding the prefix's encoding,
+// opening one (and paying the prefix encode) on first sight.
+func (v *Verifier) sessionFor(prefix *fol.Term) *smt.Session {
+	if se, ok := v.sessions[prefix]; ok {
+		return se
+	}
+	if v.sessions == nil || len(v.sessions) >= maxLiveSessions {
+		v.sessions = make(map[*fol.Term]*smt.Session)
+	}
+	se := v.solver.NewSession()
+	se.Push(prefix)
+	v.sessions[prefix] = se
+	return se
 }
 
 // obligationKey derives the cache key for an obligation. With an interner
@@ -369,11 +440,13 @@ func (v *Verifier) veriSPJ(s1, s2 *plan.SPJ) *symbolic.QPSR {
 		if err != nil {
 			return false
 		}
-		// The predicates must select corresponding tuples identically.
-		obligation := fol.Implies(
-			fol.And(cond, assign, a1, a2),
-			fol.Iff(p1.IsTrue(), p2.IsTrue()))
-		if !v.valid(obligation) {
+		// The predicates must select corresponding tuples identically. The
+		// candidate's COND ∧ ASSIGN context is the prefix — candidates over
+		// the same sub-QPSRs share it, so their session reuses its encoding —
+		// and the predicate-specific part rides in the suffix
+		// (A ∧ B → C ≡ A → (B → C)).
+		if !v.validUnder(fol.And(cond, assign),
+			fol.Implies(fol.And(a1, a2), fol.Iff(p1.IsTrue(), p2.IsTrue()))) {
 			return false
 		}
 
@@ -452,11 +525,13 @@ func (v *Verifier) veriAgg(a1, a2 *plan.Agg) *symbolic.QPSR {
 	}
 	g1p, g2p := primeTuple(g1), primeTuple(g2)
 	basep := prime(base)
+	// Both directions share the doubled-tuple context as their session
+	// prefix; the converse direction re-encodes only its implication.
 	ctx := fol.And(base, basep)
-	if !v.valid(fol.Implies(fol.And(ctx, symbolic.GroupEq(g1, g1p)), symbolic.GroupEq(g2, g2p))) {
+	if !v.validUnder(ctx, fol.Implies(symbolic.GroupEq(g1, g1p), symbolic.GroupEq(g2, g2p))) {
 		return nil
 	}
-	if !v.valid(fol.Implies(fol.And(ctx, symbolic.GroupEq(g2, g2p)), symbolic.GroupEq(g1, g1p))) {
+	if !v.validUnder(ctx, fol.Implies(symbolic.GroupEq(g2, g2p), symbolic.GroupEq(g1, g1p))) {
 		return nil
 	}
 
@@ -513,11 +588,13 @@ func (v *Verifier) veriAgg(a1, a2 *plan.Agg) *symbolic.QPSR {
 			if ac == nil || bc == nil {
 				continue
 			}
-			same := fol.Implies(
-				fol.And(base, fol.And(argAssigns...)),
+			// base is the stable prefix across the whole matching search;
+			// argAssigns grows as later aggregates encode, so it belongs to
+			// the suffix.
+			same := fol.Implies(fol.And(argAssigns...),
 				fol.And(fol.Iff(ac.Null, bc.Null),
 					fol.Implies(fol.Not(ac.Null), fol.Eq(ac.Val, bc.Val))))
-			if v.valid(same) {
+			if v.validUnder(base, same) {
 				agg2Cols[j] = agg1Cols[i]
 				matched = true
 				break
@@ -648,6 +725,9 @@ func (s Stats) String() string {
 		s.VeriCardCalls, s.Candidates, s.SolverQueries, s.ModelRounds, s.TheoryConflicts, s.CoreChecks)
 	if s.ObligationHits > 0 || s.ObligationMiss > 0 {
 		out += fmt.Sprintf(" cache-hits=%d cache-misses=%d", s.ObligationHits, s.ObligationMiss)
+	}
+	if s.SolverSessions > 0 {
+		out += fmt.Sprintf(" sessions=%d prefix-reuse=%d", s.SolverSessions, s.PrefixReuse)
 	}
 	return out
 }
