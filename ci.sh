@@ -42,6 +42,13 @@ go test -race -run 'TestDifferentialVerdictParity|TestPipelineFuzzDifferential' 
 # above; pinned by name for the same reason.
 go test -race -run 'TestIncrementalVerdictParity|TestPipelineFuzzIncrementalParity|TestSessionAbortDegradesSoundly' ./internal/verify/ .
 
+# Memory-lifecycle parity: forced interner rotation (including concurrent
+# with in-flight workers) and a warm restart through the durable store must
+# both return verdicts identical to the unbounded cold run. Also part of
+# the -race run above; pinned by name for the same reason.
+go test -race -run 'TestForcedRotationParity|TestRotationConcurrentWithWorkers|TestWarmRestartParity' ./internal/engine/
+go test -race -run 'TestFaultTornAppend|TestChecksumCorruptionLosesNeverFabricates' ./internal/store/
+
 # --- spes-serve smoke test -------------------------------------------------
 tmp=$(mktemp -d)
 trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$tmp"' EXIT
@@ -123,3 +130,63 @@ grep -q 'spes_watchdog_aborts_total' "$tmp/chaos-metrics.txt"
 kill -INT $SERVE_PID
 wait $SERVE_PID
 grep -q 'spes-serve: drained' "$tmp/chaos.log"
+
+# --- warm-restart smoke test -----------------------------------------------
+# Durable warm state end to end: boot with a store directory, verify a
+# batch, drain (flushing the write-behind queue), then restart on the SAME
+# directory and re-verify the same batch. The restarted process must load
+# the log (records reported at boot), answer obligations from it
+# (spes_store_hits_total > 0 — its own caches are cold, so hits can only
+# come from disk), and return the identical verdict sequence.
+cat >"$tmp/batch.json" <<'EOF'
+{"pairs": [
+  {"id": "p1",
+   "sql1": "SELECT * FROM (SELECT * FROM EMP WHERE DEPT_ID < 9) T WHERE SALARY > 5",
+   "sql2": "SELECT * FROM EMP WHERE DEPT_ID < 9 AND SALARY > 5"},
+  {"id": "p2",
+   "sql1": "SELECT EMP_ID, SALARY FROM EMP WHERE SALARY > 100",
+   "sql2": "SELECT EMP_ID, SALARY FROM EMP WHERE 100 < SALARY"},
+  {"id": "p3",
+   "sql1": "SELECT EMP_ID FROM EMP WHERE DEPT_ID < 2",
+   "sql2": "SELECT EMP_ID FROM EMP WHERE DEPT_ID < 3"}
+]}
+EOF
+
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -store-dir "$tmp/store" \
+    -term-highwater 4096 >"$tmp/warm1.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/warm1.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+curl -sf -X POST "http://$ADDR/v1/verify/batch" -d @"$tmp/batch.json" >"$tmp/warm1.json"
+grep -o '"verdict": "[a-z-]*"' "$tmp/warm1.json" >"$tmp/verdicts1.txt"
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/warm1.log"
+[ -s "$tmp/store/spes-verdicts.log" ]   # the drain flushed verdicts to disk
+
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -store-dir "$tmp/store" \
+    -term-highwater 4096 >"$tmp/warm2.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/warm2.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+grep -q 'durable store' "$tmp/warm2.log"
+curl -sf -X POST "http://$ADDR/v1/verify/batch" -d @"$tmp/batch.json" >"$tmp/warm2.json"
+grep -o '"verdict": "[a-z-]*"' "$tmp/warm2.json" >"$tmp/verdicts2.txt"
+diff "$tmp/verdicts1.txt" "$tmp/verdicts2.txt"   # restart must not change one verdict
+
+curl -sf "http://$ADDR/metrics" >"$tmp/warm-metrics.txt"
+grep -q 'spes_store_records' "$tmp/warm-metrics.txt"
+grep -q 'spes_store_hits_total' "$tmp/warm-metrics.txt"
+! grep -q '^spes_store_hits_total 0$' "$tmp/warm-metrics.txt"
+
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/warm2.log"

@@ -51,6 +51,8 @@ func main() {
 		serve    = flag.Bool("serve", false, "run the spes-serve HTTP loadgen study")
 		serveN   = flag.Int("serve-requests", 500, "with -serve: requests per client-count round")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "with -serve -json: artifact path for the loadgen report")
+		warmB    = flag.Bool("warm", false, "run the durable-warm-state study (cold vs warm-restart throughput, rotation memory bound)")
+		warmOut  = flag.String("warm-out", "BENCH_warm.json", "with -warm -json: artifact path for the warm-state report")
 	)
 	flag.Parse()
 
@@ -148,6 +150,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *serveOut)
 		} else {
 			fmt.Print(bench.RenderServe(rep))
+		}
+	}
+	if *all || *warmB {
+		ranSomething = true
+		rep, err := bench.RunWarm(*seed, *scale, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spes-bench: warm study: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			out["warm"] = rep
+			if err := writeArtifact(*warmOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "spes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *warmOut)
+		} else {
+			fmt.Print(bench.RenderWarm(rep))
 		}
 	}
 	if !ranSomething {

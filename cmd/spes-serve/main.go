@@ -51,6 +51,8 @@ func main() {
 		cacheSize   = flag.Int("cache-size", 0, "obligation cache entries (0 = engine default)")
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight work is cancelled")
 		wdGrace     = flag.Duration("watchdog-grace", 0, "extra time past its deadline a stuck verification may hold a worker before the watchdog abandons it (0 = engine default)")
+		storeDir    = flag.String("store-dir", "", "directory for the durable verdict store; restarts pointed at the same directory start warm (empty = no persistence)")
+		highWater   = flag.Int("term-highwater", 0, "rotate the interner epoch when the term DAG reaches this many nodes, bounding term memory (0 = never rotate)")
 		faults      = flag.String("faults", "", `chaos-testing fault spec, e.g. "seed=7,rate=25,sites=normalize|smt-model-round,kinds=panic|delay" (also read from SPES_FAULTS; never enable in production)`)
 	)
 	flag.Parse()
@@ -75,15 +77,24 @@ func main() {
 		fmt.Printf("spes-serve: FAULT INJECTION ARMED (%s)\n", fault.Describe())
 	}
 
-	srv := server.New(server.Config{
-		Catalog:       cat,
-		VerifyTimeout: *timeout,
-		MaxInFlight:   *maxInFlight,
-		MaxQueue:      *maxQueue,
-		BatchWorkers:  *workers,
-		CacheSize:     *cacheSize,
-		WatchdogGrace: *wdGrace,
+	srv, err := server.New(server.Config{
+		Catalog:           cat,
+		VerifyTimeout:     *timeout,
+		MaxInFlight:       *maxInFlight,
+		MaxQueue:          *maxQueue,
+		BatchWorkers:      *workers,
+		CacheSize:         *cacheSize,
+		WatchdogGrace:     *wdGrace,
+		StorePath:         *storeDir,
+		TermNodeHighWater: *highWater,
 	})
+	if err != nil {
+		fail("%v", err)
+	}
+	if st := srv.Store(); st != nil {
+		ss := st.Snapshot()
+		fmt.Printf("spes-serve: durable store %s (%d records, %d bytes loaded)\n", st.Path(), ss.Records, ss.Bytes)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -112,8 +123,8 @@ func main() {
 		}
 		<-errCh // Serve returns nil after Shutdown
 		st := srv.Engine().Stats()
-		fmt.Printf("spes-serve: drained; lifetime pairs=%d equivalent=%d cache_hit_rate=%.2f panics_recovered=%d watchdog_aborts=%d\n",
-			st.Pairs, st.Equivalent, st.ObligationHitRate(), st.Panics, st.WatchdogAborts)
+		fmt.Printf("spes-serve: drained; lifetime pairs=%d equivalent=%d cache_hit_rate=%.2f panics_recovered=%d watchdog_aborts=%d store_hits=%d epochs=%d\n",
+			st.Pairs, st.Equivalent, st.ObligationHitRate(), st.Panics, st.WatchdogAborts, st.StoreHits, st.InternerEpochs)
 	}
 }
 

@@ -83,11 +83,14 @@ func buildablePairs() []corpus.Pair {
 }
 
 func runServeRound(pairs []corpus.Pair, requests, clients int) ServeRound {
-	s := server.New(server.Config{
+	s, err := server.New(server.Config{
 		Catalog:     corpus.Catalog(),
 		MaxInFlight: clients, // loadgen is closed-loop; never shed
 		MaxQueue:    clients,
 	})
+	if err != nil {
+		panic(err) // no StorePath: New cannot fail
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

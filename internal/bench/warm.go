@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"spes/internal/corpus"
+	"spes/internal/engine"
+	"spes/internal/plan"
+	"spes/internal/store"
+)
+
+// WarmReport is the durable-warm-state study emitted as the BENCH_warm.json
+// artifact. It measures the two properties this layer exists for:
+//
+//   - restart warmth: the same workload through a cold process (empty
+//     store) and through a "restarted" one (fresh engine, same store
+//     directory reopened through crash recovery). The acceptance bar is
+//     Speedup >= 1.5 with byte-identical verdicts.
+//   - bounded memory: a seed-diverse workload stream through a long-lived
+//     engine with interner rotation on versus off. With rotation off the
+//     term DAG grows with cumulative workload diversity; with it on the
+//     current epoch stays near the high-water mark.
+type WarmReport struct {
+	Pairs   int `json:"pairs"`
+	Workers int `json:"workers"`
+
+	ColdMS          float64 `json:"cold_ms"`
+	WarmMS          float64 `json:"warm_ms"`
+	ColdPairsPerSec float64 `json:"cold_pairs_per_sec"`
+	WarmPairsPerSec float64 `json:"warm_pairs_per_sec"`
+	Speedup         float64 `json:"speedup"`
+
+	StoreRecords   int64 `json:"store_records"`
+	StoreBytes     int64 `json:"store_bytes"`
+	StoreHits      int64 `json:"store_hits"`
+	WarmSolverWork int64 `json:"warm_solver_queries"`
+	ColdSolverWork int64 `json:"cold_solver_queries"`
+	LemmasReplayed int   `json:"lemmas_persisted"`
+
+	VerdictsMatch bool           `json:"verdicts_match"`
+	Verdicts      map[string]int `json:"verdicts"`
+
+	RotationHighWater  int     `json:"rotation_high_water"`
+	RotationRounds     int     `json:"rotation_rounds"`
+	UnboundedTermNodes int64   `json:"unbounded_term_nodes"`
+	RotatingTermNodes  int64   `json:"rotating_term_nodes"`
+	InternerEpochs     int64   `json:"interner_epochs"`
+	UnboundedHeapMB    float64 `json:"unbounded_heap_mb"`
+	RotatingHeapMB     float64 `json:"rotating_heap_mb"`
+	TermNodesBounded   bool    `json:"term_nodes_bounded"`
+}
+
+// RunWarm runs the durable-warm-state study. The pair stream is the
+// Calcite corpus (the paper's verification-heavy benchmark — optimizer
+// rule pairs whose cost is dominated by solving, the work the store
+// eliminates) plus the production workload's distinct pairs (whose
+// recurrence is already the in-memory caches' job; the restart study
+// streams each once). Plans are built as untimed setup, exactly as in
+// RunBatch: building is identical work in both processes, so timing it
+// would only dilute the effect under study. The cold and warm runs then
+// verify the same stream with nothing shared between them except the
+// store directory.
+func RunWarm(seed int64, scale float64, workers int) (WarmReport, error) {
+	w := corpus.ProductionWorkload(seed, scale)
+	pairs := append(calcitePlanPairs(), uniquePairs(BatchPairs(w))...)
+	rep := WarmReport{Pairs: len(pairs), Workers: workers, Verdicts: map[string]int{}}
+
+	dir, err := os.MkdirTemp("", "spes-warm-*")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Cold process: empty store, every obligation solved from scratch.
+	st1, err := store.OpenDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	start := time.Now()
+	coldRes, coldStats := engine.VerifyPlanBatch(pairs, engine.Options{
+		Workers: workers, Store: st1, ShareLemmas: true,
+	})
+	coldWall := time.Since(start)
+	if err := st1.Close(); err != nil {
+		return rep, err
+	}
+	ss := st1.Snapshot()
+	rep.StoreRecords, rep.StoreBytes = ss.Records, ss.Bytes
+	rep.ColdSolverWork = int64(coldStats.SolverQueries)
+
+	// Warm restart: a fresh batch run — new interner, empty in-memory
+	// caches, nothing carried over but the reopened store directory.
+	st2, err := store.OpenDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	rep.LemmasReplayed = len(st2.Lemmas())
+	start = time.Now()
+	warmRes, warmStats := engine.VerifyPlanBatch(pairs, engine.Options{
+		Workers: workers, Store: st2, ShareLemmas: true,
+	})
+	warmWall := time.Since(start)
+	if err := st2.Close(); err != nil {
+		return rep, err
+	}
+	rep.StoreHits = warmStats.StoreHits
+	rep.WarmSolverWork = int64(warmStats.SolverQueries)
+
+	rep.ColdMS, rep.WarmMS = ms(coldWall), ms(warmWall)
+	rep.ColdPairsPerSec = perSec(len(pairs), coldWall)
+	rep.WarmPairsPerSec = perSec(len(pairs), warmWall)
+	if warmWall > 0 {
+		rep.Speedup = coldWall.Seconds() / warmWall.Seconds()
+	}
+	rep.VerdictsMatch = true
+	for i := range pairs {
+		rep.Verdicts[coldRes[i].Verdict.String()]++
+		if coldRes[i].Verdict != warmRes[i].Verdict {
+			rep.VerdictsMatch = false
+		}
+	}
+
+	rotationStudy(&rep, seed, scale, workers)
+	return rep, nil
+}
+
+// calcitePlanPairs builds the buildable Calcite corpus pairs once, as
+// untimed setup. Pairs the builder rejects are skipped: they would degrade
+// to instant unsupported verdicts in both runs and dilute the timing.
+func calcitePlanPairs() []engine.PlanPair {
+	b := plan.NewBuilder(corpus.Catalog())
+	var out []engine.PlanPair
+	for _, p := range corpus.CalcitePairs() {
+		q1, err1 := b.BuildSQL(p.SQL1)
+		q2, err2 := b.BuildSQL(p.SQL2)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, engine.PlanPair{ID: p.ID, Q1: q1, Q2: q2})
+	}
+	return out
+}
+
+// uniquePairs dedupes the recurrence-heavy batch stream down to distinct
+// plan pairs. Recurrences measure the in-memory caches (the batch study's
+// subject); the restart study is about pairs the warm process has NOT
+// verified yet, where the store is the only thing standing between it and
+// the solver — so it streams each distinct pair once.
+func uniquePairs(in []engine.PlanPair) []engine.PlanPair {
+	type key struct{ a, b interface{} }
+	seen := map[key]bool{}
+	var out []engine.PlanPair
+	for _, p := range in {
+		k := key{p.Q1, p.Q2}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// warmPairs enumerates a workload's within-cluster pair stream at the SQL
+// level: the rotation study drives persistent engines the way the server
+// is driven (plans built per request), because per-request plan building
+// is itself a term-diversity source the interner has to absorb.
+func warmPairs(w *corpus.Workload) []engine.Pair {
+	byCluster := map[int][]corpus.WorkloadQuery{}
+	var clusterOrder []int
+	for _, q := range w.Queries {
+		if _, ok := byCluster[q.Cluster]; !ok {
+			clusterOrder = append(clusterOrder, q.Cluster)
+		}
+		byCluster[q.Cluster] = append(byCluster[q.Cluster], q)
+	}
+	var out []engine.Pair
+	for _, c := range clusterOrder {
+		members := byCluster[c]
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				out = append(out, engine.Pair{
+					ID:   fmt.Sprintf("c%d-%d-%d", c, members[i].ID, members[j].ID),
+					SQL1: members[i].SQL,
+					SQL2: members[j].SQL,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// rotationStudy streams seed-diverse workload rounds — each round a fresh
+// ProductionWorkload, so its predicates and constants differ — through two
+// long-lived engines and records where their term DAGs end up. This is the
+// adversarial case for a hash-consing interner: every round adds terms the
+// previous rounds never built, so without rotation the DAG grows with
+// lifetime diversity, not with working-set size.
+func rotationStudy(rep *WarmReport, seed int64, scale float64, workers int) {
+	const rounds = 4
+	rep.RotationRounds = rounds
+	roundPairs := make([][]engine.Pair, rounds)
+	cat := corpus.ProductionWorkload(seed, scale).Catalog
+	for r := 0; r < rounds; r++ {
+		roundPairs[r] = warmPairs(corpus.ProductionWorkload(seed+int64(r), scale))
+	}
+
+	unbounded := engine.NewEngine(cat, engine.Options{Workers: workers})
+	for r := 0; r < rounds; r++ {
+		unbounded.VerifyBatch(context.Background(), roundPairs[r], workers)
+	}
+	rep.UnboundedTermNodes = unbounded.Stats().TermNodes
+	rep.UnboundedHeapMB = heapMB()
+
+	// The mark is set to roughly one round's diversity: a bounded engine
+	// should hold about one workload's terms, not four.
+	hw := int(rep.UnboundedTermNodes) / rounds
+	if hw < 1024 {
+		hw = 1024
+	}
+	rep.RotationHighWater = hw
+
+	rotating := engine.NewEngine(cat, engine.Options{Workers: workers, TermNodeHighWater: hw})
+	for r := 0; r < rounds; r++ {
+		rotating.VerifyBatch(context.Background(), roundPairs[r], workers)
+	}
+	unbounded = nil // let the no-rotation DAG go before measuring the rotating heap
+	st := rotating.Stats()
+	rep.RotatingTermNodes = st.TermNodes
+	rep.InternerEpochs = st.InternerEpochs
+	rep.RotatingHeapMB = heapMB()
+	rep.TermNodesBounded = st.InternerEpochs >= 2 && rep.RotatingTermNodes < rep.UnboundedTermNodes
+}
+
+// heapMB reports live heap after a full GC — the process-memory proxy the
+// rotation study compares (RSS would fold in allocator retention noise).
+func heapMB() float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc) / (1 << 20)
+}
+
+// RenderWarm formats the study for the terminal.
+func RenderWarm(r WarmReport) string {
+	var b strings.Builder
+	b.WriteString("Durable warm state: restart throughput and bounded term memory\n\n")
+	fmt.Fprintf(&b, "pairs=%d workers=%d\n", r.Pairs, r.Workers)
+	fmt.Fprintf(&b, "cold start:   %10.1f ms  (%8.1f pairs/s, %d solver queries)\n",
+		r.ColdMS, r.ColdPairsPerSec, r.ColdSolverWork)
+	fmt.Fprintf(&b, "warm restart: %10.1f ms  (%8.1f pairs/s, %d solver queries)  speedup %.2fx\n",
+		r.WarmMS, r.WarmPairsPerSec, r.WarmSolverWork, r.Speedup)
+	fmt.Fprintf(&b, "store: %d records, %d bytes; warm run hit it %d times; %d lemmas persisted\n",
+		r.StoreRecords, r.StoreBytes, r.StoreHits, r.LemmasReplayed)
+	fmt.Fprintf(&b, "verdicts identical across restart: %v  %v\n", r.VerdictsMatch, r.Verdicts)
+	fmt.Fprintf(&b, "rotation (%d seed-diverse rounds, high-water %d):\n", r.RotationRounds, r.RotationHighWater)
+	fmt.Fprintf(&b, "  off: %8d term nodes  (%6.1f MB heap)\n", r.UnboundedTermNodes, r.UnboundedHeapMB)
+	fmt.Fprintf(&b, "  on:  %8d term nodes  (%6.1f MB heap), %d epochs, bounded=%v\n",
+		r.RotatingTermNodes, r.RotatingHeapMB, r.InternerEpochs, r.TermNodesBounded)
+	return b.String()
+}

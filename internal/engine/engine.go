@@ -41,6 +41,8 @@ import (
 	"spes/internal/normalize"
 	"spes/internal/plan"
 	"spes/internal/schema"
+	"spes/internal/smt"
+	"spes/internal/store"
 	"spes/internal/verify"
 )
 
@@ -121,6 +123,28 @@ type Options struct {
 	// Verdicts are identical either way; the switch feeds the incremental
 	// parity suite and the incremental benchmark's baseline.
 	DisableIncremental bool
+	// TermNodeHighWater, when > 0, bounds the shared term DAG: once the
+	// interner holds at least this many nodes, the engine opens a new
+	// interner epoch — workers that start after the rotation build through
+	// a fresh interner, in-flight verifications finish soundly on the
+	// retired one, and the retired DAG becomes collectable as obligation-
+	// cache entries (whose keys carry the interner tag) age out of the LRU
+	// and session tables drain. 0 means never rotate (the term DAG grows
+	// with workload diversity for the process lifetime, as before).
+	TermNodeHighWater int
+	// Store, when non-nil, is the durable verdict store: obligations that
+	// miss the in-memory cache are answered from it, definite verdicts are
+	// appended write-behind, and (with ShareLemmas) theory lemmas persist
+	// through it, so restarts and new replicas start warm.
+	Store *store.Store
+	// ShareLemmas pools theory lemmas across pairs (and, with Store set,
+	// across processes). Replayed lemmas can only prune solver work the
+	// theory would redo — see smt.LemmaPool — but because they may decide
+	// obligations that would otherwise exhaust their budget as Unknown,
+	// outcomes may improve relative to a cold run; the warm bench and the
+	// server enable this, plain VerifyBatch keeps it off by default so
+	// batch results stay independent of pair order and worker count.
+	ShareLemmas bool
 }
 
 func (o Options) workerCount() int {
@@ -202,8 +226,21 @@ type BatchStats struct {
 	ModelRounds    int
 
 	// TermNodes is the size of the shared hash-consed term DAG when the
-	// batch finished (0 when interning is disabled).
+	// batch finished (0 when interning is disabled). With rotation enabled
+	// this is the CURRENT epoch's node count — the number the process's
+	// live term memory is proportional to — not a lifetime total.
 	TermNodes int64
+	// InternerEpochs counts interner epochs opened over the engine's
+	// lifetime (1 for an interning run that never rotated; 0 with
+	// interning disabled).
+	InternerEpochs int64
+	// StoreHits / StoreMisses count obligations answered by (or absent
+	// from) the durable verdict store.
+	StoreHits   int64
+	StoreMisses int64
+	// SessionEvictions counts solver sessions dropped from verifier LRU
+	// tables, including rotation drains.
+	SessionEvictions int64
 }
 
 // PairsPerSec returns batch throughput.
@@ -345,8 +382,68 @@ type Shared struct {
 	// when interning is disabled). Sharing it across workers means each
 	// distinct term is allocated once per batch — or once per engine
 	// lifetime for the persistent form — and obligation-cache keys derive
-	// from its IDs in O(1).
-	in *fol.Interner
+	// from its IDs in O(1). It is an atomic pointer because epoch rotation
+	// (maybeRotate) swaps it while workers are reading; overlays do not
+	// hold their own copy but delegate to the root (interner()), so a
+	// rotation is visible to every layer at once. rotMu serializes the
+	// swap itself.
+	in    atomic.Pointer[fol.Interner]
+	rotMu sync.Mutex
+
+	// lemmas, when non-nil, is the cross-pair theory-lemma pool handed to
+	// every worker's solver (see Options.ShareLemmas). Seeded from the
+	// durable store at construction; newly learned lemmas flow back
+	// through the pool's sink.
+	lemmas *smt.LemmaPool
+}
+
+// interner returns the engine's current-epoch interner, delegating to the
+// root Shared so batch overlays observe rotations immediately. Nil when
+// interning is disabled.
+func (s *Shared) interner() *fol.Interner {
+	if s.parent != nil {
+		return s.parent.interner()
+	}
+	return s.in.Load()
+}
+
+// root returns the bottom of the overlay chain — the Shared that owns the
+// interner and the epoch counter.
+func (s *Shared) root() *Shared {
+	for s.parent != nil {
+		s = s.parent
+	}
+	return s
+}
+
+// maybeRotate opens a new interner epoch once the current one crosses the
+// configured high-water mark. It runs on the root Shared after each
+// recorded pair — between units of work, never inside one — so a rotation
+// can only be observed by a verifier at construction time: in-flight
+// verifiers keep the interner they captured (retired interners keep
+// working; retirement is a drain signal, not a kill switch) and finish
+// their pair soundly, while every pair that starts afterwards builds
+// through the fresh epoch. Obligation-cache entries from the retired epoch
+// carry its tag in their keys, so they can never answer a new-epoch lookup
+// and simply age out of the LRU; the durable store is keyed canonically
+// and is untouched by rotation.
+func (s *Shared) maybeRotate() {
+	hw := s.opts.TermNodeHighWater
+	if hw <= 0 {
+		return
+	}
+	cur := s.in.Load()
+	if cur == nil || cur.Len() < hw {
+		return
+	}
+	s.rotMu.Lock()
+	defer s.rotMu.Unlock()
+	if s.in.Load() != cur {
+		return // another worker rotated while we waited
+	}
+	s.in.Store(fol.NewInterner())
+	cur.Retire()
+	s.ctr.epochs.Add(1)
 }
 
 // satTableMax bounds the predicate-satisfiability cache the same way
@@ -384,6 +481,8 @@ type counters struct {
 	panics, watchdogAborts                    atomic.Int64
 	solverQueries                             atomic.Int64
 	solverSessions, prefixReuse, modelRounds  atomic.Int64
+	storeHits, storeMisses, sessionEvicts     atomic.Int64
+	epochs                                    atomic.Int64 // rotations; meaningful on the root only
 }
 
 // record folds one completed result into the live counters (and the
@@ -418,9 +517,16 @@ func (s *Shared) record(r Result) {
 	s.ctr.solverSessions.Add(int64(r.Stats.SolverSessions))
 	s.ctr.prefixReuse.Add(int64(r.Stats.PrefixReuse))
 	s.ctr.modelRounds.Add(int64(r.Stats.ModelRounds))
+	s.ctr.storeHits.Add(int64(r.Stats.StoreHits))
+	s.ctr.storeMisses.Add(int64(r.Stats.StoreMisses))
+	s.ctr.sessionEvicts.Add(int64(r.Stats.SessionEvicts))
 	if s.parent != nil {
 		s.parent.record(r)
+		return
 	}
+	// Root only: a completed pair is the epoch boundary — check the
+	// high-water mark between units of work, never inside one.
+	s.maybeRotate()
 }
 
 // StatsSnapshot is a consistent point-in-time view of an engine's
@@ -456,9 +562,21 @@ type StatsSnapshot struct {
 	ModelRounds    int64 `json:"model_rounds"`
 
 	// TermNodes is the size of the shared term DAG (distinct interned
-	// nodes). For a persistent engine this is the number the process's
-	// term memory is bounded by; 0 when interning is disabled.
-	TermNodes int64 `json:"term_nodes"`
+	// nodes) in the CURRENT interner epoch — the number the process's live
+	// term memory is proportional to; 0 when interning is disabled.
+	// InternerEpochs counts epochs opened (1 until the first rotation; 0
+	// with interning disabled), so epoch-aware dashboards can tell "the
+	// gauge fell because we rotated" from "the workload shrank".
+	TermNodes      int64 `json:"term_nodes"`
+	InternerEpochs int64 `json:"interner_epochs"`
+
+	// StoreHits / StoreMisses count obligations answered by (or absent
+	// from) the durable verdict store; SessionEvictions counts solver
+	// sessions dropped from verifier LRU tables (including rotation
+	// drains).
+	StoreHits        int64 `json:"store_hits"`
+	StoreMisses      int64 `json:"store_misses"`
+	SessionEvictions int64 `json:"session_evictions"`
 
 	NormHits         int64 `json:"norm_hits"`
 	NormMisses       int64 `json:"norm_misses"`
@@ -494,21 +612,50 @@ func (s *Shared) Snapshot() StatsSnapshot {
 		PrefixReuse:    s.ctr.prefixReuse.Load(),
 		ModelRounds:    s.ctr.modelRounds.Load(),
 	}
+	snap.StoreHits = s.ctr.storeHits.Load()
+	snap.StoreMisses = s.ctr.storeMisses.Load()
+	snap.SessionEvictions = s.ctr.sessionEvicts.Load()
 	if s.norm != nil {
 		snap.NormHits, snap.NormMisses = s.norm.counters()
 	}
 	if s.cache != nil {
 		snap.ObligationHits, snap.ObligationMisses = s.cache.Counters()
 	}
-	snap.TermNodes = int64(s.in.Len())
+	if in := s.interner(); in != nil {
+		snap.TermNodes = int64(in.Len())
+		snap.InternerEpochs = 1 + s.root().ctr.epochs.Load()
+	}
 	return snap
 }
 
-// NewShared builds batch state from options.
+// NewShared builds batch state from options. With a Store configured it
+// loads the persisted lemmas into the shared pool (when ShareLemmas is on)
+// before wiring the pool's sink back to the store, so loaded lemmas are
+// not echoed into the log again.
 func NewShared(opts Options) *Shared {
 	s := &Shared{opts: opts}
 	if !opts.DisableInterning {
-		s.in = fol.NewInterner()
+		s.in.Store(fol.NewInterner())
+	}
+	if opts.ShareLemmas {
+		s.lemmas = smt.NewLemmaPool()
+		if opts.Store != nil {
+			for _, lemma := range opts.Store.Lemmas() {
+				lits := make([]smt.LemmaLit, len(lemma))
+				for i, l := range lemma {
+					lits[i] = smt.LemmaLit{AtomKey: l.AtomKey, Pos: l.Pos}
+				}
+				s.lemmas.Add(lits)
+			}
+			st := opts.Store
+			s.lemmas.SetSink(func(lits []smt.LemmaLit) {
+				out := make([]store.LemmaLit, len(lits))
+				for i, l := range lits {
+					out[i] = store.LemmaLit{AtomKey: l.AtomKey, Pos: l.Pos}
+				}
+				st.AppendLemma(out)
+			})
+		}
 	}
 	if !opts.DisableCaching {
 		if opts.CacheSize >= 0 {
@@ -676,12 +823,18 @@ const DefaultWatchdogGrace = 2 * time.Second
 func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 	cfg := verify.Config{
 		MaxCandidates:      w.shared.opts.MaxCandidates,
-		Interner:           w.shared.in,
+		Interner:           w.shared.interner(),
 		DisableInterning:   w.shared.opts.DisableInterning,
 		DisableIncremental: w.shared.opts.DisableIncremental,
+		Lemmas:             w.shared.root().lemmas,
 	}
 	if w.shared.cache != nil {
 		cfg.Cache = w.shared.cache
+	}
+	if st := w.shared.opts.Store; st != nil {
+		// Guarded assignment: a nil *store.Store must stay a nil interface,
+		// not a typed nil that passes != nil checks downstream.
+		cfg.Store = st
 	}
 	if w.shared.opts.Timeout > 0 {
 		cfg.Deadline = time.Now().Add(w.shared.opts.Timeout)
@@ -1041,5 +1194,9 @@ func (s *Shared) aggregate(wall time.Duration) BatchStats {
 		PrefixReuse:      int(snap.PrefixReuse),
 		ModelRounds:      int(snap.ModelRounds),
 		TermNodes:        snap.TermNodes,
+		InternerEpochs:   snap.InternerEpochs,
+		StoreHits:        snap.StoreHits,
+		StoreMisses:      snap.StoreMisses,
+		SessionEvictions: snap.SessionEvictions,
 	}
 }

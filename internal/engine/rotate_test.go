@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"spes/internal/corpus"
+	"spes/internal/store"
+)
+
+// rotationHighWater derives a high-water mark that forces several
+// rotations on the given workload: an unbounded reference run measures the
+// workload's full term-DAG size, and the mark is set well below it. The
+// reference results double as the parity baseline.
+func rotationHighWater(t *testing.T, pairs []Pair) ([]Result, BatchStats, int) {
+	t.Helper()
+	base, baseStats := VerifyBatch(corpus.Catalog(), pairs, Options{Workers: 1})
+	if baseStats.TermNodes == 0 {
+		t.Fatal("sanity: unbounded run interned no terms")
+	}
+	hw := int(baseStats.TermNodes) / 6
+	if hw < 64 {
+		hw = 64
+	}
+	return base, baseStats, hw
+}
+
+// TestForcedRotationParity is the rotation acceptance suite: a batch run
+// with a high-water mark low enough to force several mid-batch epoch
+// rotations returns verdicts identical to the unbounded run, and the
+// final current-epoch DAG is smaller than the unbounded one.
+func TestForcedRotationParity(t *testing.T) {
+	pairs := calcitePairs()
+	base, baseStats, hw := rotationHighWater(t, pairs)
+
+	rot, rotStats := VerifyBatch(corpus.Catalog(), pairs, Options{Workers: 1, TermNodeHighWater: hw})
+	if rotStats.InternerEpochs < 2 {
+		t.Fatalf("high-water %d (of %d unbounded nodes) forced no rotation: epochs=%d",
+			hw, baseStats.TermNodes, rotStats.InternerEpochs)
+	}
+	for i := range pairs {
+		if base[i].Verdict != rot[i].Verdict {
+			t.Errorf("pair %s: verdict %v unbounded, %v under rotation",
+				pairs[i].ID, base[i].Verdict, rot[i].Verdict)
+		}
+		if base[i].Cardinal != rot[i].Cardinal {
+			t.Errorf("pair %s: cardinal %v unbounded, %v under rotation",
+				pairs[i].ID, base[i].Cardinal, rot[i].Cardinal)
+		}
+	}
+	if rotStats.TermNodes >= baseStats.TermNodes {
+		t.Errorf("rotation did not shrink the live DAG: %d nodes with rotation, %d without",
+			rotStats.TermNodes, baseStats.TermNodes)
+	}
+}
+
+// TestRotationBoundsEngineTermNodes pins the memory property on the
+// long-lived engine: across repeated batches the rotating engine's
+// current-epoch DAG stays bounded while the non-rotating engine's grows
+// monotonically to the workload's full size.
+func TestRotationBoundsEngineTermNodes(t *testing.T) {
+	cat := corpus.Catalog()
+	pairs := calcitePairs()
+	_, baseStats, hw := rotationHighWater(t, pairs)
+
+	bounded := NewEngine(cat, Options{Workers: 2, TermNodeHighWater: hw})
+	unbounded := NewEngine(cat, Options{Workers: 2})
+	for round := 0; round < 3; round++ {
+		bounded.VerifyBatch(context.Background(), pairs, 2)
+		unbounded.VerifyBatch(context.Background(), pairs, 2)
+	}
+	bst, ust := bounded.Stats(), unbounded.Stats()
+	if bst.InternerEpochs < 2 {
+		t.Fatalf("bounded engine never rotated: epochs=%d (hw=%d)", bst.InternerEpochs, hw)
+	}
+	if ust.TermNodes < baseStats.TermNodes {
+		t.Fatalf("sanity: unbounded engine holds %d nodes, single batch interned %d",
+			ust.TermNodes, baseStats.TermNodes)
+	}
+	// Rotation fires between pairs, so the current epoch can overshoot the
+	// mark by at most the terms of the pairs in flight when it crossed;
+	// one full batch of slack is a generous ceiling that still separates
+	// bounded from unbounded behavior.
+	ceiling := int64(hw) + baseStats.TermNodes
+	if bst.TermNodes > ceiling {
+		t.Errorf("rotating engine's epoch grew to %d nodes, ceiling %d (hw=%d)",
+			bst.TermNodes, ceiling, hw)
+	}
+	if bst.TermNodes >= ust.TermNodes {
+		t.Errorf("rotation did not bound the DAG: %d nodes rotating, %d not",
+			bst.TermNodes, ust.TermNodes)
+	}
+}
+
+// TestRotationConcurrentWithWorkers runs rotation under worker concurrency
+// with the race detector watching the interner handoff. A sampler
+// goroutine continuously loads the engine's current interner and asserts
+// the publication ordering maybeRotate guarantees: the replacement epoch
+// is installed before the old one is retired, so a load that observes a
+// retired interner must already see a different current one on reload —
+// workers can never be handed a retired epoch as "current".
+func TestRotationConcurrentWithWorkers(t *testing.T) {
+	cat := corpus.Catalog()
+	pairs := calcitePairs()
+	base, _, hw := rotationHighWater(t, pairs)
+
+	eng := NewEngine(cat, Options{Workers: 8, TermNodeHighWater: hw})
+	stop := make(chan struct{})
+	var staleHandouts atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			in := eng.shared.interner()
+			if in.Retired() && eng.shared.interner() == in {
+				staleHandouts.Add(1)
+			}
+		}
+	}()
+
+	var results []Result
+	for round := 0; round < 2; round++ {
+		results, _ = eng.VerifyBatch(context.Background(), pairs, 8)
+	}
+	close(stop)
+
+	if n := staleHandouts.Load(); n != 0 {
+		t.Errorf("a retired interner stayed current %d times; rotation must install the new epoch before retiring the old", n)
+	}
+	st := eng.Stats()
+	if st.InternerEpochs < 2 {
+		t.Fatalf("concurrent run never rotated: epochs=%d (hw=%d)", st.InternerEpochs, hw)
+	}
+	for i := range pairs {
+		if base[i].Verdict != results[i].Verdict {
+			t.Errorf("pair %s: verdict %v unbounded, %v under concurrent rotation",
+				pairs[i].ID, base[i].Verdict, results[i].Verdict)
+		}
+	}
+}
+
+// TestWarmRestartParity pins the durable tier across a simulated process
+// restart: a cold engine fills the store, the store is closed and reopened
+// (running its crash-recovery scan), and a fresh engine over the same
+// directory answers from it — with hits, and with byte-identical verdicts.
+func TestWarmRestartParity(t *testing.T) {
+	cat := corpus.Catalog()
+	pairs := calcitePairs()
+	dir := t.TempDir()
+
+	st1, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewEngine(cat, Options{Workers: 4, Store: st1, ShareLemmas: true})
+	coldRes, _ := cold.VerifyBatch(context.Background(), pairs, 4)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st1.Snapshot().Records == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	st2, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got, want := st2.Snapshot().Records, st1.Snapshot().Records; got != want {
+		t.Fatalf("reopen lost records: %d on disk, %d written", got, want)
+	}
+	warm := NewEngine(cat, Options{Workers: 4, Store: st2, ShareLemmas: true})
+	warmRes, warmStats := warm.VerifyBatch(context.Background(), pairs, 4)
+	if warmStats.StoreHits == 0 {
+		t.Errorf("warm restart hit the store 0 times: %+v", warmStats)
+	}
+	for i := range pairs {
+		if coldRes[i].Verdict != warmRes[i].Verdict {
+			t.Errorf("pair %s: verdict %v cold, %v after warm restart",
+				pairs[i].ID, coldRes[i].Verdict, warmRes[i].Verdict)
+		}
+		if coldRes[i].Cardinal != warmRes[i].Cardinal {
+			t.Errorf("pair %s: cardinal %v cold, %v after warm restart",
+				pairs[i].ID, coldRes[i].Cardinal, warmRes[i].Cardinal)
+		}
+	}
+}

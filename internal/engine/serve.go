@@ -112,7 +112,9 @@ func (e *Engine) Stats() StatsSnapshot { return e.shared.Snapshot() }
 // persistent state: same memo tables, fresh dedupe tables and counters.
 func (e *Engine) batchOverlay(workers int) *Shared {
 	s := e.shared
-	o := &Shared{opts: s.opts, parent: s, in: s.in}
+	// No interner copy: the overlay delegates interner() to its parent, so
+	// an epoch rotation during the batch is visible to overlay workers too.
+	o := &Shared{opts: s.opts, parent: s, lemmas: s.lemmas}
 	if workers > 0 {
 		o.opts.Workers = workers
 	}

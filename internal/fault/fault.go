@@ -52,11 +52,17 @@ const (
 	// prefix and a suffix check — the window where an abort must leave the
 	// session unusable for that query yet leak nothing into the next pair.
 	SMTPushPop Site = "smt-push-pop"
+	// StoreAppend fires in the durable verdict store between writing a
+	// record's header and its payload — the torn-write window. A panic here
+	// leaves a truncatable tail; a cancel skips the write entirely (the
+	// fsync-skip analog). Either way the store may lose the record but can
+	// never corrupt one into a different verdict.
+	StoreAppend Site = "store-append"
 )
 
 // Sites returns every registered site, in stable order.
 func Sites() []Site {
-	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop}
+	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend}
 }
 
 // Kind is the species of an injected fault.

@@ -44,11 +44,15 @@ func TestChaosAllSites(t *testing.T) {
 	}
 	base := runtime.NumGoroutine()
 	cat := corpus.Catalog()
+	// A durable store rides along so the store-append fault site is in
+	// play: torn and skipped appends under chaos must only ever lose
+	// verdicts, never corrupt one into "equivalent".
 	s := newTestServer(t, Config{
 		Catalog:       cat,
 		MaxInFlight:   8,
 		MaxQueue:      64,
 		VerifyTimeout: 5 * time.Second,
+		StorePath:     t.TempDir(),
 	})
 	h := s.Handler()
 
@@ -154,7 +158,12 @@ func TestChaosAllSites(t *testing.T) {
 	}
 
 	// The whole stack must wind down clean: no abandoned watchdog waiters,
-	// no stuck limiter slots, no orphaned solver goroutines.
+	// no stuck limiter slots, no orphaned solver goroutines. The store's
+	// writer goroutine is deliberate process-lifetime state, not a leak;
+	// flush and stop it first (Shutdown would do the same).
+	if err := s.store.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
 	settleGoroutines(t, base, 5*time.Second)
 
 	// Panic recovery is not hypothetical robustness — with panics armed at

@@ -37,6 +37,7 @@ import (
 	"spes/internal/engine"
 	"spes/internal/plan"
 	"spes/internal/schema"
+	"spes/internal/store"
 )
 
 // Config tunes the service. The zero value of any field selects the
@@ -70,6 +71,16 @@ type Config struct {
 	// stuck before the engine's watchdog cancels it and abandons the wait
 	// (0 = engine.DefaultWatchdogGrace).
 	WatchdogGrace time.Duration
+	// StorePath, when non-empty, is a directory for the durable verdict
+	// store: definite verdicts and theory lemmas persist there, so a
+	// restarted server (or a new replica pointed at the same directory)
+	// starts warm instead of stone cold. The server owns the store and
+	// closes it on Shutdown.
+	StorePath string
+	// TermNodeHighWater, when > 0, rotates the engine's interner epoch
+	// once the term DAG reaches this many nodes, bounding steady-state
+	// term memory under adversarial workload diversity (0 = never rotate).
+	TermNodeHighWater int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,10 +111,11 @@ func (c Config) withDefaults() Config {
 // Server is the verification service. Create with New, serve with Serve
 // or ListenAndServe, stop with Shutdown.
 type Server struct {
-	cfg  Config
-	eng  *engine.Engine
-	lim  *limiter
-	coal *coalescer
+	cfg   Config
+	eng   *engine.Engine
+	lim   *limiter
+	coal  *coalescer
+	store *store.Store // nil without Config.StorePath
 
 	reg         *Registry
 	reqTotal    *CounterVec
@@ -128,23 +140,41 @@ type Server struct {
 	httpSrv *http.Server
 }
 
-// New builds a Server over a fresh persistent engine.
-func New(cfg Config) *Server {
+// New builds a Server over a fresh persistent engine. It returns an error
+// only when the durable store cannot be opened; every other misconfiguration
+// keeps the old panic behavior (they are programmer errors, not runtime
+// conditions).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Catalog == nil {
 		panic("server: Config.Catalog is required")
 	}
-	eng := engine.NewEngine(cfg.Catalog, engine.Options{
-		Workers:       cfg.BatchWorkers,
-		CacheSize:     cfg.CacheSize,
-		WatchdogGrace: cfg.WatchdogGrace,
-	})
+	opts := engine.Options{
+		Workers:           cfg.BatchWorkers,
+		CacheSize:         cfg.CacheSize,
+		WatchdogGrace:     cfg.WatchdogGrace,
+		TermNodeHighWater: cfg.TermNodeHighWater,
+	}
+	var st *store.Store
+	if cfg.StorePath != "" {
+		var err error
+		st, err = store.OpenDir(cfg.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = st
+		// Cross-pair lemma sharing rides with durability: a server's whole
+		// point is compounding warm state across requests.
+		opts.ShareLemmas = true
+	}
+	eng := engine.NewEngine(cfg.Catalog, opts)
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		eng:        eng,
 		lim:        newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
 		coal:       newCoalescer(),
+		store:      st,
 		reg:        NewRegistry(),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
@@ -157,11 +187,15 @@ func New(cfg Config) *Server {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return s
+	return s, nil
 }
 
 // Engine exposes the underlying persistent engine (stats, warmup).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Store exposes the durable verdict store, nil when the server was built
+// without Config.StorePath. The server owns it; callers must not Close it.
+func (s *Server) Store() *store.Store { return s.store }
 
 func (s *Server) registerMetrics() {
 	r := s.reg
@@ -233,8 +267,31 @@ func (s *Server) registerMetrics() {
 		"Obligation cache hit fraction in [0,1] (lifetime).",
 		func() float64 { return s.eng.Stats().ObligationHitRate() })
 	r.NewGaugeFunc("spes_engine_term_nodes",
-		"Distinct term nodes in the engine's shared hash-consed DAG; the engine's term memory is proportional to this.",
+		"Distinct term nodes in the engine's current interner epoch; with rotation on (TermNodeHighWater > 0) this stays bounded by the high-water mark, and the engine's live term memory is proportional to it once retired epochs are collected.",
 		stat(func(st engine.StatsSnapshot) int64 { return st.TermNodes }))
+	r.NewCounterFunc("spes_engine_interner_epochs_total",
+		"Interner epochs opened, including the initial one; increments when the term DAG crosses the rotation high-water mark.",
+		stat(func(st engine.StatsSnapshot) int64 { return st.InternerEpochs }))
+	r.NewCounterFunc("spes_engine_session_evictions_total",
+		"Verify sessions evicted from the bounded session tables, by LRU pressure or epoch rotation (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.SessionEvictions }))
+	r.NewCounterFunc("spes_store_hits_total",
+		"Obligations answered from the durable verdict store (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.StoreHits }))
+	r.NewCounterFunc("spes_store_misses_total",
+		"Durable-store lookups that found no verdict (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.StoreMisses }))
+	if st := s.store; st != nil {
+		r.NewGaugeFunc("spes_store_records",
+			"Live records (verdicts plus lemmas) indexed in the durable store.",
+			func() float64 { return float64(st.Snapshot().Records) })
+		r.NewGaugeFunc("spes_store_bytes",
+			"Bytes in the durable store's append-only log.",
+			func() float64 { return float64(st.Snapshot().Bytes) })
+		r.NewCounterFunc("spes_store_appends_total",
+			"Records appended to the durable store this process (lifetime).",
+			func() float64 { return float64(st.Snapshot().Appends) })
+	}
 	r.NewCounterFunc("spes_panics_recovered_total",
 		"Panics recovered into degraded verdicts or HTTP 500s instead of crashing the process (lifetime).",
 		func() float64 { return float64(s.eng.Stats().Panics + s.srvPanics.Load()) })
@@ -283,14 +340,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan error, 1)
 	go func() { done <- s.httpSrv.Shutdown(context.Background()) }()
+	var err error
 	select {
-	case err := <-done:
+	case err = <-done:
 		s.cancelBase()
-		return err
 	case <-ctx.Done():
 		s.cancelBase()
-		return <-done
+		err = <-done
 	}
+	// Close the store only after every request goroutine has finished:
+	// Close flushes the write-behind queue, so verdicts from the final
+	// requests land on disk before the process exits.
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // instrument wraps a handler with admission control and metrics.

@@ -30,7 +30,11 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Catalog == nil {
 		cfg.Catalog = corpus.Catalog()
 	}
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {

@@ -196,6 +196,7 @@ func (se *Session) checkJoint(core *fol.Term, defs []*fol.Term) Result {
 		in := s.newCaseInstance(c)
 		in.store = se.store
 		in.replayLemmas()
+		in.replayShared()
 		switch s.run(in) {
 		case Sat:
 			return Sat
@@ -227,6 +228,19 @@ func (se *Session) promote() {
 		se.cases = append(se.cases, in)
 		s.Stats.PrefixEncodes++
 	}
+}
+
+// Cost estimates the session's retained memory in atom units: the encoded
+// vocabulary of every persistent prefix case plus the ITE-definition
+// closure. It is the weight a memory-bounded session table charges for
+// keeping the session alive — cheap to compute, monotone in the CNF, SAT,
+// and congruence state the cases actually pin.
+func (se *Session) Cost() int {
+	c := 1 + len(se.defAtoms)
+	for _, in := range se.cases {
+		c += len(in.atoms)
+	}
+	return c
 }
 
 // liveFor builds the live-atom set for one promoted-case check: the prefix
@@ -283,6 +297,7 @@ func (se *Session) checkCase(in *instance, suffix *fol.Term) Result {
 	}
 	in.addTrichotomy()
 	in.replayLemmas()
+	in.replayShared()
 	s.Stats.Atoms += len(in.atoms) - prevAtoms
 	in.live = se.liveFor(in, suffix)
 	res := s.run(in, assumps...)

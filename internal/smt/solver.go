@@ -93,6 +93,14 @@ type Solver struct {
 	// one on first use. Interning preserves formula structure exactly, so
 	// verdicts are independent of which interner terms arrive in.
 	Interner *fol.Interner
+	// SharedLemmas, when non-nil, is a cross-pair (and, through its sink,
+	// cross-process) theory-lemma pool: every blocked core this solver
+	// learns is admitted to it, and every instance the solver builds
+	// replays whatever pooled lemmas its vocabulary covers. Pool lemmas are
+	// keyed on canonical atom keys, so they survive interner rotation and
+	// round-trip through the durable store. See LemmaPool for the
+	// soundness argument.
+	SharedLemmas *LemmaPool
 	// NoTheoryCache disables the ID-keyed theory-translation cache (see
 	// theoryCache), making every theory check re-derive its linear forms
 	// from scratch. The legacy construction mode (verify's
@@ -250,9 +258,11 @@ func (s *Solver) newCaseInstance(c *fol.Term) *instance {
 	in.sat.MaxConflicts = s.MaxSATConflicts
 	in.sat.Stop = s.aborted
 	in.theory = newEUFIn(s.Interner)
+	in.shared = s.SharedLemmas
 	if c.Kind != fol.KTrue {
 		in.sat.AddClause(in.encode(c))
 		in.addTrichotomy()
+		in.replayShared()
 		s.Stats.Atoms += len(in.atoms)
 	}
 	return in
@@ -386,6 +396,7 @@ func (s *Solver) run(in *instance, assumps ...sat.Lit) Result {
 		core := s.minimizeCore(in.theory, start)
 		in.block(core)
 		in.store.record(core)
+		s.SharedLemmas.addCore(core)
 	}
 	s.Stats.MaxRoundsHit++
 	return Unknown

@@ -39,6 +39,13 @@ type instance struct {
 	// lemmaOn flags which of its lemmas this instance has asserted.
 	store   *lemmaStore
 	lemmaOn []bool
+	// shared, when non-nil, is the cross-pair lemma pool (see LemmaPool).
+	// Its lemmas are keyed on canonical atom keys, so atomByKey indexes the
+	// vocabulary by key alongside atomVar's ID index; sharedOn flags which
+	// pool lemmas this instance has asserted.
+	shared    *LemmaPool
+	atomByKey map[string]*fol.Term
+	sharedOn  []bool
 	// base is the atom set of this instance's prefix case, fixed at
 	// promotion; live, when non-nil, restricts which atoms the theory layer
 	// examines for the current check (see modelLits).
@@ -48,9 +55,10 @@ type instance struct {
 
 func newInstance() *instance {
 	return &instance{
-		sat:     sat.New(),
-		atomVar: make(map[uint32]int),
-		gates:   make(map[uint32]sat.Lit),
+		sat:       sat.New(),
+		atomVar:   make(map[uint32]int),
+		gates:     make(map[uint32]sat.Lit),
+		atomByKey: make(map[string]*fol.Term),
 	}
 }
 
@@ -77,6 +85,9 @@ func (in *instance) atomLit(t *fol.Term) sat.Lit {
 	v := in.sat.NewVar()
 	in.atomVar[t.ID()] = v
 	in.atoms = append(in.atoms, t)
+	if in.shared != nil {
+		in.atomByKey[t.Key()] = t
+	}
 	// Cache the atom's variables now: the model-round loop partitions
 	// literals into variable-connected components every round, and
 	// re-walking each atom's tree there dominated hot profiles.
@@ -239,6 +250,40 @@ func (in *instance) replayLemmas() {
 		if covered {
 			in.block(core)
 			in.lemmaOn[i] = true
+		}
+	}
+}
+
+// replayShared asserts every pool lemma whose atoms are all registered in
+// this instance's vocabulary (matched by canonical key) and not yet asserted
+// here. Like replayLemmas, lemmas touching unregistered atoms are skipped —
+// they would grow the vocabulary past what the formula mentions — and may be
+// picked up by a later call once a suffix registers the missing atoms.
+func (in *instance) replayShared() {
+	if in.shared == nil {
+		return
+	}
+	lemmas := in.shared.view()
+	for i, lits := range lemmas {
+		if i < len(in.sharedOn) && in.sharedOn[i] {
+			continue
+		}
+		for len(in.sharedOn) <= i {
+			in.sharedOn = append(in.sharedOn, false)
+		}
+		core := make([]theoryLit, len(lits))
+		covered := true
+		for j, l := range lits {
+			t, ok := in.atomByKey[l.AtomKey]
+			if !ok {
+				covered = false
+				break
+			}
+			core[j] = theoryLit{atom: t, pos: l.Pos}
+		}
+		if covered {
+			in.block(core)
+			in.sharedOn[i] = true
 		}
 	}
 }

@@ -38,6 +38,9 @@ type Stats struct {
 	PrefixEncodes   int   // prefix cases encoded by session pushes
 	SuffixChecks    int   // obligations answered inside a session
 	PrefixReuse     int   // suffix checks that reused an encoded prefix
+	StoreHits       int   // obligations answered from the durable store
+	StoreMisses     int   // durable-store lookups that missed
+	SessionEvicts   int   // sessions evicted from the LRU table (incl. rotation drains)
 }
 
 // ObligationCache memoizes validity outcomes across Verifiers. Keys are
@@ -65,6 +68,23 @@ type ObligationCache interface {
 	Store(key string, valid bool)
 }
 
+// DurableStore persists definite validity outcomes across processes. Keys
+// are the obligation's canonical serialization (fol.Canonical / Term.Key) —
+// interner-independent, so a stored verdict is valid for any process, any
+// interner epoch, and any in-memory representation. The soundness contract
+// matches ObligationCache: implementations return only what AppendVerdict
+// gave them (confirmed on the full key, never a fingerprint alone), and
+// Verifiers append only definite solver verdicts. internal/store.Store is
+// the canonical implementation.
+type DurableStore interface {
+	// LookupVerdict returns the stored validity of the obligation and
+	// whether it was present.
+	LookupVerdict(key string) (valid, ok bool)
+	// AppendVerdict records a definite validity outcome (write-behind;
+	// losing it is sound).
+	AppendVerdict(key string, valid bool)
+}
+
 // Config tunes a Verifier beyond the New defaults.
 type Config struct {
 	// MaxCandidates caps the bijections VeriVec tries per vector pair
@@ -83,6 +103,18 @@ type Config struct {
 	// Cache, when non-nil, memoizes definite validity outcomes across
 	// Verifiers.
 	Cache ObligationCache
+	// Store, when non-nil, is the durable tier below the Cache: obligations
+	// that miss the cache are looked up by canonical key before the solver
+	// runs, and definite verdicts are appended write-behind. A store hit is
+	// promoted into the Cache under the interner-tagged key.
+	Store DurableStore
+	// Lemmas, when non-nil, shares theory lemmas across pairs (and, through
+	// the pool's sink, across processes). See smt.LemmaPool for the
+	// soundness argument. Because replayed lemmas can decide obligations
+	// that would otherwise exhaust their budget as Unknown, enabling the
+	// pool may turn not-proved outcomes into proved ones — never the
+	// reverse.
+	Lemmas *smt.LemmaPool
 	// Interner, when non-nil, hash-conses every term the Verifier builds,
 	// so structurally equal terms are pointer-identical and obligation
 	// cache keys derive from term IDs instead of full serializations.
@@ -123,6 +155,7 @@ type Verifier struct {
 	gen         *symbolic.Gen
 	enc         *symbolic.Encoder
 	cache       ObligationCache
+	store       DurableStore
 	in          *fol.Interner
 	stats       Stats
 	incremental bool
@@ -130,8 +163,21 @@ type Verifier struct {
 	// structural identity) to the live solver session holding its encoding.
 	// VeriVec candidate loops and the agg-matching search hit the same
 	// prefix over and over; the session lets each later obligation encode
-	// only its suffix.
-	sessions map[*fol.Term]*smt.Session
+	// only its suffix. The table is an LRU bounded both by entry count and
+	// by retained memory (Session.Cost, in atom units): sessList orders
+	// entries by last prefix reuse, and sessCost tracks the live total.
+	sessions map[*fol.Term]*sessionEntry
+	sessHead *sessionEntry // most recently used
+	sessTail *sessionEntry // least recently used
+	sessCost int
+}
+
+// sessionEntry is one node of the session LRU's intrusive list.
+type sessionEntry struct {
+	prefix     *fol.Term
+	se         *smt.Session
+	cost       int
+	prev, next *sessionEntry
 }
 
 // New returns a Verifier with a fresh solver and symbol namespace.
@@ -159,12 +205,14 @@ func NewWithConfig(cfg Config) *Verifier {
 	if mc <= 0 {
 		mc = 64
 	}
+	s.SharedLemmas = cfg.Lemmas
 	return &Verifier{
 		MaxCandidates: mc,
 		solver:        s,
 		gen:           g,
 		enc:           symbolic.NewEncoder(g),
 		cache:         cfg.Cache,
+		store:         cfg.Store,
 		in:            in,
 		incremental:   !cfg.DisableIncremental,
 	}
@@ -249,20 +297,57 @@ func (v *Verifier) Check(q1, q2 plan.Node) Outcome {
 // the suffix. The cache is consulted before the solver either way, so a
 // hit never opens or touches a session.
 func (v *Verifier) validUnder(prefix, suffix *fol.Term) bool {
-	if v.cache == nil {
+	if v.cache == nil && v.store == nil {
 		return v.solveObligation(prefix, suffix) == smt.Unsat
 	}
-	key := v.obligationKey(fol.Implies(prefix, suffix))
-	if val, ok := v.cache.Lookup(key); ok {
-		v.stats.ObligationHits++
-		return val
+	f := fol.Implies(prefix, suffix)
+	if v.in != nil {
+		f = v.in.Intern(f)
 	}
-	v.stats.ObligationMiss++
+	var key string
+	if v.cache != nil {
+		key = v.obligationKey(f)
+		if val, ok := v.cache.Lookup(key); ok {
+			v.stats.ObligationHits++
+			return val
+		}
+		v.stats.ObligationMiss++
+	}
+	var ckey string
+	if v.store != nil {
+		// The durable tier keys on the canonical serialization — an O(1)
+		// field read for interned terms — so a verdict computed under any
+		// interner epoch, or by a previous process, answers here.
+		ckey = v.canonicalKey(f)
+		if val, ok := v.store.LookupVerdict(ckey); ok {
+			v.stats.StoreHits++
+			if v.cache != nil {
+				v.cache.Store(key, val)
+			}
+			return val
+		}
+		v.stats.StoreMisses++
+	}
 	res := v.solveObligation(prefix, suffix)
 	if res != smt.Unknown {
-		v.cache.Store(key, res == smt.Unsat)
+		valid := res == smt.Unsat
+		if v.cache != nil {
+			v.cache.Store(key, valid)
+		}
+		if v.store != nil {
+			v.store.AppendVerdict(ckey, valid)
+		}
 	}
 	return res == smt.Unsat
+}
+
+// canonicalKey is the interner-independent serialization of an obligation,
+// used by the durable tier.
+func (v *Verifier) canonicalKey(f *fol.Term) string {
+	if f.Interned() {
+		return f.Key()
+	}
+	return fol.Canonical(f)
 }
 
 // solveObligation decides prefix → suffix with the solver: incrementally,
@@ -280,25 +365,103 @@ func (v *Verifier) solveObligation(prefix, suffix *fol.Term) smt.Result {
 	return v.sessionFor(prefix).CheckSatUnder(fol.Not(suffix))
 }
 
-// maxLiveSessions bounds the session table. VeriVec candidate loops reuse
-// a handful of prefixes heavily; a run that somehow produces more distinct
-// prefixes than this is not getting reuse anyway, so the table resets
-// wholesale rather than growing without bound for the Verifier's lifetime.
-const maxLiveSessions = 32
+// maxLiveSessions bounds the session table by entry count, and
+// maxSessionCost bounds it by retained memory (Session.Cost, in atom
+// units — the encoded vocabulary its CNF, SAT, and congruence state pin).
+// VeriVec candidate loops reuse a handful of prefixes heavily; eviction is
+// LRU on last prefix reuse, so the prefixes currently driving a search stay
+// encoded while one-shot prefixes age out instead of forcing a wholesale
+// reset that would throw the hot encodings away with the cold.
+const (
+	maxLiveSessions = 32
+	maxSessionCost  = 1 << 14
+)
 
 // sessionFor returns the live session holding the prefix's encoding,
-// opening one (and paying the prefix encode) on first sight.
+// opening one (and paying the prefix encode) on first sight. If the
+// verifier's interner epoch has been retired (the engine rotated mid-pair),
+// the whole table is drained first: its sessions' encodings are keyed on
+// retired-epoch IDs and would otherwise pin the retired DAG for the
+// verifier's lifetime.
 func (v *Verifier) sessionFor(prefix *fol.Term) *smt.Session {
-	if se, ok := v.sessions[prefix]; ok {
-		return se
+	if v.in.Retired() && len(v.sessions) > 0 {
+		v.stats.SessionEvicts += len(v.sessions)
+		v.sessions = nil
+		v.sessHead, v.sessTail, v.sessCost = nil, nil, 0
 	}
-	if v.sessions == nil || len(v.sessions) >= maxLiveSessions {
-		v.sessions = make(map[*fol.Term]*smt.Session)
+	if e, ok := v.sessions[prefix]; ok {
+		v.sessCost += e.se.Cost() - e.cost
+		e.cost = e.se.Cost()
+		v.sessTouch(e)
+		v.sessEvict(e)
+		return e.se
+	}
+	if v.sessions == nil {
+		v.sessions = make(map[*fol.Term]*sessionEntry)
 	}
 	se := v.solver.NewSession()
 	se.Push(prefix)
-	v.sessions[prefix] = se
+	e := &sessionEntry{prefix: prefix, se: se, cost: se.Cost()}
+	v.sessions[prefix] = e
+	v.sessCost += e.cost
+	// Push to front as most recent.
+	e.next = v.sessHead
+	if v.sessHead != nil {
+		v.sessHead.prev = e
+	}
+	v.sessHead = e
+	if v.sessTail == nil {
+		v.sessTail = e
+	}
+	v.sessEvict(e)
 	return se
+}
+
+// sessTouch moves an entry to the front of the LRU list.
+func (v *Verifier) sessTouch(e *sessionEntry) {
+	if v.sessHead == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if v.sessTail == e {
+		v.sessTail = e.prev
+	}
+	e.prev = nil
+	e.next = v.sessHead
+	if v.sessHead != nil {
+		v.sessHead.prev = e
+	}
+	v.sessHead = e
+	if v.sessTail == nil {
+		v.sessTail = e
+	}
+}
+
+// sessEvict drops least-recently-used sessions until both bounds hold,
+// never evicting keep (the entry serving the current obligation).
+func (v *Verifier) sessEvict(keep *sessionEntry) {
+	for v.sessTail != nil &&
+		(len(v.sessions) > maxLiveSessions || v.sessCost > maxSessionCost) {
+		e := v.sessTail
+		if e == keep {
+			return // everything else is gone; the live entry stays
+		}
+		v.sessTail = e.prev
+		if v.sessTail != nil {
+			v.sessTail.next = nil
+		} else {
+			v.sessHead = nil
+		}
+		e.prev, e.next = nil, nil
+		delete(v.sessions, e.prefix)
+		v.sessCost -= e.cost
+		v.stats.SessionEvicts++
+	}
 }
 
 // obligationKey derives the cache key for an obligation. With an interner
