@@ -2,9 +2,9 @@
 # Repo verification gate: vet, build, and the full test suite under the
 # race detector (the engine's determinism and worker-ownership tests run
 # with 8 concurrent workers, so -race exercises the batch engine's
-# sharing for real), then an end-to-end smoke test of spes-serve: boot on
-# an ephemeral port, verify a known-equivalent Calcite pair over HTTP,
-# scrape /metrics, and drain with SIGINT.
+# sharing for real), then end-to-end smoke tests: spes-serve boot/verify/
+# drain, chaos under -faults, warm restart through the durable store, and
+# a 2-shard spes-router cluster surviving a shard kill via failover.
 set -eux
 
 # Term-construction lint: fol.Term values must be built through the fol
@@ -51,7 +51,7 @@ go test -race -run 'TestFaultTornAppend|TestChecksumCorruptionLosesNeverFabricat
 
 # --- spes-serve smoke test -------------------------------------------------
 tmp=$(mktemp -d)
-trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$tmp"' EXIT
+trap 'kill ${SERVE_PID:-} ${SHARD_A_PID:-} ${SHARD_B_PID:-} ${ROUTER_PID:-} 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/spes-serve" ./cmd/spes-serve
 "$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
@@ -190,3 +190,73 @@ grep -q 'spes_store_hits_total' "$tmp/warm-metrics.txt"
 kill -INT $SERVE_PID
 wait $SERVE_PID
 grep -q 'spes-serve: drained' "$tmp/warm2.log"
+
+# --- cluster smoke test ----------------------------------------------------
+# Two shards behind spes-router, end to end: a routed batch must return
+# verdicts identical to a single shard verifying everything itself; then
+# one shard is SIGTERMed and the next batch must complete via failover —
+# still verdict-identical, with the router's failover counter > 0 and no
+# result attributed to the dead shard.
+go build -o "$tmp/spes-router" ./cmd/spes-router
+
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -shard-id a >"$tmp/shard-a.log" 2>&1 &
+SHARD_A_PID=$!
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -shard-id b >"$tmp/shard-b.log" 2>&1 &
+SHARD_B_PID=$!
+for i in $(seq 1 50); do
+    ADDR_A=$(sed -n 's/^spes-serve: listening on //p' "$tmp/shard-a.log" | head -1)
+    ADDR_B=$(sed -n 's/^spes-serve: listening on //p' "$tmp/shard-b.log" | head -1)
+    [ -n "$ADDR_A" ] && [ -n "$ADDR_B" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR_A" ] && [ -n "$ADDR_B" ]
+grep -q 'spes-serve: shard-id a' "$tmp/shard-a.log"
+
+# Reference verdicts: one shard verifying the whole batch directly.
+curl -sf -X POST "http://$ADDR_A/v1/verify/batch" -d @"$tmp/batch.json" >"$tmp/cluster-ref.json"
+grep -o '"verdict": "[a-z-]*"' "$tmp/cluster-ref.json" >"$tmp/cluster-ref-verdicts.txt"
+
+# A long probe interval pins the failure-discovery path: the router will
+# learn of the kill below from the failing forward itself, not a probe.
+"$tmp/spes-router" -corpus calcite -addr 127.0.0.1:0 -probe-interval 1h \
+    -retry-after-cap 200ms \
+    -shards "a=http://$ADDR_A,b=http://$ADDR_B" >"$tmp/router.log" 2>&1 &
+ROUTER_PID=$!
+for i in $(seq 1 50); do
+    RADDR=$(sed -n 's/^spes-router: listening on //p' "$tmp/router.log" | head -1)
+    [ -n "$RADDR" ] && break
+    sleep 0.1
+done
+[ -n "$RADDR" ]
+curl -sf "http://$RADDR/healthz" | grep -q '"ring_size": 2'
+
+# Routed batch with both shards up: verdict-identical to single-node.
+curl -sf -X POST "http://$RADDR/v1/verify/batch" -d @"$tmp/batch.json" >"$tmp/routed1.json"
+grep -o '"verdict": "[a-z-]*"' "$tmp/routed1.json" >"$tmp/routed1-verdicts.txt"
+diff "$tmp/cluster-ref-verdicts.txt" "$tmp/routed1-verdicts.txt"
+
+# Kill shard b. The router still has it in the ring (the next probe is an
+# hour away), so the following batch hits the dead shard, fails over to a,
+# and must still match the single-node verdicts exactly.
+kill -TERM $SHARD_B_PID
+wait $SHARD_B_PID
+grep -q 'spes-serve: drained' "$tmp/shard-b.log"
+curl -sf -X POST "http://$RADDR/v1/verify/batch" -d @"$tmp/batch.json" >"$tmp/routed2.json"
+grep -o '"verdict": "[a-z-]*"' "$tmp/routed2.json" >"$tmp/routed2-verdicts.txt"
+diff "$tmp/cluster-ref-verdicts.txt" "$tmp/routed2-verdicts.txt"
+! grep -q '"shard": "b"' "$tmp/routed2.json"   # nothing attributed to the dead shard
+
+curl -sf "http://$RADDR/metrics" >"$tmp/router-metrics.txt"
+grep -q 'spes_router_forwards_total' "$tmp/router-metrics.txt"
+grep -q 'spes_router_failover_events_total' "$tmp/router-metrics.txt"
+! grep -q '^spes_router_failover_events_total 0$' "$tmp/router-metrics.txt"
+curl -sf "http://$RADDR/healthz" | grep -q '"ring_size": 1'
+curl -sf "http://$RADDR/v1/cluster/stats" | grep -q '"shards_reporting": 1'
+
+# Both remaining processes must drain clean.
+kill -TERM $ROUTER_PID
+wait $ROUTER_PID
+grep -q 'spes-router: drained' "$tmp/router.log"
+kill -INT $SHARD_A_PID
+wait $SHARD_A_PID
+grep -q 'spes-serve: drained' "$tmp/shard-a.log"

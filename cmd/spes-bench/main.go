@@ -10,6 +10,7 @@
 //	spes-bench -batch -parallel 8   # engine throughput study vs sequential
 //	spes-bench -incremental         # incremental sessions vs one-shot solving
 //	spes-bench -serve               # spes-serve loadgen (req/s, p50/p99)
+//	spes-bench -cluster             # spes-router over 1/2/4 local shards
 //	spes-bench -all                 # everything
 //
 // -parallel N fans Table 2, Figure 7, and the batch study across N engine
@@ -53,6 +54,8 @@ func main() {
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "with -serve -json: artifact path for the loadgen report")
 		warmB    = flag.Bool("warm", false, "run the durable-warm-state study (cold vs warm-restart throughput, rotation memory bound)")
 		warmOut  = flag.String("warm-out", "BENCH_warm.json", "with -warm -json: artifact path for the warm-state report")
+		clusterB = flag.Bool("cluster", false, "run the multi-shard router study (the pair stream through spes-router onto 1, 2, and 4 local shards)")
+		clusterO = flag.String("cluster-out", "BENCH_cluster.json", "with -cluster -json: artifact path for the cluster report")
 	)
 	flag.Parse()
 
@@ -168,6 +171,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *warmOut)
 		} else {
 			fmt.Print(bench.RenderWarm(rep))
+		}
+	}
+	if *all || *clusterB {
+		ranSomething = true
+		rep, err := bench.RunCluster(*seed, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spes-bench: cluster study: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			out["cluster"] = rep
+			if err := writeArtifact(*clusterO, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "spes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *clusterO)
+		} else {
+			fmt.Print(bench.RenderCluster(rep))
 		}
 	}
 	if !ranSomething {

@@ -13,8 +13,13 @@
 //
 //	POST /v1/verify        {"sql1": ..., "sql2": ..., "timeout_ms": ...}
 //	POST /v1/verify/batch  {"pairs": [{"id","sql1","sql2"}, ...]}
-//	GET  /healthz
+//	GET  /healthz          readiness: "ok" serving, "draining" during shutdown
+//	GET  /v1/stats         engine lifetime counters (router aggregation feed)
 //	GET  /metrics
+//
+// Under spes-router, give each shard a stable -shard-id: it names the
+// process in the router's ring, is echoed in every verify response, and
+// labels the spes_shard_info metric.
 //
 // SIGINT/SIGTERM starts a graceful drain: in-flight verifications get
 // -shutdown-grace to finish, then remaining solver work is cancelled
@@ -53,6 +58,7 @@ func main() {
 		wdGrace     = flag.Duration("watchdog-grace", 0, "extra time past its deadline a stuck verification may hold a worker before the watchdog abandons it (0 = engine default)")
 		storeDir    = flag.String("store-dir", "", "directory for the durable verdict store; restarts pointed at the same directory start warm (empty = no persistence)")
 		highWater   = flag.Int("term-highwater", 0, "rotate the interner epoch when the term DAG reaches this many nodes, bounding term memory (0 = never rotate)")
+		shardID     = flag.String("shard-id", "", "stable shard identity when serving behind spes-router; echoed in responses, /healthz, /v1/stats, and metrics")
 		faults      = flag.String("faults", "", `chaos-testing fault spec, e.g. "seed=7,rate=25,sites=normalize|smt-model-round,kinds=panic|delay" (also read from SPES_FAULTS; never enable in production)`)
 	)
 	flag.Parse()
@@ -87,6 +93,7 @@ func main() {
 		WatchdogGrace:     *wdGrace,
 		StorePath:         *storeDir,
 		TermNodeHighWater: *highWater,
+		ShardID:           *shardID,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -103,6 +110,9 @@ func main() {
 	// Printed after the bind so scripts using port 0 can read the real
 	// address off the first line.
 	fmt.Printf("spes-serve: listening on %s\n", l.Addr())
+	if *shardID != "" {
+		fmt.Printf("spes-serve: shard-id %s\n", *shardID)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(l) }()

@@ -169,10 +169,13 @@ func runServeRound(pairs []corpus.Pair, requests, clients int) ServeRound {
 // before reporting the shed as an error.
 const maxShedRetries = 3
 
-// postWithRetry POSTs body, retrying on 503 with backoff: the server's
-// Retry-After hint (capped, so a bench run cannot stall on a long hint)
-// doubled per attempt. Any other status — including other errors — is
-// returned to the caller as-is. It reports how many retries were spent.
+// postWithRetry POSTs body, retrying on 503. The server's Retry-After
+// value is honored as sent — it is the server's own estimate of when a
+// queue slot frees, and second-guessing it downward just converts one
+// shed into a hammering loop that sheds again. Doubling backoff applies
+// only when the server gave no hint. Any other status — including other
+// errors — is returned to the caller as-is. It reports how many retries
+// were spent.
 func postWithRetry(url string, body []byte, maxRetries int) (*http.Response, int, error) {
 	retries := 0
 	for {
@@ -183,7 +186,10 @@ func postWithRetry(url string, body []byte, maxRetries int) (*http.Response, int
 		if resp.StatusCode != http.StatusServiceUnavailable || retries >= maxRetries {
 			return resp, retries, nil
 		}
-		wait := retryAfterHint(resp) << retries
+		wait, hinted := retryAfterHint(resp)
+		if !hinted {
+			wait <<= retries
+		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		time.Sleep(wait)
@@ -191,21 +197,23 @@ func postWithRetry(url string, body []byte, maxRetries int) (*http.Response, int
 	}
 }
 
-// retryAfterHint reads the server's Retry-After seconds, clamped to
-// [10ms, 250ms] — the loadgen honors the signal's presence, not its full
-// magnitude, or a single shed would dominate the round's wall clock.
-func retryAfterHint(resp *http.Response) time.Duration {
-	const floor, ceil = 10 * time.Millisecond, 250 * time.Millisecond
-	d := floor
+// retryAfterHint reads the server's Retry-After seconds. A present hint
+// is honored at its actual value, bounded only by a defensive 5s ceiling
+// so a corrupt or hostile header cannot wedge the loadgen. It reports
+// whether a hint was present; without one the caller backs off from a
+// short fixed base instead.
+func retryAfterHint(resp *http.Response) (time.Duration, bool) {
+	const fallback, ceil = 10 * time.Millisecond, 5 * time.Second
 	if s := resp.Header.Get("Retry-After"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			d = time.Duration(n) * time.Second
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			d := time.Duration(n) * time.Second
+			if d > ceil {
+				d = ceil
+			}
+			return d, true
 		}
 	}
-	if d > ceil {
-		d = ceil
-	}
-	return d
+	return fallback, false
 }
 
 // percentile reads the q-th quantile from ascending latencies

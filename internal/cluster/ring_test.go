@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterminism pins the property a restarted router depends on: the
+// ring is a pure function of the member ID SET — same members, any
+// insertion order, any process — so routing survives router reboots and
+// every router replica agrees on placement.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"s1", "s2", "s3", "s4"}, 128)
+	b := NewRing([]string{"s4", "s2", "s1", "s3", "s1"}, 128) // shuffled, with a duplicate
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		fp := r.Uint64()
+		if got, want := b.Lookup(fp), a.Lookup(fp); got != want {
+			t.Fatalf("fp %#x: ring built in different order disagrees: %q vs %q", fp, got, want)
+		}
+	}
+	if a.Size() != 4 || b.Size() != 4 {
+		t.Fatalf("sizes: %d, %d (duplicate IDs must collapse)", a.Size(), b.Size())
+	}
+}
+
+// TestRingRebalanceInvariant is the consistent-hashing contract: adding or
+// removing one of N shards moves about K/N of K keys — and, critically,
+// every key that moves on an add moves TO the new shard, and every key
+// that moves on a remove moves FROM the removed shard. Keys owned by
+// untouched shards never reshuffle among them, which is what keeps N-1
+// warm caches warm through a membership change.
+func TestRingRebalanceInvariant(t *testing.T) {
+	const keys = 20000
+	r := rand.New(rand.NewSource(11))
+	fps := make([]uint64, keys)
+	for i := range fps {
+		fps[i] = r.Uint64()
+	}
+	members := []string{"s1", "s2", "s3", "s4"}
+	base := NewRing(members, 128)
+
+	t.Run("add", func(t *testing.T) {
+		grown := NewRing(append([]string{"s5"}, members...), 128)
+		moved := 0
+		for _, fp := range fps {
+			before, after := base.Lookup(fp), grown.Lookup(fp)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != "s5" {
+				t.Fatalf("fp %#x moved %q -> %q: an add may only move keys to the new shard", fp, before, after)
+			}
+		}
+		assertMovedFraction(t, moved, keys, len(members)+1)
+	})
+
+	t.Run("remove", func(t *testing.T) {
+		shrunk := NewRing(members[:3], 128) // drop s4
+		moved := 0
+		for _, fp := range fps {
+			before, after := base.Lookup(fp), shrunk.Lookup(fp)
+			if before == after {
+				continue
+			}
+			moved++
+			if before != "s4" {
+				t.Fatalf("fp %#x moved %q -> %q: a remove may only move the removed shard's keys", fp, before, after)
+			}
+		}
+		assertMovedFraction(t, moved, keys, len(members))
+	})
+
+	t.Run("without-equals-rebuild", func(t *testing.T) {
+		viaWithout := base.Without(map[string]bool{"s4": true})
+		rebuilt := NewRing(members[:3], 128)
+		for _, fp := range fps[:2000] {
+			if viaWithout.Lookup(fp) != rebuilt.Lookup(fp) {
+				t.Fatalf("Without and rebuild disagree at %#x", fp)
+			}
+		}
+	})
+}
+
+// assertMovedFraction checks moved ≈ keys/n: at least half the ideal (the
+// change really rebalanced) and at most double it (nowhere near a full
+// reshuffle; with 128 mixed vnodes the spread is comfortably inside 2x).
+func assertMovedFraction(t *testing.T, moved, keys, n int) {
+	t.Helper()
+	ideal := keys / n
+	if moved < ideal/2 || moved > ideal*2 {
+		t.Fatalf("%d of %d keys moved; want ~K/N = %d (accepted band [%d, %d])",
+			moved, keys, ideal, ideal/2, ideal*2)
+	}
+	t.Logf("moved %d/%d keys (ideal K/N = %d)", moved, keys, ideal)
+}
+
+// TestRingEdgeCases covers the degenerate memberships the router meets
+// during total outage and single-shard operation.
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 128)
+	if empty.Size() != 0 || empty.Lookup(42) != "" || empty.Successors(42, 3) != nil {
+		t.Fatalf("empty ring must answer nothing: size=%d lookup=%q succ=%v",
+			empty.Size(), empty.Lookup(42), empty.Successors(42, 3))
+	}
+
+	single := NewRing([]string{"only"}, 128)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if got := single.Lookup(r.Uint64()); got != "only" {
+			t.Fatalf("single-shard ring routed to %q", got)
+		}
+	}
+	if succ := single.Successors(7, 5); len(succ) != 1 || succ[0] != "only" {
+		t.Fatalf("single-shard successors: %v", succ)
+	}
+
+	if got := single.Without(map[string]bool{"only": true}); got.Size() != 0 {
+		t.Fatalf("Without(last member) size = %d", got.Size())
+	}
+}
+
+// TestRingSuccessorsDistinct: the failover order visits every shard
+// exactly once, starting at the owner.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	ring := NewRing(members, 32)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		fp := r.Uint64()
+		succ := ring.Successors(fp, len(members))
+		if len(succ) != len(members) {
+			t.Fatalf("successors %v: want all %d shards", succ, len(members))
+		}
+		if succ[0] != ring.Lookup(fp) {
+			t.Fatalf("successors start at %q, owner is %q", succ[0], ring.Lookup(fp))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate %q in successors %v", s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingBalance: with vnodes on, per-shard load stays within a sane
+// factor of ideal (the reason vnodes exist).
+func TestRingBalance(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4"}
+	ring := NewRing(members, DefaultVirtualNodes)
+	counts := map[string]int{}
+	r := rand.New(rand.NewSource(13))
+	const keys = 40000
+	for i := 0; i < keys; i++ {
+		counts[ring.Lookup(r.Uint64())]++
+	}
+	ideal := keys / len(members)
+	for s, c := range counts {
+		if c < ideal/2 || c > ideal*2 {
+			t.Fatalf("shard %s owns %d of %d keys (ideal %d): imbalance beyond 2x", s, c, keys, ideal)
+		}
+	}
+	t.Log(fmt.Sprint(counts))
+}

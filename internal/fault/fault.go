@@ -58,11 +58,18 @@ const (
 	// fsync-skip analog). Either way the store may lose the record but can
 	// never corrupt one into a different verdict.
 	StoreAppend Site = "store-append"
+	// RouterForward fires in the cluster router between picking a shard off
+	// the ring and forwarding a sub-batch to it — the window where a shard
+	// can die mid-batch. A panic or cancel here is treated as a transport
+	// failure: the router fails the sub-batch over to the ring successor,
+	// which re-verifies the pairs (sound because verdicts are deterministic
+	// functions of the plans; a re-verified pair returns the same answer).
+	RouterForward Site = "router-forward"
 )
 
 // Sites returns every registered site, in stable order.
 func Sites() []Site {
-	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend}
+	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend, RouterForward}
 }
 
 // Kind is the species of an injected fault.

@@ -124,6 +124,12 @@ func TestChaosAllSites(t *testing.T) {
 	}
 
 	for _, site := range fault.Sites() {
+		if site == fault.RouterForward {
+			// The router-forward site lives above this stack, in the cluster
+			// router's forwarding path; internal/cluster's chaos suite arms
+			// and asserts it.
+			continue
+		}
 		if fired[site] == 0 {
 			t.Errorf("site %s never fired across the whole chaos run", site)
 		}

@@ -24,7 +24,11 @@ type VerifyRequest struct {
 
 // VerifyResponse is the body of a successful POST /v1/verify.
 type VerifyResponse struct {
-	ID        string     `json:"id,omitempty"`
+	ID string `json:"id,omitempty"`
+	// Shard is the -shard-id of the process that verified this pair
+	// (empty on a standalone server). A router-merged batch carries a mix
+	// of shard values — the per-pair provenance of a clustered verdict.
+	Shard     string     `json:"shard,omitempty"`
 	Verdict   string     `json:"verdict"`
 	Cardinal  bool       `json:"cardinal"`
 	Reason    string     `json:"reason,omitempty"`
@@ -99,6 +103,24 @@ type BatchStatsJSON struct {
 	ObligationMisses int64   `json:"obligation_misses"`
 }
 
+// StatsResponse is the body of GET /v1/stats: the engine's lifetime
+// snapshot plus shard identity — what the cluster router aggregates into
+// /v1/cluster/stats.
+type StatsResponse struct {
+	Shard    string               `json:"shard,omitempty"`
+	UptimeS  float64              `json:"uptime_s"`
+	Draining bool                 `json:"draining,omitempty"`
+	Engine   engine.StatsSnapshot `json:"engine"`
+	Store    *StoreStatsJSON      `json:"store,omitempty"`
+}
+
+// StoreStatsJSON summarizes the durable store for /v1/stats.
+type StoreStatsJSON struct {
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	Appends int64 `json:"appends"`
+}
+
 // ErrorResponse is the body of every non-2xx JSON response.
 type ErrorResponse struct {
 	Error ErrorBody `json:"error"`
@@ -162,6 +184,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.verdicts.Inc("unsupported")
 		writeJSON(w, http.StatusOK, VerifyResponse{
 			ID:        req.ID,
+			Shard:     s.cfg.ShardID,
 			Verdict:   engine.Unsupported.String(),
 			Reason:    errResp.message,
 			ElapsedMS: msSince(start),
@@ -193,6 +216,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	s.verdicts.Inc(verdict)
 	writeJSON(w, http.StatusOK, VerifyResponse{
 		ID:        req.ID,
+		Shard:     s.cfg.ShardID,
 		Verdict:   verdict,
 		Cardinal:  res.Cardinal,
 		Reason:    res.Reason,
@@ -263,6 +287,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.verdicts.Inc(verdict)
 		resp.Results[i] = VerifyResponse{
 			ID:        res.ID,
+			Shard:     s.cfg.ShardID,
 			Verdict:   verdict,
 			Cardinal:  res.Cardinal,
 			Reason:    res.Reason,

@@ -81,6 +81,11 @@ type Config struct {
 	// once the term DAG reaches this many nodes, bounding steady-state
 	// term memory under adversarial workload diversity (0 = never rotate).
 	TermNodeHighWater int
+	// ShardID, when non-empty, names this process in a router-fronted
+	// cluster: echoed in every verify response, /healthz, /v1/stats, and
+	// the spes_shard_info metric, so cross-shard traces and merged batch
+	// responses attribute each verdict to the shard that produced it.
+	ShardID string
 }
 
 func (c Config) withDefaults() Config {
@@ -298,6 +303,13 @@ func (s *Server) registerMetrics() {
 	r.NewCounterFunc("spes_watchdog_aborts_total",
 		"Verifications abandoned by the watchdog after running past deadline-plus-grace (lifetime).",
 		stat(func(st engine.StatsSnapshot) int64 { return st.WatchdogAborts }))
+	if id := s.cfg.ShardID; id != "" {
+		// Info-style series: constant 1, the shard's identity in the label,
+		// so a cluster dashboard can join per-shard scrapes by ID.
+		s.reg.NewCounterVec("spes_shard_info",
+			"Shard identity of this process (constant 1; the shard_id label carries the ID).",
+			"shard_id").With(id).Store(1)
+	}
 }
 
 // Handler returns the service's HTTP handler (also useful under
@@ -308,6 +320,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/verify/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
 
@@ -440,17 +453,46 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// handleHealthz is the readiness probe the cluster router keys shard
+// membership on: "ok" keeps a shard in the ring, "draining" (or
+// unreachability) takes it out while its in-flight work completes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+			"shard":  s.cfg.ShardID,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
+		"shard":     s.cfg.ShardID,
 		"uptime_s":  time.Since(s.start).Seconds(),
 		"pairs":     s.eng.Stats().Pairs,
 		"in_flight": s.lim.inFlight(),
 	})
+}
+
+// handleStats is GET /v1/stats: the engine's full lifetime snapshot plus
+// shard identity, the per-shard feed the router's /v1/cluster/stats
+// aggregates.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	resp := StatsResponse{
+		Shard:    s.cfg.ShardID,
+		UptimeS:  time.Since(s.start).Seconds(),
+		Draining: s.draining.Load(),
+		Engine:   s.eng.Stats(),
+	}
+	if st := s.store; st != nil {
+		ss := st.Snapshot()
+		resp.Store = &StoreStatsJSON{Records: ss.Records, Bytes: ss.Bytes, Appends: ss.Appends}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
