@@ -3,8 +3,10 @@
 # race detector (the engine's determinism and worker-ownership tests run
 # with 8 concurrent workers, so -race exercises the batch engine's
 # sharing for real), then end-to-end smoke tests: spes-serve boot/verify/
-# drain, chaos under -faults, warm restart through the durable store, and
-# a 2-shard spes-router cluster surviving a shard kill via failover.
+# drain, chaos under -faults, warm restart through the durable store, a
+# 2-shard spes-router cluster surviving a shard kill via failover, and a
+# refutation stage proving buggy rewrites come back "refuted" with
+# byte-identical counterexample witnesses standalone and routed.
 set -eux
 
 # Term-construction lint: fol.Term values must be built through the fol
@@ -48,6 +50,19 @@ go test -race -run 'TestIncrementalVerdictParity|TestPipelineFuzzIncrementalPari
 # the -race run above; pinned by name for the same reason.
 go test -race -run 'TestForcedRotationParity|TestRotationConcurrentWithWorkers|TestWarmRestartParity' ./internal/engine/
 go test -race -run 'TestFaultTornAppend|TestChecksumCorruptionLosesNeverFabricates' ./internal/store/
+
+# Refutation soundness: every Refuted witness must replay, no Equivalent
+# may be refutable by the same bounded search, and witnesses must survive
+# a warm restart byte-identical. Also part of the -race run above; pinned
+# by name for the same reason.
+go test -race -run 'TestRefutationDifferential' .
+go test -race -run 'TestBatchRefutation|TestWitnessWarmRestart' ./internal/engine/
+go test -race -run 'TestWitnessRoundTrip' ./internal/store/
+
+# The optcheck example gates itself: it exits nonzero unless both
+# deliberately buggy rewrite rules are refuted with a counterexample and
+# no sound rule is.
+go run ./examples/optcheck >"/dev/null"
 
 # --- spes-serve smoke test -------------------------------------------------
 tmp=$(mktemp -d)
@@ -260,3 +275,125 @@ grep -q 'spes-router: drained' "$tmp/router.log"
 kill -INT $SHARD_A_PID
 wait $SHARD_A_PID
 grep -q 'spes-serve: drained' "$tmp/shard-a.log"
+
+# --- refutation smoke test -------------------------------------------------
+# The optcheck buggy pairs end to end: a refutation-armed spes-serve must
+# answer "refuted" with a counterexample witness for both, count them on
+# the refuted verdict metric, and a 2-shard cluster behind spes-router
+# must return byte-identical witnesses — the search is seeded from the
+# pair fingerprint, so placement must not change the counterexample.
+cat >"$tmp/buggy-batch.json" <<'EOF'
+{"pairs": [
+  {"id": "b1",
+   "sql1": "SELECT EMP_ID FROM EMP WHERE NOT (SALARY > 10)",
+   "sql2": "SELECT EMP_ID FROM EMP WHERE SALARY < 10"},
+  {"id": "b2",
+   "sql1": "SELECT DEPT_ID FROM EMP UNION ALL SELECT DEPT_ID FROM EMP",
+   "sql2": "SELECT DEPT_ID FROM EMP UNION SELECT DEPT_ID FROM EMP"}
+]}
+EOF
+
+# Batch responses are indented JSON and routed results carry extra fields
+# (shard provenance), so witness identity is compared on extracted
+# compacted witness objects, not raw bodies.
+cat >"$tmp/extract_witness.go" <<'EOF'
+// extract_witness prints "id verdict compact-witness" per batch result,
+// failing if a refuted result is missing its witness.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	var resp struct {
+		Results []struct {
+			ID      string          `json:"id"`
+			Verdict string          `json:"verdict"`
+			Witness json.RawMessage `json:"witness"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(os.Stdin).Decode(&resp); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range resp.Results {
+		if r.Verdict == "refuted" && len(r.Witness) == 0 {
+			log.Fatalf("result %s: refuted without a witness", r.ID)
+		}
+		var compact bytes.Buffer
+		if len(r.Witness) > 0 {
+			if err := json.Compact(&compact, r.Witness); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%s %s %s\n", r.ID, r.Verdict, compact.String())
+	}
+}
+EOF
+go build -o "$tmp/extract-witness" "$tmp/extract_witness.go"
+
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -refute-budget 300 \
+    >"$tmp/refute.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/refute.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+curl -sf -X POST "http://$ADDR/v1/verify/batch" -d @"$tmp/buggy-batch.json" >"$tmp/refute1.json"
+"$tmp/extract-witness" <"$tmp/refute1.json" >"$tmp/refute-standalone.txt"
+grep -q '^b1 refuted {' "$tmp/refute-standalone.txt"
+grep -q '^b2 refuted {' "$tmp/refute-standalone.txt"
+
+# The refuted verdict metric must count both pairs.
+curl -sf "http://$ADDR/metrics" >"$tmp/refute-metrics.txt"
+grep -q 'spes_verdicts_total{verdict="refuted"} 2' "$tmp/refute-metrics.txt"
+grep -q 'spes_engine_refuted_total 2' "$tmp/refute-metrics.txt"
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/refute.log"
+
+# Same batch through a 2-shard cluster: witnesses must be byte-identical.
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -shard-id ra \
+    -refute-budget 300 >"$tmp/refute-a.log" 2>&1 &
+SHARD_A_PID=$!
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -shard-id rb \
+    -refute-budget 300 >"$tmp/refute-b.log" 2>&1 &
+SHARD_B_PID=$!
+for i in $(seq 1 50); do
+    ADDR_A=$(sed -n 's/^spes-serve: listening on //p' "$tmp/refute-a.log" | head -1)
+    ADDR_B=$(sed -n 's/^spes-serve: listening on //p' "$tmp/refute-b.log" | head -1)
+    [ -n "$ADDR_A" ] && [ -n "$ADDR_B" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR_A" ] && [ -n "$ADDR_B" ]
+"$tmp/spes-router" -corpus calcite -addr 127.0.0.1:0 \
+    -shards "ra=http://$ADDR_A,rb=http://$ADDR_B" >"$tmp/refute-router.log" 2>&1 &
+ROUTER_PID=$!
+for i in $(seq 1 50); do
+    RADDR=$(sed -n 's/^spes-router: listening on //p' "$tmp/refute-router.log" | head -1)
+    [ -n "$RADDR" ] && break
+    sleep 0.1
+done
+[ -n "$RADDR" ]
+curl -sf -X POST "http://$RADDR/v1/verify/batch" -d @"$tmp/buggy-batch.json" >"$tmp/refute2.json"
+"$tmp/extract-witness" <"$tmp/refute2.json" >"$tmp/refute-routed.txt"
+diff "$tmp/refute-standalone.txt" "$tmp/refute-routed.txt"   # placement must not change a witness
+
+# The cluster-level stats aggregation must see both refutations.
+curl -sf "http://$RADDR/v1/cluster/stats" | grep -q '"refuted": 2'
+
+kill -TERM $ROUTER_PID
+wait $ROUTER_PID
+grep -q 'spes-router: drained' "$tmp/refute-router.log"
+kill -INT $SHARD_A_PID
+wait $SHARD_A_PID
+grep -q 'spes-serve: drained' "$tmp/refute-a.log"
+kill -INT $SHARD_B_PID
+wait $SHARD_B_PID
+grep -q 'spes-serve: drained' "$tmp/refute-b.log"

@@ -45,6 +45,7 @@ func main() {
 		batch    = flag.Bool("batch", false, "run the batch-engine throughput study")
 		batchOut = flag.String("batch-out", "BENCH_batch.json", "with -batch -json: artifact path for the batch report")
 		timeout  = flag.Duration("timeout", 0, "with -batch: per-pair verification deadline (0 = none)")
+		refuteB  = flag.Int("refute-budget", 0, "with -batch: counterexample-search budget per failed proof; adds refutation-rate columns (0 disables)")
 		ir       = flag.Bool("ir", false, "run the term-IR allocation study (interned vs legacy batch path)")
 		irOut    = flag.String("ir-out", "BENCH_ir.json", "with -ir -json: artifact path for the IR report")
 		incr     = flag.Bool("incremental", false, "run the incremental-solving study (sessions vs one-shot batch path)")
@@ -100,7 +101,7 @@ func main() {
 	if *all || *batch {
 		ranSomething = true
 		w := corpus.ProductionWorkload(*seed, *scale)
-		rep := bench.RunBatch(w, *parallel, *timeout)
+		rep := bench.RunBatch(w, *parallel, *timeout, *refuteB)
 		if *asJSON {
 			out["batch"] = rep
 			if err := writeArtifact(*batchOut, rep); err != nil {

@@ -59,6 +59,7 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "directory for the durable verdict store; restarts pointed at the same directory start warm (empty = no persistence)")
 		highWater   = flag.Int("term-highwater", 0, "rotate the interner epoch when the term DAG reaches this many nodes, bounding term memory (0 = never rotate)")
 		shardID     = flag.String("shard-id", "", "stable shard identity when serving behind spes-router; echoed in responses, /healthz, /v1/stats, and metrics")
+		refuteBud   = flag.Int("refute-budget", 0, "search up to N concrete databases for a counterexample after each failed proof, answering refuted-with-witness (0 disables)")
 		faults      = flag.String("faults", "", `chaos-testing fault spec, e.g. "seed=7,rate=25,sites=normalize|smt-model-round,kinds=panic|delay" (also read from SPES_FAULTS; never enable in production)`)
 	)
 	flag.Parse()
@@ -94,6 +95,7 @@ func main() {
 		StorePath:         *storeDir,
 		TermNodeHighWater: *highWater,
 		ShardID:           *shardID,
+		RefuteBudget:      *refuteBud,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -7,10 +7,12 @@
 //	spes -schema schema.sql -f1 query1.sql -f2 query2.sql [-explain] [-no-normalize]
 //	spes -schema schema.sql -q1 ... -q2 ... -json
 //
-// Exit status: 0 when equivalence is proved, 1 when not proved, 2 on
-// unsupported features or usage errors. -json prints one machine-readable
-// object on stdout (same shape for every outcome) instead of prose; the
-// exit status is unchanged, so scripts can use either.
+// Exit status: 0 when equivalence is proved, 1 when not proved or refuted,
+// 2 on unsupported features or usage errors. -refute-budget N searches up
+// to N small concrete databases for a counterexample when the proof fails;
+// a hit prints the witness and reports "refuted". -json prints one
+// machine-readable object on stdout (same shape for every outcome) instead
+// of prose; the exit status is unchanged, so scripts can use either.
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		noNormalize = flag.Bool("no-normalize", false, "disable the normalization rules (ablation)")
 		verbose     = flag.Bool("v", false, "print verification statistics")
 		jsonOut     = flag.Bool("json", false, "print the result as a JSON object")
+		refute      = flag.Int("refute-budget", 0, "search up to N concrete databases for a counterexample after a failed proof (0 disables)")
 	)
 	flag.Parse()
 
@@ -89,7 +92,10 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := spes.VerifyWithOptions(cat, sql1, sql2, spes.Options{DisableNormalization: *noNormalize})
+	res, err := spes.VerifyWithOptions(cat, sql1, sql2, spes.Options{
+		DisableNormalization: *noNormalize,
+		RefuteBudget:         *refute,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -99,22 +105,27 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(struct {
-			Verdict   string      `json:"verdict"`
-			Cardinal  bool        `json:"cardinal"`
-			Reason    string      `json:"reason,omitempty"`
-			ElapsedMS float64     `json:"elapsed_ms"`
-			Stats     interface{} `json:"stats,omitempty"`
+			Verdict   string        `json:"verdict"`
+			Cardinal  bool          `json:"cardinal"`
+			Reason    string        `json:"reason,omitempty"`
+			ElapsedMS float64       `json:"elapsed_ms"`
+			Witness   *spes.Witness `json:"witness,omitempty"`
+			Stats     interface{}   `json:"stats,omitempty"`
 		}{
 			Verdict:   res.Verdict.String(),
 			Cardinal:  res.Cardinal,
 			Reason:    res.Reason,
 			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			Witness:   res.Witness,
 			Stats:     res.Stats,
 		})
 	} else {
 		fmt.Printf("%s\n", res.Verdict)
 		if res.Reason != "" {
 			fmt.Printf("reason: %s\n", res.Reason)
+		}
+		if res.Witness != nil {
+			fmt.Printf("counterexample:\n%s\n", res.Witness)
 		}
 		if *verbose {
 			fmt.Printf("time: %v\nstats: %v\n", elapsed, res.Stats)
@@ -123,7 +134,7 @@ func main() {
 	switch res.Verdict {
 	case spes.Equivalent:
 		os.Exit(0)
-	case spes.NotProved:
+	case spes.NotProved, spes.Refuted:
 		os.Exit(1)
 	default:
 		os.Exit(2)

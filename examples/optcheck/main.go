@@ -1,9 +1,10 @@
 // Optcheck: validating query-optimizer rewrite rules — the scenario behind
 // the Calcite benchmark (§7.2). An optimizer author proposes rewrite rules;
 // for each rule instance SPES either certifies it (sound for every
-// database) or withholds judgement. A deliberately buggy rule shows the
-// difference between "not proved" and "wrong": the bag-semantics executor
-// finds a counterexample database for the buggy rule.
+// database), refutes it with a concrete counterexample database, or
+// withholds judgement. Two deliberately buggy rules show the difference
+// between "not proved" and "wrong": the refutation pass must find a witness
+// for each of them, and this example exits nonzero if it does not.
 //
 // Run: go run ./examples/optcheck
 package main
@@ -11,11 +12,9 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"strings"
 
 	"spes"
-	"spes/internal/datagen"
-	"spes/internal/exec"
 )
 
 const schema = `
@@ -68,74 +67,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := rand.New(rand.NewSource(7))
 
 	for _, rule := range rules {
-		res, err := spes.Verify(cat, rule.original, rule.rewrite)
+		buggy := strings.HasPrefix(rule.name, "BUGGY")
+		res, err := spes.VerifyWithOptions(cat, rule.original, rule.rewrite,
+			spes.Options{RefuteBudget: 300})
 		if err != nil {
 			log.Fatal(err)
 		}
 		switch res.Verdict {
 		case spes.Equivalent:
 			fmt.Printf("✔ %-45s certified sound for all databases\n", rule.name)
-			continue
 		case spes.Unsupported:
 			fmt.Printf("? %-45s unsupported: %s\n", rule.name, res.Reason)
-			continue
+		case spes.Refuted:
+			fmt.Printf("✘ %-45s WRONG — counterexample found:\n", rule.name)
+			fmt.Print(indent(res.Witness.String()))
+		default:
+			fmt.Printf("∼ %-45s not proved (no counterexample found either)\n", rule.name)
 		}
-		// Not proved: hunt for a counterexample with random databases.
-		q1, err := spes.BuildPlan(cat, rule.original)
-		if err != nil {
-			log.Fatal(err)
+		if buggy && (res.Verdict != spes.Refuted || res.Witness == nil) {
+			log.Fatalf("optcheck: rule %q is wrong by construction but the refutation pass returned %s without a witness",
+				rule.name, res.Verdict)
 		}
-		q2, err := spes.BuildPlan(cat, rule.rewrite)
-		if err != nil {
-			log.Fatal(err)
-		}
-		found := false
-		for i := 0; i < 300 && !found; i++ {
-			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
-			r1, err1 := exec.Run(db, q1)
-			r2, err2 := exec.Run(db, q2)
-			if err1 != nil || err2 != nil {
-				continue
-			}
-			if !exec.BagEqual(r1, r2) {
-				found = true
-				fmt.Printf("✘ %-45s WRONG — counterexample found:\n", rule.name)
-				fmt.Printf("    original returns:\n%s    rewrite returns:\n%s",
-					indent(exec.FormatRows(r1)), indent(exec.FormatRows(r2)))
-			}
-		}
-		if !found {
-			fmt.Printf("∼ %-45s not proved (no counterexample in 300 random databases)\n", rule.name)
+		if !buggy && res.Verdict == spes.Refuted {
+			log.Fatalf("optcheck: sound rule %q was refuted:\n%s", rule.name, res.Witness)
 		}
 	}
 }
 
 func indent(s string) string {
 	out := ""
-	for _, line := range splitLines(s) {
+	for _, line := range strings.Split(s, "\n") {
 		out += "      " + line + "\n"
-	}
-	return out
-}
-
-func splitLines(s string) []string {
-	var out []string
-	cur := ""
-	for _, c := range s {
-		if c == '\n' {
-			if cur != "" {
-				out = append(out, cur)
-			}
-			cur = ""
-			continue
-		}
-		cur += string(c)
-	}
-	if cur != "" {
-		out = append(out, cur)
 	}
 	return out
 }

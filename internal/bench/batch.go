@@ -26,6 +26,14 @@ type BatchReport struct {
 	PairsPerSec           float64 `json:"pairs_per_sec"`
 	Speedup               float64 `json:"speedup"`
 
+	// RefuteBudget echoes the study's counterexample-search budget;
+	// RefutationRate is refuted pairs over all pairs that failed the
+	// symbolic proof (refuted + not-proved) — how often a failed proof was
+	// a genuine inequivalence the bounded search could expose.
+	RefuteBudget   int     `json:"refute_budget,omitempty"`
+	Refuted        int     `json:"refuted"`
+	RefutationRate float64 `json:"refutation_rate"`
+
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	ObligationHits   int64   `json:"obligation_hits"`
 	ObligationMisses int64   `json:"obligation_misses"`
@@ -105,14 +113,17 @@ func RunSequentialBaseline(pairs []engine.PlanPair) (equivalent int, wall time.D
 }
 
 // RunBatch runs the throughput study: sequential baseline, then the engine
-// at the given worker count with all memo layers on.
-func RunBatch(w *corpus.Workload, workers int, timeout time.Duration) BatchReport {
+// at the given worker count with all memo layers on. refuteBudget > 0 adds
+// the bounded counterexample search after each failed proof and reports the
+// refutation rate alongside throughput.
+func RunBatch(w *corpus.Workload, workers int, timeout time.Duration, refuteBudget int) BatchReport {
 	pairs := BatchPairs(w)
 	_, seqWall := RunSequentialBaseline(pairs)
 
 	results, stats := engine.VerifyPlanBatch(pairs, engine.Options{
-		Workers: workers,
-		Timeout: timeout,
+		Workers:      workers,
+		Timeout:      timeout,
+		RefuteBudget: refuteBudget,
 	})
 
 	rep := BatchReport{
@@ -131,10 +142,15 @@ func RunBatch(w *corpus.Workload, workers int, timeout time.Duration) BatchRepor
 		Timeouts:              stats.Timeouts,
 		SolverSessions:        stats.SolverSessions,
 		PrefixReuse:           stats.PrefixReuse,
+		RefuteBudget:          refuteBudget,
+		Refuted:               stats.Refuted,
 		Verdicts:              map[string]int{},
 	}
 	if stats.Wall > 0 {
 		rep.Speedup = seqWall.Seconds() / stats.Wall.Seconds()
+	}
+	if failed := stats.Refuted + stats.NotProved; failed > 0 {
+		rep.RefutationRate = float64(stats.Refuted) / float64(failed)
 	}
 	for _, r := range results {
 		rep.Verdicts[r.Verdict.String()]++
@@ -162,6 +178,10 @@ func RenderBatch(r BatchReport) string {
 		r.NormHits, r.NormMisses, r.Deduped, r.Timeouts)
 	fmt.Fprintf(&b, "solver sessions: %d opened, %d suffix checks reused a pushed prefix\n",
 		r.SolverSessions, r.PrefixReuse)
+	if r.RefuteBudget > 0 {
+		fmt.Fprintf(&b, "refutation: budget %d, %d refuted (%.0f%% of failed proofs)\n",
+			r.RefuteBudget, r.Refuted, 100*r.RefutationRate)
+	}
 	fmt.Fprintf(&b, "verdicts: %v\n", r.Verdicts)
 	return b.String()
 }

@@ -249,6 +249,7 @@ func addBatchStats(agg *server.BatchStatsJSON, st server.BatchStatsJSON) {
 	agg.Equivalent += st.Equivalent
 	agg.NotProved += st.NotProved
 	agg.Unsupported += st.Unsupported
+	agg.Refuted += st.Refuted
 	agg.Deduped += st.Deduped
 	agg.Timeouts += st.Timeouts
 	agg.Cancelled += st.Cancelled

@@ -531,6 +531,7 @@ type ShardStatsTotals struct {
 	Equivalent        int64   `json:"equivalent"`
 	NotProved         int64   `json:"not_proved"`
 	Unsupported       int64   `json:"unsupported"`
+	Refuted           int64   `json:"refuted"`
 	SolverQueries     int64   `json:"solver_queries"`
 	ObligationHits    int64   `json:"obligation_hits"`
 	ObligationMisses  int64   `json:"obligation_misses"`
@@ -581,6 +582,7 @@ func (rt *Router) handleClusterStats(w http.ResponseWriter, r *http.Request) {
 			out.Totals.Equivalent += snap.Equivalent
 			out.Totals.NotProved += snap.NotProved
 			out.Totals.Unsupported += snap.Unsupported
+			out.Totals.Refuted += snap.Refuted
 			out.Totals.SolverQueries += snap.SolverQueries
 			out.Totals.ObligationHits += snap.ObligationHits
 			out.Totals.ObligationMisses += snap.ObligationMisses

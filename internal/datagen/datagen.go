@@ -50,6 +50,39 @@ func (o Options) intRange() int {
 
 var stringPool = []string{"NY", "SF", "LA", "CHI", "SEA"}
 
+// Generator owns a private *rand.Rand, so every search that needs random
+// databases seeds its own stream instead of sharing math/rand's global
+// source. Two generators with the same seed produce identical databases in
+// identical order no matter how many other goroutines are generating
+// concurrently — the property the engine's parallel refutation searches
+// rely on for deterministic, race-free witnesses. A Generator is NOT safe
+// for concurrent use by multiple goroutines; give each search its own.
+type Generator struct {
+	r    *rand.Rand
+	opts Options
+}
+
+// NewGenerator returns a generator with a private source seeded from seed.
+func NewGenerator(seed int64, opts Options) *Generator {
+	return &Generator{r: rand.New(rand.NewSource(seed)), opts: opts}
+}
+
+// Database generates one random database covering every catalog table.
+func (g *Generator) Database(cat *schema.Catalog) exec.Database {
+	return Random(cat, g.r, g.opts)
+}
+
+// ForTables generates one random database covering exactly the given table
+// schemas. The refutation search collects these from the plans under test,
+// so no catalog handle is needed.
+func (g *Generator) ForTables(tables []*schema.Table) exec.Database {
+	db := make(exec.Database)
+	for _, t := range tables {
+		db[strings.ToUpper(t.Name)] = randomTable(t, g.r, g.opts)
+	}
+	return db
+}
+
 // Random generates a database for every table in the catalog.
 func Random(cat *schema.Catalog, r *rand.Rand, opts Options) exec.Database {
 	db := make(exec.Database)

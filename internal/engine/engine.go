@@ -40,6 +40,7 @@ import (
 	"spes/internal/fol"
 	"spes/internal/normalize"
 	"spes/internal/plan"
+	"spes/internal/refute"
 	"spes/internal/schema"
 	"spes/internal/smt"
 	"spes/internal/store"
@@ -58,6 +59,10 @@ const (
 	Equivalent
 	// Unsupported means a query uses SQL outside the supported subset.
 	Unsupported
+	// Refuted means the refutation pass found (and execution confirmed) a
+	// concrete database on which the two plans' outputs differ; the
+	// Result carries the witness.
+	Refuted
 )
 
 func (v Verdict) String() string {
@@ -66,6 +71,8 @@ func (v Verdict) String() string {
 		return "equivalent"
 	case Unsupported:
 		return "unsupported"
+	case Refuted:
+		return "refuted"
 	}
 	return "not-proved"
 }
@@ -145,6 +152,14 @@ type Options struct {
 	// server enable this, plain VerifyBatch keeps it off by default so
 	// batch results stay independent of pair order and worker count.
 	ShareLemmas bool
+	// RefuteBudget, when > 0, runs the bounded refutation pass on pairs
+	// whose proof failed for a reason other than timeout, cancellation, or
+	// watchdog abort: up to this many small concrete databases are
+	// searched for one distinguishing the plans, turning NotProved into
+	// Refuted with a witness. The search is seeded from the pair's plan
+	// fingerprint, so witnesses are deterministic across workers, shards,
+	// and restarts. 0 (the default) disables refutation.
+	RefuteBudget int
 }
 
 func (o Options) workerCount() int {
@@ -184,6 +199,12 @@ type Result struct {
 	// context was cancelled, and the worker stopped waiting. NotProved,
 	// like every other abort.
 	WatchdogAbort bool
+	// Witness backs a Refuted verdict: the concrete database and differing
+	// output bags found by the refutation pass, already re-confirmed by
+	// execution. Nil for every other verdict. Dedupe followers share the
+	// leader's witness the same way they share its verdict — Refuted is a
+	// definite outcome, a deterministic function of the plans.
+	Witness *refute.Witness
 	// Stack carries a truncated goroutine stack when Panicked is set, for
 	// operators diagnosing the fault (never interpreted by the pipeline).
 	Stack string
@@ -203,6 +224,7 @@ type BatchStats struct {
 	Equivalent  int
 	NotProved   int
 	Unsupported int
+	Refuted     int
 
 	Deduped        int
 	Timeouts       int
@@ -477,6 +499,7 @@ func (t *satTable) Store(key string, sat bool) {
 // counters is the always-on atomic counter block behind Snapshot.
 type counters struct {
 	pairs, equivalent, notProved, unsupported atomic.Int64
+	refuted                                   atomic.Int64
 	deduped, timeouts, cancelled              atomic.Int64
 	panics, watchdogAborts                    atomic.Int64
 	solverQueries                             atomic.Int64
@@ -495,6 +518,8 @@ func (s *Shared) record(r Result) {
 		s.ctr.equivalent.Add(1)
 	case Unsupported:
 		s.ctr.unsupported.Add(1)
+	case Refuted:
+		s.ctr.refuted.Add(1)
 	default:
 		s.ctr.notProved.Add(1)
 	}
@@ -539,9 +564,12 @@ type StatsSnapshot struct {
 	Equivalent  int64 `json:"equivalent"`
 	NotProved   int64 `json:"not_proved"`
 	Unsupported int64 `json:"unsupported"`
-	Deduped     int64 `json:"deduped"`
-	Timeouts    int64 `json:"timeouts"`
-	Cancelled   int64 `json:"cancelled"`
+	// Refuted counts pairs the refutation pass proved inequivalent with an
+	// execution-confirmed witness (0 unless Options.RefuteBudget > 0).
+	Refuted   int64 `json:"refuted"`
+	Deduped   int64 `json:"deduped"`
+	Timeouts  int64 `json:"timeouts"`
+	Cancelled int64 `json:"cancelled"`
 
 	// Panics counts verifications that panicked and were recovered into
 	// NotProved internal-error verdicts; WatchdogAborts counts
@@ -602,6 +630,7 @@ func (s *Shared) Snapshot() StatsSnapshot {
 		Equivalent:     s.ctr.equivalent.Load(),
 		NotProved:      s.ctr.notProved.Load(),
 		Unsupported:    s.ctr.unsupported.Load(),
+		Refuted:        s.ctr.refuted.Load(),
 		Deduped:        s.ctr.deduped.Load(),
 		Timeouts:       s.ctr.timeouts.Load(),
 		Cancelled:      s.ctr.cancelled.Load(),
@@ -827,6 +856,7 @@ func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 		DisableInterning:   w.shared.opts.DisableInterning,
 		DisableIncremental: w.shared.opts.DisableIncremental,
 		Lemmas:             w.shared.root().lemmas,
+		RefuteBudget:       w.shared.opts.RefuteBudget,
 	}
 	if w.shared.cache != nil {
 		cfg.Cache = w.shared.cache
@@ -835,6 +865,7 @@ func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 		// Guarded assignment: a nil *store.Store must stay a nil interface,
 		// not a typed nil that passes != nil checks downstream.
 		cfg.Store = st
+		cfg.Witnesses = st
 	}
 	if w.shared.opts.Timeout > 0 {
 		cfg.Deadline = time.Now().Add(w.shared.opts.Timeout)
@@ -854,13 +885,25 @@ func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 
 // runCheck is the direct verification behind check. Callers guarantee
 // panic recovery (protect, leadPair, or checkWatchdog's goroutine).
+//
+// The refutation pass runs only after a completed-but-failed proof:
+// Verifier.Refute is a no-op when the solver timed out or was cancelled
+// (a degraded NotProved says nothing about the pair), and the watchdog
+// path (checkWatchdog) returns its abort result without ever reaching
+// this function's refutation branch — so degraded verdicts stay honest
+// NotProved and wall-clock pressure can only lose witnesses.
 func runCheck(cfg verify.Config, q1, q2 plan.Node) Result {
 	v := verify.NewWithConfig(cfg)
 	out := v.Check(q1, q2)
-	r := Result{Verdict: NotProved, Cardinal: out.Cardinal, Stats: v.Stats()}
+	r := Result{Verdict: NotProved, Cardinal: out.Cardinal}
 	if out.Full {
 		r.Verdict = Equivalent
+	} else if w := v.Refute(q1, q2); w != nil {
+		r.Verdict = Refuted
+		r.Witness = w
+		r.Reason = "counterexample database found"
 	}
+	r.Stats = v.Stats()
 	if v.TimedOut() {
 		r.TimedOut = true
 		if r.Verdict == NotProved {
@@ -1180,6 +1223,7 @@ func (s *Shared) aggregate(wall time.Duration) BatchStats {
 		Equivalent:       int(snap.Equivalent),
 		NotProved:        int(snap.NotProved),
 		Unsupported:      int(snap.Unsupported),
+		Refuted:          int(snap.Refuted),
 		Deduped:          int(snap.Deduped),
 		Timeouts:         int(snap.Timeouts),
 		Cancelled:        int(snap.Cancelled),

@@ -65,11 +65,18 @@ const (
 	// which re-verifies the pairs (sound because verdicts are deterministic
 	// functions of the plans; a re-verified pair returns the same answer).
 	RouterForward Site = "router-forward"
+	// RefuteSearch fires inside the bounded refutation pass, between
+	// generating a candidate database and executing the plans over it. A
+	// panic or cancel here aborts the search for that pair, degrading a
+	// would-be Refuted verdict to NotProved — a fault can lose a witness
+	// but can never fabricate one, because every witness that IS returned
+	// has already re-executed both plans and observed differing bags.
+	RefuteSearch Site = "refute-search"
 )
 
 // Sites returns every registered site, in stable order.
 func Sites() []Site {
-	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend, RouterForward}
+	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend, RouterForward, RefuteSearch}
 }
 
 // Kind is the species of an injected fault.

@@ -1,0 +1,240 @@
+package refute
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"spes/internal/exec"
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+func testCatalog(t testing.TB) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if err := cat.AddTable(&schema.Table{
+		Name: "EMP",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "SALARY", Type: schema.Int},
+			{Name: "DEPT_ID", Type: schema.Int},
+			{Name: "LOCATION", Type: schema.String},
+		},
+		PrimaryKey: []string{"EMP_ID"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func buildPair(t *testing.T, sql1, sql2 string) (plan.Node, plan.Node) {
+	t.Helper()
+	b := plan.NewBuilder(testCatalog(t))
+	q1, err := b.BuildSQL(sql1)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql1, err)
+	}
+	q2, err := b.BuildSQL(sql2)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql2, err)
+	}
+	return q1, q2
+}
+
+func TestSearchFindsAndConfirmsWitness(t *testing.T) {
+	q1, q2 := buildPair(t,
+		"SELECT SALARY FROM EMP WHERE SALARY > 10",
+		"SELECT SALARY FROM EMP WHERE SALARY >= 10")
+	w, st := Search(q1, q2, Options{Budget: 64})
+	if w == nil {
+		t.Fatalf("no witness for an obviously inequivalent pair (stats %+v)", st)
+	}
+	if err := w.Replay(q1, q2); err != nil {
+		t.Fatalf("witness failed its own replay: %v", err)
+	}
+	// The boundary pair differs only on SALARY = 10: the shrunken witness
+	// must be a single EMP row.
+	total := 0
+	for _, tbl := range w.Tables {
+		total += len(tbl.Rows)
+	}
+	if total != 1 {
+		t.Errorf("shrink left %d rows, want 1:\n%s", total, w)
+	}
+}
+
+func TestSearchIsDeterministic(t *testing.T) {
+	q1, q2 := buildPair(t,
+		"SELECT LOCATION FROM EMP",
+		"SELECT DISTINCT LOCATION FROM EMP")
+	w1, _ := Search(q1, q2, Options{Budget: 64})
+	w2, _ := Search(q1, q2, Options{Budget: 64})
+	if w1 == nil || w2 == nil {
+		t.Fatal("DISTINCT-dropping pair must be refutable")
+	}
+	b1, err1 := w1.Encode()
+	b2, err2 := w2.Encode()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same pair, different witnesses:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestSearchReturnsNilForEquivalentPair(t *testing.T) {
+	q1, q2 := buildPair(t,
+		"SELECT SALARY FROM EMP WHERE SALARY > 10",
+		"SELECT SALARY FROM EMP WHERE 10 < SALARY")
+	w, st := Search(q1, q2, Options{Budget: 48})
+	if w != nil {
+		t.Fatalf("fabricated a witness for an equivalent pair:\n%s", w)
+	}
+	if st.Rounds != 48 {
+		t.Errorf("search stopped after %d rounds, want the full budget", st.Rounds)
+	}
+}
+
+func TestSearchRespectsBudgetAndCancellation(t *testing.T) {
+	q1, q2 := buildPair(t, "SELECT SALARY FROM EMP", "SELECT DEPT_ID FROM EMP")
+	if w, st := Search(q1, q2, Options{}); w != nil || st.Rounds != 0 {
+		t.Fatalf("zero budget must disable the search (witness %v, stats %+v)", w, st)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, st := Search(q1, q2, Options{Budget: 64, Ctx: ctx})
+	if w != nil || !st.Aborted {
+		t.Fatalf("cancelled search returned witness %v, stats %+v", w, st)
+	}
+}
+
+func TestWitnessRoundTrip(t *testing.T) {
+	q1, q2 := buildPair(t,
+		"SELECT SALARY FROM EMP WHERE SALARY > 10",
+		"SELECT SALARY FROM EMP WHERE SALARY > 11")
+	w, _ := Search(q1, q2, Options{Budget: 64})
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	enc, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Replay(q1, q2); err != nil {
+		t.Fatalf("decoded witness failed replay: %v", err)
+	}
+	// NULLs and strings must survive the round trip too.
+	db, err := dec.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 1 {
+		t.Fatalf("decoded database has %d tables, want 1", len(db))
+	}
+}
+
+// TestReplayRejectsTamperedWitness pins the trust boundary: a witness whose
+// stored bytes no longer distinguish the plans must fail Replay rather
+// than be served.
+func TestReplayRejectsTamperedWitness(t *testing.T) {
+	q1, q2 := buildPair(t,
+		"SELECT SALARY FROM EMP WHERE SALARY > 10",
+		"SELECT SALARY FROM EMP WHERE SALARY >= 10")
+	w, _ := Search(q1, q2, Options{Budget: 64})
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	tampered := *w
+	tampered.Tables = []TableData{{Name: "EMP", Columns: w.Tables[0].Columns}}
+	if err := tampered.Replay(q1, q2); err == nil {
+		t.Fatal("emptied witness passed replay")
+	}
+}
+
+// TestWitnessValueEncodingRoundTrip exercises decodeDatum across all kinds.
+func TestWitnessValueEncodingRoundTrip(t *testing.T) {
+	for _, d := range []plan.Datum{
+		plan.NullDatum(),
+		plan.IntDatum(5),
+		plan.StrDatum("NY"),
+		plan.BoolDatum(true),
+		plan.BoolDatum(false),
+	} {
+		got, err := decodeDatum(d.Key())
+		if err != nil {
+			t.Fatalf("decode %q: %v", d.Key(), err)
+		}
+		if !got.Equal(d) || got.Null != d.Null {
+			t.Fatalf("round trip %q: got %v", d.Key(), got)
+		}
+	}
+	if _, err := decodeDatum("zzz"); err == nil {
+		t.Fatal("garbage encoding accepted")
+	}
+}
+
+// TestCollectTablesDescendsSubqueries pins that table collection sees
+// tables referenced only inside EXISTS/scalar subqueries.
+func TestCollectTablesDescendsSubqueries(t *testing.T) {
+	cat := schema.NewCatalog()
+	for _, tbl := range []*schema.Table{
+		{Name: "A", Columns: []schema.Column{{Name: "X", Type: schema.Int}}},
+		{Name: "B", Columns: []schema.Column{{Name: "Y", Type: schema.Int}}},
+	} {
+		if err := cat.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := plan.NewBuilder(cat)
+	q, err := b.BuildSQL("SELECT X FROM A WHERE EXISTS (SELECT Y FROM B WHERE Y = X)")
+	if err != nil {
+		t.Skipf("builder does not support EXISTS here: %v", err)
+	}
+	tables := collectTables(q)
+	if len(tables) != 2 {
+		names := make([]string, len(tables))
+		for i, tb := range tables {
+			names[i] = tb.Name
+		}
+		t.Fatalf("collected %v, want [A B]", names)
+	}
+}
+
+// TestShrinkMinimality: on a pair distinguished by any single row passing
+// one filter, the witness should shrink to exactly that row, and the
+// recorded outputs must equal a fresh execution's.
+func TestShrinkMinimality(t *testing.T) {
+	q1, q2 := buildPair(t,
+		"SELECT DEPT_ID FROM EMP WHERE SALARY > 3",
+		"SELECT DEPT_ID FROM EMP")
+	w, _ := Search(q1, q2, Options{Budget: 64})
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	if n := len(w.Tables[0].Rows); n != 1 {
+		t.Fatalf("witness has %d rows, want 1:\n%s", n, w)
+	}
+	db, err := w.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := exec.Run(db, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := exec.Run(db, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderBag(out1); !equalStrings(got, w.Out1) {
+		t.Fatalf("recorded out1 %v != fresh execution %v", w.Out1, got)
+	}
+	if got := renderBag(out2); !equalStrings(got, w.Out2) {
+		t.Fatalf("recorded out2 %v != fresh execution %v", w.Out2, got)
+	}
+}

@@ -1,0 +1,227 @@
+package refute
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"spes/internal/exec"
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+// Witness is a concrete counterexample: a small database on which the two
+// plans produce different output multisets. Values are serialized in the
+// canonical Datum.Key encoding ("∅" null, "n<rat>", "s<string>", "bT"/
+// "bF"), which round-trips exactly — so a stored witness can be replayed
+// through the executor to re-confirm it before anyone trusts it.
+//
+// All fields are deterministic functions of the pair (the search seeds its
+// random stream from the plan fingerprint), so the same refuted pair
+// serializes to byte-identical JSON on every worker, shard, and process.
+type Witness struct {
+	// Seed is the random stream that found the database; Round the
+	// candidate index within it. Together they reproduce the search.
+	Seed  int64 `json:"seed"`
+	Round int   `json:"round"`
+	// Tables is the witness database after shrinking, in table-name order.
+	Tables []TableData `json:"tables"`
+	// Out1 and Out2 are the differing output bags, one canonically sorted
+	// rendering per row.
+	Out1 []string `json:"out1"`
+	Out2 []string `json:"out2"`
+}
+
+// TableData is one table's contents in the witness database.
+type TableData struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// newWitness renders a found counterexample. tables is the schema list the
+// search generated over (name-sorted); db the shrunken database; out1/out2
+// the actual executor outputs on db.
+func newWitness(seed int64, round int, tables []*schema.Table, db exec.Database, out1, out2 []exec.Row) *Witness {
+	w := &Witness{Seed: seed, Round: round, Out1: renderBag(out1), Out2: renderBag(out2)}
+	for _, t := range tables {
+		td := TableData{Name: strings.ToUpper(t.Name)}
+		for _, c := range t.Columns {
+			td.Columns = append(td.Columns, c.Name)
+		}
+		rows := db[strings.ToUpper(t.Name)].Rows
+		td.Rows = make([][]string, len(rows))
+		for i, r := range rows {
+			td.Rows[i] = encodeRow(r)
+		}
+		w.Tables = append(w.Tables, td)
+	}
+	return w
+}
+
+// renderBag renders an output bag as canonically sorted row strings.
+func renderBag(rows []exec.Row) []string {
+	cp := append([]exec.Row(nil), rows...)
+	exec.SortRows(cp)
+	out := make([]string, len(cp))
+	for i, r := range cp {
+		parts := make([]string, len(r))
+		for j, d := range r {
+			parts[j] = d.String()
+		}
+		out[i] = strings.Join(parts, ", ")
+	}
+	return out
+}
+
+func encodeRow(r exec.Row) []string {
+	out := make([]string, len(r))
+	for i, d := range r {
+		out[i] = d.Key()
+	}
+	return out
+}
+
+// Database decodes the witness back into an executable database.
+func (w *Witness) Database() (exec.Database, error) {
+	db := make(exec.Database, len(w.Tables))
+	for _, t := range w.Tables {
+		tbl := &exec.Table{Rows: make([]exec.Row, len(t.Rows))}
+		for i, enc := range t.Rows {
+			row := make(exec.Row, len(enc))
+			for j, s := range enc {
+				d, err := decodeDatum(s)
+				if err != nil {
+					return nil, fmt.Errorf("refute: table %s row %d col %d: %w", t.Name, i, j, err)
+				}
+				row[j] = d
+			}
+			tbl.Rows[i] = row
+		}
+		db[strings.ToUpper(t.Name)] = tbl
+	}
+	return db, nil
+}
+
+// decodeDatum inverts plan.Datum.Key.
+func decodeDatum(s string) (plan.Datum, error) {
+	if s == "∅" {
+		return plan.NullDatum(), nil
+	}
+	if s == "" {
+		return plan.Datum{}, fmt.Errorf("empty datum encoding")
+	}
+	switch s[0] {
+	case 'n':
+		r, ok := new(big.Rat).SetString(s[1:])
+		if !ok {
+			return plan.Datum{}, fmt.Errorf("bad rational %q", s)
+		}
+		return plan.NumDatum(r), nil
+	case 's':
+		return plan.StrDatum(s[1:]), nil
+	case 'b':
+		switch s {
+		case "bT":
+			return plan.BoolDatum(true), nil
+		case "bF":
+			return plan.BoolDatum(false), nil
+		}
+	}
+	return plan.Datum{}, fmt.Errorf("bad datum encoding %q", s)
+}
+
+// Replay re-executes both plans over the witness database and confirms it
+// still distinguishes them — the outputs must differ as bags AND match the
+// recorded renderings. It returns an error otherwise. Every consumer that
+// did not just run the search itself (the durable store, a test harness, a
+// CLI about to print a stored witness) must Replay before trusting:
+// refutation soundness rests on confirmed executions, never on stored
+// bytes.
+func (w *Witness) Replay(q1, q2 plan.Node) error {
+	db, err := w.Database()
+	if err != nil {
+		return err
+	}
+	out1, err := exec.Run(db, q1)
+	if err != nil {
+		return fmt.Errorf("refute: replay plan 1: %w", err)
+	}
+	out2, err := exec.Run(db, q2)
+	if err != nil {
+		return fmt.Errorf("refute: replay plan 2: %w", err)
+	}
+	if exec.BagEqual(out1, out2) {
+		return fmt.Errorf("refute: witness does not distinguish the plans")
+	}
+	if !equalStrings(renderBag(out1), w.Out1) || !equalStrings(renderBag(out2), w.Out2) {
+		return fmt.Errorf("refute: witness outputs are stale")
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalJSON pins the wire form; the type marshals as-is but through a
+// named alias so adding methods can never accidentally recurse.
+func (w *Witness) MarshalJSON() ([]byte, error) {
+	type alias Witness
+	return json.Marshal((*alias)(w))
+}
+
+// String renders the witness for terminals: the database, then the two
+// differing bags.
+func (w *Witness) String() string {
+	var b strings.Builder
+	for _, t := range w.Tables {
+		fmt.Fprintf(&b, "%s(%s):\n", t.Name, strings.Join(t.Columns, ", "))
+		if len(t.Rows) == 0 {
+			b.WriteString("  (empty)\n")
+			continue
+		}
+		for _, enc := range t.Rows {
+			parts := make([]string, len(enc))
+			for i, s := range enc {
+				if d, err := decodeDatum(s); err == nil {
+					parts[i] = d.String()
+				} else {
+					parts[i] = s
+				}
+			}
+			fmt.Fprintf(&b, "  (%s)\n", strings.Join(parts, ", "))
+		}
+	}
+	fmt.Fprintf(&b, "output of query 1 (%d rows):\n", len(w.Out1))
+	for _, r := range w.Out1 {
+		fmt.Fprintf(&b, "  (%s)\n", r)
+	}
+	fmt.Fprintf(&b, "output of query 2 (%d rows):\n", len(w.Out2))
+	for _, r := range w.Out2 {
+		fmt.Fprintf(&b, "  (%s)\n", r)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Encode serializes the witness for the durable store.
+func (w *Witness) Encode() ([]byte, error) { return json.Marshal(w) }
+
+// Decode deserializes a stored witness. Callers must Replay it before
+// trusting it.
+func Decode(data []byte) (*Witness, error) {
+	var w Witness
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("refute: decoding witness: %w", err)
+	}
+	return &w, nil
+}

@@ -16,6 +16,7 @@ import (
 	"spes/internal/datagen"
 	"spes/internal/exec"
 	"spes/internal/fault"
+	"spes/internal/refute"
 )
 
 // TestChaosAllSites is the acceptance harness for the robustness layer:
@@ -46,26 +47,43 @@ func TestChaosAllSites(t *testing.T) {
 	cat := corpus.Catalog()
 	// A durable store rides along so the store-append fault site is in
 	// play: torn and skipped appends under chaos must only ever lose
-	// verdicts, never corrupt one into "equivalent".
+	// verdicts, never corrupt one into "equivalent". RefuteBudget puts the
+	// refute-search site in play the same way: aborted searches must only
+	// ever lose witnesses, never fabricate one.
 	s := newTestServer(t, Config{
 		Catalog:       cat,
 		MaxInFlight:   8,
 		MaxQueue:      64,
 		VerifyTimeout: 5 * time.Second,
 		StorePath:     t.TempDir(),
+		RefuteBudget:  16,
 	})
 	h := s.Handler()
 
 	// A small pool with repeats, so coalescing and the obligation cache
-	// both see action while faults fire.
+	// both see action while faults fire. A few deliberately inequivalent
+	// pairs ride along so the refutation pass (and its fault site) runs.
 	pool := corpus.CalcitePairs()
 	if len(pool) > 12 {
 		pool = pool[:12]
 	}
+	pool = append(pool,
+		corpus.Pair{ID: "chaos-neq-1",
+			SQL1: "SELECT SALARY FROM EMP WHERE SALARY > 10",
+			SQL2: "SELECT SALARY FROM EMP WHERE SALARY >= 10"},
+		corpus.Pair{ID: "chaos-neq-2",
+			SQL1: "SELECT LOCATION FROM EMP",
+			SQL2: "SELECT DISTINCT LOCATION FROM EMP"},
+	)
 
 	fired := map[fault.Site]uint64{}
 	var mu sync.Mutex
 	equivalent := map[string][2]string{} // pair key -> SQL, for the differential re-check
+	type refutedResp struct {
+		sqls    [2]string
+		witness *refute.Witness
+	}
+	var refuted []refutedResp // every refuted response, for witness replay
 
 	const requestsPerSeed = 48
 	for seed := uint64(1); seed <= 6; seed++ {
@@ -102,6 +120,14 @@ func TestChaosAllSites(t *testing.T) {
 					if resp.Verdict == "equivalent" {
 						mu.Lock()
 						equivalent[p.SQL1+"\x00"+p.SQL2] = [2]string{p.SQL1, p.SQL2}
+						mu.Unlock()
+					}
+					if resp.Verdict == "refuted" {
+						mu.Lock()
+						refuted = append(refuted, refutedResp{
+							sqls:    [2]string{p.SQL1, p.SQL2},
+							witness: resp.Witness,
+						})
 						mu.Unlock()
 					}
 				case w.Code >= 500:
@@ -160,6 +186,28 @@ func TestChaosAllSites(t *testing.T) {
 			if !exec.BagEqual(r1, r2) {
 				t.Fatalf("SOUNDNESS VIOLATION under faults: proved equivalent but bags differ\nq1: %s\nq2: %s", sqls[0], sqls[1])
 			}
+		}
+	}
+
+	// Refutation soundness: faults may lose a witness (the pair degrades to
+	// not-proved), but every "refuted" that did come back must carry a
+	// witness that replays — executing both queries over it must yield the
+	// recorded, differing bags.
+	if len(refuted) == 0 {
+		t.Fatal("sanity: chaos run refuted nothing; the inequivalent pairs were not exercising the refuter")
+	}
+	for _, rr := range refuted {
+		if rr.witness == nil {
+			t.Fatalf("refuted verdict without a witness under faults: %q vs %q", rr.sqls[0], rr.sqls[1])
+		}
+		q1, err1 := s.eng.BuildSQL(rr.sqls[0])
+		q2, err2 := s.eng.BuildSQL(rr.sqls[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("re-building a refuted pair failed: %v / %v", err1, err2)
+		}
+		if err := rr.witness.Replay(q1, q2); err != nil {
+			t.Fatalf("SOUNDNESS VIOLATION under faults: refuted witness does not replay: %v\nq1: %s\nq2: %s",
+				err, rr.sqls[0], rr.sqls[1])
 		}
 	}
 

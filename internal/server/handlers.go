@@ -9,6 +9,7 @@ import (
 
 	"spes/internal/engine"
 	"spes/internal/plan"
+	"spes/internal/refute"
 	"spes/internal/verify"
 )
 
@@ -39,7 +40,11 @@ type VerifyResponse struct {
 	Panicked  bool       `json:"panicked,omitempty"`
 	Aborted   bool       `json:"watchdog_abort,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
-	Stats     *StatsJSON `json:"stats,omitempty"`
+	// Witness backs a "refuted" verdict: the counterexample database and
+	// the two differing output bags. Deterministic per pair, so routed and
+	// standalone answers serialize identically. Absent otherwise.
+	Witness *refute.Witness `json:"witness,omitempty"`
+	Stats   *StatsJSON      `json:"stats,omitempty"`
 }
 
 // StatsJSON mirrors verify.Stats for the wire.
@@ -94,6 +99,7 @@ type BatchStatsJSON struct {
 	Equivalent       int     `json:"equivalent"`
 	NotProved        int     `json:"not_proved"`
 	Unsupported      int     `json:"unsupported"`
+	Refuted          int     `json:"refuted"`
 	Deduped          int     `json:"deduped"`
 	Timeouts         int     `json:"timeouts"`
 	Cancelled        int     `json:"cancelled"`
@@ -180,8 +186,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Unsupported SQL is a verdict, not a client error: the queries
-		// are well-formed, the prover just declines them.
-		s.verdicts.Inc("unsupported")
+		// are well-formed, the prover just declines them. The metric label
+		// is derived from the Verdict, same as every other outcome — a
+		// hand-written string here once let this label drift from the enum.
+		s.verdicts.Inc(engine.Unsupported.String())
 		writeJSON(w, http.StatusOK, VerifyResponse{
 			ID:        req.ID,
 			Shard:     s.cfg.ShardID,
@@ -226,6 +234,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		Panicked:  res.Panicked,
 		Aborted:   res.WatchdogAbort,
 		ElapsedMS: msSince(start),
+		Witness:   res.Witness,
 		Stats:     statsJSON(res.Stats),
 	})
 }
@@ -273,6 +282,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Equivalent:       stats.Equivalent,
 			NotProved:        stats.NotProved,
 			Unsupported:      stats.Unsupported,
+			Refuted:          stats.Refuted,
 			Deduped:          stats.Deduped,
 			Timeouts:         stats.Timeouts,
 			Cancelled:        stats.Cancelled,
@@ -297,6 +307,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Panicked:  res.Panicked,
 			Aborted:   res.WatchdogAbort,
 			ElapsedMS: ms(res.Elapsed),
+			Witness:   res.Witness,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

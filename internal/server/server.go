@@ -81,6 +81,12 @@ type Config struct {
 	// once the term DAG reaches this many nodes, bounding steady-state
 	// term memory under adversarial workload diversity (0 = never rotate).
 	TermNodeHighWater int
+	// RefuteBudget, when > 0, runs the bounded refutation pass after each
+	// failed proof: up to this many small random databases are executed
+	// looking for a counterexample, turning not-proved into refuted with a
+	// witness in the response. 0 (the default) keeps the server purely
+	// symbolic.
+	RefuteBudget int
 	// ShardID, when non-empty, names this process in a router-fronted
 	// cluster: echoed in every verify response, /healthz, /v1/stats, and
 	// the spes_shard_info metric, so cross-shard traces and merged batch
@@ -159,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 		CacheSize:         cfg.CacheSize,
 		WatchdogGrace:     cfg.WatchdogGrace,
 		TermNodeHighWater: cfg.TermNodeHighWater,
+		RefuteBudget:      cfg.RefuteBudget,
 	}
 	var st *store.Store
 	if cfg.StorePath != "" {
@@ -241,6 +248,9 @@ func (s *Server) registerMetrics() {
 	r.NewCounterFunc("spes_engine_unsupported_total",
 		"Pairs using unsupported SQL (lifetime).",
 		stat(func(st engine.StatsSnapshot) int64 { return st.Unsupported }))
+	r.NewCounterFunc("spes_engine_refuted_total",
+		"Pairs proved inequivalent by a counterexample witness (lifetime).",
+		stat(func(st engine.StatsSnapshot) int64 { return st.Refuted }))
 	r.NewCounterFunc("spes_engine_timeouts_total",
 		"Pairs degraded by the verification deadline (lifetime).",
 		stat(func(st engine.StatsSnapshot) int64 { return st.Timeouts }))

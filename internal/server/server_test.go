@@ -497,6 +497,108 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestVerdictMetricLabelParity pins the verdict-metric contract: every
+// label on spes_verdicts_total is derived from Verdict.String(), for every
+// verdict a handler can produce. A hand-written label string once let the
+// unsupported path drift from the enum; this test drives one request per
+// verdict and asserts the label set is exactly the enum's renderings.
+func TestVerdictMetricLabelParity(t *testing.T) {
+	s := newTestServer(t, Config{RefuteBudget: 64})
+	h := s.Handler()
+
+	reqs := map[string]VerifyRequest{
+		engine.Equivalent.String(): {SQL1: eqSQL1, SQL2: eqSQL2},
+		// A genuinely equivalent pair past the prover's §7.4 limitations:
+		// NotProved even with refutation on, because no counterexample exists.
+		engine.NotProved.String():   {SQL1: "SELECT LOCATION FROM EMP UNION SELECT LOCATION FROM EMP", SQL2: "SELECT DISTINCT LOCATION FROM EMP"},
+		engine.Unsupported.String(): {SQL1: "SELECT CAST(SALARY AS FLOAT) FROM EMP", SQL2: "SELECT CAST(SALARY AS FLOAT) FROM EMP"},
+		engine.Refuted.String():     {SQL1: "SELECT SALARY FROM EMP WHERE SALARY > 5", SQL2: "SELECT SALARY FROM EMP WHERE SALARY >= 5"},
+	}
+	for want, req := range reqs {
+		w := postJSON(t, h, "/v1/verify", req)
+		if w.Code != 200 {
+			t.Fatalf("%s request: status %d: %s", want, w.Code, w.Body.String())
+		}
+		if resp := decode[VerifyResponse](t, w); resp.Verdict != want {
+			t.Fatalf("verdict = %q, want %q: %s", resp.Verdict, want, w.Body.String())
+		}
+	}
+
+	body := doReq(h, httptest.NewRequest(http.MethodGet, "/metrics", nil)).Body.String()
+	got := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, `spes_verdicts_total{verdict="`) {
+			continue
+		}
+		label := strings.TrimPrefix(line, `spes_verdicts_total{verdict="`)
+		if i := strings.Index(label, `"`); i >= 0 {
+			got[label[:i]] = true
+		}
+	}
+	for _, v := range []engine.Verdict{engine.NotProved, engine.Equivalent, engine.Unsupported, engine.Refuted} {
+		if !got[v.String()] {
+			t.Errorf("metric label %q missing after a %q response:\n%s", v.String(), v.String(), grepMetric(body, "spes_verdicts_total"))
+		}
+		delete(got, v.String())
+	}
+	for label := range got {
+		t.Errorf("metric label %q does not correspond to any engine verdict", label)
+	}
+}
+
+// TestRefutedVerifyResponse drives the refutation pass through both
+// handlers: the verdict is "refuted", the witness rides the JSON, and the
+// witness replays against freshly built plans.
+func TestRefutedVerifyResponse(t *testing.T) {
+	s := newTestServer(t, Config{RefuteBudget: 64})
+	h := s.Handler()
+	sql1 := "SELECT LOCATION FROM EMP"
+	sql2 := "SELECT DISTINCT LOCATION FROM EMP"
+
+	w := postJSON(t, h, "/v1/verify", VerifyRequest{SQL1: sql1, SQL2: sql2})
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[VerifyResponse](t, w)
+	if resp.Verdict != "refuted" || resp.Witness == nil {
+		t.Fatalf("want refuted with witness, got %s", w.Body.String())
+	}
+	q1, err1 := s.eng.BuildSQL(sql1)
+	q2, err2 := s.eng.BuildSQL(sql2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if err := resp.Witness.Replay(q1, q2); err != nil {
+		t.Fatalf("served witness does not replay: %v", err)
+	}
+
+	bw := postJSON(t, h, "/v1/verify/batch", BatchRequest{Pairs: []BatchPairJSON{
+		{ID: "r", SQL1: sql1, SQL2: sql2},
+		{ID: "e", SQL1: eqSQL1, SQL2: eqSQL2},
+	}})
+	if bw.Code != 200 {
+		t.Fatalf("batch status %d: %s", bw.Code, bw.Body.String())
+	}
+	bresp := decode[BatchResponse](t, bw)
+	if bresp.Stats.Refuted != 1 {
+		t.Errorf("batch stats refuted = %d, want 1", bresp.Stats.Refuted)
+	}
+	for _, r := range bresp.Results {
+		switch r.ID {
+		case "r":
+			if r.Verdict != "refuted" || r.Witness == nil {
+				t.Errorf("batch pair r: want refuted with witness, got %+v", r)
+			} else if err := r.Witness.Replay(q1, q2); err != nil {
+				t.Errorf("batch witness does not replay: %v", err)
+			}
+		case "e":
+			if r.Verdict != "equivalent" || r.Witness != nil {
+				t.Errorf("batch pair e: want equivalent without witness, got %+v", r)
+			}
+		}
+	}
+}
+
 // TestServerVerdictsMatchLibrary is the verdict-neutrality acceptance
 // check: the server path (persistent engine, coalescing plumbing, JSON
 // layer) returns exactly the verdict spes.Verify returns, across the

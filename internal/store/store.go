@@ -39,6 +39,7 @@ import (
 const (
 	recVerdict = 'V'
 	recLemma   = 'L'
+	recWitness = 'W'
 )
 
 // headerLen is the fixed per-record framing: 4-byte big-endian payload
@@ -92,6 +93,7 @@ type Store struct {
 	path    string
 	size    int64
 	index   map[uint64][]ref // verdict records only, FNV(key) → refs
+	witness map[uint64][]ref // witness records only, FNV(pair key) → refs
 	lemmas  []LemmaLit       // flattened lemma literals...
 	lemmaN  []int            // ...with per-lemma lengths, in log order
 	lemmaFP map[uint64]bool  // order-independent lemma dedupe
@@ -104,7 +106,8 @@ type Store struct {
 
 type pending struct {
 	payload []byte
-	key     string        // verdict key to index after a durable write; "" for lemmas
+	key     string        // key to index after a durable write; "" for lemmas
+	kind    byte          // which index the key belongs to (recVerdict or recWitness)
 	ackCh   chan struct{} // Flush sentinel: nil payload, close on receipt
 }
 
@@ -124,6 +127,7 @@ func Open(path string) (*Store, error) {
 		f:       f,
 		path:    path,
 		index:   make(map[uint64][]ref),
+		witness: make(map[uint64][]ref),
 		lemmaFP: make(map[uint64]bool),
 		queue:   make(chan pending, queueDepth),
 		done:    make(chan struct{}),
@@ -210,6 +214,13 @@ func (s *Store) indexPayload(payload []byte, r ref) {
 		}
 		fp := fnv64(key)
 		s.index[fp] = append(s.index[fp], r)
+	case recWitness:
+		key, _, ok := decodeWitness(payload)
+		if !ok {
+			return
+		}
+		fp := fnv64(key)
+		s.witness[fp] = append(s.witness[fp], r)
 	case recLemma:
 		lits, ok := decodeLemma(payload)
 		if !ok {
@@ -271,7 +282,61 @@ func (s *Store) AppendVerdict(key string, valid bool) {
 			return
 		}
 	}
-	s.enqueue(pending{payload: encodeVerdict(key, valid), key: key})
+	s.enqueue(pending{payload: encodeVerdict(key, valid), key: key, kind: recVerdict})
+}
+
+// LookupWitness returns the stored counterexample witness bytes for a
+// normalized pair key, if any. Like LookupVerdict, candidates are confirmed
+// by reading the full key back, so a fingerprint collision degrades to a
+// read. The store does not interpret the bytes; callers must replay the
+// decoded witness against the pair before trusting it — corruption here can
+// only lose a witness (the pair is re-refuted), never fabricate one.
+func (s *Store) LookupWitness(key string) ([]byte, bool) {
+	fp := fnv64(key)
+	s.mu.Lock()
+	refs := s.witness[fp]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, false
+	}
+	for _, r := range refs {
+		payload := make([]byte, r.n)
+		if _, err := s.f.ReadAt(payload, r.off); err != nil {
+			break
+		}
+		k, data, good := decodeWitness(payload)
+		if good && k == key {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			return data, true
+		}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// AppendWitness queues a counterexample witness for a normalized pair key.
+// Same write-behind contract as AppendVerdict: a crash or full queue loses
+// the record and costs a future re-search, nothing more. The first stored
+// witness for a key wins on lookup; duplicates are skipped best-effort.
+func (s *Store) AppendWitness(key string, data []byte) {
+	if key == "" || len(data) == 0 {
+		return
+	}
+	fp := fnv64(key)
+	s.mu.Lock()
+	known := len(s.witness[fp]) > 0
+	s.mu.Unlock()
+	if known {
+		if _, ok := s.LookupWitness(key); ok {
+			return
+		}
+	}
+	s.enqueue(pending{payload: encodeWitness(key, data), key: key, kind: recWitness})
 }
 
 // AppendLemma queues a theory lemma (the blocked core l1 ∧ … ∧ lk, i.e. the
@@ -390,7 +455,13 @@ func (s *Store) writeOne(p pending) {
 	s.stats.Appends++
 	if p.key != "" {
 		fp := fnv64(p.key)
-		s.index[fp] = append(s.index[fp], ref{off: off + headerLen, n: len(p.payload)})
+		r := ref{off: off + headerLen, n: len(p.payload)}
+		switch p.kind {
+		case recWitness:
+			s.witness[fp] = append(s.witness[fp], r)
+		default:
+			s.index[fp] = append(s.index[fp], r)
+		}
 	}
 }
 
@@ -478,6 +549,30 @@ func decodeVerdict(payload []byte) (key string, valid, ok bool) {
 		return "", false, false
 	}
 	return key, v == 1, true
+}
+
+// encodeWitness: 'W' | uvarint(len(key)) | key | data. The data bytes are
+// opaque to the store (the refute package's serialized witness).
+func encodeWitness(key string, data []byte) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(data))
+	buf = append(buf, recWitness)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, data...)
+	return buf
+}
+
+func decodeWitness(payload []byte) (key string, data []byte, ok bool) {
+	if len(payload) < 3 || payload[0] != recWitness {
+		return "", nil, false
+	}
+	rest := payload[1:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 || n >= maxRecordLen || uint64(len(rest)-w) < n+1 {
+		return "", nil, false
+	}
+	rest = rest[w:]
+	return string(rest[:n]), rest[n:], true
 }
 
 // encodeLemma: 'L' | uvarint(k) | k × (uvarint(len(key)) | key | polByte).

@@ -48,6 +48,35 @@ func TestVerdictRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWitnessRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	s := openT(t, path)
+	s.AppendWitness("pair-1", []byte(`{"seed":7}`))
+	s.AppendWitness("pair-1", []byte(`{"seed":8}`)) // duplicate key: first wins
+	s.AppendWitness("", []byte("x"))                // no key: dropped silently
+	s.AppendWitness("pair-2", nil)                  // no data: dropped silently
+	s.Flush()
+	if data, ok := s.LookupWitness("pair-1"); !ok || string(data) != `{"seed":7}` {
+		t.Fatalf("live lookup pair-1: got %q,%v", data, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openT(t, path)
+	defer s2.Close()
+	if data, ok := s2.LookupWitness("pair-1"); !ok || string(data) != `{"seed":7}` {
+		t.Fatalf("reopen lookup pair-1: got %q,%v", data, ok)
+	}
+	if _, ok := s2.LookupWitness("pair-2"); ok {
+		t.Fatal("lookup of never-stored witness key hit")
+	}
+	// Witness records must not satisfy verdict lookups or vice versa.
+	if _, ok := s2.LookupVerdict("pair-1"); ok {
+		t.Fatal("witness record answered a verdict lookup")
+	}
+}
+
 func TestLemmaRoundTripAndDedupe(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "l.log")
 	s := openT(t, path)

@@ -20,6 +20,7 @@ import (
 	"spes/internal/fault"
 	"spes/internal/fol"
 	"spes/internal/plan"
+	"spes/internal/refute"
 	"spes/internal/smt"
 	"spes/internal/symbolic"
 )
@@ -41,6 +42,9 @@ type Stats struct {
 	StoreHits       int   // obligations answered from the durable store
 	StoreMisses     int   // durable-store lookups that missed
 	SessionEvicts   int   // sessions evicted from the LRU table (incl. rotation drains)
+	RefuteSearches  int   // bounded refutation searches run after failed proofs
+	RefuteRounds    int   // candidate databases generated across those searches
+	WitnessHits     int   // witnesses answered (and re-confirmed) from the durable store
 }
 
 // ObligationCache memoizes validity outcomes across Verifiers. Keys are
@@ -83,6 +87,23 @@ type DurableStore interface {
 	// AppendVerdict records a definite validity outcome (write-behind;
 	// losing it is sound).
 	AppendVerdict(key string, valid bool)
+}
+
+// WitnessStore persists refutation witnesses across processes, keyed on
+// the pair's canonical plan serialization (plan.PairKey of the normalized
+// plans — interner- and node-independent, like DurableStore keys). The
+// trust contract is stricter than for verdicts: stored bytes are never
+// served as-is. Refute decodes and replays every hit through the executor
+// and falls back to a fresh search if the replay no longer distinguishes
+// the plans, so a corrupt or stale record can cost a search but can never
+// fabricate a refutation. internal/store.Store is the canonical
+// implementation.
+type WitnessStore interface {
+	// LookupWitness returns the stored witness encoding for the pair key.
+	LookupWitness(key string) ([]byte, bool)
+	// AppendWitness records a witness encoding (write-behind; losing it is
+	// sound).
+	AppendWitness(key string, data []byte)
 }
 
 // Config tunes a Verifier beyond the New defaults.
@@ -133,6 +154,16 @@ type Config struct {
 	// parity suite asserts it); the switch exists for that comparison, for
 	// the incremental benchmark baseline, and as an escape hatch.
 	DisableIncremental bool
+	// RefuteBudget enables the bounded refutation pass: when a proof fails
+	// for a reason other than timeout or cancellation, Refute searches up
+	// to this many small concrete databases for one distinguishing the
+	// plans. 0 (the default) disables refutation entirely, leaving the
+	// two-valued proved / not-proved behavior unchanged.
+	RefuteBudget int
+	// Witnesses, when non-nil, persists found witnesses and answers later
+	// searches for the same pair — after an executor replay re-confirms
+	// them (see WitnessStore).
+	Witnesses WitnessStore
 }
 
 // Verifier checks full equivalence of plan pairs. One Verifier per pair is
@@ -151,14 +182,20 @@ type Verifier struct {
 	// MaxCandidates caps the bijections VeriVec tries per vector pair.
 	MaxCandidates int
 
-	solver      *smt.Solver
-	gen         *symbolic.Gen
-	enc         *symbolic.Encoder
-	cache       ObligationCache
-	store       DurableStore
-	in          *fol.Interner
-	stats       Stats
-	incremental bool
+	solver       *smt.Solver
+	gen          *symbolic.Gen
+	enc          *symbolic.Encoder
+	cache        ObligationCache
+	store        DurableStore
+	in           *fol.Interner
+	stats        Stats
+	incremental  bool
+	refuteBudget int
+	witnesses    WitnessStore
+	// deadline and ctx mirror the solver's bounds so the refutation pass
+	// honors the same wall-clock and cancellation limits the proof did.
+	deadline time.Time
+	ctx      context.Context
 	// sessions maps an obligation prefix (interned, so pointer identity is
 	// structural identity) to the live solver session holding its encoding.
 	// VeriVec candidate loops and the agg-matching search hit the same
@@ -215,6 +252,10 @@ func NewWithConfig(cfg Config) *Verifier {
 		store:         cfg.Store,
 		in:            in,
 		incremental:   !cfg.DisableIncremental,
+		refuteBudget:  cfg.RefuteBudget,
+		witnesses:     cfg.Witnesses,
+		deadline:      cfg.Deadline,
+		ctx:           cfg.Ctx,
 	}
 }
 
@@ -245,6 +286,52 @@ func (v *Verifier) TimedOut() bool {
 // abort, not a genuine failure to prove.
 func (v *Verifier) Cancelled() bool {
 	return v.solver.Stats.CancelHit > 0
+}
+
+// Refute runs the bounded concrete refutation pass for a pair whose proof
+// just failed, returning a replay-confirmed counterexample witness or nil.
+//
+// It refuses to run when the proof was degraded — TimedOut or Cancelled —
+// because a degraded "not proved" says nothing about the pair, and turning
+// it into Refuted would let wall-clock pressure change the meaning of a
+// verdict (the witness itself would still be sound, but the verdict tier
+// must stay an honest function of what was actually established; the
+// caller that timed out should retry, not refute). With RefuteBudget 0 it
+// is a no-op, keeping refutation strictly opt-in.
+//
+// When a WitnessStore is configured, a stored witness for the pair is
+// decoded and replayed first; only a hit that still distinguishes the
+// plans is returned, anything else falls through to a fresh search.
+func (v *Verifier) Refute(q1, q2 plan.Node) *refute.Witness {
+	if v.refuteBudget <= 0 || v.TimedOut() || v.Cancelled() {
+		return nil
+	}
+	v.stats.RefuteSearches++
+	var key string
+	if v.witnesses != nil {
+		key = plan.PairKey(q1, q2)
+		if data, ok := v.witnesses.LookupWitness(key); ok {
+			if w, err := refute.Decode(data); err == nil && w.Replay(q1, q2) == nil {
+				v.stats.WitnessHits++
+				return w
+			}
+		}
+	}
+	w, st := refute.Search(q1, q2, refute.Options{
+		Budget:   v.refuteBudget,
+		Deadline: v.deadline,
+		Ctx:      v.ctx,
+	})
+	v.stats.RefuteRounds += st.Rounds
+	if w == nil {
+		return nil
+	}
+	if v.witnesses != nil {
+		if data, err := w.Encode(); err == nil {
+			v.witnesses.AppendWitness(key, data)
+		}
+	}
+	return w
 }
 
 // Outcome reports both of the paper's equivalence notions: Cardinal is

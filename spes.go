@@ -29,6 +29,7 @@ import (
 	"spes/internal/engine"
 	"spes/internal/normalize"
 	"spes/internal/plan"
+	"spes/internal/refute"
 	"spes/internal/schema"
 	"spes/internal/sqlparser"
 	"spes/internal/verify"
@@ -47,6 +48,12 @@ const (
 	// Unsupported means at least one query uses a SQL feature outside the
 	// supported subset.
 	Unsupported
+	// Refuted means the queries are proved inequivalent: the bounded
+	// refutation pass found a concrete database — attached to the Result
+	// as a Witness — on which their output multisets differ. Only produced
+	// when Options.RefuteBudget > 0 and the symbolic proof failed for a
+	// reason other than timeout or cancellation.
+	Refuted
 )
 
 func (v Verdict) String() string {
@@ -55,9 +62,17 @@ func (v Verdict) String() string {
 		return "equivalent"
 	case Unsupported:
 		return "unsupported"
+	case Refuted:
+		return "refuted"
 	}
 	return "not-proved"
 }
+
+// Witness is a concrete counterexample attached to a Refuted verdict: the
+// tables and rows of a small database plus the two differing output
+// multisets. See internal/refute for the search, shrink, and replay
+// machinery.
+type Witness = refute.Witness
 
 // Result carries the verdict and verification statistics.
 type Result struct {
@@ -70,6 +85,10 @@ type Result struct {
 	Cardinal bool
 	// Reason explains Unsupported and some NotProved outcomes.
 	Reason string
+	// Witness is the counterexample backing a Refuted verdict; nil
+	// otherwise. Every witness has been confirmed by executing both plans
+	// over it and observing differing output bags.
+	Witness *Witness
 	// Stats summarizes the verifier's work.
 	Stats verify.Stats
 }
@@ -81,6 +100,11 @@ type Options struct {
 	DisableNormalization bool
 	// NormalizeOptions tunes individual rules when normalization is on.
 	NormalizeOptions normalize.Options
+	// RefuteBudget, when positive, runs the bounded refutation pass after
+	// a failed proof: up to this many small random databases are executed
+	// looking for one where the outputs differ, turning NotProved into
+	// Refuted with a Witness. 0 keeps verification purely symbolic.
+	RefuteBudget int
 }
 
 // Catalog re-exports the schema catalog type for API convenience.
@@ -150,12 +174,17 @@ func VerifyPlans(q1, q2 plan.Node, opts Options) Result {
 		q1 = nz.Normalize(q1)
 		q2 = nz.Normalize(q2)
 	}
-	v := verify.New()
+	v := verify.NewWithConfig(verify.Config{RefuteBudget: opts.RefuteBudget})
 	out := v.Check(q1, q2)
-	res := Result{Verdict: NotProved, Cardinal: out.Cardinal, Stats: v.Stats()}
+	res := Result{Verdict: NotProved, Cardinal: out.Cardinal}
 	if out.Full {
 		res.Verdict = Equivalent
+	} else if w := v.Refute(q1, q2); w != nil {
+		res.Verdict = Refuted
+		res.Witness = w
+		res.Reason = "counterexample database found"
 	}
+	res.Stats = v.Stats()
 	return res
 }
 
@@ -190,6 +219,8 @@ type BatchResult struct {
 	// Cancelled marks a pair aborted by context cancellation; like a
 	// timeout it can only degrade a verdict to NotProved, never invent one.
 	Cancelled bool
+	// Witness backs a Refuted verdict (see Result.Witness); nil otherwise.
+	Witness *Witness
 }
 
 // VerifyBatch verifies many pairs at once on a bounded worker pool
@@ -222,6 +253,7 @@ func VerifyBatchContext(ctx context.Context, cat *Catalog, pairs []BatchPair, op
 			Deduped:   r.Deduped,
 			TimedOut:  r.TimedOut,
 			Cancelled: r.Cancelled,
+			Witness:   r.Witness,
 		}
 	}
 	return out, stats
