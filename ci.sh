@@ -397,3 +397,108 @@ grep -q 'spes-serve: drained' "$tmp/refute-a.log"
 kill -INT $SHARD_B_PID
 wait $SHARD_B_PID
 grep -q 'spes-serve: drained' "$tmp/refute-b.log"
+
+# --- constraint-aware smoke test -------------------------------------------
+# The constraint suites by name under -race (also part of the full run
+# above; pinned so a test-filtering change can never silently drop them):
+# the constraint-dependent tier proves only with its constraints declared,
+# axiom-site chaos degrades to not-proved, digests namespace one shared
+# store, zero constraints stay byte-identical, and refutation witnesses
+# over constrained catalogs replay and satisfy every declared constraint.
+go test -race -run 'TestConstraintPairsProveOnlyWithConstraints|TestConstraintDDLDigestParity' ./internal/corpus/
+go test -race -run 'TestConstraintAxiomsPanicDegrades|TestConstraintAxiomsCancelSound|TestConstraintStoreCrossContamination|TestEmptyConstraintSetParity' ./internal/engine/
+go test -race -run 'TestSearchWitnessSatisfiesConstraints|TestReplayRejectsConstraintViolatingWitness' ./internal/refute/
+
+# PK/FK join elimination end to end, twice against ONE store directory.
+# With the FOREIGN KEY declared the parent side of the join is provably
+# redundant and the pair verifies equivalent; restarted on the SAME store
+# with the constraint-free schema the pair must come back not-proved with
+# ZERO store hits — every stored verdict is keyed under the constraint
+# digest, so nothing can leak across; restarted constrained again, the
+# pair must answer equivalent warm from the store.
+cat >"$tmp/constrained.sql" <<'EOF'
+CREATE TABLE EMP (
+  EMP_ID INT PRIMARY KEY,
+  ENAME VARCHAR,
+  SALARY INT,
+  DEPT_ID INT NOT NULL REFERENCES DEPT (DEPT_ID)
+);
+CREATE TABLE DEPT (
+  DEPT_ID INT PRIMARY KEY,
+  DEPT_NAME VARCHAR
+);
+EOF
+cat >"$tmp/unconstrained.sql" <<'EOF'
+CREATE TABLE EMP (
+  EMP_ID INT PRIMARY KEY,
+  ENAME VARCHAR,
+  SALARY INT,
+  DEPT_ID INT
+);
+CREATE TABLE DEPT (
+  DEPT_ID INT PRIMARY KEY,
+  DEPT_NAME VARCHAR
+);
+EOF
+cat >"$tmp/joinelim.json" <<'EOF'
+{
+  "sql1": "SELECT EMP.EMP_ID, EMP.SALARY FROM EMP JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID",
+  "sql2": "SELECT EMP_ID, SALARY FROM EMP"
+}
+EOF
+
+"$tmp/spes-serve" -schema "$tmp/constrained.sql" -addr 127.0.0.1:0 \
+    -store-dir "$tmp/cstore" >"$tmp/con1.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/con1.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+grep -q 'spes-serve: constraint digest' "$tmp/con1.log"
+curl -sf -X POST "http://$ADDR/v1/verify" -d @"$tmp/joinelim.json" >"$tmp/con1.json"
+grep -q '"verdict": "equivalent"' "$tmp/con1.json"
+grep -q '"constraint_digest"' "$tmp/con1.json"   # clients can key their own caches
+CON_DIGEST=$(sed -n 's/.*"constraint_digest": "\([0-9a-f]*\)".*/\1/p' "$tmp/con1.json" | head -1)
+[ -n "$CON_DIGEST" ]
+curl -sf "http://$ADDR/v1/stats" | grep -q "\"constraint_digest\": \"$CON_DIGEST\""
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/con1.log"
+[ -s "$tmp/cstore/spes-verdicts.log" ]
+
+"$tmp/spes-serve" -schema "$tmp/unconstrained.sql" -addr 127.0.0.1:0 \
+    -store-dir "$tmp/cstore" >"$tmp/con2.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/con2.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+curl -sf -X POST "http://$ADDR/v1/verify" -d @"$tmp/joinelim.json" >"$tmp/con2.json"
+grep -q '"verdict": "not-proved"' "$tmp/con2.json"
+! grep -q "\"constraint_digest\": \"$CON_DIGEST\"" "$tmp/con2.json"
+curl -sf "http://$ADDR/metrics" >"$tmp/con2-metrics.txt"
+grep -q '^spes_store_hits_total 0$' "$tmp/con2-metrics.txt"   # no cross-digest leak
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/con2.log"
+
+"$tmp/spes-serve" -schema "$tmp/constrained.sql" -addr 127.0.0.1:0 \
+    -store-dir "$tmp/cstore" >"$tmp/con3.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^spes-serve: listening on //p' "$tmp/con3.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+curl -sf -X POST "http://$ADDR/v1/verify" -d @"$tmp/joinelim.json" >"$tmp/con3.json"
+grep -q '"verdict": "equivalent"' "$tmp/con3.json"
+curl -sf "http://$ADDR/metrics" >"$tmp/con3-metrics.txt"
+! grep -q '^spes_store_hits_total 0$' "$tmp/con3-metrics.txt"   # warm under the matching digest
+kill -INT $SERVE_PID
+wait $SERVE_PID
+grep -q 'spes-serve: drained' "$tmp/con3.log"

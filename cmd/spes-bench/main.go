@@ -57,6 +57,8 @@ func main() {
 		warmOut  = flag.String("warm-out", "BENCH_warm.json", "with -warm -json: artifact path for the warm-state report")
 		clusterB = flag.Bool("cluster", false, "run the multi-shard router study (the pair stream through spes-router onto 1, 2, and 4 local shards)")
 		clusterO = flag.String("cluster-out", "BENCH_cluster.json", "with -cluster -json: artifact path for the cluster report")
+		constrB  = flag.Bool("constraints", false, "run the constraint-aware equivalence study (the constraint-dependent tier with vs without declared constraints)")
+		constrO  = flag.String("constraints-out", "BENCH_constraints.json", "with -constraints -json: artifact path for the constraints report")
 	)
 	flag.Parse()
 
@@ -190,6 +192,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *clusterO)
 		} else {
 			fmt.Print(bench.RenderCluster(rep))
+		}
+	}
+	if *all || *constrB {
+		ranSomething = true
+		rep := bench.RunConstraints(*parallel)
+		if *asJSON {
+			out["constraints"] = rep
+			if err := writeArtifact(*constrO, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "spes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spes-bench: wrote %s\n", *constrO)
+		} else {
+			fmt.Print(bench.RenderConstraints(rep))
 		}
 	}
 	if !ranSomething {

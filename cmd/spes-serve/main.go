@@ -104,6 +104,9 @@ func main() {
 		ss := st.Snapshot()
 		fmt.Printf("spes-serve: durable store %s (%d records, %d bytes loaded)\n", st.Path(), ss.Records, ss.Bytes)
 	}
+	if d := cat.ConstraintDigest(); d != "" {
+		fmt.Printf("spes-serve: constraint digest %s\n", d)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,210 @@
+package corpus
+
+import (
+	"fmt"
+
+	"spes/internal/schema"
+)
+
+// ConstraintCatalog returns the benchmark schema with the integrity
+// constraints the constraint-dependent tier relies on declared:
+//
+//   - EMP.DEPT_ID is NOT NULL and a FOREIGN KEY into DEPT(DEPT_ID);
+//   - EMP.ENAME is NOT NULL and UNIQUE; EMP.LOCATION is NOT NULL;
+//   - BONUS.EMP_ID is a FOREIGN KEY into EMP(EMP_ID);
+//   - ACCOUNT.EMP_ID is a (nullable) FOREIGN KEY into EMP(EMP_ID).
+//
+// Catalog() is its constraint-free twin: identical tables, columns, and
+// primary keys, none of the constraints above. Every ConstraintPairs pair
+// is equivalent under this catalog and unprovable (indeed, generally
+// inequivalent) under Catalog() — the paired-catalog design is what the
+// acceptance tests and the cross-contamination CI stage verify against.
+func ConstraintCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	mustAdd := func(t *schema.Table) {
+		if err := cat.AddTable(t); err != nil {
+			panic(err)
+		}
+	}
+	mustAdd(&schema.Table{
+		Name: "EMP",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "ENAME", Type: schema.String, NotNull: true},
+			{Name: "SALARY", Type: schema.Int},
+			{Name: "DEPT_ID", Type: schema.Int, NotNull: true},
+			{Name: "LOCATION", Type: schema.String, NotNull: true},
+			{Name: "MGR_ID", Type: schema.Int},
+		},
+		PrimaryKey: []string{"EMP_ID"},
+		Unique:     [][]string{{"ENAME"}},
+		ForeignKeys: []schema.ForeignKey{
+			{Columns: []string{"DEPT_ID"}, ParentTable: "DEPT", ParentColumns: []string{"DEPT_ID"}},
+		},
+	})
+	mustAdd(&schema.Table{
+		Name: "DEPT",
+		Columns: []schema.Column{
+			{Name: "DEPT_ID", Type: schema.Int, NotNull: true},
+			{Name: "DEPT_NAME", Type: schema.String},
+			{Name: "BUDGET", Type: schema.Int},
+		},
+		PrimaryKey: []string{"DEPT_ID"},
+	})
+	mustAdd(&schema.Table{
+		Name: "BONUS",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "AMOUNT", Type: schema.Int},
+			{Name: "YEAR", Type: schema.Int},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{Columns: []string{"EMP_ID"}, ParentTable: "EMP", ParentColumns: []string{"EMP_ID"}},
+		},
+	})
+	mustAdd(&schema.Table{
+		Name: "ACCOUNT",
+		Columns: []schema.Column{
+			{Name: "ACCT_ID", Type: schema.Int, NotNull: true},
+			{Name: "EMP_ID", Type: schema.Int},
+			{Name: "BALANCE", Type: schema.Int},
+		},
+		PrimaryKey: []string{"ACCT_ID"},
+		ForeignKeys: []schema.ForeignKey{
+			{Columns: []string{"EMP_ID"}, ParentTable: "EMP", ParentColumns: []string{"EMP_ID"}},
+		},
+	})
+	if err := cat.CheckForeignKeys(); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+// ConstraintDDL is ConstraintCatalog as DDL, for harnesses that feed a
+// schema file to the server or CLI (the CI cross-contamination stage).
+// Parsing it must yield a catalog with the same constraint digest as
+// ConstraintCatalog() — the corpus tests pin this.
+const ConstraintDDL = `
+CREATE TABLE EMP (
+  EMP_ID INT PRIMARY KEY,
+  ENAME VARCHAR NOT NULL UNIQUE,
+  SALARY INT,
+  DEPT_ID INT NOT NULL REFERENCES DEPT (DEPT_ID),
+  LOCATION VARCHAR NOT NULL,
+  MGR_ID INT
+);
+CREATE TABLE DEPT (
+  DEPT_ID INT PRIMARY KEY,
+  DEPT_NAME VARCHAR,
+  BUDGET INT
+);
+CREATE TABLE BONUS (
+  EMP_ID INT NOT NULL,
+  AMOUNT INT,
+  YEAR INT,
+  FOREIGN KEY (EMP_ID) REFERENCES EMP (EMP_ID)
+);
+CREATE TABLE ACCOUNT (
+  ACCT_ID INT PRIMARY KEY,
+  EMP_ID INT REFERENCES EMP (EMP_ID),
+  BALANCE INT
+);
+`
+
+// BaseDDL is Catalog() — the constraint-free twin — as DDL.
+const BaseDDL = `
+CREATE TABLE EMP (
+  EMP_ID INT PRIMARY KEY,
+  ENAME VARCHAR,
+  SALARY INT,
+  DEPT_ID INT,
+  LOCATION VARCHAR,
+  MGR_ID INT
+);
+CREATE TABLE DEPT (
+  DEPT_ID INT PRIMARY KEY,
+  DEPT_NAME VARCHAR,
+  BUDGET INT
+);
+CREATE TABLE BONUS (
+  EMP_ID INT NOT NULL,
+  AMOUNT INT,
+  YEAR INT
+);
+CREATE TABLE ACCOUNT (
+  ACCT_ID INT PRIMARY KEY,
+  EMP_ID INT,
+  BALANCE INT
+);
+`
+
+// ConstraintPairs returns the constraint-dependent tier: pairs whose
+// equivalence holds only because of an integrity constraint
+// ConstraintCatalog declares, exercising the three constraint-aware proof
+// capabilities end to end:
+//
+//   - JoinElimFK: a PK/FK join whose parent contributes no columns is
+//     eliminated (nullable FKs leave an IS NOT NULL residual);
+//   - DistinctOnUnique: DISTINCT over a NOT NULL UNIQUE key is a no-op;
+//   - NotNullPrune: an IS NOT NULL filter on a NOT NULL column is a no-op.
+//
+// Equivalent records ground truth under ConstraintCatalog. Under the
+// constraint-free Catalog() every pair is inequivalent in general, so a
+// verifier given that catalog must answer not-proved (or refuted, when a
+// refutation budget is granted) — never equivalent. The tier is separate
+// from CalcitePairs, whose count and verdicts are pinned elsewhere.
+func ConstraintPairs() []Pair {
+	var pairs []Pair
+	add := func(rule string, cat Category, sql1, sql2 string) {
+		pairs = append(pairs, Pair{
+			ID:         fmt.Sprintf("constraint-%03d", len(pairs)+1),
+			Rule:       rule,
+			Category:   cat,
+			SQL1:       sql1,
+			SQL2:       sql2,
+			Equivalent: true,
+		})
+	}
+
+	// FK join elimination: the parent side of a PK/FK join is dropped when
+	// none of its columns escape. EMP.DEPT_ID and BONUS.EMP_ID are NOT
+	// NULL, so no residual; ACCOUNT.EMP_ID is nullable, so elimination
+	// leaves the IS NOT NULL residual SQL2 states explicitly.
+	add("JoinElimFK", USPJ,
+		"SELECT EMP.EMP_ID, EMP.SALARY FROM EMP JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID",
+		"SELECT EMP_ID, SALARY FROM EMP")
+	add("JoinElimFK", USPJ,
+		"SELECT EMP.ENAME FROM EMP JOIN DEPT ON EMP.DEPT_ID = DEPT.DEPT_ID WHERE EMP.SALARY > 10",
+		"SELECT ENAME FROM EMP WHERE SALARY > 10")
+	add("JoinElimFK", USPJ,
+		"SELECT BONUS.AMOUNT, BONUS.YEAR FROM BONUS JOIN EMP ON BONUS.EMP_ID = EMP.EMP_ID",
+		"SELECT AMOUNT, YEAR FROM BONUS")
+	add("JoinElimFK", USPJ,
+		"SELECT ACCOUNT.ACCT_ID, ACCOUNT.BALANCE FROM ACCOUNT JOIN EMP ON ACCOUNT.EMP_ID = EMP.EMP_ID",
+		"SELECT ACCT_ID, BALANCE FROM ACCOUNT WHERE EMP_ID IS NOT NULL")
+
+	// DISTINCT removal over a declared NOT NULL UNIQUE key.
+	add("DistinctOnUnique", Aggregate,
+		"SELECT DISTINCT ENAME FROM EMP",
+		"SELECT ENAME FROM EMP")
+	add("DistinctOnUnique", Aggregate,
+		"SELECT DISTINCT ENAME, SALARY FROM EMP",
+		"SELECT ENAME, SALARY FROM EMP")
+	add("DistinctOnUnique", Aggregate,
+		"SELECT DISTINCT ENAME, DEPT_ID FROM EMP WHERE SALARY > 5",
+		"SELECT ENAME, DEPT_ID FROM EMP WHERE SALARY > 5")
+
+	// IS NOT NULL pruning on declared NOT NULL columns (none of which are
+	// NOT NULL in the constraint-free twin).
+	add("NotNullPrune", USPJ,
+		"SELECT EMP_ID FROM EMP WHERE DEPT_ID IS NOT NULL",
+		"SELECT EMP_ID FROM EMP")
+	add("NotNullPrune", USPJ,
+		"SELECT ENAME FROM EMP WHERE ENAME IS NOT NULL",
+		"SELECT ENAME FROM EMP")
+	add("NotNullPrune", USPJ,
+		"SELECT EMP_ID, SALARY FROM EMP WHERE LOCATION IS NOT NULL AND SALARY > 3",
+		"SELECT EMP_ID, SALARY FROM EMP WHERE SALARY > 3")
+
+	return pairs
+}

@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"spes"
+	"spes/internal/datagen"
+	"spes/internal/engine"
+	"spes/internal/exec"
+	"spes/internal/plan"
+)
+
+// TestConstraintPairsProveOnlyWithConstraints is the tier's defining
+// property: every pair proves equivalent against ConstraintCatalog and
+// stays not-proved — not refuted, no refutation budget is granted — against
+// the constraint-free twin.
+func TestConstraintPairsProveOnlyWithConstraints(t *testing.T) {
+	pairs := ConstraintPairs()
+	eng := make([]engine.Pair, len(pairs))
+	for i, p := range pairs {
+		eng[i] = engine.Pair{ID: p.ID, SQL1: p.SQL1, SQL2: p.SQL2}
+	}
+
+	withRes, _ := engine.VerifyBatch(ConstraintCatalog(), eng, engine.Options{Workers: 2})
+	for i, r := range withRes {
+		if r.Verdict != engine.Equivalent {
+			t.Errorf("%s (%s): with constraints got %s (%s), want equivalent\nq1: %s\nq2: %s",
+				pairs[i].ID, pairs[i].Rule, r.Verdict, r.Reason, pairs[i].SQL1, pairs[i].SQL2)
+		}
+	}
+
+	withoutRes, _ := engine.VerifyBatch(Catalog(), eng, engine.Options{Workers: 2})
+	for i, r := range withoutRes {
+		if r.Verdict != engine.NotProved {
+			t.Errorf("%s (%s): without constraints got %s, want not-proved\nq1: %s\nq2: %s",
+				pairs[i].ID, pairs[i].Rule, r.Verdict, pairs[i].SQL1, pairs[i].SQL2)
+		}
+	}
+}
+
+// TestConstraintPairsGroundTruth validates the Equivalent flag by
+// differential execution over constraint-valid random databases — the
+// generator enforces the declared keys, FKs, and NOT NULLs, so agreement
+// here is agreement on exactly the databases the equivalence claims.
+func TestConstraintPairsGroundTruth(t *testing.T) {
+	cat := ConstraintCatalog()
+	b := plan.NewBuilder(cat)
+	r := rand.New(rand.NewSource(99))
+	for _, p := range ConstraintPairs() {
+		q1, err := b.BuildSQL(p.SQL1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		q2, err := b.BuildSQL(p.SQL2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		for i := 0; i < 16; i++ {
+			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
+			r1, err := exec.Run(db, q1)
+			if err != nil {
+				t.Fatalf("%s: exec q1: %v", p.ID, err)
+			}
+			r2, err := exec.Run(db, q2)
+			if err != nil {
+				t.Fatalf("%s: exec q2: %v", p.ID, err)
+			}
+			if !exec.BagEqual(r1, r2) {
+				t.Fatalf("%s (%s): outputs differ on a constraint-valid database\nq1: %s\nq2: %s\nout1:\n%s\nout2:\n%s",
+					p.ID, p.Rule, p.SQL1, p.SQL2, exec.FormatRows(r1), exec.FormatRows(r2))
+			}
+		}
+	}
+}
+
+// TestConstraintPairsDivergeWithoutConstraints spot-checks that the tier's
+// pairs are genuinely inequivalent without the constraints: on
+// unconstrained random databases at least some pair must produce differing
+// outputs (if none ever did, the tier would be testing nothing).
+func TestConstraintPairsDivergeWithoutConstraints(t *testing.T) {
+	cat := Catalog()
+	b := plan.NewBuilder(cat)
+	r := rand.New(rand.NewSource(7))
+	diverged := false
+	for _, p := range ConstraintPairs() {
+		q1, err := b.BuildSQL(p.SQL1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		q2, err := b.BuildSQL(p.SQL2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		for i := 0; i < 24 && !diverged; i++ {
+			db := datagen.Random(cat, r, datagen.Options{MaxRows: 4})
+			r1, err1 := exec.Run(db, q1)
+			r2, err2 := exec.Run(db, q2)
+			if err1 == nil && err2 == nil && !exec.BagEqual(r1, r2) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("no constraint pair ever diverged on unconstrained databases; the tier is vacuous")
+	}
+}
+
+// TestConstraintDDLDigestParity pins the DDL twins to their struct-built
+// catalogs: feeding ConstraintDDL / BaseDDL to the schema parser (the path
+// spes-serve -schema and the CI stage use) must land on exactly the same
+// constraint digests, or file-fed servers would silently key a different
+// cache namespace than library users of the same schema.
+func TestConstraintDDLDigestParity(t *testing.T) {
+	fromDDL, err := spes.ParseCatalog(ConstraintDDL)
+	if err != nil {
+		t.Fatalf("ConstraintDDL does not parse: %v", err)
+	}
+	if got, want := fromDDL.ConstraintDigest(), ConstraintCatalog().ConstraintDigest(); got != want {
+		t.Errorf("ConstraintDDL digest %q != ConstraintCatalog digest %q", got, want)
+	}
+	baseDDL, err := spes.ParseCatalog(BaseDDL)
+	if err != nil {
+		t.Fatalf("BaseDDL does not parse: %v", err)
+	}
+	if got, want := baseDDL.ConstraintDigest(), Catalog().ConstraintDigest(); got != want {
+		t.Errorf("BaseDDL digest %q != Catalog digest %q", got, want)
+	}
+}
+
+// TestConstraintDigestsDiffer pins the catalogs apart: the constraint twin
+// must digest differently from the base catalog, and both digests must be
+// stable across calls (they key caches and durable records).
+func TestConstraintDigestsDiffer(t *testing.T) {
+	base, con := Catalog().ConstraintDigest(), ConstraintCatalog().ConstraintDigest()
+	if base == con {
+		t.Fatalf("base and constraint catalogs share digest %q", base)
+	}
+	if con == "" {
+		t.Fatal("constraint catalog has empty digest")
+	}
+	if Catalog().ConstraintDigest() != base || ConstraintCatalog().ConstraintDigest() != con {
+		t.Fatal("constraint digests are not stable across calls")
+	}
+}

@@ -2,6 +2,17 @@
 // differential testing. Value domains are deliberately tiny so that joins
 // match, groups collide, duplicates occur, and NULLs appear — the situations
 // that distinguish bag semantics from set semantics.
+//
+// Generation respects every constraint the schema declares: rows violating
+// the primary key or a (fully non-NULL) UNIQUE key are dropped, and
+// foreign keys are closed over the generated set — FK tuples are drawn
+// from the parent table's actual key rows, rows that cannot reference
+// anything are NULLed out of the constraint or dropped. The refuter
+// depends on this: a "counterexample" violating a declared constraint is
+// no counterexample at all, because the equivalence only claims to hold on
+// valid databases. FKs to tables outside the generated set stay
+// unconstrained, which is sound — a table no query scans can always be
+// extended to satisfy containment without changing any output.
 package datagen
 
 import (
@@ -76,50 +87,202 @@ func (g *Generator) Database(cat *schema.Catalog) exec.Database {
 // schemas. The refutation search collects these from the plans under test,
 // so no catalog handle is needed.
 func (g *Generator) ForTables(tables []*schema.Table) exec.Database {
-	db := make(exec.Database)
-	for _, t := range tables {
-		db[strings.ToUpper(t.Name)] = randomTable(t, g.r, g.opts)
-	}
-	return db
+	return generate(tables, g.r, g.opts)
 }
 
 // Random generates a database for every table in the catalog.
 func Random(cat *schema.Catalog, r *rand.Rand, opts Options) exec.Database {
-	db := make(exec.Database)
+	tables := make([]*schema.Table, 0, len(cat.Names()))
 	for _, name := range cat.Names() {
-		t := cat.MustTable(name)
-		db[strings.ToUpper(name)] = randomTable(t, r, opts)
+		tables = append(tables, cat.MustTable(name))
+	}
+	return generate(tables, r, opts)
+}
+
+// generate fills tables parents-first so that children can draw their FK
+// tuples from already-materialized parent rows. For a constraint-free
+// table set the order — and therefore the random stream — is identical to
+// the pre-constraint generator, keeping seeded databases byte-stable.
+func generate(tables []*schema.Table, r *rand.Rand, opts Options) exec.Database {
+	byName := make(map[string]*schema.Table, len(tables))
+	for _, t := range tables {
+		byName[strings.ToUpper(t.Name)] = t
+	}
+	db := make(exec.Database)
+	for _, t := range parentsFirst(tables, byName) {
+		db[strings.ToUpper(t.Name)] = randomTable(t, db, byName, r, opts)
 	}
 	return db
 }
 
-func randomTable(t *schema.Table, r *rand.Rand, opts Options) *exec.Table {
+// parentsFirst orders the tables so every FK parent inside the set
+// precedes its children (DFS postorder on the FK edges; self-references
+// are skipped and cycles break at the back edge, both falling back to the
+// given order). With no FK edges the input order is returned unchanged.
+func parentsFirst(tables []*schema.Table, byName map[string]*schema.Table) []*schema.Table {
+	order := make([]*schema.Table, 0, len(tables))
+	visited := make(map[string]bool, len(tables))
+	stack := make(map[string]bool)
+	var visit func(t *schema.Table)
+	visit = func(t *schema.Table) {
+		u := strings.ToUpper(t.Name)
+		if visited[u] || stack[u] {
+			return
+		}
+		stack[u] = true
+		for _, fk := range t.ForeignKeys {
+			pu := strings.ToUpper(fk.ParentTable)
+			if pu == u {
+				continue
+			}
+			if p := byName[pu]; p != nil {
+				visit(p)
+			}
+		}
+		stack[u] = false
+		visited[u] = true
+		order = append(order, t)
+	}
+	for _, t := range tables {
+		visit(t)
+	}
+	return order
+}
+
+func randomTable(t *schema.Table, db exec.Database, byName map[string]*schema.Table, r *rand.Rand, opts Options) *exec.Table {
 	n := r.Intn(opts.maxRows() + 1)
 	var pkIdx []int
 	for _, pk := range t.PrimaryKey {
 		pkIdx = append(pkIdx, t.ColumnIndex(pk))
 	}
+	uniqIdx := make([][]int, 0, len(t.Unique))
+	for _, u := range t.Unique {
+		uniqIdx = append(uniqIdx, columnIdx(t, u))
+	}
 	out := &exec.Table{}
 	seenPK := make(map[string]bool)
+	seenUniq := make([]map[string]bool, len(uniqIdx))
+	for i := range seenUniq {
+		seenUniq[i] = make(map[string]bool)
+	}
 	for i := 0; i < n; i++ {
 		row := make(exec.Row, len(t.Columns))
 		for j, c := range t.Columns {
 			row[j] = randomDatum(c, r, opts)
 		}
+		if !closeForeignKeys(t, row, out, db, byName, r) {
+			continue // no parent row to reference and the FK cannot be NULLed
+		}
 		if len(pkIdx) > 0 {
-			var kb strings.Builder
-			for _, j := range pkIdx {
-				kb.WriteString(row[j].Key())
-				kb.WriteByte('\x00')
-			}
-			if seenPK[kb.String()] {
+			k := keyString(row, pkIdx)
+			if seenPK[k] {
 				continue // drop rows violating the primary key
 			}
-			seenPK[kb.String()] = true
+			seenPK[k] = true
+		}
+		// SQL UNIQUE only constrains fully non-NULL key tuples.
+		uniqOK := true
+		for ui, idx := range uniqIdx {
+			if anyNull(row, idx) {
+				continue
+			}
+			if seenUniq[ui][keyString(row, idx)] {
+				uniqOK = false
+				break
+			}
+		}
+		if !uniqOK {
+			continue
+		}
+		for ui, idx := range uniqIdx {
+			if !anyNull(row, idx) {
+				seenUniq[ui][keyString(row, idx)] = true
+			}
 		}
 		out.Rows = append(out.Rows, row)
 	}
 	return out
+}
+
+// closeForeignKeys rewrites row's FK tuples to reference actual parent
+// rows (MATCH SIMPLE: a tuple with any NULL component is exempt and left
+// alone). It reports false when the row must be dropped: the parent has no
+// rows and the FK columns cannot be NULLed. Self-referential FKs draw from
+// the rows of t accepted so far. FKs whose parent is outside byName — not
+// part of the generated set — are unconstrained.
+func closeForeignKeys(t *schema.Table, row exec.Row, self *exec.Table, db exec.Database, byName map[string]*schema.Table, r *rand.Rand) bool {
+	for _, fk := range t.ForeignKeys {
+		pu := strings.ToUpper(fk.ParentTable)
+		pt := byName[pu]
+		if pt == nil {
+			continue
+		}
+		cidx := columnIdx(t, fk.Columns)
+		if anyNull(row, cidx) {
+			continue // exempt under MATCH SIMPLE
+		}
+		var parentRows []exec.Row
+		if pu == strings.ToUpper(t.Name) {
+			parentRows = self.Rows
+		} else if p, ok := db[pu]; ok {
+			parentRows = p.Rows
+		} else {
+			continue
+		}
+		if len(parentRows) == 0 {
+			// Nothing to reference: NULL one component to exempt the row,
+			// or drop it when every component is NOT NULL.
+			nulled := false
+			for _, j := range cidx {
+				if !t.Columns[j].NotNull {
+					row[j] = plan.NullDatum()
+					nulled = true
+					break
+				}
+			}
+			if !nulled {
+				return false
+			}
+			continue
+		}
+		pick := parentRows[r.Intn(len(parentRows))]
+		pidx := columnIdx(pt, fk.ParentColumns)
+		for k := range cidx {
+			row[cidx[k]] = pick[pidx[k]]
+			// A NULL parent key component may not flow into a NOT NULL
+			// child column.
+			if row[cidx[k]].Null && t.Columns[cidx[k]].NotNull {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func columnIdx(t *schema.Table, names []string) []int {
+	idx := make([]int, len(names))
+	for i, name := range names {
+		idx[i] = t.ColumnIndex(name)
+	}
+	return idx
+}
+
+func anyNull(row exec.Row, idx []int) bool {
+	for _, j := range idx {
+		if row[j].Null {
+			return true
+		}
+	}
+	return false
+}
+
+func keyString(row exec.Row, idx []int) string {
+	var kb strings.Builder
+	for _, j := range idx {
+		kb.WriteString(row[j].Key())
+		kb.WriteByte('\x00')
+	}
+	return kb.String()
 }
 
 func randomDatum(c schema.Column, r *rand.Rand, opts Options) plan.Datum {

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"testing"
+
+	"spes/internal/corpus"
+	"spes/internal/fault"
+	"spes/internal/schema"
+	"spes/internal/store"
+)
+
+func constraintPairs() []Pair {
+	var out []Pair
+	for _, p := range corpus.ConstraintPairs() {
+		out = append(out, Pair{ID: p.ID, SQL1: p.SQL1, SQL2: p.SQL2})
+	}
+	return out
+}
+
+// TestConstraintAxiomsPanicDegrades injects a certain panic at the
+// constraint-axioms fault site. The site fires inside every constrained
+// table scan during verification, so every constraint-tier pair must come
+// back not-proved with the panic recovered — never equivalent, because a
+// panic mid-axiom-construction unwinds the whole pair before any
+// obligation that could have used a partial axiom set is discharged.
+func TestConstraintAxiomsPanicDegrades(t *testing.T) {
+	if err := fault.Enable(fault.Config{
+		Seed: 11, PerMille: 1000,
+		Sites: []fault.Site{fault.ConstraintAxioms},
+		Kinds: []fault.Kind{fault.KindPanic},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+
+	results, stats := VerifyBatch(corpus.ConstraintCatalog(), constraintPairs(), Options{Workers: 2})
+	for _, r := range results {
+		if r.Verdict != NotProved {
+			t.Errorf("%s: verdict %s under axiom panics, want not-proved", r.ID, r.Verdict)
+		}
+	}
+	if stats.Panics == 0 {
+		t.Error("no panics recovered; the fault site never fired")
+	}
+	if stats.Equivalent != 0 || stats.Refuted != 0 {
+		t.Errorf("stats = %+v, want zero equivalent/refuted under axiom panics", stats)
+	}
+}
+
+// TestConstraintAxiomsCancelSound injects a certain cancel at the same
+// site. Cancel makes the verifier skip ALL axioms for a scan — never a
+// partial set — which only weakens obligation premises. Pairs whose proof
+// rides on normalization rewrites may legitimately still prove; pairs
+// needing the axioms degrade to not-proved. What must never happen is a
+// refutation or a wrong verdict.
+func TestConstraintAxiomsCancelSound(t *testing.T) {
+	if err := fault.Enable(fault.Config{
+		Seed: 12, PerMille: 1000,
+		Sites: []fault.Site{fault.ConstraintAxioms},
+		Kinds: []fault.Kind{fault.KindCancel},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+
+	results, stats := VerifyBatch(corpus.ConstraintCatalog(), constraintPairs(), Options{Workers: 2})
+	for _, r := range results {
+		if r.Verdict != Equivalent && r.Verdict != NotProved {
+			t.Errorf("%s: verdict %s under axiom cancels, want equivalent or not-proved", r.ID, r.Verdict)
+		}
+	}
+	if stats.Refuted != 0 {
+		t.Errorf("refuted %d pairs of a ground-truth-equivalent tier under cancels", stats.Refuted)
+	}
+}
+
+// TestConstraintStoreCrossContamination drives the constraint tier through
+// ONE durable store directory under both catalogs, with a restart between
+// every run. Verdicts proved under the constraint catalog must not leak
+// into the constraint-free run (its digest namespaces every key), and a
+// warm restart under the matching digest must be answered from the store.
+func TestConstraintStoreCrossContamination(t *testing.T) {
+	dir := t.TempDir()
+	pairs := constraintPairs()
+
+	st1, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, _ := VerifyBatch(corpus.ConstraintCatalog(), pairs, Options{Workers: 2, Store: st1})
+	for _, r := range res1 {
+		if r.Verdict != Equivalent {
+			t.Fatalf("%s: cold constrained run got %s (%s), want equivalent", r.ID, r.Verdict, r.Reason)
+		}
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart against the SAME log, now with the constraint-free catalog:
+	// every stored verdict is keyed under the constraint digest, so none
+	// may be served here — the pairs must fail exactly as on a cold,
+	// storeless run.
+	st2, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss := st2.Snapshot(); ss.Records == 0 {
+		t.Fatal("constrained run persisted no records; the contamination check is vacuous")
+	}
+	res2, stats2 := VerifyBatch(corpus.Catalog(), pairs, Options{Workers: 2, Store: st2})
+	for _, r := range res2 {
+		if r.Verdict != NotProved {
+			t.Errorf("%s: constraint-free run over the constrained store got %s, want not-proved", r.ID, r.Verdict)
+		}
+	}
+	if stats2.StoreHits != 0 {
+		t.Errorf("constraint-free run hit the store %d times; digest namespacing leaked", stats2.StoreHits)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart once more under the matching digest: warm, equivalent, and
+	// at least partly answered from the store.
+	st3, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	res3, stats3 := VerifyBatch(corpus.ConstraintCatalog(), pairs, Options{Workers: 2, Store: st3})
+	for _, r := range res3 {
+		if r.Verdict != Equivalent {
+			t.Errorf("%s: warm constrained run got %s, want equivalent", r.ID, r.Verdict)
+		}
+	}
+	if stats3.StoreHits == 0 {
+		t.Error("warm restart under the matching digest never hit the store")
+	}
+}
+
+// parityCatalog is a catalog with NO constraints of any kind — no primary
+// keys, no NOT NULLs, no UNIQUEs, no foreign keys. Its digest is empty by
+// definition, which must make the entire digest machinery vanish:
+// undecorated keys, byte-identical store records.
+func parityCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if err := cat.AddTable(&schema.Table{
+		Name: "T",
+		Columns: []schema.Column{
+			{Name: "A", Type: schema.Int},
+			{Name: "B", Type: schema.Int},
+			{Name: "C", Type: schema.String},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func parityPairs() []Pair {
+	return []Pair{
+		{ID: "par-1",
+			SQL1: "SELECT A FROM T WHERE A > 1 AND B > 2",
+			SQL2: "SELECT A FROM T WHERE B > 2 AND A > 1"},
+		{ID: "par-2",
+			SQL1: "SELECT A, B FROM T WHERE A = 3",
+			SQL2: "SELECT A, B FROM T WHERE 3 = A"},
+		{ID: "par-3",
+			SQL1: "SELECT B FROM T WHERE A > 0 UNION ALL SELECT B FROM T WHERE A > 0",
+			SQL2: "SELECT B FROM T WHERE 0 < A UNION ALL SELECT B FROM T WHERE A > 0"},
+	}
+}
+
+// digestPrefixRe matches the "c<digest>:" decoration constraint-aware
+// builds prepend to cache and store keys. A constraint-free catalog must
+// never produce it anywhere in the durable log.
+var digestPrefixRe = regexp.MustCompile(`c[0-9a-f]{16}:`)
+
+// TestEmptyConstraintSetParity pins the zero-constraint fast path: a
+// catalog declaring nothing digests to "", its store records carry
+// undecorated keys (byte-identical to builds predating constraint
+// support), two cold runs write byte-identical logs, and a warm restart
+// reproduces the verdicts from the store without growing the log.
+func TestEmptyConstraintSetParity(t *testing.T) {
+	cat := parityCatalog(t)
+	if d := cat.ConstraintDigest(); d != "" {
+		t.Fatalf("constraint-free catalog digests to %q, want empty", d)
+	}
+	pairs := parityPairs()
+
+	runInto := func(dir string) ([]Result, BatchStats) {
+		st, err := store.OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Workers: 1 makes the append order deterministic so the two cold
+		// logs can be compared byte for byte.
+		res, stats := VerifyBatch(cat, pairs, Options{Workers: 1, Store: st})
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return res, stats
+	}
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	resA, _ := runInto(dirA)
+	resB, _ := runInto(dirB)
+	for i := range resA {
+		if resA[i].Verdict != Equivalent {
+			t.Errorf("%s: got %s (%s), want equivalent", resA[i].ID, resA[i].Verdict, resA[i].Reason)
+		}
+		if resA[i].Verdict != resB[i].Verdict {
+			t.Errorf("%s: verdicts differ across identical cold runs: %s vs %s",
+				resA[i].ID, resA[i].Verdict, resB[i].Verdict)
+		}
+	}
+
+	logA, err := os.ReadFile(dirA + "/spes-verdicts.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logB, err := os.ReadFile(dirB + "/spes-verdicts.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logA) == 0 {
+		t.Fatal("cold run persisted nothing; the parity pin is vacuous")
+	}
+	if !bytes.Equal(logA, logB) {
+		t.Error("two cold runs with an empty constraint set wrote different store bytes")
+	}
+	if loc := digestPrefixRe.Find(logA); loc != nil {
+		t.Errorf("store log for a constraint-free catalog contains a digest-prefixed key %q", loc)
+	}
+
+	// Warm restart: same dir, same pairs — verdicts identical, obligations
+	// answered from the store, and the log must not grow (nothing new to
+	// persist).
+	resW, statsW := runInto(dirA)
+	for i := range resW {
+		if resW[i].Verdict != resA[i].Verdict {
+			t.Errorf("%s: warm verdict %s differs from cold %s", resW[i].ID, resW[i].Verdict, resA[i].Verdict)
+		}
+	}
+	if statsW.StoreHits == 0 {
+		t.Error("warm restart never hit the store")
+	}
+	logW, err := os.ReadFile(dirA + "/spes-verdicts.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(logA, logW) {
+		t.Errorf("warm restart changed the store log (%d -> %d bytes)", len(logA), len(logW))
+	}
+}

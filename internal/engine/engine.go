@@ -152,6 +152,18 @@ type Options struct {
 	// server enable this, plain VerifyBatch keeps it off by default so
 	// batch results stay independent of pair order and worker count.
 	ShareLemmas bool
+	// ConstraintDigest is the catalog's integrity-constraint digest
+	// (schema.Catalog.ConstraintDigest). It namespaces every key the
+	// engine derives from plan serializations — the normalization memo,
+	// both pair-dedupe levels, and (through verify.Config) the obligation
+	// cache, durable store, and witness keys — because plan serializations
+	// do not mention constraints while verdicts depend on them: the same
+	// pair can be equivalent under a FOREIGN KEY and not-proved without
+	// it. Empty for a constraint-free catalog, which leaves every key
+	// byte-identical to the pre-constraint engine. The catalog-aware entry
+	// points (VerifyBatch, NewEngine) fill it automatically; plan-level
+	// batches over a constrained catalog must set it themselves.
+	ConstraintDigest string
 	// RefuteBudget, when > 0, runs the bounded refutation pass on pairs
 	// whose proof failed for a reason other than timeout, cancellation, or
 	// watchdog abort: up to this many small concrete databases are
@@ -699,6 +711,17 @@ func NewShared(opts Options) *Shared {
 	return s
 }
 
+// digestKey namespaces a plan-derived memo key by the catalog's
+// constraint digest (same scheme as the verifier's cache keys). A
+// constraint-free catalog has an empty digest and keys pass through
+// unchanged.
+func (s *Shared) digestKey(key string) string {
+	if s.opts.ConstraintDigest == "" {
+		return key
+	}
+	return "c" + s.opts.ConstraintDigest + ":" + key
+}
+
 // keyOf returns plan.Key(n), memoized by node pointer when the keys map is
 // enabled. A persistent engine runs with keys == nil — request plans are
 // freshly built and never share pointers, so the memo would be a pure leak
@@ -832,12 +855,16 @@ func (w *Worker) normalizePlan(q plan.Node, key string) plan.Node {
 	if w.shared.norm == nil {
 		return w.nz.Normalize(q)
 	}
-	fp := plan.HashKey(key)
-	if n, ok := w.shared.norm.lookup(fp, key); ok {
+	// Digest-namespaced: normalization reads constraint metadata (FK join
+	// elimination, unique-key grouping), so the same serialized plan can
+	// normalize differently under different catalogs.
+	dkey := w.shared.digestKey(key)
+	fp := plan.HashKey(dkey)
+	if n, ok := w.shared.norm.lookup(fp, dkey); ok {
 		return n
 	}
 	n := w.nz.Normalize(q)
-	w.shared.norm.store(fp, key, n)
+	w.shared.norm.store(fp, dkey, n)
 	return n
 }
 
@@ -857,6 +884,7 @@ func (w *Worker) check(ctx context.Context, q1, q2 plan.Node) Result {
 		DisableIncremental: w.shared.opts.DisableIncremental,
 		Lemmas:             w.shared.root().lemmas,
 		RefuteBudget:       w.shared.opts.RefuteBudget,
+		ConstraintDigest:   w.shared.opts.ConstraintDigest,
 	}
 	if w.shared.cache != nil {
 		cfg.Cache = w.shared.cache
@@ -1060,7 +1088,7 @@ func (w *Worker) VerifyPlansContext(ctx context.Context, id string, q1, q2 plan.
 		return r
 	}
 
-	rawKey := k1 + "\x00" + k2
+	rawKey := w.shared.digestKey(k1 + "\x00" + k2)
 	rawE, rawLeader := w.shared.rawDedup.claim(plan.HashKey(rawKey), rawKey)
 	if !rawLeader {
 		<-rawE.done
@@ -1111,7 +1139,7 @@ func (w *Worker) leadPair(ctx context.Context, q1, q2 plan.Node, k1, k2 string, 
 	n2 := w.normalizePlan(q2, k2)
 	fp := plan.PairFingerprint(n1, n2)
 
-	e, leader := w.shared.dedup.claim(fp, plan.PairKey(n1, n2))
+	e, leader := w.shared.dedup.claim(fp, w.shared.digestKey(plan.PairKey(n1, n2)))
 	if !leader {
 		<-e.done
 		res, follower, finished = e.res, true, true
@@ -1185,6 +1213,9 @@ func VerifyBatch(cat *schema.Catalog, pairs []Pair, opts Options) ([]Result, Bat
 // in-flight solving and degrades the remaining pairs to
 // NotProved/cancelled (results stay index-aligned and fully populated).
 func VerifyBatchContext(ctx context.Context, cat *schema.Catalog, pairs []Pair, opts Options) ([]Result, BatchStats) {
+	if opts.ConstraintDigest == "" && cat != nil {
+		opts.ConstraintDigest = cat.ConstraintDigest()
+	}
 	s := NewShared(opts)
 	results := make([]Result, len(pairs))
 	wall := s.ForEachContext(ctx, cat, len(pairs), func(w *Worker, i int) {

@@ -34,6 +34,9 @@ type Engine struct {
 // field of opts sets the default fan-out of VerifyBatch; Timeout bounds
 // each pair unless the caller's context is tighter.
 func NewEngine(cat *schema.Catalog, opts Options) *Engine {
+	if opts.ConstraintDigest == "" && cat != nil {
+		opts.ConstraintDigest = cat.ConstraintDigest()
+	}
 	s := NewShared(opts)
 	s.rawDedup, s.dedup = nil, nil
 	s.keys = nil
@@ -42,6 +45,12 @@ func NewEngine(cat *schema.Catalog, opts Options) *Engine {
 
 // Catalog returns the catalog the engine verifies against.
 func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+
+// ConstraintDigest returns the integrity-constraint digest of the
+// engine's catalog ("" for a constraint-free catalog); the server echoes
+// it in responses so clients can tell which constraint set a verdict
+// assumed.
+func (e *Engine) ConstraintDigest() string { return e.shared.opts.ConstraintDigest }
 
 // BuildSQL parses and lowers one query against the engine's catalog.
 // Builders are per-call, so BuildSQL is safe for concurrent use.

@@ -72,11 +72,21 @@ const (
 	// but can never fabricate one, because every witness that IS returned
 	// has already re-executed both plans and observed differing bags.
 	RefuteSearch Site = "refute-search"
+	// ConstraintAxioms fires in the verifier as it conjoins the catalog's
+	// integrity-constraint axioms (key functional dependencies, FK
+	// referential containment) into a table's symbolic condition. A panic
+	// here unwinds the whole pair into the engine's NotProved recovery; a
+	// cancel makes the verifier skip ALL axioms for that table scan. Both
+	// only ever weaken the premises of later obligations, so a fault can
+	// lose a constraint-dependent proof but can never produce a verdict
+	// that leans on a partially-constructed axiom set: each axiom is built
+	// whole before it is conjoined, and the site fires before any of them.
+	ConstraintAxioms Site = "constraint-axioms"
 )
 
 // Sites returns every registered site, in stable order.
 func Sites() []Site {
-	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend, RouterForward, RefuteSearch}
+	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend, RouterForward, RefuteSearch, ConstraintAxioms}
 }
 
 // Kind is the species of an injected fault.

@@ -245,10 +245,13 @@ func (nz *Normalizer) rewriteSPJ(s *plan.SPJ) plan.Node {
 	}
 
 	// Integrity constraints: self-join on a primary key collapses to one
-	// scan; a unique-key join whose table does not escape becomes a
-	// semi-join.
+	// scan; a foreign-key join whose parent does not escape is eliminated;
+	// a unique-key join whose table does not escape becomes a semi-join.
 	if !nz.opts.NoIntegrity {
 		if out, changed := selfJoinPK(s); changed {
+			return nz.rewrite(out)
+		}
+		if out, changed := joinElimFK(s); changed {
 			return nz.rewrite(out)
 		}
 		if out, changed := joinToSemijoin(s); changed {

@@ -1,6 +1,8 @@
 package normalize
 
 import (
+	"strings"
+
 	"spes/internal/plan"
 	"spes/internal/schema"
 )
@@ -379,6 +381,145 @@ func joinToSemijoin(s *plan.SPJ) (plan.Node, bool) {
 	return s, false
 }
 
+// joinElimFK implements constraint-driven join elimination: a parent table
+// joined from a child via the child's declared foreign key, on the full
+// referenced key, contributes exactly one row per child row whose FK tuple
+// is non-NULL (the FK guarantees a match exists; the parent key's
+// uniqueness guarantees at most one). When no parent column escapes the
+// join, the parent scan is redundant: drop it and replace the join
+// conjuncts with `fk IS NOT NULL` filters on the nullable FK components
+// (MATCH SIMPLE: a NULL component exempts the row from the FK, and also
+// makes the join equality fail, so the filter and the join select the same
+// child rows).
+func joinElimFK(s *plan.SPJ) (plan.Node, bool) {
+	if s.Pred == nil || len(s.Inputs) < 2 {
+		return s, false
+	}
+	offsets := make([]int, len(s.Inputs)+1)
+	for i, in := range s.Inputs {
+		offsets[i+1] = offsets[i] + in.Arity()
+	}
+	conjs := plan.Conjuncts(s.Pred)
+
+	for ci, cin := range s.Inputs {
+		child, ok := cin.(*plan.Table)
+		if !ok {
+			continue
+		}
+		for _, fk := range child.Meta.ForeignKeys {
+			for pi, pin := range s.Inputs {
+				if pi == ci {
+					continue
+				}
+				parent, ok := pin.(*plan.Table)
+				if !ok || !strings.EqualFold(parent.Meta.Name, fk.ParentTable) {
+					continue
+				}
+				if out, ok := elimParent(s, conjs, offsets, ci, pi, child, parent, fk); ok {
+					return out, true
+				}
+			}
+		}
+	}
+	return s, false
+}
+
+// elimParent attempts one (child, fk, parent-occurrence) elimination; see
+// joinElimFK for the soundness conditions.
+func elimParent(s *plan.SPJ, conjs []plan.Expr, offsets []int, ci, pi int, child, parent *plan.Table, fk schema.ForeignKey) (plan.Node, bool) {
+	plo, phi := offsets[pi], offsets[pi+1]
+	inParent := func(refs []int) bool {
+		for _, r := range refs {
+			if r >= plo && r < phi {
+				return true
+			}
+		}
+		return false
+	}
+	// No parent column may escape through the projection.
+	for _, p := range s.Proj {
+		if inParent(plan.OwnRefs(p.E)) {
+			return nil, false
+		}
+	}
+	// Every conjunct touching the parent must be a join equality
+	// child.fk[k] = parent.key[k]; collect which FK components are joined.
+	joined := make(map[int]bool, len(fk.Columns)) // FK component index
+	var kept []plan.Expr
+	for _, c := range conjs {
+		if !inParent(plan.OwnRefs(c)) {
+			kept = append(kept, c)
+			continue
+		}
+		k := fkJoinComponent(c, offsets[ci], plo, child.Meta, parent.Meta, fk)
+		if k < 0 {
+			return nil, false
+		}
+		joined[k] = true
+	}
+	// The equalities must cover the whole referenced key.
+	if len(joined) != len(fk.Columns) {
+		return nil, false
+	}
+	// Dropping the parent removes a subplan column range; conjuncts that
+	// move would need outer-scope depth adjustments — none do here (kept
+	// conjuncts stay at this level), but guard foreign refs in the dropped
+	// equalities' residual filters like joinToSemijoin does.
+	width := phi - plo
+	adj := func(r int) plan.Expr {
+		if r >= phi {
+			return &plan.ColRef{Index: r - width}
+		}
+		return &plan.ColRef{Index: r}
+	}
+	newConjs := make([]plan.Expr, 0, len(kept)+len(fk.Columns))
+	for _, c := range kept {
+		newConjs = append(newConjs, plan.MapOwnRefs(c, adj))
+	}
+	for _, colName := range fk.Columns {
+		j := child.Meta.ColumnIndex(colName)
+		if child.Meta.Columns[j].NotNull {
+			continue // never NULL; the filter would be constant TRUE
+		}
+		ref := offsets[ci] + j
+		if ref >= phi {
+			ref -= width
+		}
+		newConjs = append(newConjs, &plan.Not{E: &plan.IsNull{E: &plan.ColRef{Index: ref}}})
+	}
+	proj := make([]plan.NamedExpr, len(s.Proj))
+	for k, p := range s.Proj {
+		proj[k] = plan.NamedExpr{Name: p.Name, E: plan.MapOwnRefs(p.E, adj)}
+	}
+	inputs := append(append([]plan.Node{}, s.Inputs[:pi]...), s.Inputs[pi+1:]...)
+	return &plan.SPJ{Inputs: inputs, Pred: plan.AndAll(newConjs), Proj: proj}, true
+}
+
+// fkJoinComponent classifies a conjunct as the FK join equality for
+// component k of fk (child.fk[k] = parent.key[k], either side order),
+// returning k, or -1 when it is anything else.
+func fkJoinComponent(c plan.Expr, clo, plo int, child, parent *schema.Table, fk schema.ForeignKey) int {
+	b, ok := c.(*plan.Bin)
+	if !ok || b.Op != plan.OpEq {
+		return -1
+	}
+	l, lok := b.L.(*plan.ColRef)
+	r, rok := b.R.(*plan.ColRef)
+	if !lok || !rok {
+		return -1
+	}
+	for _, pair := range [][2]int{{l.Index, r.Index}, {r.Index, l.Index}} {
+		for k := range fk.Columns {
+			cj := child.ColumnIndex(fk.Columns[k])
+			pj := parent.ColumnIndex(fk.ParentColumns[k])
+			if pair[0] == clo+cj && pair[1] == plo+pj {
+				return k
+			}
+		}
+	}
+	return -1
+}
+
 // hasForeignRefs reports whether e references a scope outside its own row
 // (an OuterRef whose depth exceeds its subplan nesting).
 func hasForeignRefs(e plan.Expr) bool {
@@ -430,8 +571,11 @@ func hasForeignRefs(e plan.Expr) bool {
 
 // groupByPK implements the second integrity-constraint rule: grouping a
 // single table (optionally filtered/projected) by columns that cover its
-// primary key, with no aggregate functions, is a plain projection — every
-// group is a singleton.
+// primary key — or any declared UNIQUE key whose columns are all NOT NULL
+// — with no aggregate functions, is a plain projection — every group is a
+// singleton. The NOT NULL requirement matters for UNIQUE keys: SQL UNIQUE
+// permits any number of rows whose key contains a NULL, and GROUP BY would
+// collapse those into one group while the projection keeps them all.
 func groupByPK(a *plan.Agg) (plan.Node, bool) {
 	if len(a.Aggs) != 0 || len(a.GroupBy) == 0 {
 		return a, false
@@ -455,7 +599,7 @@ func groupByPK(a *plan.Agg) (plan.Node, bool) {
 			}
 		}
 	}
-	if tbl == nil || len(tbl.PrimaryKey) == 0 {
+	if tbl == nil {
 		return a, false
 	}
 	covered := map[int]bool{}
@@ -466,10 +610,29 @@ func groupByPK(a *plan.Agg) (plan.Node, bool) {
 			}
 		}
 	}
-	for _, pk := range tbl.PrimaryKey {
-		if !covered[tbl.ColumnIndex(pk)] {
-			return a, false
+	// The primary key is NOT NULL by definition; declared UNIQUE keys
+	// must check the column flags.
+	coversKey := func(key []string, needNotNull bool) bool {
+		if len(key) == 0 {
+			return false
 		}
+		for _, col := range key {
+			j := tbl.ColumnIndex(col)
+			if !covered[j] || (needNotNull && !tbl.Columns[j].NotNull) {
+				return false
+			}
+		}
+		return true
+	}
+	singleton := coversKey(tbl.PrimaryKey, false)
+	for _, key := range tbl.Unique {
+		if singleton {
+			break
+		}
+		singleton = coversKey(key, true)
+	}
+	if !singleton {
+		return a, false
 	}
 	proj := make([]plan.NamedExpr, len(a.GroupBy))
 	for i, g := range a.GroupBy {

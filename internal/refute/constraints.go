@@ -1,0 +1,126 @@
+package refute
+
+import (
+	"fmt"
+	"strings"
+
+	"spes/internal/exec"
+	"spes/internal/schema"
+)
+
+// ValidateConstraints checks db against every integrity constraint the
+// given table schemas declare, returning nil when all hold:
+//
+//   - NOT NULL columns carry no NULLs;
+//   - PRIMARY KEY and UNIQUE keys have no duplicate fully non-NULL key
+//     tuples (SQL UNIQUE semantics — rows with a NULL key component are
+//     exempt, matching the prover's KeyFDAxiom premise);
+//   - every fully non-NULL foreign-key tuple appears among the parent's
+//     key tuples (MATCH SIMPLE), for parents present in the table set.
+//
+// A "counterexample" violating any of these is no counterexample: the
+// equivalence claim is only over valid databases. FKs whose parent is
+// outside the set stay unchecked — a table no plan reads can always be
+// extended to satisfy containment without changing either output.
+func ValidateConstraints(db exec.Database, tables []*schema.Table) error {
+	byName := make(map[string]*schema.Table, len(tables))
+	for _, t := range tables {
+		byName[strings.ToUpper(t.Name)] = t
+	}
+	for _, t := range tables {
+		u := strings.ToUpper(t.Name)
+		tbl := db[u]
+		if tbl == nil {
+			continue
+		}
+		for i, row := range tbl.Rows {
+			if len(row) != len(t.Columns) {
+				return fmt.Errorf("table %s row %d has %d values, schema has %d columns", u, i, len(row), len(t.Columns))
+			}
+			for j, c := range t.Columns {
+				if c.NotNull && row[j].Null {
+					return fmt.Errorf("table %s row %d: column %s is NOT NULL but holds NULL", u, i, c.Name)
+				}
+			}
+		}
+		for _, key := range t.UniqueKeys() {
+			idx := keyIndices(t, key)
+			seen := make(map[string]bool, len(tbl.Rows))
+			for i, row := range tbl.Rows {
+				if rowAnyNull(row, idx) {
+					continue
+				}
+				k := rowKeyString(row, idx)
+				if seen[k] {
+					return fmt.Errorf("table %s row %d: duplicate key (%s)", u, i, strings.Join(key, ", "))
+				}
+				seen[k] = true
+			}
+		}
+		for _, fk := range t.ForeignKeys {
+			pu := strings.ToUpper(fk.ParentTable)
+			pt := byName[pu]
+			if pt == nil {
+				continue
+			}
+			cidx := keyIndices(t, fk.Columns)
+			pidx := keyIndices(pt, fk.ParentColumns)
+			keys := make(map[string]bool)
+			if ptbl := db[pu]; ptbl != nil {
+				for _, prow := range ptbl.Rows {
+					if !rowAnyNull(prow, pidx) {
+						keys[rowKeyString(prow, pidx)] = true
+					}
+				}
+			}
+			for i, row := range tbl.Rows {
+				if rowAnyNull(row, cidx) {
+					continue // exempt under MATCH SIMPLE
+				}
+				if !keys[rowKeyString(row, cidx)] {
+					return fmt.Errorf("table %s row %d: FK (%s) references no row of %s(%s)",
+						u, i, strings.Join(fk.Columns, ", "), pu, strings.Join(fk.ParentColumns, ", "))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// anyForeignKeys reports whether any table declares a foreign key — the
+// only constraint kind that removing a row can newly violate, so the only
+// one the shrink loop has to re-check per removal.
+func anyForeignKeys(tables []*schema.Table) bool {
+	for _, t := range tables {
+		if len(t.ForeignKeys) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func keyIndices(t *schema.Table, names []string) []int {
+	idx := make([]int, len(names))
+	for i, name := range names {
+		idx[i] = t.ColumnIndex(name)
+	}
+	return idx
+}
+
+func rowAnyNull(row exec.Row, idx []int) bool {
+	for _, j := range idx {
+		if row[j].Null {
+			return true
+		}
+	}
+	return false
+}
+
+func rowKeyString(row exec.Row, idx []int) string {
+	var b strings.Builder
+	for _, j := range idx {
+		b.WriteString(row[j].Key())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}

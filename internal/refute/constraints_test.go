@@ -1,0 +1,175 @@
+package refute
+
+import (
+	"strings"
+	"testing"
+
+	"spes/internal/plan"
+	"spes/internal/schema"
+)
+
+// fkCatalog declares the full constraint vocabulary: EMP with a primary
+// key and a UNIQUE NOT NULL name, BONUS with a NOT NULL foreign key into
+// EMP. Searches over it must only ever propose — and witnesses only ever
+// record — databases satisfying all of it.
+func fkCatalog(t testing.TB) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	mustAdd := func(tb *schema.Table) {
+		if err := cat.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(&schema.Table{
+		Name: "EMP",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "ENAME", Type: schema.String, NotNull: true},
+			{Name: "SALARY", Type: schema.Int},
+		},
+		PrimaryKey: []string{"EMP_ID"},
+		Unique:     [][]string{{"ENAME"}},
+	})
+	mustAdd(&schema.Table{
+		Name: "BONUS",
+		Columns: []schema.Column{
+			{Name: "EMP_ID", Type: schema.Int, NotNull: true},
+			{Name: "AMOUNT", Type: schema.Int},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{Columns: []string{"EMP_ID"}, ParentTable: "EMP", ParentColumns: []string{"EMP_ID"}},
+		},
+	})
+	if err := cat.CheckForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func buildFKPair(t *testing.T, sql1, sql2 string) (plan.Node, plan.Node) {
+	t.Helper()
+	b := plan.NewBuilder(fkCatalog(t))
+	q1, err := b.BuildSQL(sql1)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql1, err)
+	}
+	q2, err := b.BuildSQL(sql2)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql2, err)
+	}
+	return q1, q2
+}
+
+// TestSearchWitnessSatisfiesConstraints refutes a genuinely inequivalent
+// join pair over the constrained catalog and checks the witness the
+// search hands back is itself a legal database: FK-closed, key-unique,
+// NOT-NULL-satisfying. The generator only proposes such databases and the
+// shrinker re-validates each removal, so a violating witness is a bug in
+// one of them.
+func TestSearchWitnessSatisfiesConstraints(t *testing.T) {
+	q1, q2 := buildFKPair(t,
+		"SELECT BONUS.AMOUNT FROM BONUS JOIN EMP ON BONUS.EMP_ID = EMP.EMP_ID WHERE BONUS.AMOUNT > 10",
+		"SELECT BONUS.AMOUNT FROM BONUS JOIN EMP ON BONUS.EMP_ID = EMP.EMP_ID WHERE BONUS.AMOUNT >= 10")
+	w, st := Search(q1, q2, Options{Budget: 256})
+	if w == nil {
+		t.Fatalf("no witness for an inequivalent pair over the FK catalog (stats %+v)", st)
+	}
+	if err := w.Replay(q1, q2); err != nil {
+		t.Fatalf("witness failed replay: %v", err)
+	}
+	db, err := w.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConstraints(db, collectTables(q1, q2)); err != nil {
+		t.Fatalf("witness database violates the declared constraints: %v", err)
+	}
+}
+
+// TestReplayRejectsConstraintViolatingWitness deletes the witness's EMP
+// parent rows, orphaning every BONUS row's foreign key, and checks Replay
+// refuses it. This is the catalog-evolution guard: a stored witness that
+// no longer satisfies the (possibly newer) constraints is no
+// counterexample and must not surface as one.
+func TestReplayRejectsConstraintViolatingWitness(t *testing.T) {
+	q1, q2 := buildFKPair(t,
+		"SELECT BONUS.AMOUNT FROM BONUS JOIN EMP ON BONUS.EMP_ID = EMP.EMP_ID WHERE BONUS.AMOUNT > 10",
+		"SELECT BONUS.AMOUNT FROM BONUS JOIN EMP ON BONUS.EMP_ID = EMP.EMP_ID WHERE BONUS.AMOUNT >= 10")
+	w, _ := Search(q1, q2, Options{Budget: 256})
+	if w == nil {
+		t.Fatal("no witness to tamper with")
+	}
+	for i := range w.Tables {
+		if w.Tables[i].Name == "EMP" {
+			w.Tables[i].Rows = nil
+		}
+	}
+	err := w.Replay(q1, q2)
+	if err == nil {
+		t.Fatal("replay accepted a witness whose foreign keys are orphaned")
+	}
+	if !strings.Contains(err.Error(), "constraint") {
+		t.Errorf("rejection should name the constraint violation, got: %v", err)
+	}
+}
+
+// TestValidateConstraintsMatchSimple pins the FK NULL semantics: a NULL
+// component exempts the row (SQL MATCH SIMPLE), it does not violate.
+func TestValidateConstraintsMatchSimple(t *testing.T) {
+	cat := schema.NewCatalog()
+	if err := cat.AddTable(&schema.Table{
+		Name: "P",
+		Columns: []schema.Column{
+			{Name: "ID", Type: schema.Int, NotNull: true},
+		},
+		PrimaryKey: []string{"ID"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(&schema.Table{
+		Name: "C",
+		Columns: []schema.Column{
+			{Name: "PID", Type: schema.Int}, // nullable FK
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{Columns: []string{"PID"}, ParentTable: "P", ParentColumns: []string{"ID"}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b := plan.NewBuilder(cat)
+	q1, err := b.BuildSQL("SELECT PID FROM C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := b.BuildSQL("SELECT PID FROM C, P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := collectTables(q1, q2)
+
+	// Empty parent, one all-NULL child row: exempt, must validate.
+	w := &Witness{
+		Tables: []TableData{
+			{Name: "C", Columns: []string{"PID"}, Rows: [][]string{{"∅"}}},
+			{Name: "P", Columns: []string{"ID"}, Rows: nil},
+		},
+	}
+	db, err := w.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConstraints(db, tables); err != nil {
+		t.Errorf("NULL FK component must exempt the row (MATCH SIMPLE), got: %v", err)
+	}
+
+	// A non-NULL orphan must violate.
+	w.Tables[0].Rows = [][]string{{"n7"}}
+	db, err = w.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConstraints(db, tables); err == nil {
+		t.Error("non-NULL orphaned FK row must violate")
+	}
+}

@@ -118,7 +118,7 @@ func Search(q1, q2 plan.Node, opts Options) (w *Witness, st Stats) {
 		}
 		// Found a distinguishing database; minimize it, then re-execute
 		// the shrunken form to build the witness from actual outputs.
-		db = shrink(db, q1, q2, &st, opts)
+		db = shrink(db, q1, q2, tables, &st, opts)
 		out1, err1 = exec.Run(db, q1)
 		out2, err2 = exec.Run(db, q2)
 		if err1 != nil || err2 != nil || exec.BagEqual(out1, out2) {
@@ -148,11 +148,15 @@ func expired(opts Options) bool {
 	return false
 }
 
-// shrink greedily removes rows while the plans' outputs still differ,
-// repeating until no single-row removal preserves the difference. Removal
-// order is deterministic (table name order, then row order), so the
-// minimal witness is a pure function of the found database.
-func shrink(db exec.Database, q1, q2 plan.Node, st *Stats, opts Options) exec.Database {
+// shrink greedily removes rows while the plans' outputs still differ and
+// the database still satisfies the declared constraints, repeating until
+// no single-row removal preserves both. Removing a row can only violate a
+// foreign key (by orphaning child references), so the constraint re-check
+// is skipped entirely for FK-free schemas. Removal order is deterministic
+// (table name order, then row order), so the minimal witness is a pure
+// function of the found database.
+func shrink(db exec.Database, q1, q2 plan.Node, tables []*schema.Table, st *Stats, opts Options) exec.Database {
+	checkFK := anyForeignKeys(tables)
 	names := make([]string, 0, len(db))
 	for name := range db {
 		names = append(names, name)
@@ -170,7 +174,8 @@ func shrink(db exec.Database, q1, q2 plan.Node, st *Stats, opts Options) exec.Da
 				trimmed = append(trimmed, t.Rows[:i]...)
 				trimmed = append(trimmed, t.Rows[i+1:]...)
 				db[name] = &exec.Table{Rows: trimmed}
-				if stillDiffers(db, q1, q2) {
+				if stillDiffers(db, q1, q2) &&
+					(!checkFK || ValidateConstraints(db, tables) == nil) {
 					t = db[name]
 					st.ShrinkSteps++
 					changed = true

@@ -133,16 +133,22 @@ func decodeDatum(s string) (plan.Datum, error) {
 }
 
 // Replay re-executes both plans over the witness database and confirms it
-// still distinguishes them — the outputs must differ as bags AND match the
-// recorded renderings. It returns an error otherwise. Every consumer that
-// did not just run the search itself (the durable store, a test harness, a
-// CLI about to print a stored witness) must Replay before trusting:
-// refutation soundness rests on confirmed executions, never on stored
-// bytes.
+// still distinguishes them — the database must satisfy every integrity
+// constraint the plans' table schemas declare, and the outputs must differ
+// as bags AND match the recorded renderings. It returns an error
+// otherwise. Every consumer that did not just run the search itself (the
+// durable store, a test harness, a CLI about to print a stored witness)
+// must Replay before trusting: refutation soundness rests on confirmed
+// executions over valid databases, never on stored bytes. The constraint
+// check matters when catalogs evolve — a witness found before a FOREIGN
+// KEY was declared may violate it, and is then no counterexample at all.
 func (w *Witness) Replay(q1, q2 plan.Node) error {
 	db, err := w.Database()
 	if err != nil {
 		return err
+	}
+	if err := ValidateConstraints(db, collectTables(q1, q2)); err != nil {
+		return fmt.Errorf("refute: witness violates declared constraints: %w", err)
 	}
 	out1, err := exec.Run(db, q1)
 	if err != nil {

@@ -23,6 +23,82 @@ func TestParseType(t *testing.T) {
 	}
 }
 
+// TestParseTypeDecimalRoundTrip pins the documented lossy aliasing:
+// DECIMAL and NUMERIC collapse to Float, and the alias round-trips —
+// Float renders as a name ParseType maps straight back to Float. The
+// aliasing is sound because nothing downstream is an IEEE float: the
+// symbolic encoding, the executor, and the data generator all treat Float
+// columns as exact rationals, so dropping precision/scale can never flip
+// a verdict or a differential run.
+func TestParseTypeDecimalRoundTrip(t *testing.T) {
+	for _, name := range []string{"DECIMAL", "NUMERIC", "decimal", "Numeric"} {
+		got, err := ParseType(name)
+		if err != nil || got != Float {
+			t.Errorf("ParseType(%q) = %v, %v; want Float", name, got, err)
+		}
+	}
+	for _, typ := range []Type{Int, Float, String, Bool} {
+		back, err := ParseType(typ.String())
+		if err != nil || back != typ {
+			t.Errorf("ParseType(%v.String()=%q) = %v, %v; want %v", typ, typ.String(), back, err, typ)
+		}
+	}
+}
+
+// TestConstraintDigest pins the digest's defining properties: empty iff
+// the catalog declares nothing, sensitive to every constraint kind, and
+// independent of declaration order (tables are visited sorted; NOT NULL
+// sets, UNIQUE keys, and FKs are canonicalized before hashing).
+func TestConstraintDigest(t *testing.T) {
+	free := func() *Catalog {
+		cat := NewCatalog()
+		if err := cat.AddTable(&Table{
+			Name:    "T",
+			Columns: []Column{{Name: "A", Type: Int}, {Name: "B", Type: Int}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return cat
+	}
+	if d := free().ConstraintDigest(); d != "" {
+		t.Fatalf("constraint-free catalog digests to %q, want empty", d)
+	}
+
+	variants := map[string]func(*Table){
+		"pk":       func(tb *Table) { tb.PrimaryKey = []string{"A"} },
+		"not-null": func(tb *Table) { tb.Columns[1].NotNull = true },
+		"unique":   func(tb *Table) { tb.Unique = [][]string{{"B"}} },
+		"fk": func(tb *Table) {
+			tb.ForeignKeys = []ForeignKey{{Columns: []string{"B"}, ParentTable: "T", ParentColumns: []string{"A"}}}
+		},
+	}
+	seen := map[string]string{"": "constraint-free"}
+	for name, mutate := range variants {
+		cat := free()
+		tb, _ := cat.Table("T")
+		mutate(tb)
+		d := cat.ConstraintDigest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("%s digests identically to %s (%q)", name, prev, d)
+		}
+		seen[d] = name
+	}
+
+	// Declaration order of UNIQUE keys must not matter.
+	twoUniq := func(reversed bool) string {
+		cat := free()
+		tb, _ := cat.Table("T")
+		tb.Unique = [][]string{{"A"}, {"B"}}
+		if reversed {
+			tb.Unique = [][]string{{"B"}, {"A"}}
+		}
+		return cat.ConstraintDigest()
+	}
+	if twoUniq(false) != twoUniq(true) {
+		t.Error("UNIQUE declaration order changes the digest")
+	}
+}
+
 func TestCatalogAddAndLookup(t *testing.T) {
 	cat := NewCatalog()
 	tbl := &Table{

@@ -29,8 +29,14 @@ type VerifyResponse struct {
 	// Shard is the -shard-id of the process that verified this pair
 	// (empty on a standalone server). A router-merged batch carries a mix
 	// of shard values — the per-pair provenance of a clustered verdict.
-	Shard     string     `json:"shard,omitempty"`
-	Verdict   string     `json:"verdict"`
+	Shard string `json:"shard,omitempty"`
+	// ConstraintDigest identifies the integrity-constraint set of the
+	// catalog this verdict was decided under (empty for a constraint-free
+	// catalog); the same pair can be equivalent under one constraint set
+	// and not-proved under another, so clients caching verdicts must key
+	// on it.
+	ConstraintDigest string `json:"constraint_digest,omitempty"`
+	Verdict          string `json:"verdict"`
 	Cardinal  bool       `json:"cardinal"`
 	Reason    string     `json:"reason,omitempty"`
 	TimedOut  bool       `json:"timed_out,omitempty"`
@@ -113,11 +119,14 @@ type BatchStatsJSON struct {
 // snapshot plus shard identity — what the cluster router aggregates into
 // /v1/cluster/stats.
 type StatsResponse struct {
-	Shard    string               `json:"shard,omitempty"`
-	UptimeS  float64              `json:"uptime_s"`
-	Draining bool                 `json:"draining,omitempty"`
-	Engine   engine.StatsSnapshot `json:"engine"`
-	Store    *StoreStatsJSON      `json:"store,omitempty"`
+	Shard string `json:"shard,omitempty"`
+	// ConstraintDigest identifies the catalog's integrity-constraint set
+	// (empty for a constraint-free catalog).
+	ConstraintDigest string               `json:"constraint_digest,omitempty"`
+	UptimeS          float64              `json:"uptime_s"`
+	Draining         bool                 `json:"draining,omitempty"`
+	Engine           engine.StatsSnapshot `json:"engine"`
+	Store            *StoreStatsJSON      `json:"store,omitempty"`
 }
 
 // StoreStatsJSON summarizes the durable store for /v1/stats.
@@ -191,19 +200,25 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		// hand-written string here once let this label drift from the enum.
 		s.verdicts.Inc(engine.Unsupported.String())
 		writeJSON(w, http.StatusOK, VerifyResponse{
-			ID:        req.ID,
-			Shard:     s.cfg.ShardID,
-			Verdict:   engine.Unsupported.String(),
-			Reason:    errResp.message,
-			ElapsedMS: msSince(start),
+			ID:               req.ID,
+			Shard:            s.cfg.ShardID,
+			ConstraintDigest: s.eng.ConstraintDigest(),
+			Verdict:          engine.Unsupported.String(),
+			Reason:           errResp.message,
+			ElapsedMS:        msSince(start),
 		})
 		return
 	}
 
 	// Coalescing key: fingerprint bucket, canonical raw-pair key confirm —
-	// the same two-step discipline as the engine's memo tables.
+	// the same two-step discipline as the engine's memo tables. Namespaced
+	// by the constraint digest like every other verdict-bearing key: plan
+	// serializations don't mention constraints, verdicts depend on them.
 	k1, k2 := plan.Key(q1), plan.Key(q2)
 	rawKey := k1 + "\x00" + k2
+	if d := s.eng.ConstraintDigest(); d != "" {
+		rawKey = "c" + d + ":" + rawKey
+	}
 	fp := plan.HashKey(rawKey)
 
 	res, coalesced, err := s.coal.do(r.Context(), fp, rawKey, func() engine.Result {
@@ -223,19 +238,20 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	verdict := res.Verdict.String()
 	s.verdicts.Inc(verdict)
 	writeJSON(w, http.StatusOK, VerifyResponse{
-		ID:        req.ID,
-		Shard:     s.cfg.ShardID,
-		Verdict:   verdict,
-		Cardinal:  res.Cardinal,
-		Reason:    res.Reason,
-		TimedOut:  res.TimedOut,
-		Cancelled: res.Cancelled,
-		Coalesced: coalesced,
-		Panicked:  res.Panicked,
-		Aborted:   res.WatchdogAbort,
-		ElapsedMS: msSince(start),
-		Witness:   res.Witness,
-		Stats:     statsJSON(res.Stats),
+		ID:               req.ID,
+		Shard:            s.cfg.ShardID,
+		ConstraintDigest: s.eng.ConstraintDigest(),
+		Verdict:          verdict,
+		Cardinal:         res.Cardinal,
+		Reason:           res.Reason,
+		TimedOut:         res.TimedOut,
+		Cancelled:        res.Cancelled,
+		Coalesced:        coalesced,
+		Panicked:         res.Panicked,
+		Aborted:          res.WatchdogAbort,
+		ElapsedMS:        msSince(start),
+		Witness:          res.Witness,
+		Stats:            statsJSON(res.Stats),
 	})
 }
 
@@ -296,18 +312,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		verdict := res.Verdict.String()
 		s.verdicts.Inc(verdict)
 		resp.Results[i] = VerifyResponse{
-			ID:        res.ID,
-			Shard:     s.cfg.ShardID,
-			Verdict:   verdict,
-			Cardinal:  res.Cardinal,
-			Reason:    res.Reason,
-			TimedOut:  res.TimedOut,
-			Cancelled: res.Cancelled,
-			Deduped:   res.Deduped,
-			Panicked:  res.Panicked,
-			Aborted:   res.WatchdogAbort,
-			ElapsedMS: ms(res.Elapsed),
-			Witness:   res.Witness,
+			ID:               res.ID,
+			Shard:            s.cfg.ShardID,
+			ConstraintDigest: s.eng.ConstraintDigest(),
+			Verdict:          verdict,
+			Cardinal:         res.Cardinal,
+			Reason:           res.Reason,
+			TimedOut:         res.TimedOut,
+			Cancelled:        res.Cancelled,
+			Deduped:          res.Deduped,
+			Panicked:         res.Panicked,
+			Aborted:          res.WatchdogAbort,
+			ElapsedMS:        ms(res.Elapsed),
+			Witness:          res.Witness,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

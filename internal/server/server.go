@@ -493,10 +493,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := StatsResponse{
-		Shard:    s.cfg.ShardID,
-		UptimeS:  time.Since(s.start).Seconds(),
-		Draining: s.draining.Load(),
-		Engine:   s.eng.Stats(),
+		Shard:            s.cfg.ShardID,
+		ConstraintDigest: s.eng.ConstraintDigest(),
+		UptimeS:          time.Since(s.start).Seconds(),
+		Draining:         s.draining.Load(),
+		Engine:           s.eng.Stats(),
 	}
 	if st := s.store; st != nil {
 		ss := st.Snapshot()

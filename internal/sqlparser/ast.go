@@ -51,9 +51,11 @@ func (*SetOp) isQuery()     {}
 
 // CreateTable declares a table for the catalog.
 type CreateTable struct {
-	Name    string
-	Columns []ColumnDef
-	PK      []string
+	Name        string
+	Columns     []ColumnDef
+	PK          []string
+	Unique      [][]string   // table-level and column-level UNIQUE keys
+	ForeignKeys []ForeignKeyDef
 }
 
 func (*CreateTable) isStatement() {}
@@ -64,6 +66,18 @@ type ColumnDef struct {
 	Type    string
 	NotNull bool
 	PK      bool
+	Unique  bool
+	// References carries a column-level REFERENCES clause; nil otherwise.
+	References *ForeignKeyDef
+}
+
+// ForeignKeyDef is a FOREIGN KEY ... REFERENCES constraint. For a
+// column-level REFERENCES clause, Columns holds just that column; empty
+// ParentColumns means "the parent's primary key".
+type ForeignKeyDef struct {
+	Columns       []string
+	ParentTable   string
+	ParentColumns []string
 }
 
 // TableRef is an item in a FROM clause.

@@ -44,6 +44,7 @@ var keywords = map[string]bool{
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
 	"TRUE": true, "FALSE": true,
 	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "UNIQUE": true,
 	"VALUES": true, "CAST": true, "LIMIT": true, "OFFSET": true, "FETCH": true,
 	"OVER": true, "PARTITION": true, "ROWS": true, "RANGE": true,
 }

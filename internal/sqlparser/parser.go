@@ -136,22 +136,30 @@ func (p *parser) parseCreateTable() (*CreateTable, error) {
 			if err := p.expect(tkKeyword, "KEY"); err != nil {
 				return nil, err
 			}
-			if err := p.expect(tkSymbol, "("); err != nil {
+			cols, err := p.parseColumnList()
+			if err != nil {
 				return nil, err
 			}
-			for {
-				col, err := p.expectIdent()
-				if err != nil {
-					return nil, err
-				}
-				ct.PK = append(ct.PK, col)
-				if !p.accept(tkSymbol, ",") {
-					break
-				}
-			}
-			if err := p.expect(tkSymbol, ")"); err != nil {
+			ct.PK = append(ct.PK, cols...)
+		} else if p.acceptKeyword("UNIQUE") {
+			cols, err := p.parseColumnList()
+			if err != nil {
 				return nil, err
 			}
+			ct.Unique = append(ct.Unique, cols)
+		} else if p.acceptKeyword("FOREIGN") {
+			if err := p.expect(tkKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseColumnList()
+			if err != nil {
+				return nil, err
+			}
+			fk, err := p.parseReferences(cols)
+			if err != nil {
+				return nil, err
+			}
+			ct.ForeignKeys = append(ct.ForeignKeys, *fk)
 		} else {
 			colName, err := p.expectIdent()
 			if err != nil {
@@ -185,6 +193,14 @@ func (p *parser) parseCreateTable() (*CreateTable, error) {
 					}
 					def.PK = true
 					def.NotNull = true
+				case p.acceptKeyword("UNIQUE"):
+					def.Unique = true
+				case p.acceptKeyword("REFERENCES"):
+					fk, err := p.parseReferencesTail([]string{colName})
+					if err != nil {
+						return nil, err
+					}
+					def.References = fk
 				default:
 					goto colDone
 				}
@@ -204,8 +220,62 @@ func (p *parser) parseCreateTable() (*CreateTable, error) {
 		if c.PK {
 			ct.PK = append(ct.PK, c.Name)
 		}
+		if c.Unique {
+			ct.Unique = append(ct.Unique, []string{c.Name})
+		}
+		if c.References != nil {
+			ct.ForeignKeys = append(ct.ForeignKeys, *c.References)
+		}
 	}
 	return ct, nil
+}
+
+// parseColumnList parses a parenthesized, comma-separated identifier list.
+func (p *parser) parseColumnList() ([]string, error) {
+	if err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// parseReferences parses "REFERENCES parent [(cols)]" for a table-level
+// FOREIGN KEY whose child columns were already read.
+func (p *parser) parseReferences(childCols []string) (*ForeignKeyDef, error) {
+	if err := p.expect(tkKeyword, "REFERENCES"); err != nil {
+		return nil, err
+	}
+	return p.parseReferencesTail(childCols)
+}
+
+// parseReferencesTail parses the part after the REFERENCES keyword: the
+// parent table name and an optional parent column list (absent means the
+// parent's primary key, resolved by the catalog loader).
+func (p *parser) parseReferencesTail(childCols []string) (*ForeignKeyDef, error) {
+	parent, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fk := &ForeignKeyDef{Columns: childCols, ParentTable: parent}
+	if p.cur().kind == tkSymbol && p.cur().text == "(" {
+		if fk.ParentColumns, err = p.parseColumnList(); err != nil {
+			return nil, err
+		}
+	}
+	return fk, nil
 }
 
 // ---------- queries ----------

@@ -14,13 +14,16 @@ package verify
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"spes/internal/fault"
 	"spes/internal/fol"
 	"spes/internal/plan"
 	"spes/internal/refute"
+	"spes/internal/schema"
 	"spes/internal/smt"
 	"spes/internal/symbolic"
 )
@@ -164,6 +167,16 @@ type Config struct {
 	// searches for the same pair — after an executor replay re-confirms
 	// them (see WitnessStore).
 	Witnesses WitnessStore
+	// ConstraintDigest is the catalog's constraint fingerprint
+	// (schema.Catalog.ConstraintDigest). When non-empty it namespaces
+	// every obligation-cache, durable-store, and witness key, so a verdict
+	// proved under one constraint set is never served under another. The
+	// obligation formulas themselves already embed the axioms, making the
+	// digest defense-in-depth for verdict keys — but witness keys are
+	// plan-shaped and constraint-blind, so for them the digest is the only
+	// separator. Empty (a constraint-free catalog) leaves every key
+	// byte-identical to builds without constraint support.
+	ConstraintDigest string
 }
 
 // Verifier checks full equivalence of plan pairs. One Verifier per pair is
@@ -192,6 +205,12 @@ type Verifier struct {
 	incremental  bool
 	refuteBudget int
 	witnesses    WitnessStore
+	digest       string
+	// tableTuples tracks every symbolic tuple created for each base table
+	// during this verification, so key functional-dependency axioms can
+	// pair a new scan's tuple with every earlier one (two rows of T that
+	// agree on a unique key are the same row).
+	tableTuples map[*schema.Table][]symbolic.Tuple
 	// deadline and ctx mirror the solver's bounds so the refutation pass
 	// honors the same wall-clock and cancellation limits the proof did.
 	deadline time.Time
@@ -254,6 +273,7 @@ func NewWithConfig(cfg Config) *Verifier {
 		incremental:   !cfg.DisableIncremental,
 		refuteBudget:  cfg.RefuteBudget,
 		witnesses:     cfg.Witnesses,
+		digest:        cfg.ConstraintDigest,
 		deadline:      cfg.Deadline,
 		ctx:           cfg.Ctx,
 	}
@@ -309,7 +329,11 @@ func (v *Verifier) Refute(q1, q2 plan.Node) *refute.Witness {
 	v.stats.RefuteSearches++
 	var key string
 	if v.witnesses != nil {
-		key = plan.PairKey(q1, q2)
+		// Witness keys are plan-shaped and thus constraint-blind: the same
+		// pair can be refutable on a free catalog yet equivalent under
+		// constraints, so the digest prefix is what keeps those records
+		// apart in a shared store.
+		key = v.digestKey(plan.PairKey(q1, q2))
 		if data, ok := v.witnesses.LookupWitness(key); ok {
 			if w, err := refute.Decode(data); err == nil && w.Replay(q1, q2) == nil {
 				v.stats.WitnessHits++
@@ -429,12 +453,27 @@ func (v *Verifier) validUnder(prefix, suffix *fol.Term) bool {
 }
 
 // canonicalKey is the interner-independent serialization of an obligation,
-// used by the durable tier.
+// used by the durable tier, namespaced by the constraint digest when one
+// is active (see Config.ConstraintDigest).
 func (v *Verifier) canonicalKey(f *fol.Term) string {
+	var key string
 	if f.Interned() {
-		return f.Key()
+		key = f.Key()
+	} else {
+		key = fol.Canonical(f)
 	}
-	return fol.Canonical(f)
+	return v.digestKey(key)
+}
+
+// digestKey prefixes a cache/store key with the active constraint digest.
+// Constraint-free catalogs (empty digest) keep the undecorated key, so
+// their cache entries and store records are byte-identical to builds
+// without constraint support.
+func (v *Verifier) digestKey(key string) string {
+	if v.digest == "" {
+		return key
+	}
+	return "c" + v.digest + ":" + key
 }
 
 // solveObligation decides prefix → suffix with the solver: incrementally,
@@ -562,9 +601,9 @@ func (v *Verifier) obligationKey(f *fol.Term) string {
 		// already interned); adopts the odd legacy leaf introduced by
 		// variable renaming.
 		f = v.in.Intern(f)
-		return "i" + strconv.FormatUint(v.in.Tag(), 36) + ":" + strconv.FormatUint(uint64(f.ID()), 36)
+		return v.digestKey("i" + strconv.FormatUint(v.in.Tag(), 36) + ":" + strconv.FormatUint(uint64(f.ID()), 36))
 	}
-	return fol.Canonical(f)
+	return v.digestKey(fol.Canonical(f))
 }
 
 // veriCard is Alg. 1: dispatch on category, with type-alignment coercions
@@ -638,7 +677,8 @@ func identitySPJ(n plan.Node) *plan.SPJ {
 
 // veriTable is Alg. 2: two table queries are cardinally equivalent iff they
 // scan the same table; the QPSR is the identity bijection. NOT NULL columns
-// get a constant-false null flag, encoding the schema constraint.
+// get a constant-false null flag, encoding the schema constraint; declared
+// keys and foreign keys become background axioms in COND.
 func (v *Verifier) veriTable(t1, t2 *plan.Table) *symbolic.QPSR {
 	if t1.Meta.Name != t2.Meta.Name {
 		return nil
@@ -651,7 +691,93 @@ func (v *Verifier) veriTable(t1, t2 *plan.Table) *symbolic.QPSR {
 		}
 		cols[i] = sc
 	}
-	return &symbolic.QPSR{Cols1: cols, Cols2: cols, Cond: fol.True(), Assign: fol.True()}
+	return &symbolic.QPSR{Cols1: cols, Cols2: cols, Cond: v.constraintAxioms(t1.Meta, cols), Assign: fol.True()}
+}
+
+// constraintAxioms builds the background axioms the scanned table's
+// declared constraints justify, conjoined into the scan's COND:
+//
+//   - every unique key (PK or UNIQUE) induces a functional dependency
+//     between this tuple and every tuple previously created for the same
+//     table — agreeing, fully non-NULL keys mean the same row;
+//   - every unique key's values are asserted into an uninterpreted
+//     membership predicate named after the table and key, and every
+//     foreign key asserts its fully non-NULL key tuples into the parent's
+//     predicate — referential containment, connected purely by symbol
+//     identity, so parent and child scans need no shared catalog.
+//
+// Each axiom holds on every database satisfying the constraints, so the
+// conjunction only strengthens COND soundly; dropping any subset (the
+// cancel fault below, or a panic unwinding the pair) merely weakens the
+// premises of later obligations and can only lose proofs, never invent
+// one. The fault site fires before any axiom is built, so a partial set is
+// never observable.
+func (v *Verifier) constraintAxioms(t *schema.Table, cols symbolic.Tuple) *fol.Term {
+	if len(t.PrimaryKey) == 0 && len(t.Unique) == 0 && len(t.ForeignKeys) == 0 {
+		return fol.True()
+	}
+	if fault.Inject(fault.ConstraintAxioms) == fault.Cancel {
+		return fol.True() // skip all axioms for this scan; sound, weaker premises
+	}
+	var axioms []*fol.Term
+	prev := v.tableTuples[t]
+	for _, key := range t.UniqueKeys() {
+		idx := make([]int, len(key))
+		for i, col := range key {
+			idx[i] = t.ColumnIndex(col)
+		}
+		for _, p := range prev {
+			axioms = append(axioms, symbolic.KeyFDAxiom(cols, p, idx))
+		}
+		// Membership: this row's key belongs to the table's key set.
+		name, perm := memberName(t.Name, key)
+		axioms = append(axioms, symbolic.Member(name, cols, permuteIdx(idx, perm)))
+	}
+	for _, fk := range t.ForeignKeys {
+		name, perm := memberName(fk.ParentTable, fk.ParentColumns)
+		idx := make([]int, len(fk.Columns))
+		for i, col := range fk.Columns {
+			idx[i] = t.ColumnIndex(col)
+		}
+		axioms = append(axioms, symbolic.FKChildAxiom(name, cols, permuteIdx(idx, perm)))
+	}
+	if v.tableTuples == nil {
+		v.tableTuples = make(map[*schema.Table][]symbolic.Tuple)
+	}
+	v.tableTuples[t] = append(v.tableTuples[t], cols)
+	return fol.And(axioms...)
+}
+
+// memberName derives the canonical name of a table key's membership
+// predicate and the permutation that orders the key's columns
+// canonically. Parent and child scans name the parent's key independently
+// — the parent from its own key declaration, the child from its FK's
+// REFERENCES list — so both sort the column names to agree on the symbol
+// and on argument order.
+func memberName(table string, key []string) (string, []int) {
+	up := make([]string, len(key))
+	for i, c := range key {
+		up[i] = strings.ToUpper(c)
+	}
+	perm := make([]int, len(up))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return up[perm[a]] < up[perm[b]] })
+	sorted := make([]string, len(up))
+	for i, p := range perm {
+		sorted[i] = up[p]
+	}
+	return "mem·" + strings.ToUpper(table) + "·" + strings.Join(sorted, ","), perm
+}
+
+// permuteIdx applies perm to idx: out[i] = idx[perm[i]].
+func permuteIdx(idx, perm []int) []int {
+	out := make([]int, len(perm))
+	for i, p := range perm {
+		out[i] = idx[p]
+	}
+	return out
 }
 
 // veriSPJ is Alg. 3.

@@ -24,6 +24,7 @@ package spes
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"spes/internal/engine"
@@ -105,13 +106,21 @@ type Options struct {
 	// looking for one where the outputs differ, turning NotProved into
 	// Refuted with a Witness. 0 keeps verification purely symbolic.
 	RefuteBudget int
+	// ConstraintDigest namespaces cache and store keys by the catalog's
+	// integrity-constraint set (see schema.Catalog.ConstraintDigest).
+	// VerifyWithOptions fills it from the catalog automatically; set it
+	// only when calling VerifyPlans directly on plans built against a
+	// constraint-carrying catalog.
+	ConstraintDigest string
 }
 
 // Catalog re-exports the schema catalog type for API convenience.
 type Catalog = schema.Catalog
 
 // ParseCatalog builds a catalog from CREATE TABLE statements. Primary-key
-// columns are implicitly NOT NULL.
+// columns are implicitly NOT NULL. UNIQUE and FOREIGN KEY constraints are
+// carried into the catalog; a REFERENCES clause without a column list
+// resolves to the parent table's primary key.
 func ParseCatalog(ddl string) (*Catalog, error) {
 	stmts, err := sqlparser.ParseSchema(ddl)
 	if err != nil {
@@ -119,7 +128,7 @@ func ParseCatalog(ddl string) (*Catalog, error) {
 	}
 	cat := schema.NewCatalog()
 	for _, ct := range stmts {
-		t := &schema.Table{Name: ct.Name, PrimaryKey: ct.PK}
+		t := &schema.Table{Name: ct.Name, PrimaryKey: ct.PK, Unique: ct.Unique}
 		for _, c := range ct.Columns {
 			typ, err := schema.ParseType(c.Type)
 			if err != nil {
@@ -133,9 +142,34 @@ func ParseCatalog(ddl string) (*Catalog, error) {
 			}
 			t.Columns = append(t.Columns, schema.Column{Name: c.Name, Type: typ, NotNull: notNull})
 		}
+		for _, fk := range ct.ForeignKeys {
+			t.ForeignKeys = append(t.ForeignKeys, schema.ForeignKey{
+				Columns:       fk.Columns,
+				ParentTable:   fk.ParentTable,
+				ParentColumns: fk.ParentColumns,
+			})
+		}
 		if err := cat.AddTable(t); err != nil {
 			return nil, err
 		}
+	}
+	// A REFERENCES clause with no explicit column list means the parent's
+	// primary key; resolve now that every table is registered.
+	for _, name := range cat.Names() {
+		t, _ := cat.Table(name)
+		for i := range t.ForeignKeys {
+			fk := &t.ForeignKeys[i]
+			if len(fk.ParentColumns) == 0 {
+				parent, ok := cat.Table(fk.ParentTable)
+				if !ok {
+					return nil, fmt.Errorf("spes: foreign key in table %q references unknown table %q", t.Name, fk.ParentTable)
+				}
+				fk.ParentColumns = append([]string(nil), parent.PrimaryKey...)
+			}
+		}
+	}
+	if err := cat.CheckForeignKeys(); err != nil {
+		return nil, err
 	}
 	return cat, nil
 }
@@ -148,6 +182,9 @@ func Verify(cat *Catalog, sql1, sql2 string) (Result, error) {
 
 // VerifyWithOptions is Verify with configuration.
 func VerifyWithOptions(cat *Catalog, sql1, sql2 string, opts Options) (Result, error) {
+	if opts.ConstraintDigest == "" {
+		opts.ConstraintDigest = cat.ConstraintDigest()
+	}
 	b := plan.NewBuilder(cat)
 	q1, err := b.BuildSQL(sql1)
 	if err != nil {
@@ -174,7 +211,10 @@ func VerifyPlans(q1, q2 plan.Node, opts Options) Result {
 		q1 = nz.Normalize(q1)
 		q2 = nz.Normalize(q2)
 	}
-	v := verify.NewWithConfig(verify.Config{RefuteBudget: opts.RefuteBudget})
+	v := verify.NewWithConfig(verify.Config{
+		RefuteBudget:     opts.RefuteBudget,
+		ConstraintDigest: opts.ConstraintDigest,
+	})
 	out := v.Check(q1, q2)
 	res := Result{Verdict: NotProved, Cardinal: out.Cardinal}
 	if out.Full {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spes/internal/engine"
+	"spes/internal/schema"
 )
 
 const testDDL = `
@@ -108,6 +109,20 @@ func TestParseCatalogErrors(t *testing.T) {
 	}
 	if _, err := ParseCatalog("CREATE TABLE T (X INT); CREATE TABLE T (Y INT)"); err == nil {
 		t.Error("duplicate table should fail")
+	}
+}
+
+func TestParseCatalogDecimalWidths(t *testing.T) {
+	cat, err := ParseCatalog("CREATE TABLE T (A DECIMAL(10,2), B NUMERIC, C DECIMAL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := cat.Table("T")
+	for i, col := range tbl.Columns {
+		if col.Type != schema.Float {
+			t.Errorf("column %d (%s): type %v, want Float (DECIMAL/NUMERIC alias, widths discarded)",
+				i, col.Name, col.Type)
+		}
 	}
 }
 
