@@ -4,9 +4,11 @@
 # with 8 concurrent workers, so -race exercises the batch engine's
 # sharing for real), then end-to-end smoke tests: spes-serve boot/verify/
 # drain, chaos under -faults, warm restart through the durable store, a
-# 2-shard spes-router cluster surviving a shard kill via failover, and a
+# 2-shard spes-router cluster surviving a shard kill via failover, a
 # refutation stage proving buggy rewrites come back "refuted" with
-# byte-identical counterexample witnesses standalone and routed.
+# byte-identical counterexample witnesses standalone and routed, and a
+# replication stage where a SIGKILLed shard's verdicts survive on a
+# tailing peer that answers them warm from its replicated store.
 set -eux
 
 # Term-construction lint: fol.Term values must be built through the fol
@@ -502,3 +504,91 @@ curl -sf "http://$ADDR/metrics" >"$tmp/con3-metrics.txt"
 kill -INT $SERVE_PID
 wait $SERVE_PID
 grep -q 'spes-serve: drained' "$tmp/con3.log"
+
+# --- replication smoke test ------------------------------------------------
+# Warm failover end to end: shard wb (the future victim) boots first with a
+# store; shard wa boots tailing wb via -replicate-from. Verdicts proved on
+# wb stream into wa's store. Then wb is SIGKILLed — no drain, no flush
+# beyond what the tailer already copied — and the same batch re-routed
+# through the router must come back verdict-identical, with the survivor
+# answering the orphaned pairs from its replicated store (store hits > 0)
+# rather than re-proving them cold.
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -shard-id wb \
+    -store-dir "$tmp/repl-b" >"$tmp/repl-b.log" 2>&1 &
+SHARD_B_PID=$!
+for i in $(seq 1 50); do
+    ADDR_B=$(sed -n 's/^spes-serve: listening on //p' "$tmp/repl-b.log" | head -1)
+    [ -n "$ADDR_B" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR_B" ]
+
+"$tmp/spes-serve" -corpus calcite -addr 127.0.0.1:0 -shard-id wa \
+    -store-dir "$tmp/repl-a" -replicate-from "wb=http://$ADDR_B" \
+    -replicate-interval 20ms >"$tmp/repl-a.log" 2>&1 &
+SHARD_A_PID=$!
+for i in $(seq 1 50); do
+    ADDR_A=$(sed -n 's/^spes-serve: listening on //p' "$tmp/repl-a.log" | head -1)
+    [ -n "$ADDR_A" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR_A" ]
+grep -q 'replicating from wb' "$tmp/repl-a.log"
+
+# Prove the whole batch on the victim so its store holds every verdict the
+# survivor will need, then wait for the tailer to drain it: the survivor's
+# replication position must reach the victim's exact durable size.
+curl -sf -X POST "http://$ADDR_B/v1/verify/batch" -d @"$tmp/batch.json" >/dev/null
+for i in $(seq 1 100); do
+    B_SIZE=$(curl -sf "http://$ADDR_B/v1/store/segments" | sed -n 's/.*"size": \([0-9]*\).*/\1/p' | head -1)
+    A_POS=$(curl -sf "http://$ADDR_A/metrics" | sed -n 's/^spes_replication_position_bytes{origin="wb"} //p')
+    [ -n "$B_SIZE" ] && [ "$B_SIZE" != 0 ] && [ "$A_POS" = "$B_SIZE" ] && break
+    sleep 0.1
+done
+[ "$A_POS" = "$B_SIZE" ]
+curl -sf "http://$ADDR_A/metrics" | grep -q 'spes_replication_records_total{origin="wb"} [1-9]'
+
+"$tmp/spes-router" -corpus calcite -addr 127.0.0.1:0 -probe-interval 1h \
+    -retry-after-cap 200ms \
+    -shards "wa=http://$ADDR_A,wb=http://$ADDR_B" >"$tmp/repl-router.log" 2>&1 &
+ROUTER_PID=$!
+for i in $(seq 1 50); do
+    RADDR=$(sed -n 's/^spes-router: listening on //p' "$tmp/repl-router.log" | head -1)
+    [ -n "$RADDR" ] && break
+    sleep 0.1
+done
+[ -n "$RADDR" ]
+# The router publishes the ring's failover assignment for operators to
+# wire -replicate-from against.
+curl -sf "http://$RADDR/healthz" | grep -q '"failover_to"'
+
+# Reference verdicts with both shards up.
+curl -sf -X POST "http://$RADDR/v1/verify/batch" -d @"$tmp/batch.json" >"$tmp/repl1.json"
+grep -o '"verdict": "[a-z-]*"' "$tmp/repl1.json" >"$tmp/repl1-verdicts.txt"
+grep -q '"shard": "wb"' "$tmp/repl1.json"   # the victim owned part of the batch
+
+# SIGKILL the victim: no drain banner, no graceful anything.
+kill -9 $SHARD_B_PID
+wait $SHARD_B_PID || true
+! grep -q 'spes-serve: drained' "$tmp/repl-b.log"
+
+# Re-batch through the router: discovery of the death comes from the
+# failing forward itself (the next probe is an hour away). Verdicts must
+# be identical, and the survivor must have answered the orphaned pairs
+# from its replicated store.
+curl -sf -X POST "http://$RADDR/v1/verify/batch" -d @"$tmp/batch.json" >"$tmp/repl2.json"
+grep -o '"verdict": "[a-z-]*"' "$tmp/repl2.json" >"$tmp/repl2-verdicts.txt"
+diff "$tmp/repl1-verdicts.txt" "$tmp/repl2-verdicts.txt"
+! grep -q '"shard": "wb"' "$tmp/repl2.json"
+
+curl -sf "http://$ADDR_A/metrics" >"$tmp/repl-metrics.txt"
+grep -q 'spes_replication_records_total{origin="wb"} [1-9]' "$tmp/repl-metrics.txt"
+grep -q 'spes_store_hits_total [1-9]' "$tmp/repl-metrics.txt"
+curl -sf "http://$RADDR/metrics" | grep -q 'spes_router_failover_pairs_total{shard="wb"} [1-9]'
+
+kill -TERM $ROUTER_PID
+wait $ROUTER_PID
+grep -q 'spes-router: drained' "$tmp/repl-router.log"
+kill -INT $SHARD_A_PID
+wait $SHARD_A_PID
+grep -q 'spes-serve: drained' "$tmp/repl-a.log"

@@ -55,6 +55,8 @@ func main() {
 		shardsFlag = flag.String("shards", "", "comma-separated shard list, each [id=]url")
 		vnodes     = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
 		probeEvery = flag.Duration("probe-interval", 2*time.Second, "how often to health-check every shard")
+		reprobe    = flag.Duration("reprobe-base", 250*time.Millisecond, "starting delay of the down-shard re-admission prober (jittered exponential backoff; < 0 disables)")
+		reprobeMax = flag.Duration("reprobe-max", 5*time.Second, "re-admission backoff ceiling")
 		fwdTimeout = flag.Duration("forward-timeout", 60*time.Second, "per-attempt forward timeout to one shard")
 		maxRetries = flag.Int("shed-retries", 2, "503s to ride out per shard (honoring Retry-After) before failing over")
 		retryCap   = flag.Duration("retry-after-cap", 5*time.Second, "upper bound on one honored Retry-After wait")
@@ -93,6 +95,8 @@ func main() {
 		Shards:         shards,
 		VirtualNodes:   *vnodes,
 		ProbeInterval:  *probeEvery,
+		ReprobeBase:    *reprobe,
+		ReprobeMax:     *reprobeMax,
 		ForwardTimeout: *fwdTimeout,
 		MaxShedRetries: *maxRetries,
 		RetryAfterCap:  *retryCap,

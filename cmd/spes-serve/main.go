@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +62,8 @@ func main() {
 		shardID     = flag.String("shard-id", "", "stable shard identity when serving behind spes-router; echoed in responses, /healthz, /v1/stats, and metrics")
 		refuteBud   = flag.Int("refute-budget", 0, "search up to N concrete databases for a counterexample after each failed proof, answering refuted-with-witness (0 disables)")
 		faults      = flag.String("faults", "", `chaos-testing fault spec, e.g. "seed=7,rate=25,sites=normalize|smt-model-round,kinds=panic|delay" (also read from SPES_FAULTS; never enable in production)`)
+		replFrom    = flag.String("replicate-from", "", `peer shards whose verdict stores to tail in the background, as "id=url[,id=url...]"; requires -store-dir — this shard starts warm for their keyspaces on failover`)
+		replEvery   = flag.Duration("replicate-interval", 500*time.Millisecond, "replication poll period once caught up (lagging tailers poll faster)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,14 @@ func main() {
 		fmt.Printf("spes-serve: FAULT INJECTION ARMED (%s)\n", fault.Describe())
 	}
 
+	origins, err := parseReplicateFrom(*replFrom)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(origins) > 0 && *storeDir == "" {
+		fail("-replicate-from requires -store-dir (replicated records land in this shard's own store)")
+	}
+
 	srv, err := server.New(server.Config{
 		Catalog:           cat,
 		VerifyTimeout:     *timeout,
@@ -96,6 +107,8 @@ func main() {
 		TermNodeHighWater: *highWater,
 		ShardID:           *shardID,
 		RefuteBudget:      *refuteBud,
+		ReplicateFrom:     origins,
+		ReplicateInterval: *replEvery,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -106,6 +119,9 @@ func main() {
 	}
 	if d := cat.ConstraintDigest(); d != "" {
 		fmt.Printf("spes-serve: constraint digest %s\n", d)
+	}
+	for _, o := range origins {
+		fmt.Printf("spes-serve: replicating from %s (%s)\n", o.ID, o.URL)
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -141,6 +157,26 @@ func main() {
 		fmt.Printf("spes-serve: drained; lifetime pairs=%d equivalent=%d cache_hit_rate=%.2f panics_recovered=%d watchdog_aborts=%d store_hits=%d epochs=%d\n",
 			st.Pairs, st.Equivalent, st.ObligationHitRate(), st.Panics, st.WatchdogAborts, st.StoreHits, st.InternerEpochs)
 	}
+}
+
+// parseReplicateFrom parses "id=url[,id=url...]" into replication origins.
+func parseReplicateFrom(spec string) ([]server.ReplicaOrigin, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []server.ReplicaOrigin
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf(`-replicate-from: %q is not "id=url"`, part)
+		}
+		out = append(out, server.ReplicaOrigin{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	return out, nil
 }
 
 // loadCatalog resolves exactly one of -schema / -corpus.

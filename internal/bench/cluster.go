@@ -41,6 +41,14 @@ type ClusterReport struct {
 	ChunkPairs int            `json:"chunk_pairs"`
 	Note       string         `json:"note"`
 	Rounds     []ClusterRound `json:"rounds"`
+
+	// Failover is the warm-failover study: kill a shard mid-workload and
+	// measure how warm the ring successor starts, with segment replication
+	// on versus off.
+	Failover *FailoverReport `json:"failover"`
+
+	// Scaling is the GOMAXPROCS>1 pass over the 2-shard round.
+	Scaling *ScalingReport `json:"scaling"`
 }
 
 // ClusterRound is one shard-count's measurement.
@@ -139,7 +147,69 @@ func RunCluster(seed int64, scale float64) (ClusterReport, error) {
 		round.VerdictsMatchSingle = equalSeq(ref, verdicts)
 		rep.Rounds = append(rep.Rounds, round)
 	}
+
+	fo, err := runFailover(w.Catalog, stream, chunk)
+	if err != nil {
+		return rep, fmt.Errorf("failover study: %w", err)
+	}
+	rep.Failover = &fo
+
+	sc, err := runScaling(w.Catalog, stream, chunk)
+	if err != nil {
+		return rep, fmt.Errorf("scaling pass: %w", err)
+	}
+	rep.Scaling = &sc
 	return rep, nil
+}
+
+// pushStream pushes the pair stream through a router (or shard) front in
+// chunk-sized batches and returns the verdict sequence plus the wall time
+// of the whole pass. Shared by the shard-count rounds, the failover study,
+// and the scaling pass so every number in the artifact is measured by the
+// same client loop.
+func pushStream(frontURL string, stream []server.BatchPairJSON, chunk int) ([]string, time.Duration, error) {
+	var verdicts []string
+	start := time.Now()
+	for off := 0; off < len(stream); off += chunk {
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		body, err := json.Marshal(server.BatchRequest{Pairs: stream[off:end]})
+		if err != nil {
+			return nil, 0, err
+		}
+		resp, err := http.Post(frontURL+"/v1/verify/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		var br server.BatchResponse
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// The router's membership view (with per-shard last errors)
+			// turns "no_shards" from a mystery into a diagnosis.
+			view := ""
+			if hr, err := http.Get(frontURL + "/healthz"); err == nil {
+				hb, _ := io.ReadAll(hr.Body)
+				hr.Body.Close()
+				view = "; router view: " + string(hb)
+			}
+			return nil, 0, fmt.Errorf("batch: status %d: %s%s", resp.StatusCode, msg, view)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&br)
+		resp.Body.Close()
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(br.Results) != end-off {
+			return nil, 0, fmt.Errorf("batch: %d results for %d pairs", len(br.Results), end-off)
+		}
+		for _, r := range br.Results {
+			verdicts = append(verdicts, r.Verdict)
+		}
+	}
+	return verdicts, time.Since(start), nil
 }
 
 func equalSeq(a, b []string) bool {
@@ -200,49 +270,13 @@ func runClusterRound(cat *schema.Catalog, stream []server.BatchPairJSON, shards,
 		rt.Shutdown(ctx)
 	}()
 
-	var verdicts []string
-	start := time.Now()
-	for off := 0; off < len(stream); off += chunk {
-		end := off + chunk
-		if end > len(stream) {
-			end = len(stream)
-		}
-		body, err := json.Marshal(server.BatchRequest{Pairs: stream[off:end]})
-		if err != nil {
-			return round, nil, err
-		}
-		resp, err := http.Post(front.URL+"/v1/verify/batch", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return round, nil, err
-		}
-		var br server.BatchResponse
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			// The router's membership view (with per-shard last errors)
-			// turns "no_shards" from a mystery into a diagnosis.
-			view := ""
-			if hr, err := http.Get(front.URL + "/healthz"); err == nil {
-				hb, _ := io.ReadAll(hr.Body)
-				hr.Body.Close()
-				view = "; router view: " + string(hb)
-			}
-			return round, nil, fmt.Errorf("batch: status %d: %s%s", resp.StatusCode, msg, view)
-		}
-		err = json.NewDecoder(resp.Body).Decode(&br)
-		resp.Body.Close()
-		if err != nil {
-			return round, nil, err
-		}
-		if len(br.Results) != end-off {
-			return round, nil, fmt.Errorf("batch: %d results for %d pairs", len(br.Results), end-off)
-		}
-		for _, r := range br.Results {
-			verdicts = append(verdicts, r.Verdict)
-			round.Verdicts[r.Verdict]++
-		}
+	verdicts, wall, err := pushStream(front.URL, stream, chunk)
+	if err != nil {
+		return round, nil, err
 	}
-	wall := time.Since(start)
+	for _, v := range verdicts {
+		round.Verdicts[v]++
+	}
 	round.WallMS = ms(wall)
 	round.PairsPerSec = perSec(len(stream), wall)
 
@@ -289,6 +323,30 @@ func RenderCluster(r ClusterReport) string {
 		for _, sh := range rd.PerShard {
 			fmt.Fprintf(&b, "  %-4s %6d pairs  hit-rate %5.1f%%\n", sh.ID, sh.Pairs, 100*sh.ObligationHitRate)
 		}
+	}
+	if r.Failover != nil {
+		b.WriteString("\nWarm failover (kill the busier of 2 shards, replay the stream)\n")
+		for _, c := range r.Failover.Cases {
+			mode := "replication OFF"
+			if c.Replicated {
+				mode = "replication ON "
+			}
+			match := "IDENTICAL"
+			if !c.VerdictsIdentical {
+				match = "DIVERGED"
+			}
+			fmt.Fprintf(&b, "%s  dead(%s) steady warm %5.1f%%  successor warm %5.1f%%  gap %+5.1fpt  wall %6.1fms -> %6.1fms (%.2fx)  store-hits=%d  verdicts: %s\n",
+				mode, r.Failover.DeadShard, 100*c.DeadSteadyWarmRate, 100*c.SuccessorWarmRate,
+				100*c.WarmRateGap, c.SteadyWallMS, c.PostKillWallMS, c.WallRatio,
+				c.SuccessorStoreHits, match)
+		}
+	}
+	if r.Scaling != nil {
+		fmt.Fprintf(&b, "\nGOMAXPROCS scaling (2 shards, num_cpu=%d)\n", r.Scaling.NumCPU)
+		for _, p := range r.Scaling.Passes {
+			fmt.Fprintf(&b, "gomaxprocs=%d  %8.1f pairs/s  (%.1f ms)\n", p.GOMAXPROCS, p.PairsPerSec, p.WallMS)
+		}
+		fmt.Fprintf(&b, "speedup %.2fx\n", r.Scaling.Speedup)
 	}
 	fmt.Fprintf(&b, "\nnote: %s\n", r.Note)
 	return b.String()

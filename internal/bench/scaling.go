@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"runtime"
+
+	"spes/internal/schema"
+	"spes/internal/server"
+)
+
+// ScalingReport is the GOMAXPROCS pass: the 2-shard round run once at
+// GOMAXPROCS=1 and once forced above 1, so the artifact records whether
+// shard-level parallelism converts into wall-clock throughput on this
+// host. On a single-core container the forced pass can only measure
+// scheduler overhead — NumCPU is recorded so readers can tell which case
+// they are looking at instead of trusting a speedup number blind.
+type ScalingReport struct {
+	NumCPU  int           `json:"num_cpu"`
+	Shards  int           `json:"shards"`
+	Passes  []ScalingPass `json:"passes"`
+	Speedup float64       `json:"speedup"`
+	Note    string        `json:"note"`
+}
+
+// ScalingPass is one GOMAXPROCS setting's measurement.
+type ScalingPass struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	WallMS      float64 `json:"wall_ms"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
+// runScaling measures the 2-shard round under GOMAXPROCS=1 and
+// GOMAXPROCS=max(2, NumCPU), restoring the runtime's setting afterwards.
+func runScaling(cat *schema.Catalog, stream []server.BatchPairJSON, chunk int) (ScalingReport, error) {
+	rep := ScalingReport{
+		NumCPU: runtime.NumCPU(),
+		Shards: 2,
+		Note: "speedup is forced-pass throughput over the GOMAXPROCS=1 pass; with num_cpu=1 the OS has " +
+			"one core to give, so ~1.0x is the honest ceiling and anything below measures scheduler " +
+			"overhead — on multi-core hosts this block shows how far two shards scale",
+	}
+	forced := runtime.NumCPU()
+	if forced < 2 {
+		forced = 2
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, gm := range []int{1, forced} {
+		runtime.GOMAXPROCS(gm)
+		round, _, err := runClusterRound(cat, stream, 2, chunk)
+		if err != nil {
+			return rep, err
+		}
+		rep.Passes = append(rep.Passes, ScalingPass{
+			GOMAXPROCS:  gm,
+			WallMS:      round.WallMS,
+			PairsPerSec: round.PairsPerSec,
+		})
+	}
+	if rep.Passes[0].PairsPerSec > 0 {
+		rep.Speedup = rep.Passes[1].PairsPerSec / rep.Passes[0].PairsPerSec
+	}
+	return rep, nil
+}

@@ -211,6 +211,7 @@ func (rt *Router) routeBatch(ctx context.Context, req server.BatchRequest, fps [
 				// Fail the whole sub-batch over: re-verification on the
 				// successor is sound because verdicts are deterministic.
 				rt.failovers.Inc(oc.shard)
+				rt.failoverPairs.With(oc.shard).Add(int64(len(oc.idx)))
 				rt.failoversT.Inc()
 				excluded[oc.shard] = true
 				pending = append(pending, oc.idx...)
@@ -397,6 +398,7 @@ func (rt *Router) handleVerify(w http.ResponseWriter, r *http.Request) {
 		status, hdr, respBody, err := rt.forwardVerify(ctx, shardID, url, body)
 		if err != nil {
 			rt.failovers.Inc(shardID)
+			rt.failoverPairs.With(shardID).Add(1)
 			rt.failoversT.Inc()
 			continue
 		}

@@ -140,6 +140,49 @@ func (r *Ring) Successors(fp uint64, n int) []string {
 	return out
 }
 
+// FailoverTargets reports which shards inherit id's key range if it
+// leaves the ring, ordered by how much of that range each one takes
+// (largest share first). With vnodes a dead shard's arcs scatter across
+// MANY inheritors, not one "successor" — this is the list a warm-standby
+// scheme must replicate toward, and the assignment is a pure function of
+// membership, so every router and shard computes the same answer.
+func (r *Ring) FailoverTargets(id string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	// Each of id's vnode arcs is inherited by the next point on the ring
+	// that belongs to someone else; weight that inheritor by the arc length
+	// it absorbs.
+	share := map[string]uint64{}
+	for i, p := range r.points {
+		if p.shard != id {
+			continue
+		}
+		// Arc length owned by this vnode: distance from the previous point
+		// (wrapping) to this one.
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		arc := p.hash - prev // uint64 wraparound handles the top-of-ring arc
+		for k := 1; k < len(r.points); k++ {
+			q := r.points[(i+k)%len(r.points)]
+			if q.shard != id {
+				share[q.shard] += arc
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(share))
+	for s := range share {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if share[out[i]] != share[out[j]] {
+			return share[out[i]] > share[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
 // Without returns a ring over the members minus the excluded shards —
 // how a request-scoped failover re-routes without waiting for the global
 // membership view to catch up.

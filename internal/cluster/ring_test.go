@@ -166,3 +166,50 @@ func TestRingBalance(t *testing.T) {
 	}
 	t.Log(fmt.Sprint(counts))
 }
+
+// TestRingFailoverTargets pins the warm-standby assignment: every key a
+// shard owns re-routes, after that shard leaves, to one of its published
+// FailoverTargets — so replicating toward exactly that list is sufficient
+// for a fully-warm failover. Also pins determinism and self-exclusion.
+func TestRingFailoverTargets(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	r := NewRing(ids, 0)
+	for _, id := range ids {
+		targets := r.FailoverTargets(id)
+		if len(targets) == 0 {
+			t.Fatalf("%s has no failover targets in a 4-ring", id)
+		}
+		set := map[string]bool{}
+		for _, tgt := range targets {
+			if tgt == id {
+				t.Fatalf("%s lists itself as its own failover target", id)
+			}
+			if set[tgt] {
+				t.Fatalf("%s lists %s twice", id, tgt)
+			}
+			set[tgt] = true
+		}
+		// The sufficiency property: keys owned by id land on a listed
+		// target once id is gone.
+		without := r.Without(map[string]bool{id: true})
+		for fp := uint64(0); fp < 4096; fp++ {
+			k := fp * 0x9e3779b97f4a7c15 // spread probes around the ring
+			if r.Lookup(k) != id {
+				continue
+			}
+			if inheritor := without.Lookup(k); !set[inheritor] {
+				t.Fatalf("key %#x owned by %s re-routes to %s, not in published targets %v",
+					k, id, inheritor, targets)
+			}
+		}
+		// Determinism: same membership, same answer, every time.
+		again := NewRing(ids, 0).FailoverTargets(id)
+		if fmt.Sprint(again) != fmt.Sprint(targets) {
+			t.Fatalf("FailoverTargets(%s) unstable: %v vs %v", id, targets, again)
+		}
+	}
+	// A 1-ring has nowhere to fail over to.
+	if got := NewRing([]string{"solo"}, 0).FailoverTargets("solo"); len(got) != 0 {
+		t.Fatalf("solo ring published failover targets %v", got)
+	}
+}

@@ -46,6 +46,14 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one health probe (default 2s).
 	ProbeTimeout time.Duration
+	// ReprobeBase is the starting delay of the re-admission prober: when a
+	// shard goes down, the router re-probes just that shard on a jittered
+	// exponential backoff so a restarted shard rejoins in ~ReprobeBase
+	// instead of waiting out a full ProbeInterval (default 250ms; < 0
+	// disables re-admission probing — tests drive ProbeNow themselves).
+	ReprobeBase time.Duration
+	// ReprobeMax caps the re-admission backoff (default 5s).
+	ReprobeMax time.Duration
 	// ForwardTimeout bounds one forward attempt to one shard (default
 	// 60s); the client's request context can only tighten it.
 	ForwardTimeout time.Duration
@@ -79,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ReprobeBase == 0 {
+		c.ReprobeBase = 250 * time.Millisecond
+	}
+	if c.ReprobeMax <= 0 {
+		c.ReprobeMax = 5 * time.Second
 	}
 	if c.ForwardTimeout <= 0 {
 		c.ForwardTimeout = 60 * time.Second
@@ -129,26 +143,36 @@ type Router struct {
 	shards map[string]*shardState
 	ring   *Ring // over healthy shards; rebuilt on every state change
 
-	reg          *server.Registry
-	reqTotal     *server.CounterVec // by endpoint and status code
-	forwards     *server.CounterVec // sub-batch forwards by shard
-	pairsRouted  *server.CounterVec // pairs routed by shard
-	shedRetries  *server.CounterVec // 503-and-wait retries by shard
-	failovers    *server.CounterVec // sub-batches failed over, by the shard they left
-	forwardsT    *server.Counter
-	retriesT     *server.Counter
-	failoversT   *server.Counter
-	unplacedT    *server.Counter // pairs no live shard could take (degraded verdicts)
-	probeFlips   *server.Counter // membership changes observed by the prober
+	// failoverPlan is each shard's ring inheritors at full membership —
+	// the pure-function-of-configuration assignment operators wire
+	// spes-serve -replicate-from against, published in /healthz. Computed
+	// once: configured membership never changes over a router's lifetime.
+	failoverPlan map[string][]string
+
+	reg           *server.Registry
+	reqTotal      *server.CounterVec // by endpoint and status code
+	forwards      *server.CounterVec // sub-batch forwards by shard
+	pairsRouted   *server.CounterVec // pairs routed by shard
+	shedRetries   *server.CounterVec // 503-and-wait retries by shard
+	failovers     *server.CounterVec // sub-batches failed over, by the shard they left
+	failoverPairs *server.CounterVec // pairs re-routed off a failed shard, by that shard
+	forwardsT     *server.Counter
+	retriesT      *server.Counter
+	failoversT    *server.Counter
+	unplacedT     *server.Counter // pairs no live shard could take (degraded verdicts)
+	probeFlips    *server.Counter // membership changes observed by the prober
+	reprobes      *server.Counter // re-admission probes of down shards
 
 	draining   atomic.Bool
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 	start      time.Time
 
-	httpSrv   *http.Server
-	probeStop chan struct{}
-	probeDone chan struct{}
+	httpSrv     *http.Server
+	probeStop   chan struct{}
+	probeDone   chan struct{}
+	reprobeKick chan struct{} // nudged by markDown; drained by reprobeLoop
+	reprobeDone chan struct{}
 }
 
 // NewRouter builds a router over the configured shards. All shards start
@@ -169,15 +193,17 @@ func NewRouter(cfg Config) *Router {
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
-		cfg:        cfg,
-		client:     client,
-		shards:     map[string]*shardState{},
-		reg:        server.NewRegistry(),
-		baseCtx:    baseCtx,
-		cancelBase: cancel,
-		start:      time.Now(),
-		probeStop:  make(chan struct{}),
-		probeDone:  make(chan struct{}),
+		cfg:         cfg,
+		client:      client,
+		shards:      map[string]*shardState{},
+		reg:         server.NewRegistry(),
+		baseCtx:     baseCtx,
+		cancelBase:  cancel,
+		start:       time.Now(),
+		probeStop:   make(chan struct{}),
+		probeDone:   make(chan struct{}),
+		reprobeKick: make(chan struct{}, 1),
+		reprobeDone: make(chan struct{}),
 	}
 	for _, s := range cfg.Shards {
 		if s.ID == "" || s.URL == "" {
@@ -189,6 +215,11 @@ func NewRouter(cfg Config) *Router {
 		rt.shards[s.ID] = &shardState{Shard: s, healthy: true}
 	}
 	rt.rebuildRingLocked()
+	rt.failoverPlan = map[string][]string{}
+	full := rt.ring // all shards start healthy, so this IS full membership
+	for id := range rt.shards {
+		rt.failoverPlan[id] = full.FailoverTargets(id)
+	}
 	rt.registerMetrics()
 	rt.httpSrv = &http.Server{
 		Handler:           rt.Handler(),
@@ -198,6 +229,11 @@ func NewRouter(cfg Config) *Router {
 		go rt.probeLoop()
 	} else {
 		close(rt.probeDone)
+	}
+	if cfg.ReprobeBase > 0 {
+		go rt.reprobeLoop()
+	} else {
+		close(rt.reprobeDone)
 	}
 	return rt
 }
@@ -214,6 +250,8 @@ func (rt *Router) registerMetrics() {
 		"Forwards retried after a shard 503, honoring its Retry-After.", "shard")
 	rt.failovers = r.NewCounterVec("spes_router_failovers_total",
 		"Sub-batches failed over to a ring successor, by the shard that failed.", "shard")
+	rt.failoverPairs = r.NewCounterVec("spes_router_failover_pairs_total",
+		"Pairs re-routed to ring inheritors, by the shard whose failure moved them.", "shard")
 	rt.forwardsT = r.NewCounter("spes_router_forward_attempts_total",
 		"Total sub-batch forward attempts across all shards.")
 	rt.retriesT = r.NewCounter("spes_router_shed_retry_attempts_total",
@@ -224,6 +262,8 @@ func (rt *Router) registerMetrics() {
 		"Pairs no live shard could verify; degraded to not-proved, never fabricated.")
 	rt.probeFlips = r.NewCounter("spes_router_membership_changes_total",
 		"Shard ring membership changes observed (probe or forward failure).")
+	rt.reprobes = r.NewCounter("spes_router_reprobes_total",
+		"Re-admission probes of down shards (jittered-backoff loop).")
 	r.NewGaugeFunc("spes_router_ring_size",
 		"Shards currently in the ring (healthy, not draining).",
 		func() float64 { return float64(rt.ringSnapshot().Size()) })
@@ -286,6 +326,85 @@ func (rt *Router) markDown(id, reason string) {
 	ss.healthy, ss.draining, ss.lastErr = false, false, reason
 	rt.rebuildRingLocked()
 	rt.probeFlips.Inc()
+	// Wake the re-admission prober (non-blocking: a pending kick covers
+	// every shard that went down since the loop last looked).
+	select {
+	case rt.reprobeKick <- struct{}{}:
+	default:
+	}
+}
+
+// downShards snapshots the shards currently out of the ring for a reason
+// other than draining (a draining shard asked to leave; it comes back via
+// the regular probe when it restarts and reports "ok").
+func (rt *Router) downShards() []Shard {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []Shard
+	for _, ss := range rt.shards {
+		if !ss.healthy && !ss.draining {
+			out = append(out, ss.Shard)
+		}
+	}
+	return out
+}
+
+// reprobeLoop re-admits recovered shards: whenever something is down, it
+// probes JUST the down shards on a jittered exponential backoff
+// (ReprobeBase doubling to ReprobeMax), so a restarted shard rejoins the
+// ring in roughly ReprobeBase rather than a full ProbeInterval, while a
+// shard that stays dead costs a bounded trickle of probes. The jitter
+// (±25%, drawn from the wall clock) keeps a fleet of routers from
+// synchronizing their probes into a thundering herd at the reborn shard.
+func (rt *Router) reprobeLoop() {
+	defer close(rt.reprobeDone)
+	for {
+		select {
+		case <-rt.probeStop:
+			return
+		case <-rt.reprobeKick:
+		}
+		backoff := rt.cfg.ReprobeBase
+		for {
+			down := rt.downShards()
+			if len(down) == 0 {
+				break
+			}
+			select {
+			case <-rt.probeStop:
+				return
+			case <-time.After(jitter(backoff)):
+			}
+			var wg sync.WaitGroup
+			for _, sh := range down {
+				wg.Add(1)
+				go func(sh Shard) {
+					defer wg.Done()
+					rt.reprobes.Inc()
+					healthy, draining, reason := rt.probeOne(rt.baseCtx, sh)
+					rt.setProbed(sh.ID, healthy, draining, reason)
+				}(sh)
+			}
+			wg.Wait()
+			if backoff *= 2; backoff > rt.cfg.ReprobeMax {
+				backoff = rt.cfg.ReprobeMax
+			}
+		}
+	}
+}
+
+// jitter spreads d by ±25% using the cheap wall-clock entropy this needs —
+// probe scheduling wants decorrelation, not cryptography.
+func jitter(d time.Duration) time.Duration {
+	n := uint64(time.Now().UnixNano())
+	n ^= n >> 33
+	n *= 0xff51afd7ed558ccd
+	n ^= n >> 33
+	span := uint64(d) / 2
+	if span == 0 {
+		return d
+	}
+	return d - time.Duration(span/2) + time.Duration(n%span)
 }
 
 // setProbed applies one probe result.
@@ -435,6 +554,7 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 		err = <-done
 	}
 	<-rt.probeDone
+	<-rt.reprobeDone
 	rt.client.CloseIdleConnections()
 	return err
 }
@@ -472,10 +592,17 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		URL   string `json:"url"`
 		State string `json:"state"`
 		Error string `json:"error,omitempty"`
+		// FailoverTo is who inherits this shard's key range if it dies,
+		// largest share first — the assignment to point the shards'
+		// -replicate-from at so inheritors are warm before they're needed.
+		FailoverTo []string `json:"failover_to,omitempty"`
 	}
 	views := make([]shardView, 0, len(rt.shards))
 	for _, ss := range rt.shards {
-		views = append(views, shardView{ID: ss.ID, URL: ss.URL, State: ss.state(), Error: ss.lastErr})
+		views = append(views, shardView{
+			ID: ss.ID, URL: ss.URL, State: ss.state(), Error: ss.lastErr,
+			FailoverTo: rt.failoverPlan[ss.ID],
+		})
 	}
 	ringSize := rt.ring.Size()
 	rt.mu.Unlock()
@@ -508,9 +635,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // snapshot plus the cluster-wide sums — the fleet analog of one engine's
 // Stats.
 type ClusterStats struct {
-	RingSize int               `json:"ring_size"`
-	Shards   []ShardStats      `json:"shards"`
-	Totals   ShardStatsTotals  `json:"totals"`
+	RingSize int                `json:"ring_size"`
+	Shards   []ShardStats       `json:"shards"`
+	Totals   ShardStatsTotals   `json:"totals"`
 	Router   RouterStatCounters `json:"router"`
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -509,5 +510,107 @@ func TestRouterValidation(t *testing.T) {
 	// reach the fleet.
 	if got := a.srv.Engine().Stats().Pairs; got != 0 {
 		t.Fatalf("validation errors leaked %d pairs to a shard", got)
+	}
+}
+
+// TestRouterReadmitsRecoveredShard pins the re-admission loop: a shard
+// that dies hard (listener severed) is discovered down mid-batch, then —
+// after it restarts on the SAME address under the SAME ID — the jittered
+// reprobe loop puts it back in the ring without any traffic or manual
+// ProbeNow, and subsequent batches route to it again.
+func TestRouterReadmitsRecoveredShard(t *testing.T) {
+	a := newTestShard(t, "a", server.Config{})
+
+	// Shard b runs on a manual listener so its address survives the kill:
+	// re-admission only makes sense if the reborn process is reachable at
+	// the URL the router was configured with.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	b1, err := server.New(server.Config{Catalog: corpus.Catalog(), ShardID: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b1.Serve(l)
+
+	rt := NewRouter(Config{
+		Catalog:       corpus.Catalog(),
+		Shards:        []Shard{{ID: "a", URL: a.ts.URL}, {ID: "b", URL: "http://" + addr}},
+		ProbeInterval: -1, // only the reprobe loop may re-admit
+		ReprobeBase:   10 * time.Millisecond,
+		ReprobeMax:    50 * time.Millisecond,
+		RetryAfterCap: 50 * time.Millisecond,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	})
+	h := rt.Handler()
+
+	// Kill b hard and let a batch discover it: transport errors mark it
+	// down and kick the reprobe loop.
+	l.Close()
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		b1.Shutdown(ctx)
+		cancel()
+	}
+	if w := postJSON(t, h, "/v1/verify/batch", clusterBatch(24)); w.Code != 200 {
+		t.Fatalf("batch with dead shard: %d %s", w.Code, w.Body.String())
+	}
+	if ring := rt.ringSnapshot(); ring.Size() != 1 {
+		t.Fatalf("ring size %d after kill, want 1", ring.Size())
+	}
+
+	// While b is down the reprobe loop must be probing it, not silent.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.reprobes.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reprobe loop never probed the down shard")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Rebirth on the same address (the OS may hold the port briefly).
+	var l2 net.Listener
+	for i := 0; ; i++ {
+		l2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	b2, err := server.New(server.Config{Catalog: corpus.Catalog(), ShardID: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b2.Serve(l2)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		b2.Shutdown(ctx)
+	})
+
+	// No traffic, no ProbeNow: the backoff loop alone must re-admit it.
+	for rt.ringSnapshot().Size() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted shard never re-admitted (reprobes=%d)", rt.reprobes.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// And the re-admitted shard serves real traffic again.
+	before := b2.Engine().Stats().Pairs
+	if w := postJSON(t, h, "/v1/verify/batch", clusterBatch(24)); w.Code != 200 {
+		t.Fatalf("batch after rejoin: %d %s", w.Code, w.Body.String())
+	}
+	if got := b2.Engine().Stats().Pairs; got == before {
+		t.Fatal("re-admitted shard received no pairs")
 	}
 }

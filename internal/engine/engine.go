@@ -272,6 +272,9 @@ type BatchStats struct {
 	// from) the durable verdict store.
 	StoreHits   int64
 	StoreMisses int64
+	// WitnessHits counts refutations answered by a stored (possibly
+	// replicated) witness that replayed, instead of a fresh search.
+	WitnessHits int64
 	// SessionEvictions counts solver sessions dropped from verifier LRU
 	// tables, including rotation drains.
 	SessionEvictions int64
@@ -517,6 +520,7 @@ type counters struct {
 	solverQueries                             atomic.Int64
 	solverSessions, prefixReuse, modelRounds  atomic.Int64
 	storeHits, storeMisses, sessionEvicts     atomic.Int64
+	witnessHits                               atomic.Int64
 	epochs                                    atomic.Int64 // rotations; meaningful on the root only
 }
 
@@ -556,6 +560,7 @@ func (s *Shared) record(r Result) {
 	s.ctr.modelRounds.Add(int64(r.Stats.ModelRounds))
 	s.ctr.storeHits.Add(int64(r.Stats.StoreHits))
 	s.ctr.storeMisses.Add(int64(r.Stats.StoreMisses))
+	s.ctr.witnessHits.Add(int64(r.Stats.WitnessHits))
 	s.ctr.sessionEvicts.Add(int64(r.Stats.SessionEvicts))
 	if s.parent != nil {
 		s.parent.record(r)
@@ -617,6 +622,10 @@ type StatsSnapshot struct {
 	StoreHits        int64 `json:"store_hits"`
 	StoreMisses      int64 `json:"store_misses"`
 	SessionEvictions int64 `json:"session_evictions"`
+	// WitnessHits counts refutations answered by a stored witness that
+	// replayed successfully — including witnesses that arrived via
+	// replication — instead of a fresh counterexample search.
+	WitnessHits int64 `json:"witness_hits"`
 
 	NormHits         int64 `json:"norm_hits"`
 	NormMisses       int64 `json:"norm_misses"`
@@ -656,6 +665,7 @@ func (s *Shared) Snapshot() StatsSnapshot {
 	snap.StoreHits = s.ctr.storeHits.Load()
 	snap.StoreMisses = s.ctr.storeMisses.Load()
 	snap.SessionEvictions = s.ctr.sessionEvicts.Load()
+	snap.WitnessHits = s.ctr.witnessHits.Load()
 	if s.norm != nil {
 		snap.NormHits, snap.NormMisses = s.norm.counters()
 	}
@@ -1272,6 +1282,7 @@ func (s *Shared) aggregate(wall time.Duration) BatchStats {
 		InternerEpochs:   snap.InternerEpochs,
 		StoreHits:        snap.StoreHits,
 		StoreMisses:      snap.StoreMisses,
+		WitnessHits:      snap.WitnessHits,
 		SessionEvictions: snap.SessionEvictions,
 	}
 }

@@ -82,11 +82,20 @@ const (
 	// that leans on a partially-constructed axiom set: each axiom is built
 	// whole before it is conjoined, and the site fires before any of them.
 	ConstraintAxioms Site = "constraint-axioms"
+	// StoreReplicate fires in the replication tailer between fetching a
+	// chunk of a peer's log and applying its records to the local store. A
+	// panic or cancel here drops the chunk unapplied; the tail position does
+	// not advance, so the next round re-fetches the same bytes. Replication
+	// is write-behind warm state, not truth: a fault can delay or lose
+	// replicated verdicts (the shard re-proves them), but every record that
+	// IS applied passed its own checksum and the first-wins key dedupe, so a
+	// fault can never fabricate or overwrite a verdict.
+	StoreReplicate Site = "store-replicate"
 )
 
 // Sites returns every registered site, in stable order.
 func Sites() []Site {
-	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend, RouterForward, RefuteSearch, ConstraintAxioms}
+	return []Site{Normalize, VeriSPJ, SMTModelRound, CoalesceLeader, WorkerSpawn, SMTPushPop, StoreAppend, RouterForward, RefuteSearch, ConstraintAxioms, StoreReplicate}
 }
 
 // Kind is the species of an injected fault.

@@ -35,17 +35,17 @@ type VerifyResponse struct {
 	// catalog); the same pair can be equivalent under one constraint set
 	// and not-proved under another, so clients caching verdicts must key
 	// on it.
-	ConstraintDigest string `json:"constraint_digest,omitempty"`
-	Verdict          string `json:"verdict"`
-	Cardinal  bool       `json:"cardinal"`
-	Reason    string     `json:"reason,omitempty"`
-	TimedOut  bool       `json:"timed_out,omitempty"`
-	Cancelled bool       `json:"cancelled,omitempty"`
-	Coalesced bool       `json:"coalesced,omitempty"`
-	Deduped   bool       `json:"deduped,omitempty"`
-	Panicked  bool       `json:"panicked,omitempty"`
-	Aborted   bool       `json:"watchdog_abort,omitempty"`
-	ElapsedMS float64    `json:"elapsed_ms"`
+	ConstraintDigest string  `json:"constraint_digest,omitempty"`
+	Verdict          string  `json:"verdict"`
+	Cardinal         bool    `json:"cardinal"`
+	Reason           string  `json:"reason,omitempty"`
+	TimedOut         bool    `json:"timed_out,omitempty"`
+	Cancelled        bool    `json:"cancelled,omitempty"`
+	Coalesced        bool    `json:"coalesced,omitempty"`
+	Deduped          bool    `json:"deduped,omitempty"`
+	Panicked         bool    `json:"panicked,omitempty"`
+	Aborted          bool    `json:"watchdog_abort,omitempty"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
 	// Witness backs a "refuted" verdict: the counterexample database and
 	// the two differing output bags. Deterministic per pair, so routed and
 	// standalone answers serialize identically. Absent otherwise.
@@ -127,6 +127,9 @@ type StatsResponse struct {
 	Draining         bool                 `json:"draining,omitempty"`
 	Engine           engine.StatsSnapshot `json:"engine"`
 	Store            *StoreStatsJSON      `json:"store,omitempty"`
+	// Replication, when this shard tails peers, reports each origin's tail
+	// position, lag, and apply counters.
+	Replication []ReplicationOriginJSON `json:"replication,omitempty"`
 }
 
 // StoreStatsJSON summarizes the durable store for /v1/stats.

@@ -133,6 +133,58 @@ func (c *CounterVec) render(w io.Writer) {
 	}
 }
 
+// GaugeVec is a gauge partitioned by one or more label values. Children
+// are atomic.Int64s (Store/Add/Load); every gauge this registry needs is
+// integer-valued (byte counts, positions), so no float plumbing.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*atomic.Int64
+}
+
+// NewGaugeVec registers a labeled gauge.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	g := &GaugeVec{name: name, help: help, labels: labels, children: map[string]*atomic.Int64{}}
+	r.add(g)
+	return g
+}
+
+// With returns the child gauge for the given label values (created on
+// first use), in the order the labels were registered.
+func (g *GaugeVec) With(values ...string) *atomic.Int64 {
+	if len(values) != len(g.labels) {
+		panic("server: label value count mismatch for " + g.name)
+	}
+	key := labelPairs(g.labels, values)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	child, ok := g.children[key]
+	if !ok {
+		child = &atomic.Int64{}
+		g.children[key] = child
+	}
+	return child
+}
+
+func (g *GaugeVec) render(w io.Writer) {
+	writeHeader(w, g.name, g.help, "gauge")
+	g.mu.Lock()
+	keys := make([]string, 0, len(g.children))
+	for k := range g.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		lines[i] = fmt.Sprintf("%s{%s} %d\n", g.name, k, g.children[k].Load())
+	}
+	g.mu.Unlock()
+	for _, l := range lines {
+		io.WriteString(w, l)
+	}
+}
+
 func labelPairs(labels, values []string) string {
 	out := ""
 	for i, l := range labels {

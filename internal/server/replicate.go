@@ -1,0 +1,400 @@
+package server
+
+// This file is the replica side of hot-verdict replication: a background
+// tailer per configured origin that streams the origin's append-only store
+// log (see store/segment.go and the /v1/store/segments endpoints) into the
+// local store, so this shard is already warm for the origin's keyspace
+// when a failover or planned membership change hands that traffic over.
+//
+// The protocol is a resumable remote tail, not a consensus scheme:
+//
+//   - position: a byte offset into the ORIGIN's log, persisted next to the
+//     local store (replica-<origin>.pos) so restarts resume instead of
+//     re-streaming; clamped to the origin's durable size, which makes an
+//     origin that truncated or wiped its log safe (overlap re-applies
+//     idempotently, first-wins dedupe keeps local answers fixed);
+//   - rate limiting: one bounded chunk per poll, with a short catch-up
+//     delay while lagging and the full interval once caught up;
+//   - admission: the origin's constraint digest must match ours before a
+//     chunk is applied (a mismatched origin's records would be inert
+//     anyway — keys are digest-namespaced — but the mismatch is an
+//     operator error worth a metric, not silent dead weight on disk);
+//     witnesses ride in as opaque bytes and are only ever served after
+//     Witness.Replay re-confirms them, same as any stored witness.
+//
+// Faults: the store-replicate site fires between fetch and apply; panic
+// and cancel both drop the chunk with the position unchanged, so the next
+// poll re-fetches. Corrupt chunks (in flight or on the origin's disk) fail
+// record checksums in ApplyReplicated and are re-fetched the same way —
+// replication can stall or lose, never fabricate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"spes/internal/fault"
+	"spes/internal/store"
+)
+
+// ReplicaOrigin names one peer shard whose store this server tails.
+type ReplicaOrigin struct {
+	ID  string // origin's shard ID (labels metrics and the position file)
+	URL string // origin's base URL, e.g. "http://127.0.0.1:8081"
+}
+
+// SegmentsResponse is the body of GET /v1/store/segments: the origin-side
+// metadata a tailer polls — durable size (the tail target), sealed
+// segments (checksummed ranges for verification and re-fetch), and the
+// constraint digest (the replica-side admission check).
+type SegmentsResponse struct {
+	Shard            string          `json:"shard,omitempty"`
+	ConstraintDigest string          `json:"constraint_digest,omitempty"`
+	Size             int64           `json:"size"`
+	SegmentTarget    int64           `json:"segment_target"`
+	Segments         []store.Segment `json:"segments"`
+}
+
+// ReplicationOriginJSON is one origin's replication state in /v1/stats.
+type ReplicationOriginJSON struct {
+	Origin         string `json:"origin"`
+	Position       int64  `json:"position"`
+	Lag            int64  `json:"lag_bytes"`
+	Chunks         int64  `json:"chunks"`
+	Records        int64  `json:"records"`
+	Bytes          int64  `json:"bytes"`
+	Duplicates     int64  `json:"duplicates"`
+	Errors         int64  `json:"errors"`
+	CorruptChunks  int64  `json:"corrupt_chunks"`
+	DigestMismatch int64  `json:"digest_mismatches"`
+	CaughtUp       bool   `json:"caught_up"`
+}
+
+// replicator tails one origin. Counters are atomics shared with the
+// /metrics children, so the scrape and /v1/stats always agree.
+type replicator struct {
+	origin   ReplicaOrigin
+	st       *store.Store
+	digest   string
+	posPath  string
+	client   *http.Client
+	interval time.Duration
+	chunkMax int
+
+	pos      atomic.Int64
+	lag      atomic.Int64
+	caughtUp atomic.Bool
+
+	chunks, records, bytes  *atomic.Int64 // metric-backed
+	errors, corrupt, duplic *atomic.Int64
+	mismatch                *atomic.Int64
+	lagGauge, posGauge      *atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (s *Server) startReplicators() {
+	if len(s.cfg.ReplicateFrom) == 0 || s.store == nil {
+		return
+	}
+	for _, origin := range s.cfg.ReplicateFrom {
+		r := &replicator{
+			origin:   origin,
+			st:       s.store,
+			digest:   s.eng.ConstraintDigest(),
+			posPath:  filepath.Join(s.cfg.StorePath, "replica-"+origin.ID+".pos"),
+			client:   &http.Client{Timeout: 30 * time.Second},
+			interval: s.cfg.ReplicateInterval,
+			chunkMax: s.cfg.ReplicateChunkBytes,
+			chunks:   s.replSegments.With(origin.ID),
+			records:  s.replRecords.With(origin.ID),
+			bytes:    s.replBytes.With(origin.ID),
+			duplic:   s.replDuplicates.With(origin.ID),
+			errors:   s.replErrors.With(origin.ID),
+			corrupt:  s.replCorrupt.With(origin.ID),
+			mismatch: s.replMismatch.With(origin.ID),
+			lagGauge: s.replLag.With(origin.ID),
+			posGauge: s.replPos.With(origin.ID),
+			stop:     make(chan struct{}),
+			done:     make(chan struct{}),
+		}
+		r.pos.Store(r.loadPos())
+		r.posGauge.Store(r.pos.Load())
+		s.replicators = append(s.replicators, r)
+		go r.run()
+	}
+}
+
+// stopReplicators halts every tailer before the store closes (the tailers
+// write into it) and waits for them to exit. Idempotent: Shutdown and
+// tests may both call it.
+func (s *Server) stopReplicators() {
+	s.replStop.Do(func() {
+		for _, r := range s.replicators {
+			close(r.stop)
+		}
+		for _, r := range s.replicators {
+			<-r.done
+		}
+	})
+}
+
+// ReplicationSnapshot reports every configured origin's replication state
+// (nil when replication is not configured).
+func (s *Server) ReplicationSnapshot() []ReplicationOriginJSON {
+	if len(s.replicators) == 0 {
+		return nil
+	}
+	out := make([]ReplicationOriginJSON, 0, len(s.replicators))
+	for _, r := range s.replicators {
+		out = append(out, ReplicationOriginJSON{
+			Origin:         r.origin.ID,
+			Position:       r.pos.Load(),
+			Lag:            r.lag.Load(),
+			Chunks:         r.chunks.Load(),
+			Records:        r.records.Load(),
+			Bytes:          r.bytes.Load(),
+			Duplicates:     r.duplic.Load(),
+			Errors:         r.errors.Load(),
+			CorruptChunks:  r.corrupt.Load(),
+			DigestMismatch: r.mismatch.Load(),
+			CaughtUp:       r.caughtUp.Load(),
+		})
+	}
+	return out
+}
+
+func (r *replicator) run() {
+	defer close(r.done)
+	for {
+		advanced := r.poll()
+		// Rate limit: full interval once caught up (or erroring), a short
+		// catch-up delay while the origin is ahead — one chunk per poll
+		// bounds burst bandwidth without letting a warm-up take minutes.
+		delay := r.interval
+		if advanced && r.lag.Load() > 0 {
+			delay = r.interval / 20
+			if delay < 2*time.Millisecond {
+				delay = 2 * time.Millisecond
+			}
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// poll runs one tail round: metadata, digest check, one chunk fetched and
+// applied, position advanced and persisted. Returns whether the position
+// advanced. Injected store-replicate panics are confined here, exactly
+// like store-append panics are confined to the store's writer.
+func (r *replicator) poll() (advanced bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(*fault.Error); !ok {
+				panic(p) // a real bug: do not swallow it
+			}
+			r.errors.Add(1)
+			advanced = false
+		}
+	}()
+
+	meta, err := r.fetchMeta()
+	if err != nil {
+		r.errors.Add(1)
+		return false
+	}
+	if meta.ConstraintDigest != r.digest {
+		// Verdicts from a different constraint set would never answer our
+		// lookups (keys are digest-namespaced); refusing them keeps the log
+		// from filling with inert records and surfaces the misconfiguration.
+		r.mismatch.Add(1)
+		return false
+	}
+	pos := r.pos.Load()
+	if pos > meta.Size {
+		// The origin truncated or restarted on a smaller log. Bytes at
+		// [size, pos) no longer exist there; rewinding can only re-apply
+		// records we already have (first-wins dedupe) — never lose or
+		// change one.
+		pos = meta.Size
+		r.setPos(pos)
+	}
+	r.lag.Store(meta.Size - pos)
+	r.lagGauge.Store(meta.Size - pos)
+	if pos == meta.Size {
+		r.caughtUp.Store(true)
+		return false
+	}
+	r.caughtUp.Store(false)
+
+	data, err := r.fetchChunk(pos)
+	if err != nil {
+		r.errors.Add(1)
+		return false
+	}
+	if len(data) == 0 {
+		return false
+	}
+	// The fault window: chunk fetched, nothing applied. Cancel drops the
+	// chunk; panic unwinds to the recover above. Either way pos stands and
+	// the next poll re-fetches the same bytes.
+	if fault.Inject(fault.StoreReplicate) == fault.Cancel {
+		r.errors.Add(1)
+		return false
+	}
+	st, err := r.st.ApplyReplicated(data)
+	if err != nil {
+		// A record failed its checksum: everything before it was applied
+		// (idempotently re-applied next round), the position does not move,
+		// and the chunk is re-fetched — skip now, re-fetch, never trust.
+		r.corrupt.Add(1)
+		return false
+	}
+	pos += int64(len(data))
+	r.setPos(pos)
+	r.chunks.Add(1)
+	r.records.Add(int64(st.Applied))
+	r.bytes.Add(int64(len(data)))
+	r.duplic.Add(int64(st.Duplicates))
+	lag := meta.Size - pos
+	r.lag.Store(lag)
+	r.lagGauge.Store(lag)
+	r.caughtUp.Store(lag == 0)
+	return true
+}
+
+func (r *replicator) fetchMeta() (SegmentsResponse, error) {
+	var meta SegmentsResponse
+	resp, err := r.client.Get(r.origin.URL + "/v1/store/segments")
+	if err != nil {
+		return meta, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return meta, fmt.Errorf("segments: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return meta, err
+	}
+	return meta, nil
+}
+
+func (r *replicator) fetchChunk(from int64) ([]byte, error) {
+	url := fmt.Sprintf("%s/v1/store/segments/data?from=%d&max=%d", r.origin.URL, from, r.chunkMax)
+	resp, err := r.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("segments/data: status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, int64(r.chunkMax)+store.SegmentTargetBytes))
+}
+
+// loadPos reads the persisted tail position; anything unreadable restarts
+// the tail at 0, which is always safe (idempotent re-apply), just slower.
+func (r *replicator) loadPos() int64 {
+	data, err := os.ReadFile(r.posPath)
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// setPos records the new position in memory and on disk. The write is
+// best-effort: a lost position costs a resumed tail some idempotent
+// re-application, nothing else.
+func (r *replicator) setPos(pos int64) {
+	r.pos.Store(pos)
+	r.posGauge.Store(pos)
+	if err := os.WriteFile(r.posPath, []byte(strconv.FormatInt(pos, 10)+"\n"), 0o644); err != nil {
+		r.errors.Add(1)
+	}
+}
+
+// handleStoreSegments is GET /v1/store/segments (tailer metadata poll).
+func (s *Server) handleStoreSegments(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no_store", "this server runs without a durable store")
+		return
+	}
+	segs, size := s.store.Segments()
+	if segs == nil {
+		segs = []store.Segment{}
+	}
+	writeJSON(w, http.StatusOK, SegmentsResponse{
+		Shard:            s.cfg.ShardID,
+		ConstraintDigest: s.eng.ConstraintDigest(),
+		Size:             size,
+		SegmentTarget:    store.SegmentTargetBytes,
+		Segments:         segs,
+	})
+}
+
+// handleStoreSegmentData is GET /v1/store/segments/data?from=N&max=M: a
+// record-aligned raw byte range of the log, the tail protocol's data
+// plane. The X-Spes-Store-Size header carries the durable size so a tailer
+// can compute its lag from the same response.
+func (s *Server) handleStoreSegmentData(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no_store", "this server runs without a durable store")
+		return
+	}
+	from, err := strconv.ParseInt(req.URL.Query().Get("from"), 10, 64)
+	if err != nil || from < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "from must be a non-negative byte offset")
+		return
+	}
+	max := maxChunkBytes
+	if q := req.URL.Query().Get("max"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "max must be a positive byte count")
+			return
+		}
+		if n < max {
+			max = n
+		}
+	}
+	data, size, err := s.store.ReadTail(from, max)
+	if err != nil {
+		// Both a stale offset (client bug) and an on-disk corrupt range are
+		// the tailer's cue to stop advancing; the body says which.
+		writeError(w, http.StatusUnprocessableEntity, "bad_range", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Spes-Store-Size", strconv.FormatInt(size, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// maxChunkBytes caps one tail response regardless of what the client asks
+// for, so a greedy tailer cannot make the origin buffer an entire log.
+const maxChunkBytes = 1 << 20

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,6 +93,17 @@ type Config struct {
 	// the spes_shard_info metric, so cross-shard traces and merged batch
 	// responses attribute each verdict to the shard that produced it.
 	ShardID string
+	// ReplicateFrom lists peer shards whose durable stores this server
+	// tails in the background (see replicate.go), so it is already warm for
+	// their keyspaces when the ring hands their traffic over. Requires
+	// StorePath: the replicated records land in this server's own log.
+	ReplicateFrom []ReplicaOrigin
+	// ReplicateInterval is the tailer's poll period once caught up
+	// (default 500ms; lagging tailers poll much faster).
+	ReplicateInterval time.Duration
+	// ReplicateChunkBytes bounds one replication fetch (default
+	// store.SegmentTargetBytes).
+	ReplicateChunkBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +128,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.ReplicateInterval <= 0 {
+		c.ReplicateInterval = 500 * time.Millisecond
+	}
+	if c.ReplicateChunkBytes <= 0 {
+		c.ReplicateChunkBytes = store.SegmentTargetBytes
+	}
 	return c
 }
 
@@ -134,6 +152,21 @@ type Server struct {
 	latency     *Histogram
 	rejected    *CounterVec
 	coalescedCt *Counter
+
+	// Replication: one tailer per Config.ReplicateFrom origin, with its
+	// counters held as labeled children so /metrics and /v1/stats read the
+	// same atomics.
+	replicators    []*replicator
+	replStop       sync.Once
+	replSegments   *CounterVec
+	replRecords    *CounterVec
+	replBytes      *CounterVec
+	replDuplicates *CounterVec
+	replErrors     *CounterVec
+	replCorrupt    *CounterVec
+	replMismatch   *CounterVec
+	replLag        *GaugeVec
+	replPos        *GaugeVec
 	// srvPanics counts panics that escaped a handler and were recovered by
 	// instrument (engine-level panics are recovered lower down and counted
 	// in the engine's stats; /metrics sums both).
@@ -159,6 +192,9 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Catalog == nil {
 		panic("server: Config.Catalog is required")
+	}
+	if len(cfg.ReplicateFrom) > 0 && cfg.StorePath == "" {
+		panic("server: Config.ReplicateFrom requires Config.StorePath")
 	}
 	opts := engine.Options{
 		Workers:           cfg.BatchWorkers,
@@ -195,6 +231,7 @@ func New(cfg Config) (*Server, error) {
 	s.verifyPlans = eng.VerifyPlans
 	s.coal.onPanic = func() { s.srvPanics.Add(1) }
 	s.registerMetrics()
+	s.startReplicators()
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -313,6 +350,27 @@ func (s *Server) registerMetrics() {
 	r.NewCounterFunc("spes_watchdog_aborts_total",
 		"Verifications abandoned by the watchdog after running past deadline-plus-grace (lifetime).",
 		stat(func(st engine.StatsSnapshot) int64 { return st.WatchdogAborts }))
+	// Replication series are always registered (label parity is tested);
+	// children appear once an origin is configured and its tailer runs.
+	s.replSegments = r.NewCounterVec("spes_replication_segments_total",
+		"Replication chunks fetched from an origin's log and applied locally.", "origin")
+	s.replRecords = r.NewCounterVec("spes_replication_records_total",
+		"Records durably applied from replicated chunks.", "origin")
+	s.replBytes = r.NewCounterVec("spes_replication_bytes_total",
+		"Log bytes fetched and applied from each origin.", "origin")
+	s.replDuplicates = r.NewCounterVec("spes_replication_duplicates_total",
+		"Replicated records already present locally (first-wins: the local record stood).", "origin")
+	s.replErrors = r.NewCounterVec("spes_replication_errors_total",
+		"Replication rounds that failed (fetch error, injected fault, position write).", "origin")
+	s.replCorrupt = r.NewCounterVec("spes_replication_corrupt_chunks_total",
+		"Replicated chunks rejected by record checksums and re-fetched.", "origin")
+	s.replMismatch = r.NewCounterVec("spes_replication_digest_mismatch_total",
+		"Replication rounds refused because the origin's constraint digest differs.", "origin")
+	s.replLag = r.NewGaugeVec("spes_replication_lag_bytes",
+		"Bytes of each origin's log not yet applied locally.", "origin")
+	s.replPos = r.NewGaugeVec("spes_replication_position_bytes",
+		"Byte offset into each origin's log the tailer has durably applied.", "origin")
+
 	if id := s.cfg.ShardID; id != "" {
 		// Info-style series: constant 1, the shard's identity in the label,
 		// so a cluster dashboard can join per-shard scrapes by ID.
@@ -331,6 +389,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/store/segments", s.handleStoreSegments)
+	mux.HandleFunc("/v1/store/segments/data", s.handleStoreSegmentData)
 	return mux
 }
 
@@ -371,9 +431,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.cancelBase()
 		err = <-done
 	}
-	// Close the store only after every request goroutine has finished:
-	// Close flushes the write-behind queue, so verdicts from the final
-	// requests land on disk before the process exits.
+	// Stop the replication tailers before the store they write into
+	// closes; then close the store only after every request goroutine has
+	// finished: Close flushes the write-behind queue, so verdicts from the
+	// final requests land on disk before the process exits.
+	s.stopReplicators()
 	if s.store != nil {
 		if cerr := s.store.Close(); err == nil {
 			err = cerr
@@ -503,6 +565,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ss := st.Snapshot()
 		resp.Store = &StoreStatsJSON{Records: ss.Records, Bytes: ss.Bytes, Appends: ss.Appends}
 	}
+	resp.Replication = s.ReplicationSnapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -100,6 +100,13 @@ type Store struct {
 	stats   Stats
 	closed  bool
 
+	// Segment accumulator (see segment.go): sealed segments over the
+	// durable prefix, plus the running CRC and start offset of the open
+	// (unsealed) tail segment. All guarded by mu.
+	segs     []Segment
+	segStart int64
+	segCRC   uint32
+
 	queue chan pending
 	done  chan struct{}
 }
@@ -186,6 +193,7 @@ func (s *Store) scan() error {
 		}
 		s.indexPayload(payload, ref{off: off + headerLen, n: int(n)})
 		off += headerLen + int64(n)
+		s.noteDurableLocked(off, hdr, payload)
 		s.stats.Records++
 	}
 	if off < total {
@@ -412,13 +420,16 @@ func (s *Store) writer() {
 	}
 }
 
-func (s *Store) writeOne(p pending) {
+// writeOne durably writes one record, reporting whether it landed (false:
+// dropped to a fault, a write error, or a closed store).
+func (s *Store) writeOne(p pending) (wrote bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(*fault.Error); !ok {
 				panic(r) // a real bug: do not swallow it
 			}
 			s.drop()
+			wrote = false
 		}
 	}()
 	hdr := make([]byte, headerLen)
@@ -429,12 +440,12 @@ func (s *Store) writeOne(p pending) {
 	defer s.mu.Unlock()
 	if s.closed {
 		s.stats.Dropped++
-		return
+		return false
 	}
 	off := s.size
 	if _, err := s.f.WriteAt(hdr, off); err != nil {
 		s.stats.Dropped++
-		return
+		return false
 	}
 	// The torn-write window: header on disk, payload not yet. A panic here
 	// leaves exactly the tail scan() truncates; a cancel models a skipped
@@ -443,16 +454,17 @@ func (s *Store) writeOne(p pending) {
 	switch fault.Inject(fault.StoreAppend) {
 	case fault.Cancel:
 		s.stats.Dropped++
-		return
+		return false
 	}
 	if _, err := s.f.WriteAt(p.payload, off+headerLen); err != nil {
 		s.stats.Dropped++
-		return
+		return false
 	}
 	s.size = off + headerLen + int64(len(p.payload))
 	s.stats.Records++
 	s.stats.Bytes = s.size
 	s.stats.Appends++
+	s.noteDurableLocked(s.size, hdr, p.payload)
 	if p.key != "" {
 		fp := fnv64(p.key)
 		r := ref{off: off + headerLen, n: len(p.payload)}
@@ -463,6 +475,7 @@ func (s *Store) writeOne(p pending) {
 			s.index[fp] = append(s.index[fp], r)
 		}
 	}
+	return true
 }
 
 // Flush blocks until every append queued before the call is durably written
@@ -658,4 +671,3 @@ func lemmaFingerprint(lits []LemmaLit) uint64 {
 	}
 	return fp
 }
-
